@@ -1,0 +1,37 @@
+//! Simulated process virtual address space.
+//!
+//! CRAC's split-process architecture places two programs — the CUDA
+//! application (*upper half*) and a helper program containing the CUDA
+//! library (*lower half*) — into a single process address space.  The
+//! checkpoint logic then has to answer questions like *which memory regions
+//! belong to the upper half?* in the presence of `/proc/PID/maps` region
+//! merging, library-allocated arenas and `MAP_FIXED` overwrites.
+//!
+//! This crate reproduces exactly those address-space phenomena in a
+//! deterministic, in-process model:
+//!
+//! * [`AddressSpace`] — `mmap` / `munmap` / `mprotect` with optional
+//!   `MAP_FIXED` placement, first-fit allocation, and an ASLR toggle
+//!   (the analogue of `personality(ADDR_NO_RANDOMIZE)`).
+//! * [`Region`] — a mapping with protection bits, an upper/lower-half tag,
+//!   a human-readable label and sparse page-granular backing storage.
+//! * [`maps`] — the *merged* `/proc/PID/maps`-style view in which adjacent
+//!   regions with equal protection coalesce, deliberately losing the
+//!   upper/lower-half tag (the Section 3.2.2 problem CRAC must work around).
+//!
+//! The backing store is sparse: only pages that have actually been written
+//! consume host memory, so multi-gigabyte simulated allocations (e.g. the
+//! HYPRE workload's 2.3 GB footprint) remain cheap while logical sizes — and
+//! therefore checkpoint-image sizes — stay faithful.
+
+pub mod addr;
+pub mod maps;
+pub mod region;
+pub mod shared;
+pub mod space;
+
+pub use addr::{page_align_down, page_align_up, Addr, Prot, PAGE_SIZE};
+pub use maps::MapsEntry;
+pub use region::{Half, Region, RegionId};
+pub use shared::SharedSpace;
+pub use space::{AddressSpace, MapRequest, MemError, SpaceStats};

@@ -1,0 +1,146 @@
+//! The merged `/proc/PID/maps`-style view of an address space.
+//!
+//! DMTCP (the host checkpointer) decides what to save by reading
+//! `/proc/PID/maps`.  The kernel merges adjacent VMAs with identical
+//! permissions, so two logically distinct mappings — one created by the
+//! upper-half application and one by the lower-half CUDA library — can appear
+//! as a *single* entry.  Section 3.2.2 of the paper identifies this as one of
+//! the reasons CRAC must track upper-half allocations itself instead of
+//! trusting the maps view.  [`merged_view`] reproduces that merging.
+
+use std::fmt;
+
+use crate::addr::{Addr, Prot};
+use crate::region::Region;
+
+/// One line of the merged `/proc/PID/maps` view.
+///
+/// Note the deliberate absence of a [`crate::Half`] field: the kernel has no
+/// idea which half created a mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapsEntry {
+    /// Start address of the merged range.
+    pub start: Addr,
+    /// Exclusive end address of the merged range.
+    pub end: Addr,
+    /// Protection bits shared by every region merged into this entry.
+    pub prot: Prot,
+    /// Labels of the constituent regions, joined with `' '` (roughly the
+    /// pathname column; merged entries keep the first label like the kernel
+    /// keeps the first VMA's file).
+    pub label: String,
+    /// How many distinct regions were merged into this entry.
+    pub merged_regions: usize,
+}
+
+impl MapsEntry {
+    /// Length of the merged range in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the entry covers no bytes (never produced by
+    /// [`merged_view`], present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+impl fmt::Display for MapsEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:012x}-{:012x} {}p {}",
+            self.start.as_u64(),
+            self.end.as_u64(),
+            self.prot,
+            self.label
+        )
+    }
+}
+
+/// Builds the merged view from regions already sorted by start address.
+///
+/// Adjacent regions are coalesced when they are contiguous and share the same
+/// protection bits — regardless of which half created them, matching kernel
+/// VMA merging behaviour.
+pub fn merged_view<'a, I>(regions: I) -> Vec<MapsEntry>
+where
+    I: IntoIterator<Item = &'a Region>,
+{
+    let mut out: Vec<MapsEntry> = Vec::new();
+    for r in regions {
+        match out.last_mut() {
+            Some(last) if last.end == r.start && last.prot == r.prot => {
+                last.end = r.end();
+                last.merged_regions += 1;
+            }
+            _ => out.push(MapsEntry {
+                start: r.start,
+                end: r.end(),
+                prot: r.prot,
+                label: r.label.clone(),
+                merged_regions: 1,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Half, PageStore, RegionId};
+    use crate::PAGE_SIZE;
+
+    fn region(id: u64, start: u64, pages: u64, prot: Prot, half: Half, label: &str) -> Region {
+        Region {
+            id: RegionId(id),
+            start: Addr(start),
+            len: pages * PAGE_SIZE,
+            prot,
+            half,
+            label: label.to_string(),
+            store: PageStore::new(),
+        }
+    }
+
+    #[test]
+    fn contiguous_same_prot_regions_merge() {
+        let a = region(1, 0x1000, 1, Prot::RW, Half::Upper, "app-heap");
+        let b = region(2, 0x2000, 2, Prot::RW, Half::Lower, "cuda-arena");
+        let merged = merged_view([&a, &b]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].merged_regions, 2);
+        assert_eq!(merged[0].len(), 3 * PAGE_SIZE);
+        // The merged entry keeps only the first label; the half distinction is
+        // gone — this is the information loss CRAC works around.
+        assert_eq!(merged[0].label, "app-heap");
+    }
+
+    #[test]
+    fn different_prot_regions_do_not_merge() {
+        let a = region(1, 0x1000, 1, Prot::RX, Half::Upper, "text");
+        let b = region(2, 0x2000, 1, Prot::RW, Half::Upper, "data");
+        let merged = merged_view([&a, &b]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn gap_prevents_merging() {
+        let a = region(1, 0x1000, 1, Prot::RW, Half::Upper, "a");
+        let b = region(2, 0x4000, 1, Prot::RW, Half::Upper, "b");
+        let merged = merged_view([&a, &b]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn display_formats_like_proc_maps() {
+        let a = region(1, 0x1000, 1, Prot::RW, Half::Upper, "[heap]");
+        let merged = merged_view([&a]);
+        let line = format!("{}", merged[0]);
+        assert!(line.contains("000000001000-000000002000"));
+        assert!(line.contains("rw-p"));
+        assert!(line.contains("[heap]"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Memory regions with sparse page-granular backing storage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{Addr, Prot, PAGE_SIZE};
+
+/// Which half of the split process a region belongs to.
+///
+/// The paper's central bookkeeping question — *does this mapping belong to the
+/// checkpointed application (upper half) or to the discarded helper/CUDA
+/// library (lower half)?* — is carried as an explicit tag here.  The merged
+/// `/proc/PID/maps` view produced by [`crate::maps`] intentionally drops this
+/// tag, reproducing why CRAC must keep its own region table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Half {
+    /// The end-user CUDA application plus its libraries: saved at checkpoint.
+    Upper,
+    /// The helper program plus the real CUDA library: discarded at checkpoint,
+    /// re-loaded fresh at restart.
+    Lower,
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Half::Upper => write!(f, "upper"),
+            Half::Lower => write!(f, "lower"),
+        }
+    }
+}
+
+/// Stable identifier of a region within an [`crate::AddressSpace`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Sparse page store: only pages that have been written are materialised.
+///
+/// Logical sizes can be multiple gigabytes (the HYPRE workload maps ~2.3 GB of
+/// UVM), but tests and benchmarks only touch a small fraction of those pages,
+/// so storage is a `BTreeMap` keyed by page index relative to the region
+/// start.
+#[derive(Clone, Default)]
+pub struct PageStore {
+    pages: BTreeMap<u64, Box<[u8]>>,
+}
+
+impl PageStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        Self {
+            pages: BTreeMap::new(),
+        }
+    }
+
+    /// Number of materialised (dirty) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at byte offset `off`.
+    /// Unmaterialised pages read as zero.
+    pub fn read(&self, off: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = off + done as u64;
+            let page = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
+            match self.pages.get(&page) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` starting at byte offset `off`, materialising pages as
+    /// needed.
+    pub fn write(&mut self, off: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = off + done as u64;
+            let page = cur / PAGE_SIZE;
+            let in_page = (cur % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(data.len() - done);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Fills `len` bytes starting at `off` with `byte`.
+    pub fn fill(&mut self, off: u64, len: u64, byte: u8) {
+        // Chunked so that huge fills do not allocate a huge temporary.
+        let chunk = vec![byte; PAGE_SIZE as usize];
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(PAGE_SIZE) as usize;
+            self.write(off + done, &chunk[..n]);
+            done += n as u64;
+        }
+    }
+
+    /// Iterates over the materialised pages as `(page_index, bytes)` pairs.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(k, v)| (*k, v.as_ref()))
+    }
+
+    /// Installs a page's content wholesale (used when restoring from a
+    /// checkpoint image).
+    pub fn install_page(&mut self, page: u64, bytes: &[u8]) {
+        assert_eq!(bytes.len(), PAGE_SIZE as usize, "page must be PAGE_SIZE");
+        self.pages.insert(page, bytes.to_vec().into_boxed_slice());
+    }
+
+    /// Discards pages at or beyond `first_page` (used when a region is split
+    /// or truncated).
+    pub fn truncate_pages(&mut self, first_page: u64) -> BTreeMap<u64, Box<[u8]>> {
+        let tail = self.pages.split_off(&first_page);
+        tail
+    }
+
+    /// Inserts pre-existing pages, with their keys shifted by `shift` pages
+    /// (negative shifts move pages toward lower indices; used when a region is
+    /// split or merged).
+    pub fn adopt_pages(&mut self, pages: BTreeMap<u64, Box<[u8]>>, shift: i64) {
+        for (k, v) in pages {
+            let new_key = (k as i64 + shift) as u64;
+            self.pages.insert(new_key, v);
+        }
+    }
+}
+
+impl fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageStore({} resident pages)", self.pages.len())
+    }
+}
+
+/// A single contiguous mapping in the simulated address space.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Stable identifier.
+    pub id: RegionId,
+    /// First address of the mapping (page-aligned).
+    pub start: Addr,
+    /// Length in bytes (page-aligned).
+    pub len: u64,
+    /// Protection bits.
+    pub prot: Prot,
+    /// Which half of the split process created the mapping.
+    pub half: Half,
+    /// Human-readable label, e.g. `"libcuda.so"` or `"[heap]"`.
+    pub label: String,
+    /// Sparse backing storage.
+    pub store: PageStore,
+}
+
+impl Region {
+    /// Exclusive end address of the mapping.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.start + self.len
+    }
+
+    /// Returns `true` if `addr` lies inside the region.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Returns `true` if `[addr, addr+len)` overlaps this region.
+    #[inline]
+    pub fn overlaps(&self, addr: Addr, len: u64) -> bool {
+        addr < self.end() && addr + len > self.start
+    }
+
+    /// Number of pages in the region.
+    #[inline]
+    pub fn page_count(&self) -> u64 {
+        self.len / PAGE_SIZE
+    }
+
+    /// Number of pages that have actually been written.
+    #[inline]
+    pub fn resident_pages(&self) -> usize {
+        self.store.resident_pages()
+    }
+
+    /// Reads bytes from the region. `addr` must lie inside the region and the
+    /// read must not run past its end (callers check this; the address-space
+    /// API enforces it).
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        debug_assert!(self.contains(addr));
+        debug_assert!(addr + buf.len() as u64 <= self.end());
+        self.store.read(addr - self.start, buf);
+    }
+
+    /// Writes bytes into the region.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        debug_assert!(self.contains(addr));
+        debug_assert!(addr + data.len() as u64 <= self.end());
+        self.store.write(addr - self.start, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(start: u64, len: u64) -> Region {
+        Region {
+            id: RegionId(1),
+            start: Addr(start),
+            len,
+            prot: Prot::RW,
+            half: Half::Upper,
+            label: "test".to_string(),
+            store: PageStore::new(),
+        }
+    }
+
+    #[test]
+    fn page_store_reads_zero_when_unwritten() {
+        let store = PageStore::new();
+        let mut buf = [0xffu8; 64];
+        store.read(10_000, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(store.resident_pages(), 0);
+    }
+
+    #[test]
+    fn page_store_write_read_round_trip_across_page_boundary() {
+        let mut store = PageStore::new();
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        store.write(PAGE_SIZE - 100, &data);
+        let mut out = vec![0u8; data.len()];
+        store.read(PAGE_SIZE - 100, &mut out);
+        assert_eq!(out, data);
+        // 10_000 bytes starting 100 bytes before a boundary touch 4 pages.
+        assert_eq!(store.resident_pages(), 4);
+    }
+
+    #[test]
+    fn page_store_fill_is_visible() {
+        let mut store = PageStore::new();
+        store.fill(5, 3 * PAGE_SIZE, 0xab);
+        let mut buf = [0u8; 16];
+        store.read(PAGE_SIZE, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0xab));
+        let mut head = [1u8; 5];
+        store.read(0, &mut head);
+        assert!(head.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn region_overlap_and_containment() {
+        let r = region(0x10_000, 4 * PAGE_SIZE);
+        assert!(r.contains(Addr(0x10_000)));
+        assert!(r.contains(Addr(0x10_000 + 4 * PAGE_SIZE - 1)));
+        assert!(!r.contains(Addr(0x10_000 + 4 * PAGE_SIZE)));
+        assert!(r.overlaps(Addr(0x10_000 - PAGE_SIZE), 2 * PAGE_SIZE));
+        assert!(!r.overlaps(Addr(0x10_000 - PAGE_SIZE), PAGE_SIZE));
+        assert!(r.overlaps(Addr(0x10_000 + 3 * PAGE_SIZE), 64 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn region_read_write_round_trip() {
+        let mut r = region(0x20_000, 2 * PAGE_SIZE);
+        r.write(Addr(0x20_010), b"hello CRAC");
+        let mut buf = [0u8; 10];
+        r.read(Addr(0x20_010), &mut buf);
+        assert_eq!(&buf, b"hello CRAC");
+        assert_eq!(r.resident_pages(), 1);
+    }
+
+    #[test]
+    fn truncate_and_adopt_pages_preserve_content() {
+        let mut store = PageStore::new();
+        store.write(0, &[1u8; PAGE_SIZE as usize]);
+        store.write(PAGE_SIZE * 3, &[3u8; PAGE_SIZE as usize]);
+        let tail = store.truncate_pages(2);
+        assert_eq!(store.resident_pages(), 1);
+        let mut other = PageStore::new();
+        other.adopt_pages(tail, -2);
+        let mut buf = [0u8; 4];
+        other.read(PAGE_SIZE, &mut buf);
+        assert_eq!(buf, [3u8; 4]);
+    }
+}

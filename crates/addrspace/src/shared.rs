@@ -1,0 +1,174 @@
+//! Shared-ownership wrapper around an [`AddressSpace`].
+//!
+//! The simulated process address space is touched from several places at
+//! once: the upper-half application, the lower-half CUDA library, the GPU
+//! executor (kernels read and write buffers), and the checkpointer.  All of
+//! them hold a [`SharedSpace`], which is a cheap-to-clone handle around a
+//! `parking_lot::RwLock<AddressSpace>`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::addr::Addr;
+use crate::space::{AddressSpace, MapRequest, MemError};
+
+/// Cheaply cloneable, thread-safe handle to a simulated address space.
+#[derive(Clone)]
+pub struct SharedSpace {
+    inner: Arc<RwLock<AddressSpace>>,
+}
+
+impl Default for SharedSpace {
+    fn default() -> Self {
+        Self::new_no_aslr()
+    }
+}
+
+impl SharedSpace {
+    /// Wraps an existing address space.
+    pub fn from_space(space: AddressSpace) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(space)),
+        }
+    }
+
+    /// Creates a fresh address space with ASLR enabled.
+    pub fn new() -> Self {
+        Self::from_space(AddressSpace::new())
+    }
+
+    /// Creates a fresh address space with ASLR disabled (what CRAC does).
+    pub fn new_no_aslr() -> Self {
+        Self::from_space(AddressSpace::new_no_aslr())
+    }
+
+    /// Runs `f` with shared (read) access to the space.
+    pub fn with<R>(&self, f: impl FnOnce(&AddressSpace) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive (write) access to the space.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut AddressSpace) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Convenience: `mmap` through the lock.
+    pub fn mmap(&self, req: MapRequest) -> Result<Addr, MemError> {
+        self.inner.write().mmap(req)
+    }
+
+    /// Convenience: `munmap` through the lock.
+    pub fn munmap(&self, addr: Addr, len: u64) -> Result<(), MemError> {
+        self.inner.write().munmap(addr, len)
+    }
+
+    /// Convenience: raw byte read through the lock.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.inner.read().read(addr, buf)
+    }
+
+    /// Convenience: raw byte write through the lock.
+    pub fn write_bytes(&self, addr: Addr, data: &[u8]) -> Result<(), MemError> {
+        self.inner.write().write(addr, data)
+    }
+
+    /// Convenience: bulk fill through the lock.
+    pub fn fill(&self, addr: Addr, len: u64, byte: u8) -> Result<(), MemError> {
+        self.inner.write().fill(addr, len, byte)
+    }
+
+    /// Convenience: sparse copy through the lock (see
+    /// [`AddressSpace::sparse_copy`]).
+    pub fn sparse_copy(&self, dst: Addr, src: Addr, len: u64) -> Result<u64, MemError> {
+        self.inner.write().sparse_copy(dst, src, len)
+    }
+
+    /// Reads a little-endian `f32` slice starting at `addr`.
+    pub fn read_f32(&self, addr: Addr, out: &mut [f32]) -> Result<(), MemError> {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.read_bytes(addr, &mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Ok(())
+    }
+
+    /// Writes a little-endian `f32` slice starting at `addr`.
+    pub fn write_f32(&self, addr: Addr, data: &[f32]) -> Result<(), MemError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: Addr) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: Addr, v: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Half;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn shared_space_clones_alias_the_same_memory() {
+        let a = SharedSpace::new_no_aslr();
+        let b = a.clone();
+        let addr = a.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
+        b.write_bytes(addr, b"shared").unwrap();
+        let mut buf = [0u8; 6];
+        a.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+    }
+
+    #[test]
+    fn typed_f32_round_trip() {
+        let s = SharedSpace::new_no_aslr();
+        let addr = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "f")).unwrap();
+        let data = [1.5f32, -2.25, 3.0, 0.0];
+        s.write_f32(addr, &data).unwrap();
+        let mut out = [0f32; 4];
+        s.read_f32(addr, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn typed_u64_round_trip() {
+        let s = SharedSpace::new_no_aslr();
+        let addr = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "u")).unwrap();
+        s.write_u64(addr + 16, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(s.read_u64(addr + 16).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_disjoint_buffers() {
+        let s = SharedSpace::new_no_aslr();
+        let addr = s.mmap(MapRequest::anon(64 * PAGE_SIZE, Half::Upper, "par")).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8u8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    let base = addr + (t as u64) * 8 * PAGE_SIZE;
+                    s.fill(base, 8 * PAGE_SIZE, t + 1).unwrap();
+                });
+            }
+        });
+        for t in 0..8u8 {
+            let mut buf = [0u8; 8];
+            s.read_bytes(addr + (t as u64) * 8 * PAGE_SIZE, &mut buf).unwrap();
+            assert_eq!(buf, [t + 1; 8]);
+        }
+    }
+}

@@ -1,0 +1,834 @@
+//! The simulated address space: `mmap`, `munmap`, `mprotect`, ASLR and the
+//! upper/lower-half layout.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{page_align_up, Addr, Prot, PAGE_SIZE};
+use crate::maps::MapsEntry;
+use crate::region::{Half, PageStore, Region, RegionId};
+
+/// Base of the address range used for lower-half (helper / CUDA library)
+/// mappings.
+pub const LOWER_BASE: u64 = 0x0000_1000_0000;
+/// Exclusive end of the lower-half range and base of the upper-half range.
+pub const UPPER_BASE: u64 = 0x4000_0000_0000;
+/// Exclusive end of the upper-half range.
+pub const SPACE_END: u64 = 0x7fff_ffff_f000;
+
+/// Errors returned by address-space operations (the moral equivalent of
+/// `errno` values from `mmap`/`munmap`/`mprotect`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Requested address or length was not page-aligned where required.
+    Unaligned,
+    /// A zero-length mapping or access was requested.
+    ZeroLength,
+    /// No free gap large enough for the request (ENOMEM).
+    OutOfSpace,
+    /// A `MAP_FIXED` request fell outside the requested half's range.
+    OutsideHalf,
+    /// An access touched an address with no mapping behind it (SIGSEGV).
+    Fault(Addr),
+    /// An access violated the mapping's protection bits.
+    Protection(Addr),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unaligned => write!(f, "address or length not page-aligned"),
+            MemError::ZeroLength => write!(f, "zero-length request"),
+            MemError::OutOfSpace => write!(f, "no free virtual address range large enough"),
+            MemError::OutsideHalf => write!(f, "MAP_FIXED address outside the requested half"),
+            MemError::Fault(a) => write!(f, "segmentation fault at {a}"),
+            MemError::Protection(a) => write!(f, "protection violation at {a}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Parameters of an `mmap` request.
+#[derive(Clone, Debug)]
+pub struct MapRequest {
+    /// Requested length in bytes (rounded up to a page multiple).
+    pub len: u64,
+    /// Protection bits of the new mapping.
+    pub prot: Prot,
+    /// Which half the mapping belongs to (determines the search range).
+    pub half: Half,
+    /// Human-readable label recorded on the region.
+    pub label: String,
+    /// `Some(addr)` requests `MAP_FIXED` placement at `addr`, silently
+    /// replacing any existing overlapping mappings — exactly the hazard
+    /// described in Section 3.2.2 of the paper.
+    pub fixed: Option<Addr>,
+}
+
+impl MapRequest {
+    /// Convenience constructor for an anonymous RW mapping.
+    pub fn anon(len: u64, half: Half, label: &str) -> Self {
+        Self {
+            len,
+            prot: Prot::RW,
+            half,
+            label: label.to_string(),
+            fixed: None,
+        }
+    }
+
+    /// Requests `MAP_FIXED` placement at `addr`.
+    pub fn at(mut self, addr: Addr) -> Self {
+        self.fixed = Some(addr);
+        self
+    }
+
+    /// Overrides the protection bits.
+    pub fn prot(mut self, prot: Prot) -> Self {
+        self.prot = prot;
+        self
+    }
+}
+
+/// Aggregate statistics over an address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Number of distinct regions currently mapped.
+    pub region_count: usize,
+    /// Total mapped bytes in the upper half.
+    pub upper_bytes: u64,
+    /// Total mapped bytes in the lower half.
+    pub lower_bytes: u64,
+    /// Pages actually written (resident) across all regions.
+    pub resident_pages: usize,
+    /// Cumulative number of `mmap` calls served.
+    pub mmap_calls: u64,
+    /// Cumulative number of `munmap` calls served.
+    pub munmap_calls: u64,
+}
+
+/// A simulated process virtual address space.
+///
+/// Regions are kept in a `BTreeMap` ordered by start address so that overlap
+/// queries, first-fit searches and the `/proc/PID/maps` view are all simple
+/// ordered traversals.
+pub struct AddressSpace {
+    regions: BTreeMap<Addr, Region>,
+    next_id: u64,
+    aslr_enabled: bool,
+    rng_state: u64,
+    stats: SpaceStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with ASLR enabled (the Linux default).
+    pub fn new() -> Self {
+        Self {
+            regions: BTreeMap::new(),
+            next_id: 1,
+            aslr_enabled: true,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Creates an address space with ASLR already disabled, as CRAC does via
+    /// `personality(ADDR_NO_RANDOMIZE)` before loading the halves.
+    pub fn new_no_aslr() -> Self {
+        let mut s = Self::new();
+        s.personality_no_randomize();
+        s
+    }
+
+    /// Disables address-space layout randomisation.  Subsequent non-fixed
+    /// `mmap` calls become fully deterministic, which is what CRAC's
+    /// log-and-replay address determinism relies on.
+    pub fn personality_no_randomize(&mut self) {
+        self.aslr_enabled = false;
+    }
+
+    /// Returns `true` if ASLR is currently enabled.
+    pub fn aslr_enabled(&self) -> bool {
+        self.aslr_enabled
+    }
+
+    /// Seeds the internal ASLR offset generator (useful to make "randomised"
+    /// layouts reproducible in tests while still exercising the ASLR path).
+    pub fn seed_aslr(&mut self, seed: u64) {
+        self.rng_state = seed | 1;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, no external dependency.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Maps a new region, returning its start address.
+    pub fn mmap(&mut self, req: MapRequest) -> Result<Addr, MemError> {
+        if req.len == 0 {
+            return Err(MemError::ZeroLength);
+        }
+        let len = page_align_up(req.len);
+        self.stats.mmap_calls += 1;
+
+        let start = match req.fixed {
+            Some(addr) => {
+                if !addr.is_page_aligned() {
+                    return Err(MemError::Unaligned);
+                }
+                let (lo, hi) = Self::half_range(req.half);
+                if addr.as_u64() < lo || addr.as_u64() + len > hi {
+                    return Err(MemError::OutsideHalf);
+                }
+                // MAP_FIXED silently replaces whatever was there.
+                self.unmap_range(addr, len);
+                addr
+            }
+            None => self.find_free(len, req.half)?,
+        };
+
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        let region = Region {
+            id,
+            start,
+            len,
+            prot: req.prot,
+            half: req.half,
+            label: req.label,
+            store: PageStore::new(),
+        };
+        self.regions.insert(start, region);
+        Ok(start)
+    }
+
+    /// Unmaps `[addr, addr+len)`.  Like Linux, unmapping a range with no
+    /// mappings in it is not an error; partial overlaps split regions.
+    pub fn munmap(&mut self, addr: Addr, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Err(MemError::ZeroLength);
+        }
+        if !addr.is_page_aligned() {
+            return Err(MemError::Unaligned);
+        }
+        let len = page_align_up(len);
+        self.stats.munmap_calls += 1;
+        self.unmap_range(addr, len);
+        Ok(())
+    }
+
+    /// Changes protection bits over `[addr, addr+len)`, splitting regions at
+    /// the boundaries when necessary.
+    pub fn mprotect(&mut self, addr: Addr, len: u64, prot: Prot) -> Result<(), MemError> {
+        if len == 0 {
+            return Err(MemError::ZeroLength);
+        }
+        if !addr.is_page_aligned() {
+            return Err(MemError::Unaligned);
+        }
+        let len = page_align_up(len);
+        // Split at both boundaries so the target range is covered by whole
+        // regions, then flip the protection on those regions.
+        self.split_at(addr);
+        self.split_at(addr + len);
+        let keys: Vec<Addr> = self
+            .regions
+            .range(..Addr(addr.as_u64() + len))
+            .filter(|(_, r)| r.overlaps(addr, len))
+            .map(|(k, _)| *k)
+            .collect();
+        if keys.is_empty() {
+            return Err(MemError::Fault(addr));
+        }
+        for k in keys {
+            if let Some(r) = self.regions.get_mut(&k) {
+                r.prot = prot;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads bytes starting at `addr`.  The range may span several adjacent
+    /// regions but every byte must be mapped and readable.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.access(addr, buf.len() as u64, false)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = addr + done as u64;
+            let region = self.region_at(cur).ok_or(MemError::Fault(cur))?;
+            let n = ((region.end() - cur) as usize).min(buf.len() - done);
+            region.read(cur, &mut buf[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes bytes starting at `addr`.
+    pub fn write(&mut self, addr: Addr, data: &[u8]) -> Result<(), MemError> {
+        self.access(addr, data.len() as u64, true)?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = addr + done as u64;
+            let key = self
+                .region_at(cur)
+                .map(|r| r.start)
+                .ok_or(MemError::Fault(cur))?;
+            let region = self.regions.get_mut(&key).expect("region key just found");
+            let n = ((region.end() - cur) as usize).min(data.len() - done);
+            region.write(cur, &data[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Fills `[addr, addr+len)` with `byte` (cheap bulk initialisation for
+    /// workloads).
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemError> {
+        self.access(addr, len, true)?;
+        let mut done = 0u64;
+        while done < len {
+            let cur = addr + done;
+            let key = self
+                .region_at(cur)
+                .map(|r| r.start)
+                .ok_or(MemError::Fault(cur))?;
+            let region = self.regions.get_mut(&key).expect("region key just found");
+            let n = (region.end() - cur).min(len - done);
+            region.store.fill(cur - region.start, n, byte);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst`, touching only the bytes backed
+    /// by dirty (materialised) pages of the source range.  Bytes backed by
+    /// never-written pages are zero on both sides already (the destination
+    /// must be freshly mapped or otherwise known-zero), so multi-gigabyte
+    /// logical copies stay cheap.  Returns the number of bytes physically
+    /// copied.
+    ///
+    /// This is the primitive behind CRAC's drain (device → upper-half
+    /// staging) and refill (staging → device) of active allocations.
+    pub fn sparse_copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<u64, MemError> {
+        self.access(src, len, false)?;
+        self.access(dst, len, true)?;
+        let src_end = src + len;
+        // Collect the dirty byte ranges first (read-only pass), then write.
+        let mut pieces: Vec<(u64, Vec<u8>)> = Vec::new();
+        for region in self.regions.values() {
+            if !region.overlaps(src, len) {
+                continue;
+            }
+            for (page_idx, bytes) in region.store.dirty_pages() {
+                let page_start = region.start + page_idx * PAGE_SIZE;
+                let page_end = page_start + PAGE_SIZE;
+                let start = page_start.max(src);
+                let end = page_end.min(src_end);
+                if start >= end {
+                    continue;
+                }
+                let off_in_page = (start - page_start) as usize;
+                let n = (end - start) as usize;
+                pieces.push((start - src, bytes[off_in_page..off_in_page + n].to_vec()));
+            }
+        }
+        let mut copied = 0u64;
+        for (off, data) in pieces {
+            self.write(dst + off, &data)?;
+            copied += data.len() as u64;
+        }
+        Ok(copied)
+    }
+
+    fn access(&self, addr: Addr, len: u64, write: bool) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut cur = addr;
+        let end = addr.checked_add(len).ok_or(MemError::Fault(addr))?;
+        while cur < end {
+            let region = self.region_at(cur).ok_or(MemError::Fault(cur))?;
+            if write && !region.prot.writable() {
+                return Err(MemError::Protection(cur));
+            }
+            if !write && !region.prot.readable() {
+                return Err(MemError::Protection(cur));
+            }
+            cur = region.end();
+        }
+        Ok(())
+    }
+
+    /// Returns the region containing `addr`, if any.
+    pub fn region_at(&self, addr: Addr) -> Option<&Region> {
+        self.regions
+            .range(..=addr)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(addr))
+    }
+
+    /// Iterates over all regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Iterates over the regions belonging to one half.
+    pub fn regions_in_half(&self, half: Half) -> impl Iterator<Item = &Region> {
+        self.regions.values().filter(move |r| r.half == half)
+    }
+
+    /// Number of regions currently mapped.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Relabels the region starting exactly at `addr` (used by loaders).
+    pub fn relabel(&mut self, addr: Addr, label: &str) -> bool {
+        match self.regions.get_mut(&addr) {
+            Some(r) => {
+                r.label = label.to_string();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SpaceStats {
+        let mut s = self.stats;
+        s.region_count = self.regions.len();
+        s.upper_bytes = self
+            .regions_in_half(Half::Upper)
+            .map(|r| r.len)
+            .sum();
+        s.lower_bytes = self
+            .regions_in_half(Half::Lower)
+            .map(|r| r.len)
+            .sum();
+        s.resident_pages = self.regions.values().map(|r| r.resident_pages()).sum();
+        s
+    }
+
+    /// Produces the merged `/proc/PID/maps`-style view.  Adjacent regions with
+    /// identical protection bits are coalesced into a single entry and the
+    /// upper/lower-half tag is *not* part of the output — this is the view a
+    /// naive checkpointer would have to work from.
+    pub fn proc_maps(&self) -> Vec<MapsEntry> {
+        crate::maps::merged_view(self.regions.values())
+    }
+
+    /// Consolidates adjacent upper-half regions with identical protections
+    /// into single regions (Section 3.2.2: CRAC "tries to consolidate memory
+    /// regions created by the upper half").  Returns the number of regions
+    /// eliminated.
+    pub fn consolidate_upper_half(&mut self) -> usize {
+        let keys: Vec<Addr> = self
+            .regions
+            .values()
+            .filter(|r| r.half == Half::Upper)
+            .map(|r| r.start)
+            .collect();
+        let mut eliminated = 0usize;
+        let mut i = 0usize;
+        while i + 1 < keys.len() {
+            let a = keys[i];
+            let b = keys[i + 1];
+            let merge = {
+                let ra = &self.regions[&a];
+                let rb = &self.regions[&b];
+                ra.end() == rb.start && ra.prot == rb.prot && ra.half == rb.half
+            };
+            if merge {
+                let rb = self.regions.remove(&b).expect("rb exists");
+                let ra = self.regions.get_mut(&a).expect("ra exists");
+                let shift_pages = (ra.len / PAGE_SIZE) as i64;
+                let pages = rb.store.dirty_pages().map(|(k, v)| (k, v.to_vec())).fold(
+                    BTreeMap::new(),
+                    |mut m, (k, v)| {
+                        m.insert(k, v.into_boxed_slice());
+                        m
+                    },
+                );
+                ra.store.adopt_pages(pages, shift_pages);
+                ra.len += rb.len;
+                if ra.label != rb.label {
+                    ra.label = format!("{}+{}", ra.label, rb.label);
+                }
+                eliminated += 1;
+                // Re-run from the same index: the merged region may now abut
+                // the next one as well.  Rebuild the key list lazily by
+                // restarting the scan.
+                return eliminated + self.consolidate_upper_half();
+            }
+            i += 1;
+        }
+        eliminated
+    }
+
+    fn half_range(half: Half) -> (u64, u64) {
+        match half {
+            Half::Lower => (LOWER_BASE, UPPER_BASE),
+            Half::Upper => (UPPER_BASE, SPACE_END),
+        }
+    }
+
+    fn find_free(&mut self, len: u64, half: Half) -> Result<Addr, MemError> {
+        let (lo, hi) = Self::half_range(half);
+        let slide = if self.aslr_enabled {
+            // Up to 1 GiB of page-aligned slide, as a stand-in for mmap ASLR.
+            (self.next_rand() % (1 << 18)) * PAGE_SIZE
+        } else {
+            0
+        };
+        let mut cursor = lo + slide;
+        let mut wrapped = slide == 0;
+        loop {
+            if cursor + len > hi {
+                // Wrap once to the un-slid base before giving up.
+                if !wrapped {
+                    wrapped = true;
+                    cursor = lo;
+                    continue;
+                }
+                return Err(MemError::OutOfSpace);
+            }
+            // Find the first region that ends after `cursor`.
+            let conflict = self
+                .regions
+                .values()
+                .find(|r| r.overlaps(Addr(cursor), len));
+            match conflict {
+                None => return Ok(Addr(cursor)),
+                Some(r) => {
+                    cursor = r.end().as_u64();
+                    if cursor < lo {
+                        cursor = lo;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits the region containing `addr` so that `addr` becomes a region
+    /// boundary (no-op if it already is, or if nothing is mapped there).
+    fn split_at(&mut self, addr: Addr) {
+        let key = match self.region_at(addr) {
+            Some(r) if r.start != addr => r.start,
+            _ => return,
+        };
+        let region = self.regions.get_mut(&key).expect("region key just found");
+        let head_len = addr - region.start;
+        let tail_len = region.len - head_len;
+        let tail_first_page = head_len / PAGE_SIZE;
+        let tail_pages = region.store.truncate_pages(tail_first_page);
+        region.len = head_len;
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        let mut tail = Region {
+            id,
+            start: addr,
+            len: tail_len,
+            prot: region.prot,
+            half: region.half,
+            label: region.label.clone(),
+            store: PageStore::new(),
+        };
+        tail.store.adopt_pages(tail_pages, -(tail_first_page as i64));
+        self.regions.insert(addr, tail);
+    }
+
+    /// Removes all mappings intersecting `[addr, addr+len)`, splitting
+    /// partially covered regions.
+    fn unmap_range(&mut self, addr: Addr, len: u64) {
+        self.split_at(addr);
+        self.split_at(addr + len);
+        let doomed: Vec<Addr> = self
+            .regions
+            .values()
+            .filter(|r| r.overlaps(addr, len))
+            .map(|r| r.start)
+            .collect();
+        for k in doomed {
+            self.regions.remove(&k);
+        }
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "AddressSpace ({} regions):", self.regions.len())?;
+        for r in self.regions.values() {
+            writeln!(
+                f,
+                "  {:?}-{:?} {} {} {} ({} pages resident)",
+                r.start,
+                r.end(),
+                r.prot,
+                r.half,
+                r.label,
+                r.resident_pages()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new_no_aslr()
+    }
+
+    #[test]
+    fn mmap_places_halves_in_disjoint_ranges() {
+        let mut s = space();
+        let lo = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Lower, "lower")).unwrap();
+        let up = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "upper")).unwrap();
+        assert!(lo.as_u64() >= LOWER_BASE && lo.as_u64() < UPPER_BASE);
+        assert!(up.as_u64() >= UPPER_BASE && up.as_u64() < SPACE_END);
+    }
+
+    #[test]
+    fn mmap_is_deterministic_without_aslr() {
+        let addrs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut s = AddressSpace::new_no_aslr();
+                (0..5)
+                    .map(|i| {
+                        s.mmap(MapRequest::anon((i + 1) * PAGE_SIZE, Half::Upper, "x"))
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(addrs[0], addrs[1]);
+    }
+
+    #[test]
+    fn mmap_differs_with_aslr() {
+        let mut a = AddressSpace::new();
+        a.seed_aslr(1);
+        let mut b = AddressSpace::new();
+        b.seed_aslr(2);
+        let ra = a.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let rb = b.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "data")).unwrap();
+        s.write(a + 100, b"checkpoint me").unwrap();
+        let mut buf = [0u8; 13];
+        s.read(a + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"checkpoint me");
+    }
+
+    #[test]
+    fn read_unmapped_faults() {
+        let s = space();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            s.read(Addr(UPPER_BASE), &mut buf),
+            Err(MemError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn write_readonly_is_protection_error() {
+        let mut s = space();
+        let a = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "ro").prot(Prot::READ))
+            .unwrap();
+        assert!(matches!(s.write(a, b"x"), Err(MemError::Protection(_))));
+        let mut buf = [0u8; 1];
+        assert!(s.read(a, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn munmap_then_access_faults() {
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(2 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        s.write(a, &[1, 2, 3]).unwrap();
+        s.munmap(a, 2 * PAGE_SIZE).unwrap();
+        let mut buf = [0u8; 3];
+        assert!(matches!(s.read(a, &mut buf), Err(MemError::Fault(_))));
+    }
+
+    #[test]
+    fn partial_munmap_splits_region_and_keeps_content() {
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        s.write(a, &[0xaa; 8]).unwrap();
+        s.write(a + 3 * PAGE_SIZE, &[0xbb; 8]).unwrap();
+        // Punch out the middle two pages.
+        s.munmap(a + PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(s.region_count(), 2);
+        let mut head = [0u8; 8];
+        s.read(a, &mut head).unwrap();
+        assert_eq!(head, [0xaa; 8]);
+        let mut tail = [0u8; 8];
+        s.read(a + 3 * PAGE_SIZE, &mut tail).unwrap();
+        assert_eq!(tail, [0xbb; 8]);
+        let mut buf = [0u8; 1];
+        assert!(s.read(a + PAGE_SIZE, &mut buf).is_err());
+    }
+
+    #[test]
+    fn map_fixed_overwrites_existing_mapping() {
+        // Reproduces the Section 3.2.2 hazard: a lower-half MAP_FIXED call can
+        // silently clobber upper-half pages.
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "victim")).unwrap();
+        s.write(a + PAGE_SIZE, &[7u8; 16]).unwrap();
+        // Upper-half range address, but mapped on behalf of the lower half is
+        // not allowed (OutsideHalf); overwrite within the same half instead.
+        let b = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "intruder").at(a + PAGE_SIZE))
+            .unwrap();
+        assert_eq!(b, a + PAGE_SIZE);
+        // The overwritten page reads as zero now (fresh mapping).
+        let mut buf = [1u8; 16];
+        s.read(a + PAGE_SIZE, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        // Head and tail of the victim still exist.
+        assert!(s.region_at(a).is_some());
+        assert!(s.region_at(a + 2 * PAGE_SIZE).is_some());
+    }
+
+    #[test]
+    fn map_fixed_outside_half_is_rejected() {
+        let mut s = space();
+        let err = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Lower, "x").at(Addr(UPPER_BASE)))
+            .unwrap_err();
+        assert_eq!(err, MemError::OutsideHalf);
+    }
+
+    #[test]
+    fn mprotect_splits_and_applies() {
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        s.mprotect(a + PAGE_SIZE, PAGE_SIZE, Prot::READ).unwrap();
+        assert_eq!(s.region_count(), 3);
+        assert!(s.write(a, &[1]).is_ok());
+        assert!(matches!(
+            s.write(a + PAGE_SIZE, &[1]),
+            Err(MemError::Protection(_))
+        ));
+        assert!(s.write(a + 2 * PAGE_SIZE, &[1]).is_ok());
+    }
+
+    #[test]
+    fn mprotect_unmapped_faults() {
+        let mut s = space();
+        assert!(matches!(
+            s.mprotect(Addr(UPPER_BASE), PAGE_SIZE, Prot::READ),
+            Err(MemError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn consolidate_merges_adjacent_upper_regions() {
+        let mut s = space();
+        let a = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "a")).unwrap();
+        let b = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "b")).unwrap();
+        assert_eq!(b, a + PAGE_SIZE);
+        s.write(b, &[9u8; 4]).unwrap();
+        let eliminated = s.consolidate_upper_half();
+        assert_eq!(eliminated, 1);
+        assert_eq!(s.region_count(), 1);
+        let mut buf = [0u8; 4];
+        s.read(b, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 4]);
+    }
+
+    #[test]
+    fn stats_track_halves_separately() {
+        let mut s = space();
+        s.mmap(MapRequest::anon(3 * PAGE_SIZE, Half::Upper, "u")).unwrap();
+        s.mmap(MapRequest::anon(5 * PAGE_SIZE, Half::Lower, "l")).unwrap();
+        let st = s.stats();
+        assert_eq!(st.upper_bytes, 3 * PAGE_SIZE);
+        assert_eq!(st.lower_bytes, 5 * PAGE_SIZE);
+        assert_eq!(st.region_count, 2);
+        assert_eq!(st.mmap_calls, 2);
+    }
+
+    #[test]
+    fn zero_length_requests_are_rejected() {
+        let mut s = space();
+        assert_eq!(
+            s.mmap(MapRequest::anon(0, Half::Upper, "x")).unwrap_err(),
+            MemError::ZeroLength
+        );
+        assert_eq!(s.munmap(Addr(UPPER_BASE), 0).unwrap_err(), MemError::ZeroLength);
+    }
+
+    #[test]
+    fn sparse_copy_moves_only_dirty_bytes() {
+        let mut s = space();
+        let src = s.mmap(MapRequest::anon(1 << 20, Half::Upper, "src")).unwrap();
+        let dst = s.mmap(MapRequest::anon(1 << 20, Half::Upper, "dst")).unwrap();
+        // Write two small islands far apart, at unaligned offsets.
+        s.write(src + 100, b"island one").unwrap();
+        s.write(src + 700_000, b"island two").unwrap();
+        let copied = s.sparse_copy(dst, src, 1 << 20).unwrap();
+        assert!(copied <= 2 * PAGE_SIZE);
+        let mut buf = [0u8; 10];
+        s.read(dst + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"island one");
+        s.read(dst + 700_000, &mut buf).unwrap();
+        assert_eq!(&buf, b"island two");
+        // Untouched bytes read back as zero.
+        s.read(dst + 5_000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 10]);
+        // The destination stayed sparse.
+        let dst_region = s.region_at(dst).unwrap();
+        assert!(dst_region.resident_pages() <= 3);
+    }
+
+    #[test]
+    fn sparse_copy_respects_sub_range_boundaries() {
+        let mut s = space();
+        let src = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "src")).unwrap();
+        let dst = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "dst")).unwrap();
+        s.fill(src, 4 * PAGE_SIZE, 0x11).unwrap();
+        // Copy only an interior window starting at an unaligned offset.
+        let copied = s.sparse_copy(dst, src + 300, 5000).unwrap();
+        assert_eq!(copied, 5000);
+        let mut buf = [0u8; 1];
+        s.read(dst + 4999, &mut buf).unwrap();
+        assert_eq!(buf, [0x11]);
+        s.read(dst + 5000, &mut buf).unwrap();
+        assert_eq!(buf, [0x00]);
+    }
+
+    #[test]
+    fn fill_initialises_large_region_sparsely() {
+        let mut s = space();
+        let a = s
+            .mmap(MapRequest::anon(1 << 20, Half::Upper, "big"))
+            .unwrap();
+        s.fill(a, 1 << 20, 0x5a).unwrap();
+        let mut buf = [0u8; 2];
+        s.read(a + (1 << 19), &mut buf).unwrap();
+        assert_eq!(buf, [0x5a, 0x5a]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the simulated address space.
+//!
+//! These check the invariants CRAC's bookkeeping depends on: regions never
+//! overlap, reads see the last write, the maps view covers exactly the mapped
+//! bytes, and allocation without ASLR is deterministic.
+
+use crac_addrspace::{AddressSpace, Half, MapRequest, MemError, Prot, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// A randomly generated sequence of address-space operations.
+#[derive(Clone, Debug)]
+enum Op {
+    Map { pages: u64, half: Half, fixed_slot: Option<u8> },
+    Unmap { slot: u8, page_off: u64, pages: u64 },
+    Write { slot: u8, off: u64, len: u8, byte: u8 },
+    Protect { slot: u8, prot_ro: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..16, any::<bool>(), proptest::option::of(0u8..8)).prop_map(|(pages, upper, f)| {
+            Op::Map {
+                pages,
+                half: if upper { Half::Upper } else { Half::Lower },
+                fixed_slot: f,
+            }
+        }),
+        (any::<u8>(), 0u64..4, 1u64..4).prop_map(|(slot, page_off, pages)| Op::Unmap {
+            slot,
+            page_off,
+            pages
+        }),
+        (any::<u8>(), 0u64..1024, 1u8..64, any::<u8>()).prop_map(|(slot, off, len, byte)| {
+            Op::Write { slot, off, len, byte }
+        }),
+        (any::<u8>(), any::<bool>()).prop_map(|(slot, prot_ro)| Op::Protect { slot, prot_ro }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of operations, no two regions overlap and every
+    /// region is page-aligned and lies within its half's range.
+    #[test]
+    fn regions_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut space = AddressSpace::new_no_aslr();
+        let mut slots: Vec<(crac_addrspace::Addr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Map { pages, half, fixed_slot } => {
+                    let mut req = MapRequest::anon(pages * PAGE_SIZE, half, "prop");
+                    if let Some(s) = fixed_slot {
+                        if let Some(&(addr, len)) = slots.get(s as usize) {
+                            // Re-map over an existing slot only if the halves agree.
+                            if space.region_at(addr).map(|r| r.half) == Some(half) && len >= pages * PAGE_SIZE {
+                                req = req.at(addr);
+                            }
+                        }
+                    }
+                    if let Ok(addr) = space.mmap(req) {
+                        slots.push((addr, pages * PAGE_SIZE));
+                    }
+                }
+                Op::Unmap { slot, page_off, pages } => {
+                    if let Some(&(addr, len)) = slots.get(slot as usize % slots.len().max(1)) {
+                        let off = (page_off * PAGE_SIZE).min(len.saturating_sub(PAGE_SIZE));
+                        let _ = space.munmap(addr + off, pages * PAGE_SIZE);
+                    }
+                }
+                Op::Write { slot, off, len, byte } => {
+                    if let Some(&(addr, rlen)) = slots.get(slot as usize % slots.len().max(1)) {
+                        let off = off.min(rlen.saturating_sub(len as u64));
+                        let _ = space.write(addr + off, &vec![byte; len as usize]);
+                    }
+                }
+                Op::Protect { slot, prot_ro } => {
+                    if let Some(&(addr, len)) = slots.get(slot as usize % slots.len().max(1)) {
+                        let prot = if prot_ro { Prot::READ } else { Prot::RW };
+                        let _ = space.mprotect(addr, len, prot);
+                    }
+                }
+            }
+
+            // Invariant: regions sorted, aligned, non-overlapping, in-half.
+            let regions: Vec<_> = space.regions().collect();
+            for w in regions.windows(2) {
+                prop_assert!(w[0].end() <= w[1].start, "regions overlap: {:?} and {:?}", w[0].start, w[1].start);
+            }
+            for r in &regions {
+                prop_assert!(r.start.is_page_aligned());
+                prop_assert_eq!(r.len % PAGE_SIZE, 0);
+                match r.half {
+                    Half::Upper => prop_assert!(r.start.as_u64() >= 0x4000_0000_0000),
+                    Half::Lower => prop_assert!(r.start.as_u64() < 0x4000_0000_0000),
+                }
+            }
+        }
+    }
+
+    /// Reads observe the most recent write at every offset.
+    #[test]
+    fn read_sees_last_write(
+        writes in proptest::collection::vec((0u64..8192, 1usize..128, any::<u8>()), 1..32)
+    ) {
+        let mut space = AddressSpace::new_no_aslr();
+        let base = space.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "rw")).unwrap();
+        let mut shadow = vec![0u8; 4 * PAGE_SIZE as usize];
+        for (off, len, byte) in writes {
+            let off = off.min(4 * PAGE_SIZE - len as u64);
+            let data = vec![byte; len];
+            space.write(base + off, &data).unwrap();
+            shadow[off as usize..off as usize + len].fill(byte);
+        }
+        let mut out = vec![0u8; shadow.len()];
+        space.read(base, &mut out).unwrap();
+        prop_assert_eq!(out, shadow);
+    }
+
+    /// The merged maps view covers exactly the mapped byte ranges (no bytes
+    /// gained or lost by merging).
+    #[test]
+    fn maps_view_preserves_total_bytes(sizes in proptest::collection::vec(1u64..32, 1..20)) {
+        let mut space = AddressSpace::new_no_aslr();
+        let mut total = 0u64;
+        for (i, pages) in sizes.iter().enumerate() {
+            let half = if i % 3 == 0 { Half::Lower } else { Half::Upper };
+            space.mmap(MapRequest::anon(pages * PAGE_SIZE, half, "m")).unwrap();
+            total += pages * PAGE_SIZE;
+        }
+        let merged: u64 = space.proc_maps().iter().map(|e| e.len()).sum();
+        prop_assert_eq!(merged, total);
+        // Merging can only reduce the entry count.
+        prop_assert!(space.proc_maps().len() <= space.region_count());
+    }
+
+    /// Without ASLR, two identical allocation sequences produce identical
+    /// addresses — the determinism CRAC's replay relies on.
+    #[test]
+    fn no_aslr_is_deterministic(sizes in proptest::collection::vec(1u64..64, 1..30)) {
+        let run = |sizes: &[u64]| -> Vec<u64> {
+            let mut s = AddressSpace::new_no_aslr();
+            sizes
+                .iter()
+                .map(|p| s.mmap(MapRequest::anon(p * PAGE_SIZE, Half::Lower, "d")).unwrap().as_u64())
+                .collect()
+        };
+        prop_assert_eq!(run(&sizes), run(&sizes));
+    }
+}
+
+#[test]
+fn oversized_mapping_reports_out_of_space() {
+    let mut s = AddressSpace::new_no_aslr();
+    // The upper half is < 2^47 bytes; ask for more than it can hold.
+    let err = s
+        .mmap(MapRequest::anon(1 << 47, Half::Upper, "too-big"))
+        .unwrap_err();
+    assert_eq!(err, MemError::OutOfSpace);
+}

@@ -1,0 +1,68 @@
+//! Ablation: drain only the *active* allocations (CRAC, Section 3.2.3) vs
+//! naively saving the whole library-allocated arena.  Measures the real cost
+//! of the two drain strategies over the same address-space state.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_addrspace::{page_align_up, Half, MapRequest, SharedSpace};
+use crac_cudart::{Arena, ArenaKind};
+
+/// Builds an arena with a large chunk of which only a small fraction is
+/// active (the situation Section 3.2.3 describes).
+fn setup() -> (SharedSpace, Arena, Vec<(crac_addrspace::Addr, u64)>) {
+    let space = SharedSpace::new_no_aslr();
+    let mut arena = Arena::new(ArenaKind::Device, space.clone(), 64 << 20);
+    let mut active = Vec::new();
+    for i in 0..32 {
+        let ptr = arena.alloc(256 << 10).unwrap();
+        space.write_bytes(ptr, &[i as u8; 4096]).unwrap();
+        if i % 2 == 0 {
+            active.push((ptr, 256 << 10));
+        } else {
+            arena.free(ptr).unwrap();
+        }
+    }
+    (space, arena, active)
+}
+
+fn bench_drain_strategies(c: &mut Criterion) {
+    let (space, arena, active) = setup();
+    let chunks: Vec<_> = arena.chunks().to_vec();
+
+    let mut group = c.benchmark_group("drain_strategy");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+
+    group.bench_function("active_mallocs_only (CRAC)", |b| {
+        b.iter(|| {
+            let staging = space
+                .mmap(MapRequest::anon(64 << 20, Half::Upper, "staging"))
+                .unwrap();
+            let mut off = 0u64;
+            for (ptr, len) in &active {
+                space.sparse_copy(staging + off, *ptr, *len).unwrap();
+                off += page_align_up(*len);
+            }
+            space.munmap(staging, 64 << 20).unwrap();
+        })
+    });
+
+    group.bench_function("whole_arena (naive)", |b| {
+        b.iter(|| {
+            let staging = space
+                .mmap(MapRequest::anon(128 << 20, Half::Upper, "staging"))
+                .unwrap();
+            let mut off = 0u64;
+            for (chunk, len) in &chunks {
+                space.sparse_copy(staging + off, *chunk, *len).unwrap();
+                off += page_align_up(*len);
+            }
+            space.munmap(staging, 128 << 20).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drain_strategies);
+criterion_main!(benches);

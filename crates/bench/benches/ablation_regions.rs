@@ -1,0 +1,46 @@
+//! Ablation: the upper-half region consolidation of Section 3.2.2.  Many
+//! small upper-half mappings make the checkpoint walk (and the image's
+//! region table) larger; consolidation merges adjacent same-protection
+//! regions first.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_addrspace::{Half, MapRequest, SharedSpace, PAGE_SIZE};
+use crac_dmtcp::{Coordinator, CoordinatorConfig};
+
+fn fragmented_space() -> SharedSpace {
+    let space = SharedSpace::new_no_aslr();
+    for i in 0..512u64 {
+        let addr = space
+            .mmap(MapRequest::anon(2 * PAGE_SIZE, Half::Upper, "frag"))
+            .unwrap();
+        if i % 3 == 0 {
+            space.write_bytes(addr, &[i as u8; 64]).unwrap();
+        }
+    }
+    space
+}
+
+fn bench_region_consolidation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_consolidation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+
+    group.bench_function("checkpoint_fragmented", |b| {
+        let space = fragmented_space();
+        let coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        b.iter(|| coord.checkpoint(0))
+    });
+
+    group.bench_function("checkpoint_consolidated", |b| {
+        let space = fragmented_space();
+        space.with_mut(|s| s.consolidate_upper_half());
+        let coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        b.iter(|| coord.checkpoint(0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_region_consolidation);
+criterion_main!(benches);

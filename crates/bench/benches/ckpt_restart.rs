@@ -1,0 +1,62 @@
+//! Figures 3 / 5c companion bench: wall-clock cost of taking a checkpoint of
+//! a live CRAC process and of restarting from its image.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_core::{CracConfig, CracProcess, CracStream, KernelRegistry};
+use crac_gpu::{KernelCost, LaunchDims};
+
+fn registry() -> Arc<KernelRegistry> {
+    let mut reg = KernelRegistry::new();
+    reg.insert("work", |_| Ok(()));
+    Arc::new(reg)
+}
+
+/// Builds a process with a realistic amount of state to checkpoint: 32 MB of
+/// device memory, 16 MB managed, 8 streams, some launches.
+fn build_process() -> CracProcess {
+    let proc = CracProcess::launch(CracConfig::test("bench-ckpt"), registry());
+    let fb = proc.register_fat_binary();
+    let k = proc.register_function(fb, "work").unwrap();
+    let mut bufs = Vec::new();
+    for _ in 0..8 {
+        bufs.push(proc.malloc(4 << 20).unwrap());
+    }
+    let managed = proc.malloc_managed(16 << 20).unwrap();
+    proc.space().write_bytes(managed, &[7u8; 4096]).unwrap();
+    let streams: Vec<CracStream> = (0..8).map(|_| proc.stream_create().unwrap()).collect();
+    for (i, s) in streams.iter().enumerate() {
+        proc.launch_kernel(
+            k,
+            LaunchDims::linear(8, 128),
+            KernelCost::compute(10_000),
+            vec![bufs[i % bufs.len()].as_u64()],
+            *s,
+        )
+        .unwrap();
+    }
+    proc.device_synchronize().unwrap();
+    proc
+}
+
+fn bench_ckpt_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_restart");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let proc = build_process();
+    group.bench_function("checkpoint", |b| b.iter(|| proc.checkpoint()));
+
+    let image = proc.checkpoint().image;
+    group.bench_function("restart", |b| {
+        b.iter(|| {
+            CracProcess::restart(&image, CracConfig::test("bench-ckpt"), registry()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ckpt_restart);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 3 companion bench: wall-clock cost of issuing one cuBLAS call under
+//! each regime (native, CRAC trampoline, CMA/IPC forwarding).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_addrspace::SharedSpace;
+use crac_cudart::{Cublas, CudaRuntime, RuntimeConfig};
+use crac_gpu::StreamId;
+use crac_proxy::CmaChannel;
+use crac_splitproc::{FsRegisterMode, TrampolineTable};
+
+fn bench_cublas_regimes(c: &mut Criterion) {
+    let rt = CudaRuntime::new(RuntimeConfig::v100(), SharedSpace::new_no_aslr());
+    let blas = Cublas::new(Arc::clone(&rt)).unwrap();
+    let bytes = 1 << 20; // 1 MB operands (the smallest Table 3 size)
+    let n = bytes / 4;
+    let x = rt.malloc(bytes).unwrap();
+    let y = rt.malloc(bytes).unwrap();
+    let r = rt.malloc(4).unwrap();
+    let trampolines =
+        TrampolineTable::new(FsRegisterMode::KernelCall, Arc::clone(rt.device().clock()));
+    let cma = CmaChannel::new(Arc::clone(rt.device().clock()));
+
+    let mut group = c.benchmark_group("cublas_sdot_1mb");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap();
+            rt.device_synchronize().unwrap();
+        })
+    });
+    group.bench_function("crac", |b| {
+        b.iter(|| {
+            trampolines.call(|| blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap());
+            rt.device_synchronize().unwrap();
+        })
+    });
+    group.bench_function("cma_ipc", |b| {
+        b.iter(|| {
+            cma.forward(2 * bytes, 4, || blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap());
+            rt.device_synchronize().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cublas_regimes);
+criterion_main!(benches);

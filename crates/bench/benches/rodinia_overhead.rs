@@ -1,0 +1,49 @@
+//! Figure 2 companion bench: wall-clock cost of simulating one Rodinia-class
+//! application natively vs under CRAC.  (The virtual-time overhead itself is
+//! reported by the `figures` binary; this bench tracks the harness's real
+//! cost so regressions in the interposition hot path are visible.)
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_core::CracConfig;
+use crac_cudart::RuntimeConfig;
+use crac_workloads::apps::AppSpec;
+use crac_workloads::runner::{run_crac, run_native};
+
+fn small_spec() -> AppSpec {
+    AppSpec {
+        name: "bench-rodinia",
+        cmdline: "",
+        uses_uvm: false,
+        streams: 0,
+        device_mb: 8,
+        pinned_host_mb: 8,
+        managed_mb: 0,
+        kernel_launches: 500,
+        memcpy_calls: 120,
+        target_native_s: 1.0,
+        default_scale: 1.0,
+    }
+}
+
+fn bench_rodinia_overhead(c: &mut Criterion) {
+    let spec = small_spec();
+    let mut group = c.benchmark_group("rodinia_app_simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("native", |b| {
+        b.iter(|| run_native(&spec, RuntimeConfig::v100(), 1.0).unwrap())
+    });
+    group.bench_function("crac", |b| {
+        b.iter(|| {
+            let mut cfg = CracConfig::v100("bench-rodinia");
+            cfg.dmtcp_startup_ns = 0;
+            run_crac(&spec, cfg, 1.0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rodinia_overhead);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Stream-count scaling ablation: wall-clock cost of simulating the
+//! simpleStreams pattern as the stream count grows from 1 to the V100's
+//! 128-stream maximum, under CRAC.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crac_core::CracConfig;
+use crac_workloads::kernels::registry;
+use crac_workloads::simple_streams::{run_simple_streams, SimpleStreamsConfig};
+use crac_workloads::Session;
+
+fn bench_stream_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streams_scaling_crac");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for nstreams in [1u32, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(nstreams), &nstreams, |b, &n| {
+            b.iter(|| {
+                let mut cfg = CracConfig::v100("simpleStreams");
+                cfg.dmtcp_startup_ns = 0;
+                let session = Session::crac(cfg, registry());
+                let config = SimpleStreamsConfig {
+                    nstreams: n,
+                    nreps: 2,
+                    niterations: 100,
+                    elements: 1 << 20,
+                };
+                run_simple_streams(&session, config, 1.0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_scaling);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmark of the upper→lower call paths (real wall-clock cost of
+//! the Rust implementation, complementing the virtual-time model): a direct
+//! runtime call, the same call through the CRAC trampoline, and the same
+//! call forwarded over the simulated CMA/IPC channel.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_addrspace::SharedSpace;
+use crac_cudart::{CudaRuntime, RuntimeConfig};
+use crac_proxy::CmaChannel;
+use crac_splitproc::{FsRegisterMode, TrampolineTable};
+
+fn bench_call_paths(c: &mut Criterion) {
+    let runtime = CudaRuntime::new(RuntimeConfig::v100(), SharedSpace::new_no_aslr());
+    let ptr = runtime.malloc(4096).unwrap();
+    let trampolines =
+        TrampolineTable::new(FsRegisterMode::KernelCall, Arc::clone(runtime.device().clock()));
+    trampolines.set_extra_crossing_cost(60);
+    let cma = CmaChannel::new(Arc::clone(runtime.device().clock()));
+
+    let mut group = c.benchmark_group("call_path");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group.bench_function("direct_memset", |b| {
+        b.iter(|| runtime.memset(ptr, 1, 4096).unwrap())
+    });
+    group.bench_function("crac_trampoline_memset", |b| {
+        b.iter(|| trampolines.call(|| runtime.memset(ptr, 1, 4096).unwrap()))
+    });
+    group.bench_function("proxy_ipc_memset", |b| {
+        b.iter(|| cma.forward(4096, 256, || runtime.memset(ptr, 1, 4096).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_call_paths);
+criterion_main!(benches);

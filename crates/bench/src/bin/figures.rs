@@ -1,0 +1,287 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p crac-bench --bin figures -- all
+//! cargo run --release -p crac-bench --bin figures -- fig2 --scale 0.5
+//! cargo run --release -p crac-bench --bin figures -- table3 --iters 20
+//! ```
+//!
+//! `--scale` multiplies each application's default work scale (1.0 = the
+//! full paper-sized runs; the default 0.25 keeps a full `all` pass to a few
+//! minutes).  Shapes — who wins, by what factor — are scale-invariant.
+
+use crac_bench::refdata::{FIG5C_CKPT_MB, RODINIA_REF, TABLE1_REF, TABLE3_REF, TOP500_NVIDIA};
+use crac_bench::{experiments as exp, TextTable};
+
+fn parse_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn table1(scale: f64) {
+    print_header("Table 1: Application benchmarks characterization");
+    let rows = exp::table1(scale);
+    let mut t = TextTable::new(vec![
+        "Application",
+        "UVM",
+        "Streams",
+        "CPS (measured)",
+        "CPS (paper)",
+        "# streams",
+    ]);
+    for r in rows {
+        let paper = TABLE1_REF.iter().find(|p| p.name == r.name);
+        t.row(vec![
+            r.name.clone(),
+            if r.uvm { "yes" } else { "no" }.to_string(),
+            if r.streams { "yes" } else { "no" }.to_string(),
+            format!("{:.0}", r.cps),
+            paper.map(|p| format!("{:.0}", p.cps)).unwrap_or_default(),
+            r.stream_range.clone(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn table2() {
+    print_header("Table 2: Command-line arguments for the Rodinia benchmarks");
+    let mut t = TextTable::new(vec!["Application", "Command-line argument(s)"]);
+    for (name, cmd) in exp::table2() {
+        t.row(vec![name, cmd]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig2(scale: f64) {
+    print_header("Figure 2: Rodinia runtimes, native vs CRAC (V100 profile)");
+    let rows = exp::fig2_rodinia(scale);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "native (s)",
+        "CRAC (s)",
+        "overhead %",
+        "CUDA calls",
+        "calls (paper)",
+    ]);
+    for r in rows {
+        let paper = RODINIA_REF.iter().find(|p| p.name == r.name);
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.native_s),
+            format!("{:.2}", r.crac_s),
+            format!("{:.2}", r.overhead_pct),
+            format!("{}", r.total_calls),
+            paper.map(|p| p.total_calls.to_string()).unwrap_or_default(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig3(scale: f64) {
+    print_header("Figure 3: Rodinia checkpoint/restart times and image sizes");
+    let rows = exp::fig3_rodinia_ckpt(scale);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "checkpoint (s)",
+        "restart (s)",
+        "image (MB)",
+        "image MB (paper)",
+        "replayed calls",
+    ]);
+    for r in rows {
+        let paper = RODINIA_REF.iter().find(|p| p.name == r.name).and_then(|p| p.ckpt_mb);
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.3}", r.ckpt_s),
+            format!("{:.3}", r.restart_s),
+            format!("{:.1}", r.image_mb),
+            paper.map(|m| m.to_string()).unwrap_or_else(|| "—".to_string()),
+            r.replayed_calls.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig4(scale: f64) {
+    let rows = exp::fig4_simple_streams(scale);
+    print_header("Figure 4a: simpleStreams total runtime vs kernel iterations");
+    let mut a = TextTable::new(vec!["niterations", "native (s)", "CRAC (s)", "overhead %"]);
+    for r in &rows {
+        a.row(vec![
+            r.niterations.to_string(),
+            format!("{:.2}", r.native_total_s),
+            format!("{:.2}", r.crac_total_s),
+            format!("{:.2}", (r.crac_total_s - r.native_total_s) / r.native_total_s * 100.0),
+        ]);
+    }
+    print!("{}", a.render());
+    print_header("Figure 4b: time to process the array once, non-streamed vs 128 streams");
+    let mut b = TextTable::new(vec![
+        "niterations",
+        "native non-streamed (ms)",
+        "CRAC non-streamed (ms)",
+        "native 128 streams (ms)",
+        "CRAC 128 streams (ms)",
+    ]);
+    for r in &rows {
+        b.row(vec![
+            r.niterations.to_string(),
+            format!("{:.3}", r.native_nonstreamed_ms),
+            format!("{:.3}", r.crac_nonstreamed_ms),
+            format!("{:.3}", r.native_streamed_ms),
+            format!("{:.3}", r.crac_streamed_ms),
+        ]);
+    }
+    print!("{}", b.render());
+}
+
+fn overhead_table(title: &str, rows: Vec<exp::OverheadRow>) {
+    print_header(title);
+    let mut t = TextTable::new(vec!["Benchmark", "native (s)", "CRAC (s)", "overhead %", "CUDA calls"]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.native_s),
+            format!("{:.2}", r.crac_s),
+            format!("{:.2}", r.overhead_pct),
+            r.total_calls.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig5c(scale: f64) {
+    print_header("Figure 5c: checkpoint/restart of stream-oriented and real-world benchmarks");
+    let rows = exp::fig5c_ckpt(scale);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "checkpoint (s)",
+        "restart (s)",
+        "image (MB)",
+        "image MB (paper)",
+    ]);
+    for r in rows {
+        let paper = FIG5C_CKPT_MB.iter().find(|(n, _)| *n == r.name).map(|(_, m)| *m);
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.3}", r.ckpt_s),
+            format!("{:.3}", r.restart_s),
+            format!("{:.1}", r.image_mb),
+            paper.map(|m| m.to_string()).unwrap_or_default(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn table3(iters: u32) {
+    print_header("Table 3: cuBLAS per-call time — native vs CRAC vs CMA/IPC");
+    let rows = exp::table3(iters);
+    let mut t = TextTable::new(vec![
+        "CUDA call",
+        "data",
+        "native (ms)",
+        "CRAC (ms)",
+        "CRAC ovh %",
+        "CMA/IPC (ms)",
+        "IPC ovh %",
+        "paper IPC ovh %",
+    ]);
+    for r in rows {
+        let paper = TABLE3_REF
+            .iter()
+            .find(|p| p.routine == r.routine.name() && p.data_mb == r.data_mb);
+        t.row(vec![
+            r.routine.name().to_string(),
+            format!("{}MB", r.data_mb),
+            format!("{:.3}", r.native_ms),
+            format!("{:.3}", r.crac_ms),
+            format!("{:.1}", r.crac_overhead_pct),
+            format!("{:.2}", r.ipc_ms),
+            format!("{:.0}", r.ipc_overhead_pct),
+            paper.map(|p| format!("{:.0}", p.ipc_overhead_pct)).unwrap_or_default(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig6(scale: f64) {
+    print_header("Figure 6: Rodinia on the K600 — CRAC overhead with and without FSGSBASE");
+    let rows = exp::fig6_fsgsbase(scale);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "native (s)",
+        "CRAC unpatched (s)",
+        "CRAC FSGSBASE (s)",
+        "ovh unpatched %",
+        "ovh FSGSBASE %",
+        "delta (pp)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.native_s),
+            format!("{:.2}", r.crac_unpatched_s),
+            format!("{:.2}", r.crac_fsgsbase_s),
+            format!("{:.2}", r.overhead_unpatched_pct),
+            format!("{:.2}", r.overhead_fsgsbase_pct),
+            format!("{:+.2}", r.delta_pct),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn top500() {
+    print_header("Introduction graph: TOP500 systems with NVIDIA GPUs");
+    let mut t = TextTable::new(vec!["Year", "# systems"]);
+    for (year, count) in TOP500_NVIDIA {
+        t.row(vec![year.to_string(), count.to_string()]);
+    }
+    print!("{}", t.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = parse_flag(&args, "--scale", 0.25);
+    let iters = parse_flag(&args, "--iters", 10.0) as u32;
+
+    println!("CRAC reproduction — figure/table harness (scale multiplier {scale})");
+    match what {
+        "table1" => table1(scale),
+        "table2" => table2(),
+        "fig2" => fig2(scale),
+        "fig3" => fig3(scale),
+        "fig4" | "fig4a" | "fig4b" => fig4(scale),
+        "fig5a" => overhead_table("Figure 5a: stream-oriented benchmarks", exp::fig5a_streams_apps(scale)),
+        "fig5b" => overhead_table("Figure 5b: real-world benchmarks", exp::fig5b_realworld(scale)),
+        "fig5c" => fig5c(scale),
+        "table3" => table3(iters),
+        "fig6" => fig6(scale),
+        "top500" => top500(),
+        "all" => {
+            top500();
+            table1(scale);
+            table2();
+            fig2(scale);
+            fig3(scale);
+            fig4(scale);
+            overhead_table("Figure 5a: stream-oriented benchmarks", exp::fig5a_streams_apps(scale));
+            overhead_table("Figure 5b: real-world benchmarks", exp::fig5b_realworld(scale));
+            fig5c(scale);
+            table3(iters);
+            fig6(scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("expected one of: table1 table2 fig2 fig3 fig4 fig5a fig5b fig5c table3 fig6 top500 all");
+            std::process::exit(2);
+        }
+    }
+}

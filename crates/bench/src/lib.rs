@@ -1,0 +1,16 @@
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation section, each returning structured rows that the `figures`
+//! and `experiments` binaries format.
+//!
+//! Every function takes a `scale` argument in (0, 1] that proportionally
+//! shrinks the amount of simulated work (iterations/repetitions) without
+//! changing footprints or call *rates*, so quick runs preserve the shapes
+//! the paper reports.  `scale = 1.0` reproduces the applications' full call
+//! counts.
+
+pub mod experiments;
+pub mod refdata;
+pub mod table;
+
+pub use experiments::*;
+pub use table::TextTable;

@@ -1,0 +1,121 @@
+//! Values reported by the paper, used to print "paper vs measured" columns.
+
+/// One Rodinia application's paper-reported numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct RodiniaRef {
+    /// Application name.
+    pub name: &'static str,
+    /// Total CUDA API calls (the Figure 2 annotation).
+    pub total_calls: u64,
+    /// Checkpoint image size in MB (Figure 3; `None` if not reported).
+    pub ckpt_mb: Option<u64>,
+}
+
+/// Figure 2 / Figure 3 reference values.
+pub const RODINIA_REF: &[RodiniaRef] = &[
+    RodiniaRef { name: "BFS", total_calls: 100, ckpt_mb: Some(39) },
+    RodiniaRef { name: "CFD", total_calls: 72_000, ckpt_mb: Some(39) },
+    RodiniaRef { name: "DWT2D", total_calls: 800_000, ckpt_mb: Some(40) },
+    RodiniaRef { name: "Gaussian", total_calls: 18_000, ckpt_mb: Some(783) },
+    RodiniaRef { name: "Heartwall", total_calls: 1_700, ckpt_mb: Some(16) },
+    RodiniaRef { name: "Hotspot", total_calls: 7_000, ckpt_mb: Some(18) },
+    RodiniaRef { name: "Hotspot3D", total_calls: 3_000, ckpt_mb: Some(54) },
+    RodiniaRef { name: "Kmeans", total_calls: 30_000, ckpt_mb: Some(374) },
+    RodiniaRef { name: "LUD", total_calls: 1_000, ckpt_mb: Some(695) },
+    RodiniaRef { name: "Leukocyte", total_calls: 12_000, ckpt_mb: Some(57) },
+    RodiniaRef { name: "NW", total_calls: 15_000, ckpt_mb: None },
+    RodiniaRef { name: "Particlefilter", total_calls: 120, ckpt_mb: Some(36) },
+    RodiniaRef { name: "SRAD", total_calls: 8_000, ckpt_mb: Some(53) },
+    RodiniaRef { name: "Streamcluster", total_calls: 69_000, ckpt_mb: Some(83) },
+];
+
+/// Table 1 reference characterisation.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Ref {
+    /// Application family.
+    pub name: &'static str,
+    /// Uses UVM?
+    pub uvm: bool,
+    /// Uses streams?
+    pub streams: bool,
+    /// CUDA calls per second as reported (a representative value or range
+    /// midpoint).
+    pub cps: f64,
+    /// Stream-count range as printed in the paper.
+    pub stream_range: &'static str,
+}
+
+/// Table 1 as printed in the paper.
+pub const TABLE1_REF: &[Table1Ref] = &[
+    Table1Ref { name: "Rodinia", uvm: false, streams: false, cps: 85_000.0, stream_range: "—" },
+    Table1Ref { name: "Lulesh", uvm: false, streams: true, cps: 2_500.0, stream_range: "2-32" },
+    Table1Ref { name: "simpleStreams", uvm: false, streams: true, cps: 10_000.0, stream_range: "4-128" },
+    Table1Ref { name: "UnifiedMemoryStreams", uvm: true, streams: true, cps: 4_400.0, stream_range: "4-128" },
+    Table1Ref { name: "HPGMG-FV", uvm: true, streams: false, cps: 35_000.0, stream_range: "—" },
+    Table1Ref { name: "HYPRE", uvm: true, streams: true, cps: 600.0, stream_range: "1-10" },
+];
+
+/// One Table 3 row as reported by the paper (per-call times in ms).
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Ref {
+    /// Routine name.
+    pub routine: &'static str,
+    /// Operand size in MB.
+    pub data_mb: u64,
+    /// Native per-call time (ms).
+    pub native_ms: f64,
+    /// CRAC overhead (%).
+    pub crac_overhead_pct: f64,
+    /// CMA/IPC overhead (%).
+    pub ipc_overhead_pct: f64,
+}
+
+/// Table 3 as printed in the paper.
+pub const TABLE3_REF: &[Table3Ref] = &[
+    Table3Ref { routine: "cublasSdot", data_mb: 1, native_ms: 0.026, crac_overhead_pct: 3.9, ipc_overhead_pct: 698.0 },
+    Table3Ref { routine: "cublasSdot", data_mb: 10, native_ms: 0.049, crac_overhead_pct: 3.3, ipc_overhead_pct: 5_142.0 },
+    Table3Ref { routine: "cublasSdot", data_mb: 100, native_ms: 0.282, crac_overhead_pct: 0.5, ipc_overhead_pct: 17_766.0 },
+    Table3Ref { routine: "cublasSgemv", data_mb: 1, native_ms: 0.012, crac_overhead_pct: 1.9, ipc_overhead_pct: 577.0 },
+    Table3Ref { routine: "cublasSgemv", data_mb: 10, native_ms: 0.036, crac_overhead_pct: 0.7, ipc_overhead_pct: 3_329.0 },
+    Table3Ref { routine: "cublasSgemv", data_mb: 100, native_ms: 0.142, crac_overhead_pct: -0.1, ipc_overhead_pct: 17_812.0 },
+    Table3Ref { routine: "cublasSgemm", data_mb: 1, native_ms: 0.202, crac_overhead_pct: 2.4, ipc_overhead_pct: 142.0 },
+    Table3Ref { routine: "cublasSgemm", data_mb: 10, native_ms: 1.806, crac_overhead_pct: 0.6, ipc_overhead_pct: 400.0 },
+    Table3Ref { routine: "cublasSgemm", data_mb: 100, native_ms: 32.373, crac_overhead_pct: -0.8, ipc_overhead_pct: 209.0 },
+];
+
+/// TOP500 systems with NVIDIA GPUs per year (the introduction's graph).
+pub const TOP500_NVIDIA: &[(u32, u32)] = &[
+    (2010, 0),
+    (2011, 12),
+    (2012, 31),
+    (2013, 38),
+    (2014, 44),
+    (2015, 52),
+    (2016, 60),
+    (2017, 87),
+    (2018, 122),
+    (2019, 136),
+];
+
+/// Real-world / stream-oriented checkpoint sizes of Figure 5c, in MB.
+pub const FIG5C_CKPT_MB: &[(&str, u64)] = &[
+    ("simpleStreams", 142),
+    ("UnifiedMemoryStreams", 421),
+    ("LULESH", 117),
+    ("HPGMG-FV", 112),
+    ("HYPRE", 2_300),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_are_complete() {
+        assert_eq!(RODINIA_REF.len(), 14);
+        assert_eq!(TABLE1_REF.len(), 6);
+        assert_eq!(TABLE3_REF.len(), 9);
+        assert_eq!(TOP500_NVIDIA.last().unwrap(), &(2019, 136));
+        assert_eq!(FIG5C_CKPT_MB.len(), 5);
+    }
+}

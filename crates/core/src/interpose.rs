@@ -1,0 +1,171 @@
+//! Virtual handles, the kernel registry and CRAC's shared interposition
+//! state.
+//!
+//! The application must keep working after a restart even though every
+//! lower-half resource (stream, event, registered kernel, fat binary) has
+//! been destroyed and recreated.  CRAC therefore hands the application
+//! *virtual* handles and keeps a translation table to the current lower-half
+//! handles; restart rebuilds the table without the application noticing.
+//! (Pointers are deliberately *not* virtualised — the whole point of
+//! log-and-replay is to reproduce them exactly.)
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crac_cudart::{FatBinaryHandle, FunctionHandle};
+use crac_gpu::kernel::KernelBody;
+use crac_gpu::{EventId, StreamId};
+
+use crate::log::CudaCallLog;
+use crate::mallocs::ActiveMallocs;
+
+/// Application-visible stream handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CracStream(pub u64);
+
+impl CracStream {
+    /// The default (legacy) stream.
+    pub const DEFAULT: CracStream = CracStream(0);
+}
+
+/// Application-visible event handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CracEvent(pub u64);
+
+/// Application-visible kernel (function) handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CracKernel(pub u64);
+
+/// Application-visible fat-binary handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CracFatBinary(pub u64);
+
+/// The application's kernel code, keyed by symbol name.
+///
+/// Real kernels are device code inside the application's fat binary, which
+/// survives checkpoint/restart because it is upper-half memory.  Rust
+/// closures cannot be serialised into the checkpoint image, so the registry
+/// plays the role of "the kernel code in the restored application binary":
+/// the same registry object is handed to [`crate::CracProcess::restart`],
+/// which re-registers every kernel by name.
+#[derive(Default)]
+pub struct KernelRegistry {
+    kernels: BTreeMap<String, KernelBody>,
+}
+
+impl KernelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a kernel body under `name`.
+    pub fn insert<F>(&mut self, name: &str, body: F)
+    where
+        F: Fn(&crac_gpu::KernelCtx) -> Result<(), crac_addrspace::MemError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.kernels.insert(name.to_string(), Arc::new(body));
+    }
+
+    /// Looks up a kernel body.
+    pub fn get(&self, name: &str) -> Option<KernelBody> {
+        self.kernels.get(name).cloned()
+    }
+
+    /// Registered kernel names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.kernels.keys().cloned().collect()
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Returns `true` if the registry holds no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+/// A buffer staged to the upper half at checkpoint time: the contents of one
+/// active device or managed allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StagedBuffer {
+    /// Original allocation address.
+    pub ptr: u64,
+    /// Allocation size in bytes.
+    pub len: u64,
+    /// Upper-half staging address holding the drained contents.
+    pub staging: u64,
+}
+
+/// CRAC's interposition state, shared between the process object and the
+/// DMTCP plugin.
+#[derive(Default)]
+pub struct CracState {
+    /// The replay log.
+    pub log: CudaCallLog,
+    /// Active allocations (the set whose contents get drained).
+    pub mallocs: ActiveMallocs,
+    /// Virtual stream handle → current lower-half stream.
+    pub streams: BTreeMap<u64, StreamId>,
+    /// Virtual event handle → current lower-half event.
+    pub events: BTreeMap<u64, EventId>,
+    /// Virtual fat-binary handle → current lower-half handle.
+    pub fatbins: BTreeMap<u64, FatBinaryHandle>,
+    /// Virtual kernel handle → (name, current lower-half handle).
+    pub kernels: BTreeMap<u64, (String, FunctionHandle)>,
+    /// Next virtual handle to hand out.
+    pub next_handle: u64,
+    /// Buffers staged at the last pre-checkpoint (cleared on resume).
+    pub staging: Vec<StagedBuffer>,
+}
+
+impl CracState {
+    /// Creates an empty state whose first virtual handle is 1 (0 is the
+    /// default stream).
+    pub fn new() -> Self {
+        Self {
+            next_handle: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Hands out the next virtual handle.
+    pub fn fresh_handle(&mut self) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_registry_insert_and_lookup() {
+        let mut reg = KernelRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert("axpy", |_ctx| Ok(()));
+        reg.insert("gemm", |_ctx| Ok(()));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("axpy").is_some());
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.names(), vec!["axpy".to_string(), "gemm".to_string()]);
+    }
+
+    #[test]
+    fn fresh_handles_are_unique_and_start_after_default_stream() {
+        let mut st = CracState::new();
+        let a = st.fresh_handle();
+        let b = st.fresh_handle();
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_ne!(a, CracStream::DEFAULT.0);
+    }
+}

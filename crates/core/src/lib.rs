@@ -1,0 +1,59 @@
+//! CRAC: Checkpoint-Restart Architecture for CUDA with Streams and UVM.
+//!
+//! This crate is the reproduction's implementation of the paper's primary
+//! contribution: transparent checkpoint-restart of CUDA applications with
+//! ~1% runtime overhead, full UVM support and scaling to the device's
+//! maximum number of concurrent streams.
+//!
+//! # How the pieces fit together
+//!
+//! A [`CracProcess`] is a simulated process running a CUDA application under
+//! CRAC.  It contains:
+//!
+//! * a single simulated address space (from `crac-addrspace`), split into an
+//!   **upper half** (the application — checkpointed) and a **lower half**
+//!   (the helper program with the real CUDA library — discarded);
+//! * a booted lower half (`crac-splitproc`) holding the live CUDA runtime
+//!   (`crac-cudart`) and the trampoline table through which every CUDA call
+//!   crosses from upper to lower;
+//! * the CRAC interposition layer in this crate: it forwards each call
+//!   through the trampoline, **logs** the calls that must be replayed
+//!   (the `cudaMalloc` family, stream/event lifetime, fat-binary
+//!   registration), and **virtualises** stream/event/kernel handles so the
+//!   application's handles remain valid across restart;
+//! * a DMTCP coordinator (`crac-dmtcp`) with the [`plugin::CracPlugin`]
+//!   registered: at checkpoint time the plugin drains the GPU, stages the
+//!   contents of active device/managed allocations into upper-half staging
+//!   buffers, and excludes all lower-half memory from the image.
+//!
+//! At restart ([`CracProcess::restart`]):
+//!
+//! 1. a **fresh** lower half (helper + CUDA runtime) is loaded — it lands at
+//!    the same addresses because ASLR is disabled and loading is
+//!    deterministic;
+//! 2. the upper-half memory is restored from the checkpoint image;
+//! 3. the CUDA call log is **replayed** against the fresh runtime, which —
+//!    thanks to the runtime's deterministic arena allocator — recreates every
+//!    active allocation at its original address (a mismatch is a hard error);
+//! 4. fat binaries are re-registered, streams and events are recreated and
+//!    rebound to the application's virtual handles;
+//! 5. the staged contents are copied back into the device and managed
+//!    allocations, and the staging buffers are released.
+//!
+//! The result: the application continues exactly where it was, holding the
+//! same pointers and the same (virtual) stream/event/kernel handles.
+
+pub mod config;
+pub mod interpose;
+pub mod log;
+pub mod mallocs;
+pub mod plugin;
+pub mod process;
+pub mod replay;
+pub mod wire;
+
+pub use config::CracConfig;
+pub use interpose::{CracEvent, CracFatBinary, CracKernel, CracStream, KernelRegistry};
+pub use log::{CudaCallLog, LoggedCall};
+pub use mallocs::{ActiveMallocs, AllocKind};
+pub use process::{CkptReport, CracError, CracProcess, RestartReport};

@@ -1,0 +1,185 @@
+//! Active-malloc bookkeeping.
+//!
+//! Section 3.2.3: "Rather than saving a large allocation arena …, we only
+//! save the memory associated with active mallocs.  Active mallocs are those
+//! allocations that were allocated but not freed at the time of checkpoint."
+//! This module is that book-keeper: it tracks every live allocation made
+//! through the interposed `cudaMalloc` family, together with which family it
+//! came from (which determines whether its *contents* must be drained).
+
+use std::collections::BTreeMap;
+
+use crac_addrspace::Addr;
+
+use crate::wire::{Decoder, Encoder};
+
+/// Which allocation family a pointer came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// `cudaMalloc` — device memory; contents drained/refilled by CRAC.
+    Device,
+    /// `cudaMallocHost` / `cudaHostAlloc` — pinned host memory; contents are
+    /// upper-half memory saved by DMTCP, only the registration is replayed.
+    PinnedHost,
+    /// `cudaMallocManaged` — UVM memory; contents drained/refilled by CRAC.
+    Managed,
+}
+
+impl AllocKind {
+    /// Whether CRAC must drain and refill the contents of this allocation
+    /// (as opposed to letting DMTCP save them with the upper half).
+    pub fn needs_drain(self) -> bool {
+        matches!(self, AllocKind::Device | AllocKind::Managed)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            AllocKind::Device => 0,
+            AllocKind::PinnedHost => 1,
+            AllocKind::Managed => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => AllocKind::Device,
+            1 => AllocKind::PinnedHost,
+            2 => AllocKind::Managed,
+            _ => return None,
+        })
+    }
+}
+
+/// The set of currently active (not freed) allocations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActiveMallocs {
+    map: BTreeMap<u64, (u64, AllocKind)>,
+}
+
+impl ActiveMallocs {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation.
+    pub fn insert(&mut self, ptr: Addr, size: u64, kind: AllocKind) {
+        self.map.insert(ptr.as_u64(), (size, kind));
+    }
+
+    /// Removes an allocation (on free).  Returns its size and kind.
+    pub fn remove(&mut self, ptr: Addr) -> Option<(u64, AllocKind)> {
+        self.map.remove(&ptr.as_u64())
+    }
+
+    /// Looks up an active allocation.
+    pub fn get(&self, ptr: Addr) -> Option<(u64, AllocKind)> {
+        self.map.get(&ptr.as_u64()).copied()
+    }
+
+    /// Number of active allocations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if there are no active allocations.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All active allocations in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64, AllocKind)> + '_ {
+        self.map.iter().map(|(p, (s, k))| (Addr(*p), *s, *k))
+    }
+
+    /// Active allocations of one kind, in address order.
+    pub fn of_kind(&self, kind: AllocKind) -> Vec<(Addr, u64)> {
+        self.map
+            .iter()
+            .filter(|(_, (_, k))| *k == kind)
+            .map(|(p, (s, _))| (Addr(*p), *s))
+            .collect()
+    }
+
+    /// Total bytes of active allocations that must be drained at checkpoint.
+    pub fn drain_bytes(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|(_, k)| k.needs_drain())
+            .map(|(s, _)| *s)
+            .sum()
+    }
+
+    /// Total bytes across all active allocations.
+    pub fn total_bytes(&self) -> u64 {
+        self.map.values().map(|(s, _)| *s).sum()
+    }
+
+    /// Serialises the tracker for the plugin payload.
+    pub fn encode(&self, e: &mut Encoder) {
+        e.u64(self.map.len() as u64);
+        for (ptr, (size, kind)) in &self.map {
+            e.u64(*ptr).u64(*size).u8(kind.tag());
+        }
+    }
+
+    /// Parses a tracker previously produced by [`ActiveMallocs::encode`].
+    pub fn decode(d: &mut Decoder<'_>) -> Option<Self> {
+        let n = d.u64()? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let ptr = d.u64()?;
+            let size = d.u64()?;
+            let kind = AllocKind::from_tag(d.u8()?)?;
+            map.insert(ptr, (size, kind));
+        }
+        Some(Self { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_and_query() {
+        let mut m = ActiveMallocs::new();
+        m.insert(Addr(0x1000), 4096, AllocKind::Device);
+        m.insert(Addr(0x2000), 8192, AllocKind::Managed);
+        m.insert(Addr(0x3000), 100, AllocKind::PinnedHost);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(Addr(0x2000)), Some((8192, AllocKind::Managed)));
+        assert_eq!(m.drain_bytes(), 4096 + 8192);
+        assert_eq!(m.total_bytes(), 4096 + 8192 + 100);
+        assert_eq!(m.of_kind(AllocKind::Device), vec![(Addr(0x1000), 4096)]);
+        assert_eq!(m.remove(Addr(0x1000)), Some((4096, AllocKind::Device)));
+        assert_eq!(m.remove(Addr(0x1000)), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn drain_policy_matches_the_paper() {
+        assert!(AllocKind::Device.needs_drain());
+        assert!(AllocKind::Managed.needs_drain());
+        assert!(!AllocKind::PinnedHost.needs_drain());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut m = ActiveMallocs::new();
+        m.insert(Addr(0xaaa000), 1, AllocKind::Device);
+        m.insert(Addr(0xbbb000), 2, AllocKind::PinnedHost);
+        m.insert(Addr(0xccc000), 3, AllocKind::Managed);
+        let mut e = Encoder::new();
+        m.encode(&mut e);
+        let decoded = ActiveMallocs::decode(&mut Decoder::new(&e.finish())).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn corrupt_kind_tag_is_rejected() {
+        let mut e = Encoder::new();
+        e.u64(1).u64(0x1000).u64(64).u8(9);
+        assert!(ActiveMallocs::decode(&mut Decoder::new(&e.finish())).is_none());
+    }
+}

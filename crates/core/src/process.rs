@@ -1,0 +1,662 @@
+//! The CRAC-managed process: launch, run, checkpoint, restart.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crac_addrspace::{page_align_up, Addr, Half, MemError, SharedSpace};
+use crac_cudart::{CudaError, CudaRuntime, MemcpyKind};
+use crac_dmtcp::{CheckpointImage, Coordinator};
+use crac_gpu::clock::ns_to_s;
+use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
+use crac_splitproc::loader::{load_program, ProgramSpec};
+use crac_splitproc::{HostHeap, LowerHalf};
+
+use crate::config::CracConfig;
+use crate::interpose::{
+    CracEvent, CracFatBinary, CracKernel, CracState, CracStream, KernelRegistry,
+};
+use crate::log::LoggedCall;
+use crate::mallocs::AllocKind;
+use crate::plugin::{CracPayload, CracPlugin};
+use crate::replay::replay_log;
+
+/// Errors surfaced by the CRAC layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CracError {
+    /// Replay produced a different address than the original execution — the
+    /// determinism assumption (same GPU/CUDA platform, ASLR disabled) was
+    /// violated.
+    ReplayMismatch {
+        /// Index of the offending call in the log.
+        call_index: usize,
+        /// Address recorded by the original execution.
+        expected: u64,
+        /// Address produced by the replay.
+        got: u64,
+    },
+    /// A CUDA runtime error.
+    Cuda(String),
+    /// A simulated-memory error.
+    Mem(String),
+    /// An application-visible virtual handle was unknown.
+    InvalidHandle(&'static str),
+    /// The checkpoint image did not contain a (valid) CRAC payload.
+    BadImage,
+}
+
+impl std::fmt::Display for CracError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CracError::ReplayMismatch {
+                call_index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replay mismatch at log entry {call_index}: expected 0x{expected:x}, got 0x{got:x}"
+            ),
+            CracError::Cuda(e) => write!(f, "CUDA error: {e}"),
+            CracError::Mem(e) => write!(f, "memory error: {e}"),
+            CracError::InvalidHandle(w) => write!(f, "invalid handle: {w}"),
+            CracError::BadImage => write!(f, "checkpoint image has no valid CRAC payload"),
+        }
+    }
+}
+
+impl std::error::Error for CracError {}
+
+impl From<CudaError> for CracError {
+    fn from(e: CudaError) -> Self {
+        CracError::Cuda(e.to_string())
+    }
+}
+
+impl From<MemError> for CracError {
+    fn from(e: MemError) -> Self {
+        CracError::Mem(e.to_string())
+    }
+}
+
+/// Result of [`CracProcess::checkpoint`].
+#[derive(Clone, Debug)]
+pub struct CkptReport {
+    /// The checkpoint image (hand it to [`CracProcess::restart`]).
+    pub image: CheckpointImage,
+    /// Checkpoint time in seconds of virtual time (drain + image write).
+    pub ckpt_time_s: f64,
+    /// Logical image size in bytes.
+    pub image_bytes: u64,
+    /// Bytes of device/managed allocations drained into the image.
+    pub drained_bytes: u64,
+    /// Merged maps entries saved.
+    pub regions_saved: usize,
+    /// Merged maps entries excluded (lower half).
+    pub regions_skipped: usize,
+}
+
+/// Result of [`CracProcess::restart`].
+#[derive(Clone, Copy, Debug)]
+pub struct RestartReport {
+    /// Restart time in seconds of virtual time (image read + replay +
+    /// refill).
+    pub restart_time_s: f64,
+    /// Log entries replayed against the fresh runtime.
+    pub replayed_calls: usize,
+    /// Bytes copied back into device/managed allocations.
+    pub refilled_bytes: u64,
+}
+
+/// A simulated process running a CUDA application under CRAC.
+///
+/// The methods mirror the CUDA runtime API; each call crosses into the
+/// lower half through the trampoline table (paying the fs-register switch
+/// plus CRAC's logging overhead) and is logged when it belongs to the replay
+/// set.
+pub struct CracProcess {
+    config: CracConfig,
+    space: SharedSpace,
+    lower: LowerHalf,
+    heap: HostHeap,
+    registry: Arc<KernelRegistry>,
+    state: Arc<Mutex<CracState>>,
+    coordinator: Coordinator,
+}
+
+impl CracProcess {
+    /// Launches an application under CRAC (the `dmtcp_launch` moment).
+    pub fn launch(config: CracConfig, registry: Arc<KernelRegistry>) -> Self {
+        // CRAC disables address-space randomisation so that replay is
+        // deterministic.
+        let space = SharedSpace::new_no_aslr();
+        let lower = LowerHalf::boot(&space, config.runtime.clone(), None, config.fs_mode);
+        lower
+            .trampolines()
+            .set_extra_crossing_cost(config.log_overhead_ns);
+        // Starting under DMTCP costs a fixed amount once.
+        lower.runtime().device().clock().advance(config.dmtcp_startup_ns);
+
+        // Load the application into the upper half.
+        load_program(&space, &ProgramSpec::cuda_application(&config.app_name), Half::Upper);
+        let heap = HostHeap::new(space.clone(), 4 << 20);
+
+        let state = Arc::new(Mutex::new(CracState::new()));
+        let mut coordinator = Coordinator::new(space.clone(), config.ckpt.clone());
+        coordinator.register_plugin(Arc::new(CracPlugin::new(
+            Arc::clone(lower.runtime()),
+            space.clone(),
+            Arc::clone(&state),
+        )));
+
+        Self {
+            config,
+            space,
+            lower,
+            heap,
+            registry,
+            state,
+            coordinator,
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// The process's (single) address space.
+    pub fn space(&self) -> &SharedSpace {
+        &self.space
+    }
+
+    /// The lower-half CUDA runtime (read-only uses such as metrics; the
+    /// application itself should go through the interposed methods).
+    pub fn runtime(&self) -> &Arc<CudaRuntime> {
+        self.lower.runtime()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        self.lower.runtime().device().clock()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock().now()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        ns_to_s(self.now_ns())
+    }
+
+    /// The configuration the process was launched with.
+    pub fn config(&self) -> &CracConfig {
+        &self.config
+    }
+
+    /// Number of upper→lower crossings made so far.
+    pub fn crossings(&self) -> u64 {
+        self.lower.trampolines().crossings()
+    }
+
+    /// `nvprof`-style CUDA API call counters of the current lower half.
+    pub fn counters(&self) -> crac_cudart::CallCounters {
+        self.lower.runtime().counters()
+    }
+
+    /// Device activity counters.
+    pub fn gpu_metrics(&self) -> GpuMetrics {
+        self.lower.runtime().device().metrics()
+    }
+
+    /// UVM fault/migration counters.
+    pub fn uvm_stats(&self) -> UvmStats {
+        self.lower.runtime().device().uvm_stats()
+    }
+
+    /// Number of live (not destroyed) virtual streams.
+    pub fn live_streams(&self) -> usize {
+        self.state.lock().streams.len()
+    }
+
+    /// Allocates ordinary host memory on the application's upper-half heap.
+    pub fn heap_alloc(&self, bytes: u64) -> Result<Addr, CracError> {
+        Ok(self.heap.alloc(bytes)?)
+    }
+
+    fn stream_of(&self, s: CracStream) -> Result<crac_gpu::StreamId, CracError> {
+        if s == CracStream::DEFAULT {
+            return Ok(crac_gpu::StreamId::DEFAULT);
+        }
+        self.state
+            .lock()
+            .streams
+            .get(&s.0)
+            .copied()
+            .ok_or(CracError::InvalidHandle("stream"))
+    }
+
+    fn event_of(&self, e: CracEvent) -> Result<crac_gpu::EventId, CracError> {
+        self.state
+            .lock()
+            .events
+            .get(&e.0)
+            .copied()
+            .ok_or(CracError::InvalidHandle("event"))
+    }
+
+    // ---------------------------------------------------------------------
+    // Interposed CUDA API: memory
+    // ---------------------------------------------------------------------
+
+    /// `cudaMalloc` (interposed and logged).
+    pub fn malloc(&self, bytes: u64) -> Result<Addr, CracError> {
+        let rt = self.lower.runtime();
+        let ptr = self.lower.trampolines().call(|| rt.malloc(bytes))?;
+        let mut st = self.state.lock();
+        st.log.push(LoggedCall::Malloc {
+            size: bytes,
+            ptr: ptr.as_u64(),
+        });
+        st.mallocs.insert(ptr, bytes, AllocKind::Device);
+        Ok(ptr)
+    }
+
+    /// `cudaMallocHost` (interposed and logged).
+    pub fn malloc_host(&self, bytes: u64) -> Result<Addr, CracError> {
+        let rt = self.lower.runtime();
+        let ptr = self.lower.trampolines().call(|| rt.malloc_host(bytes))?;
+        let mut st = self.state.lock();
+        st.log.push(LoggedCall::MallocHost {
+            size: bytes,
+            ptr: ptr.as_u64(),
+        });
+        st.mallocs.insert(ptr, bytes, AllocKind::PinnedHost);
+        Ok(ptr)
+    }
+
+    /// `cudaMallocManaged` (interposed and logged).
+    pub fn malloc_managed(&self, bytes: u64) -> Result<Addr, CracError> {
+        let rt = self.lower.runtime();
+        let ptr = self.lower.trampolines().call(|| rt.malloc_managed(bytes))?;
+        let mut st = self.state.lock();
+        st.log.push(LoggedCall::MallocManaged {
+            size: bytes,
+            ptr: ptr.as_u64(),
+        });
+        st.mallocs.insert(ptr, bytes, AllocKind::Managed);
+        Ok(ptr)
+    }
+
+    /// `cudaFree` (interposed and logged).
+    pub fn free(&self, ptr: Addr) -> Result<(), CracError> {
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.free(ptr))?;
+        let mut st = self.state.lock();
+        st.log.push(LoggedCall::Free { ptr: ptr.as_u64() });
+        st.mallocs.remove(ptr);
+        Ok(())
+    }
+
+    /// `cudaMemcpy` (interposed; not logged — data, not CUDA state).
+    pub fn memcpy(&self, dst: Addr, src: Addr, bytes: u64, kind: MemcpyKind) -> Result<(), CracError> {
+        let rt = self.lower.runtime();
+        self.lower
+            .trampolines()
+            .call(|| rt.memcpy(dst, src, bytes, kind))?;
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync` (interposed).
+    pub fn memcpy_async(
+        &self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: MemcpyKind,
+        stream: CracStream,
+    ) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let rt = self.lower.runtime();
+        self.lower
+            .trampolines()
+            .call(|| rt.memcpy_async(dst, src, bytes, kind, s))?;
+        Ok(())
+    }
+
+    /// `cudaMemset` (interposed).
+    pub fn memset(&self, ptr: Addr, value: u8, bytes: u64) -> Result<(), CracError> {
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.memset(ptr, value, bytes))?;
+        Ok(())
+    }
+
+    /// `cudaMemPrefetchAsync` (interposed).
+    pub fn mem_prefetch_async(
+        &self,
+        ptr: Addr,
+        bytes: u64,
+        to_device: bool,
+        stream: CracStream,
+    ) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let rt = self.lower.runtime();
+        self.lower
+            .trampolines()
+            .call(|| rt.mem_prefetch_async(ptr, bytes, to_device, s))?;
+        Ok(())
+    }
+
+    /// Host-side dereference of managed memory (not an API call; no
+    /// trampoline crossing — UVM hardware handles it, which is exactly why
+    /// proxy-based checkpointers struggle with it).
+    pub fn host_touch_managed(&self, ptr: Addr, bytes: u64) {
+        self.lower.runtime().host_touch_managed(ptr, bytes);
+    }
+
+    // ---------------------------------------------------------------------
+    // Interposed CUDA API: streams, events, synchronisation
+    // ---------------------------------------------------------------------
+
+    /// `cudaStreamCreate` (interposed and logged).
+    pub fn stream_create(&self) -> Result<CracStream, CracError> {
+        let rt = self.lower.runtime();
+        let s = self.lower.trampolines().call(|| rt.stream_create())?;
+        let mut st = self.state.lock();
+        let v = st.fresh_handle();
+        st.streams.insert(v, s);
+        st.log.push(LoggedCall::StreamCreate { vstream: v });
+        Ok(CracStream(v))
+    }
+
+    /// `cudaStreamDestroy` (interposed and logged).
+    pub fn stream_destroy(&self, stream: CracStream) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.stream_destroy(s))?;
+        let mut st = self.state.lock();
+        st.streams.remove(&stream.0);
+        st.log.push(LoggedCall::StreamDestroy { vstream: stream.0 });
+        Ok(())
+    }
+
+    /// `cudaStreamSynchronize` (interposed).
+    pub fn stream_synchronize(&self, stream: CracStream) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.stream_synchronize(s))?;
+        Ok(())
+    }
+
+    /// `cudaStreamWaitEvent` (interposed).
+    pub fn stream_wait_event(&self, stream: CracStream, event: CracEvent) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let e = self.event_of(event)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.stream_wait_event(s, e))?;
+        Ok(())
+    }
+
+    /// `cudaEventCreate` (interposed and logged).
+    pub fn event_create(&self) -> Result<CracEvent, CracError> {
+        let rt = self.lower.runtime();
+        let e = self.lower.trampolines().call(|| rt.event_create())?;
+        let mut st = self.state.lock();
+        let v = st.fresh_handle();
+        st.events.insert(v, e);
+        st.log.push(LoggedCall::EventCreate { vevent: v });
+        Ok(CracEvent(v))
+    }
+
+    /// `cudaEventDestroy` (interposed and logged).
+    pub fn event_destroy(&self, event: CracEvent) -> Result<(), CracError> {
+        let e = self.event_of(event)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.event_destroy(e))?;
+        let mut st = self.state.lock();
+        st.events.remove(&event.0);
+        st.log.push(LoggedCall::EventDestroy { vevent: event.0 });
+        Ok(())
+    }
+
+    /// `cudaEventRecord` (interposed).
+    pub fn event_record(&self, event: CracEvent, stream: CracStream) -> Result<(), CracError> {
+        let e = self.event_of(event)?;
+        let s = self.stream_of(stream)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.event_record(e, s))?;
+        Ok(())
+    }
+
+    /// `cudaEventSynchronize` (interposed).
+    pub fn event_synchronize(&self, event: CracEvent) -> Result<(), CracError> {
+        let e = self.event_of(event)?;
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.event_synchronize(e))?;
+        Ok(())
+    }
+
+    /// `cudaEventElapsedTime` in milliseconds (interposed).
+    pub fn event_elapsed_ms(&self, start: CracEvent, end: CracEvent) -> Result<f64, CracError> {
+        let s = self.event_of(start)?;
+        let e = self.event_of(end)?;
+        let rt = self.lower.runtime();
+        Ok(self.lower.trampolines().call(|| rt.event_elapsed_ms(s, e))?)
+    }
+
+    /// `cudaDeviceSynchronize` (interposed).
+    pub fn device_synchronize(&self) -> Result<(), CracError> {
+        let rt = self.lower.runtime();
+        self.lower.trampolines().call(|| rt.device_synchronize())?;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Interposed CUDA API: fat binaries and kernel launch
+    // ---------------------------------------------------------------------
+
+    /// `__cudaRegisterFatBinary` (interposed and logged).
+    pub fn register_fat_binary(&self) -> CracFatBinary {
+        let rt = self.lower.runtime();
+        let h = self.lower.trampolines().call(|| rt.register_fat_binary());
+        let mut st = self.state.lock();
+        let v = st.fresh_handle();
+        st.fatbins.insert(v, h);
+        st.log.push(LoggedCall::RegisterFatBinary { vfatbin: v });
+        CracFatBinary(v)
+    }
+
+    /// `__cudaRegisterFunction` (interposed and logged).  The kernel body is
+    /// looked up in the process's [`KernelRegistry`] by name.
+    pub fn register_function(
+        &self,
+        fatbin: CracFatBinary,
+        name: &str,
+    ) -> Result<CracKernel, CracError> {
+        let fb = self
+            .state
+            .lock()
+            .fatbins
+            .get(&fatbin.0)
+            .copied()
+            .ok_or(CracError::InvalidHandle("fat binary"))?;
+        let body = self.registry.get(name);
+        let rt = self.lower.runtime();
+        let h = self
+            .lower
+            .trampolines()
+            .call(|| rt.register_function(fb, name, body))?;
+        let mut st = self.state.lock();
+        let v = st.fresh_handle();
+        st.kernels.insert(v, (name.to_string(), h));
+        st.log.push(LoggedCall::RegisterFunction {
+            vfatbin: fatbin.0,
+            vfunction: v,
+            name: name.to_string(),
+        });
+        Ok(CracKernel(v))
+    }
+
+    /// `__cudaUnregisterFatBinary` (interposed and logged).
+    pub fn unregister_fat_binary(&self, fatbin: CracFatBinary) -> Result<(), CracError> {
+        let fb = self
+            .state
+            .lock()
+            .fatbins
+            .get(&fatbin.0)
+            .copied()
+            .ok_or(CracError::InvalidHandle("fat binary"))?;
+        let rt = self.lower.runtime();
+        self.lower
+            .trampolines()
+            .call(|| rt.unregister_fat_binary(fb))?;
+        let mut st = self.state.lock();
+        st.fatbins.remove(&fatbin.0);
+        st.log.push(LoggedCall::UnregisterFatBinary { vfatbin: fatbin.0 });
+        Ok(())
+    }
+
+    /// `cudaLaunchKernel` (interposed; not logged — kernels are re-launched
+    /// by the application itself after restart, not replayed by CRAC).
+    pub fn launch_kernel(
+        &self,
+        kernel: CracKernel,
+        dims: LaunchDims,
+        cost: KernelCost,
+        args: Vec<u64>,
+        stream: CracStream,
+    ) -> Result<(), CracError> {
+        let s = self.stream_of(stream)?;
+        let handle = self
+            .state
+            .lock()
+            .kernels
+            .get(&kernel.0)
+            .map(|(_, h)| *h)
+            .ok_or(CracError::InvalidHandle("kernel"))?;
+        let rt = self.lower.runtime();
+        self.lower
+            .trampolines()
+            .call(|| rt.launch_kernel(handle, dims, cost, args, s))?;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Checkpoint and restart
+    // ---------------------------------------------------------------------
+
+    /// Takes a checkpoint: drains the GPU, stages device state, writes the
+    /// image (upper half only), and resumes.
+    pub fn checkpoint(&self) -> CkptReport {
+        let clock = Arc::clone(self.clock());
+        let t0 = clock.now();
+        let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        let (mut image, stats) = self.coordinator.checkpoint(clock.now());
+        clock.advance(stats.write_ns);
+        // Stamp the image with the time the checkpoint *completed*, so a
+        // restarted process resumes virtual time from there.
+        image.taken_at_ns = clock.now();
+        CkptReport {
+            image,
+            ckpt_time_s: ns_to_s(clock.now() - t0),
+            image_bytes: stats.image_bytes,
+            drained_bytes,
+            regions_saved: stats.regions_saved,
+            regions_skipped: stats.regions_skipped,
+        }
+    }
+
+    /// Restarts an application from a checkpoint image in a brand-new
+    /// simulated process.
+    ///
+    /// `registry` plays the role of the application binary's kernel code
+    /// (which is upper-half memory and therefore restored): Rust closures
+    /// cannot live inside the image, so the caller supplies them again.
+    pub fn restart(
+        image: &CheckpointImage,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+    ) -> Result<(Self, RestartReport), CracError> {
+        // A fresh process: fresh address space (ASLR off), fresh lower half,
+        // virtual time continuing from the checkpoint.
+        let space = SharedSpace::new_no_aslr();
+        let clock = VirtualClock::new_shared();
+        clock.advance_to(image.taken_at_ns);
+        let restart_t0 = clock.now();
+
+        // 1. Load a fresh lower half (helper + CUDA runtime).  Deterministic
+        //    loading puts it at the same addresses as the original.
+        let lower = LowerHalf::boot(
+            &space,
+            config.runtime.clone(),
+            Some(Arc::clone(&clock)),
+            config.fs_mode,
+        );
+        lower
+            .trampolines()
+            .set_extra_crossing_cost(config.log_overhead_ns);
+
+        // 2. Restore the upper half from the image.
+        let restore_coord = Coordinator::new(space.clone(), config.ckpt.clone());
+        let rstats = restore_coord.restart_into(image, &space);
+        clock.advance(rstats.read_ns);
+
+        // 3. Decode the CRAC payload and replay the log against the fresh
+        //    runtime: allocations reappear at their original addresses,
+        //    streams/events/fat binaries are recreated.
+        let payload_bytes = image.payloads.get("crac").ok_or(CracError::BadImage)?;
+        let payload = CracPayload::decode(payload_bytes).ok_or(CracError::BadImage)?;
+        let outcome = replay_log(&payload.log, lower.runtime(), lower.trampolines(), &registry)?;
+
+        // 4. Refill device/managed allocations from the staged copies and
+        //    release the staging buffers.
+        let mut refilled_bytes = 0u64;
+        for staged in &payload.staging {
+            space.sparse_copy(Addr(staged.ptr), Addr(staged.staging), staged.len)?;
+            space.munmap(Addr(staged.staging), page_align_up(staged.len))?;
+            refilled_bytes += staged.len;
+        }
+        let profile = &config.runtime.profile;
+        clock.advance(profile.pcie_transfer_ns(refilled_bytes));
+
+        // 5. Rebuild the interposition state with the application's original
+        //    virtual handles bound to the new lower-half resources.
+        let state = Arc::new(Mutex::new(CracState {
+            log: payload.log,
+            mallocs: payload.mallocs,
+            streams: outcome.streams,
+            events: outcome.events,
+            fatbins: outcome.fatbins,
+            kernels: outcome.kernels,
+            next_handle: payload.next_handle,
+            staging: Vec::new(),
+        }));
+        let replayed_calls = outcome.calls_replayed;
+
+        let heap = HostHeap::new(space.clone(), 4 << 20);
+        let mut coordinator = Coordinator::new(space.clone(), config.ckpt.clone());
+        coordinator.register_plugin(Arc::new(CracPlugin::new(
+            Arc::clone(lower.runtime()),
+            space.clone(),
+            Arc::clone(&state),
+        )));
+
+        let restart_time_s = ns_to_s(clock.now() - restart_t0);
+        Ok((
+            Self {
+                config,
+                space,
+                lower,
+                heap,
+                registry,
+                state,
+                coordinator,
+            },
+            RestartReport {
+                restart_time_s,
+                replayed_calls,
+                refilled_bytes,
+            },
+        ))
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-and-replay: rebuilding the CUDA library's state at restart.
+//!
+//! The entire original sequence of allocation and free calls is replayed
+//! against the fresh lower-half runtime so that — relying on the library's
+//! deterministic arena allocation and the disabled ASLR — every active
+//! allocation reappears at its original address.  Streams, events and fat
+//! binaries are recreated in the same pass and rebound to the application's
+//! virtual handles.  A pointer mismatch is a hard error: it means the
+//! determinism assumption was violated (e.g. a different GPU/CUDA platform on
+//! restart, which the paper explicitly requires to be the same).
+
+use std::collections::BTreeMap;
+
+use crac_addrspace::Addr;
+use crac_cudart::{CudaRuntime, FatBinaryHandle, FunctionHandle};
+use crac_gpu::{EventId, StreamId};
+use crac_splitproc::TrampolineTable;
+
+use crate::interpose::KernelRegistry;
+use crate::log::{CudaCallLog, LoggedCall};
+use crate::process::CracError;
+
+/// The lower-half resources recreated by a replay, keyed by the virtual
+/// handles the application still holds.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Virtual stream → new lower-half stream.
+    pub streams: BTreeMap<u64, StreamId>,
+    /// Virtual event → new lower-half event.
+    pub events: BTreeMap<u64, EventId>,
+    /// Virtual fat binary → new lower-half handle.
+    pub fatbins: BTreeMap<u64, FatBinaryHandle>,
+    /// Virtual kernel → (name, new lower-half handle).
+    pub kernels: BTreeMap<u64, (String, FunctionHandle)>,
+    /// Number of log entries replayed.
+    pub calls_replayed: usize,
+}
+
+/// Replays `log` against a fresh runtime through the new trampoline table.
+pub fn replay_log(
+    log: &CudaCallLog,
+    runtime: &CudaRuntime,
+    trampolines: &TrampolineTable,
+    registry: &KernelRegistry,
+) -> Result<ReplayOutcome, CracError> {
+    let mut out = ReplayOutcome::default();
+    // Which virtual fat binary each replayed kernel belongs to, so that a
+    // later UnregisterFatBinary can drop exactly those kernels.
+    let mut kernel_owner: BTreeMap<u64, u64> = BTreeMap::new();
+    for (index, call) in log.iter().enumerate() {
+        match call {
+            LoggedCall::Malloc { size, ptr } => {
+                let got = trampolines.call(|| runtime.malloc(*size))?;
+                if got.as_u64() != *ptr {
+                    return Err(CracError::ReplayMismatch {
+                        call_index: index,
+                        expected: *ptr,
+                        got: got.as_u64(),
+                    });
+                }
+            }
+            LoggedCall::MallocManaged { size, ptr } => {
+                let got = trampolines.call(|| runtime.malloc_managed(*size))?;
+                if got.as_u64() != *ptr {
+                    return Err(CracError::ReplayMismatch {
+                        call_index: index,
+                        expected: *ptr,
+                        got: got.as_u64(),
+                    });
+                }
+            }
+            LoggedCall::MallocHost { size, ptr } => {
+                // The pinned buffer's bytes were restored with the upper
+                // half; only the registration is replayed (Section 3.2.4).
+                trampolines.call(|| runtime.host_register(Addr(*ptr), *size))?;
+            }
+            LoggedCall::Free { ptr } => {
+                trampolines.call(|| runtime.free(Addr(*ptr)))?;
+            }
+            LoggedCall::StreamCreate { vstream } => {
+                let s = trampolines.call(|| runtime.stream_create())?;
+                out.streams.insert(*vstream, s);
+            }
+            LoggedCall::StreamDestroy { vstream } => {
+                if let Some(s) = out.streams.remove(vstream) {
+                    trampolines.call(|| runtime.stream_destroy(s))?;
+                }
+            }
+            LoggedCall::EventCreate { vevent } => {
+                let e = trampolines.call(|| runtime.event_create())?;
+                out.events.insert(*vevent, e);
+            }
+            LoggedCall::EventDestroy { vevent } => {
+                if let Some(e) = out.events.remove(vevent) {
+                    trampolines.call(|| runtime.event_destroy(e))?;
+                }
+            }
+            LoggedCall::RegisterFatBinary { vfatbin } => {
+                let h = trampolines.call(|| runtime.register_fat_binary());
+                out.fatbins.insert(*vfatbin, h);
+            }
+            LoggedCall::RegisterFunction {
+                vfatbin,
+                vfunction,
+                name,
+            } => {
+                let fb = *out
+                    .fatbins
+                    .get(vfatbin)
+                    .ok_or(CracError::InvalidHandle("fat binary in replay log"))?;
+                let body = registry.get(name);
+                let h = trampolines.call(|| runtime.register_function(fb, name, body))?;
+                out.kernels.insert(*vfunction, (name.clone(), h));
+                kernel_owner.insert(*vfunction, *vfatbin);
+            }
+            LoggedCall::UnregisterFatBinary { vfatbin } => {
+                if let Some(fb) = out.fatbins.remove(vfatbin) {
+                    trampolines.call(|| runtime.unregister_fat_binary(fb))?;
+                    out.kernels
+                        .retain(|vk, _| kernel_owner.get(vk) != Some(vfatbin));
+                }
+            }
+        }
+        out.calls_replayed += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crac_addrspace::SharedSpace;
+    use crac_cudart::RuntimeConfig;
+    use crac_gpu::VirtualClock;
+    use crac_splitproc::FsRegisterMode;
+
+    fn fresh_runtime() -> (std::sync::Arc<CudaRuntime>, TrampolineTable) {
+        let space = SharedSpace::new_no_aslr();
+        let rt = CudaRuntime::new(RuntimeConfig::test(), space);
+        let tramp = TrampolineTable::new(FsRegisterMode::KernelCall, VirtualClock::new_shared());
+        (rt, tramp)
+    }
+
+    /// Runs an allocation history against one runtime (recording the log the
+    /// way the interposer would), then replays it on a fresh runtime.
+    fn record_history() -> (CudaCallLog, Vec<u64>) {
+        let (rt, _t) = fresh_runtime();
+        let mut log = CudaCallLog::new();
+        let mut survivors = Vec::new();
+        let a = rt.malloc(1000).unwrap();
+        log.push(LoggedCall::Malloc { size: 1000, ptr: a.as_u64() });
+        let m = rt.malloc_managed(64 * 1024).unwrap();
+        log.push(LoggedCall::MallocManaged { size: 64 * 1024, ptr: m.as_u64() });
+        let b = rt.malloc(2000).unwrap();
+        log.push(LoggedCall::Malloc { size: 2000, ptr: b.as_u64() });
+        rt.free(a).unwrap();
+        log.push(LoggedCall::Free { ptr: a.as_u64() });
+        let c = rt.malloc(1000).unwrap();
+        log.push(LoggedCall::Malloc { size: 1000, ptr: c.as_u64() });
+        survivors.extend([m.as_u64(), b.as_u64(), c.as_u64()]);
+        (log, survivors)
+    }
+
+    #[test]
+    fn replay_reproduces_every_pointer() {
+        let (log, survivors) = record_history();
+        let (rt2, tramp) = fresh_runtime();
+        let registry = KernelRegistry::new();
+        let out = replay_log(&log, &rt2, &tramp, &registry).unwrap();
+        assert_eq!(out.calls_replayed, log.len());
+        // The survivors are active on the fresh runtime at the same addresses.
+        for ptr in survivors {
+            assert_ne!(
+                rt2.pointer_kind(Addr(ptr)),
+                crac_cudart::DevicePointerKind::NotCuda,
+                "pointer 0x{ptr:x} not active after replay"
+            );
+        }
+        // Crossings were charged for every replayed call.
+        assert_eq!(tramp.crossings() as usize, log.len());
+    }
+
+    #[test]
+    fn mismatch_is_detected() {
+        let (log, _) = record_history();
+        let (rt2, tramp) = fresh_runtime();
+        // Poison determinism: allocate something extra before replaying.
+        rt2.malloc(4096).unwrap();
+        let err = replay_log(&log, &rt2, &tramp, &KernelRegistry::new()).unwrap_err();
+        assert!(matches!(err, CracError::ReplayMismatch { .. }));
+    }
+
+    #[test]
+    fn streams_events_and_kernels_are_recreated_and_bound() {
+        let mut log = CudaCallLog::new();
+        log.push(LoggedCall::RegisterFatBinary { vfatbin: 1 });
+        log.push(LoggedCall::RegisterFunction {
+            vfatbin: 1,
+            vfunction: 2,
+            name: "axpy".to_string(),
+        });
+        log.push(LoggedCall::StreamCreate { vstream: 3 });
+        log.push(LoggedCall::StreamCreate { vstream: 4 });
+        log.push(LoggedCall::StreamDestroy { vstream: 3 });
+        log.push(LoggedCall::EventCreate { vevent: 5 });
+
+        let (rt, tramp) = fresh_runtime();
+        let mut registry = KernelRegistry::new();
+        registry.insert("axpy", |_| Ok(()));
+        let out = replay_log(&log, &rt, &tramp, &registry).unwrap();
+        assert_eq!(out.streams.len(), 1);
+        assert!(out.streams.contains_key(&4));
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.kernels[&2].0, "axpy");
+        assert_eq!(rt.live_streams(), 1);
+        assert_eq!(rt.registered_kernel_count(), 1);
+    }
+
+    #[test]
+    fn register_function_under_unknown_fatbin_is_an_error() {
+        let mut log = CudaCallLog::new();
+        log.push(LoggedCall::RegisterFunction {
+            vfatbin: 99,
+            vfunction: 1,
+            name: "k".to_string(),
+        });
+        let (rt, tramp) = fresh_runtime();
+        let err = replay_log(&log, &rt, &tramp, &KernelRegistry::new()).unwrap_err();
+        assert!(matches!(err, CracError::InvalidHandle(_)));
+    }
+
+    #[test]
+    fn host_register_is_used_for_pinned_buffers() {
+        // Record on runtime 1 (pinned buffer lives in the upper half).
+        let space = SharedSpace::new_no_aslr();
+        let rt1 = CudaRuntime::new(RuntimeConfig::test(), space.clone());
+        let pinned = rt1.malloc_host(4096).unwrap();
+        let mut log = CudaCallLog::new();
+        log.push(LoggedCall::MallocHost {
+            size: 4096,
+            ptr: pinned.as_u64(),
+        });
+        // Replay on a fresh runtime over the SAME space (as restart does):
+        // the buffer is adopted rather than reallocated.
+        let rt2 = CudaRuntime::new(RuntimeConfig::test(), space);
+        let tramp = TrampolineTable::new(FsRegisterMode::KernelCall, VirtualClock::new_shared());
+        replay_log(&log, &rt2, &tramp, &KernelRegistry::new()).unwrap();
+        assert_eq!(
+            rt2.pointer_kind(pinned),
+            crac_cudart::DevicePointerKind::PinnedHost
+        );
+    }
+}

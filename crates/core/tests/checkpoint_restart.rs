@@ -1,0 +1,363 @@
+//! End-to-end checkpoint/restart tests of a CUDA application under CRAC.
+//!
+//! These exercise the full paper workflow: run an application that uses
+//! device memory, pinned host memory, managed (UVM) memory and several CUDA
+//! streams; checkpoint it mid-run; restart from the image in a brand-new
+//! simulated process; and verify that every pointer, every virtual handle and
+//! every byte of data survived.
+
+use std::sync::Arc;
+
+use crac_core::{CkptReport, CracConfig, CracKernel, CracProcess, CracStream, KernelRegistry};
+use crac_cudart::MemcpyKind;
+use crac_gpu::{KernelCost, LaunchDims};
+
+/// Kernels used by the test application.
+fn registry() -> Arc<KernelRegistry> {
+    let mut reg = KernelRegistry::new();
+    // scale(buf, n, factor_bits): multiplies n f32 values in place.
+    reg.insert("scale", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let factor = f32::from_bits(ctx.arg_u64(2) as u32);
+        let mut v = ctx.read_f32_arg(0, n)?;
+        for x in &mut v {
+            *x *= factor;
+        }
+        ctx.write_f32_arg(0, &v)
+    });
+    // iota(buf, n): writes 0..n.
+    reg.insert("iota", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.write_f32_arg(0, &v)
+    });
+    Arc::new(reg)
+}
+
+struct App {
+    proc: CracProcess,
+    scale: CracKernel,
+    iota: CracKernel,
+    dev: crac_addrspace::Addr,
+    pinned: crac_addrspace::Addr,
+    managed: crac_addrspace::Addr,
+    stream: CracStream,
+}
+
+const N: usize = 1024;
+
+/// Builds a little application with one buffer of each kind and a stream,
+/// and runs its first phase.
+fn build_app() -> App {
+    let proc = CracProcess::launch(CracConfig::test("itest"), registry());
+    let fatbin = proc.register_fat_binary();
+    let scale = proc.register_function(fatbin, "scale").unwrap();
+    let iota = proc.register_function(fatbin, "iota").unwrap();
+
+    let dev = proc.malloc((N * 4) as u64).unwrap();
+    let pinned = proc.malloc_host((N * 4) as u64).unwrap();
+    let managed = proc.malloc_managed((N * 4) as u64).unwrap();
+    let stream = proc.stream_create().unwrap();
+
+    // Phase 1: fill the device buffer with 0..N and scale it by 2 on the
+    // user stream; fill managed memory from the host; stage input in pinned.
+    proc.launch_kernel(
+        iota,
+        LaunchDims::linear(4, 256),
+        KernelCost::new(N as u64, (N * 4) as u64),
+        vec![dev.as_u64(), N as u64],
+        stream,
+    )
+    .unwrap();
+    proc.launch_kernel(
+        scale,
+        LaunchDims::linear(4, 256),
+        KernelCost::new(N as u64, (N * 4) as u64),
+        vec![dev.as_u64(), N as u64, 2.0f32.to_bits() as u64],
+        stream,
+    )
+    .unwrap();
+    proc.space()
+        .write_f32(pinned, &vec![7.0f32; N])
+        .unwrap();
+    proc.space()
+        .write_f32(managed, &vec![3.5f32; N])
+        .unwrap();
+    proc.host_touch_managed(managed, (N * 4) as u64);
+    proc.stream_synchronize(stream).unwrap();
+
+    App {
+        proc,
+        scale,
+        iota,
+        dev,
+        pinned,
+        managed,
+        stream,
+    }
+}
+
+fn checkpoint(app: &App) -> CkptReport {
+    app.proc.device_synchronize().unwrap();
+    app.proc.checkpoint()
+}
+
+#[test]
+fn data_in_all_three_memory_kinds_survives_restart() {
+    let app = build_app();
+    let report = checkpoint(&app);
+    assert!(report.image_bytes > 0);
+    assert!(report.drained_bytes >= (2 * N * 4) as u64); // device + managed
+    assert!(report.regions_skipped > 0, "lower half must be excluded");
+
+    let (proc2, rreport) =
+        CracProcess::restart(&report.image, CracConfig::test("itest"), registry()).unwrap();
+    assert!(rreport.replayed_calls > 0);
+    assert!(rreport.refilled_bytes >= (2 * N * 4) as u64);
+
+    // Device buffer: iota then ×2.
+    let mut dev_out = vec![0f32; N];
+    proc2.space().read_f32(app.dev, &mut dev_out).unwrap();
+    for (i, v) in dev_out.iter().enumerate() {
+        assert_eq!(*v, (i as f32) * 2.0, "device element {i}");
+    }
+    // Pinned host buffer (upper half, saved by DMTCP).
+    let mut pin_out = vec![0f32; N];
+    proc2.space().read_f32(app.pinned, &mut pin_out).unwrap();
+    assert!(pin_out.iter().all(|&v| v == 7.0));
+    // Managed buffer.
+    let mut man_out = vec![0f32; N];
+    proc2.space().read_f32(app.managed, &mut man_out).unwrap();
+    assert!(man_out.iter().all(|&v| v == 3.5));
+}
+
+#[test]
+fn application_continues_with_its_old_handles_after_restart() {
+    let app = build_app();
+    let report = checkpoint(&app);
+    let (proc2, _) =
+        CracProcess::restart(&report.image, CracConfig::test("itest"), registry()).unwrap();
+
+    // The old virtual stream and kernel handles keep working.
+    proc2
+        .launch_kernel(
+            app.scale,
+            LaunchDims::linear(4, 256),
+            KernelCost::new(N as u64, (N * 4) as u64),
+            vec![app.dev.as_u64(), N as u64, 10.0f32.to_bits() as u64],
+            app.stream,
+        )
+        .unwrap();
+    proc2.stream_synchronize(app.stream).unwrap();
+    let mut out = vec![0f32; N];
+    proc2.space().read_f32(app.dev, &mut out).unwrap();
+    assert_eq!(out[3], 3.0 * 2.0 * 10.0);
+
+    // Old pointers remain valid CUDA pointers for further API calls.
+    proc2
+        .memcpy(app.pinned, app.dev, (N * 4) as u64, MemcpyKind::DeviceToHost)
+        .unwrap();
+    let mut pin = vec![0f32; N];
+    proc2.space().read_f32(app.pinned, &mut pin).unwrap();
+    assert_eq!(pin[5], 100.0);
+
+    // New allocations and streams still work after restart.
+    let extra = proc2.malloc(4096).unwrap();
+    proc2.memset(extra, 0, 4096).unwrap();
+    let s2 = proc2.stream_create().unwrap();
+    proc2
+        .launch_kernel(
+            app.iota,
+            LaunchDims::linear(1, 32),
+            KernelCost::compute(64),
+            vec![extra.as_u64(), 16],
+            s2,
+        )
+        .unwrap();
+    proc2.device_synchronize().unwrap();
+    proc2.free(extra).unwrap();
+}
+
+#[test]
+fn freed_buffers_are_not_resurrected_by_restart() {
+    let app = build_app();
+    let temp = app.proc.malloc(8192).unwrap();
+    app.proc.free(temp).unwrap();
+    let report = checkpoint(&app);
+    let (proc2, _) =
+        CracProcess::restart(&report.image, CracConfig::test("itest"), registry()).unwrap();
+    // The freed pointer is not an active CUDA allocation after restart.
+    assert_eq!(
+        proc2.runtime().pointer_kind(temp),
+        crac_cudart::DevicePointerKind::NotCuda
+    );
+    // But the survivors are.
+    assert_eq!(
+        proc2.runtime().pointer_kind(app.dev),
+        crac_cudart::DevicePointerKind::Device
+    );
+    assert_eq!(
+        proc2.runtime().pointer_kind(app.managed),
+        crac_cudart::DevicePointerKind::Managed
+    );
+}
+
+#[test]
+fn checkpoint_image_excludes_lower_half_bytes() {
+    let app = build_app();
+    // Allocate a large device buffer; the arena chunk behind it is lower-half
+    // memory and must NOT inflate the image beyond the drained contents.
+    let big = app.proc.malloc(8 << 20).unwrap();
+    app.proc.memset(big, 1, 8 << 20).unwrap();
+    app.proc.device_synchronize().unwrap();
+    let report = app.proc.checkpoint();
+    // Image contains: app text/data/stack (~14 MB), heap, pinned buffer,
+    // staging for device+managed (8 MB + small) — but not the 16 MB arena
+    // chunks themselves nor the helper's ~35 MB of libraries.
+    let arena_reserved: u64 = app
+        .proc
+        .runtime()
+        .arena_chunks()
+        .iter()
+        .map(|(_, len)| len)
+        .sum();
+    assert!(report.image_bytes < arena_reserved + (20 << 20));
+    assert!(report.drained_bytes >= 8 << 20);
+    assert!(report.regions_skipped >= 1);
+}
+
+#[test]
+fn second_checkpoint_after_restart_works() {
+    // checkpoint → restart → keep running → checkpoint again → restart again.
+    let app = build_app();
+    let r1 = checkpoint(&app);
+    let (proc2, _) =
+        CracProcess::restart(&r1.image, CracConfig::test("itest"), registry()).unwrap();
+    proc2
+        .launch_kernel(
+            app.scale,
+            LaunchDims::linear(1, 32),
+            KernelCost::compute(N as u64),
+            vec![app.dev.as_u64(), N as u64, 0.5f32.to_bits() as u64],
+            CracStream::DEFAULT,
+        )
+        .unwrap();
+    proc2.device_synchronize().unwrap();
+    let r2 = proc2.checkpoint();
+    let (proc3, _) =
+        CracProcess::restart(&r2.image, CracConfig::test("itest"), registry()).unwrap();
+    let mut out = vec![0f32; N];
+    proc3.space().read_f32(app.dev, &mut out).unwrap();
+    // iota * 2 * 0.5 = original iota values.
+    assert_eq!(out[10], 10.0);
+    // Virtual time is monotone across the whole life of the application.
+    assert!(proc3.now_ns() >= proc2.now_ns());
+}
+
+#[test]
+fn restart_with_missing_payload_is_rejected() {
+    let app = build_app();
+    let mut report = checkpoint(&app);
+    report.image.payloads.remove("crac");
+    let err = CracProcess::restart(&report.image, CracConfig::test("itest"), registry())
+        .err()
+        .expect("restart must fail without the CRAC payload");
+    assert_eq!(err, crac_core::CracError::BadImage);
+}
+
+#[test]
+fn many_streams_survive_restart() {
+    // The paper's headline stream experiment uses 128 concurrent streams.
+    let proc = CracProcess::launch(CracConfig::test("streams"), registry());
+    let fatbin = proc.register_fat_binary();
+    let iota = proc.register_function(fatbin, "iota").unwrap();
+    let streams: Vec<CracStream> = (0..128).map(|_| proc.stream_create().unwrap()).collect();
+    let bufs: Vec<_> = (0..128).map(|_| proc.malloc(256).unwrap()).collect();
+    for (s, b) in streams.iter().zip(&bufs) {
+        proc.launch_kernel(
+            iota,
+            LaunchDims::linear(1, 32),
+            KernelCost::compute(64),
+            vec![b.as_u64(), 16],
+            *s,
+        )
+        .unwrap();
+    }
+    proc.device_synchronize().unwrap();
+    assert_eq!(proc.live_streams(), 128);
+    let report = proc.checkpoint();
+    let (proc2, _) =
+        CracProcess::restart(&report.image, CracConfig::test("streams"), registry()).unwrap();
+    assert_eq!(proc2.live_streams(), 128);
+    // Every old stream handle still accepts work.
+    for (s, b) in streams.iter().zip(&bufs) {
+        proc2
+            .launch_kernel(
+                iota,
+                LaunchDims::linear(1, 32),
+                KernelCost::compute(64),
+                vec![b.as_u64(), 16],
+                *s,
+            )
+            .unwrap();
+    }
+    proc2.device_synchronize().unwrap();
+    let mut out = vec![0f32; 16];
+    proc2.space().read_f32(bufs[77], &mut out).unwrap();
+    assert_eq!(out[15], 15.0);
+}
+
+#[test]
+fn runtime_overhead_of_interposition_is_small() {
+    // Compare virtual time of the same call sequence with CRAC interposition
+    // vs direct native runtime calls: the overhead must stay in the
+    // low-single-digit-percent range the paper reports (~1%).
+    let n_calls = 2_000u64;
+
+    // Native: plain runtime, no trampolines, no logging, no DMTCP startup.
+    let native_space = crac_addrspace::SharedSpace::new_no_aslr();
+    let native = crac_cudart::CudaRuntime::new(crac_cudart::RuntimeConfig::test(), native_space);
+    let fb = native.register_fat_binary();
+    let k = native.register_function(fb, "noop", None).unwrap();
+    for _ in 0..n_calls {
+        native
+            .launch_kernel(
+                k,
+                LaunchDims::linear(1, 32),
+                KernelCost::compute(100_000),
+                vec![],
+                crac_gpu::StreamId::DEFAULT,
+            )
+            .unwrap();
+    }
+    native.device_synchronize().unwrap();
+    let native_ns = native.device().clock().now();
+
+    // CRAC.
+    let mut reg = KernelRegistry::new();
+    reg.insert("noop", |_| Ok(()));
+    let mut cfg = CracConfig::test("overhead");
+    cfg.dmtcp_startup_ns = 0; // isolate the per-call overhead
+    let proc = CracProcess::launch(cfg, Arc::new(reg));
+    let fatbin = proc.register_fat_binary();
+    let kernel = proc.register_function(fatbin, "noop").unwrap();
+    for _ in 0..n_calls {
+        proc.launch_kernel(
+            kernel,
+            LaunchDims::linear(1, 32),
+            KernelCost::compute(100_000),
+            vec![],
+            CracStream::DEFAULT,
+        )
+        .unwrap();
+    }
+    proc.device_synchronize().unwrap();
+    let crac_ns = proc.now_ns();
+
+    let overhead = (crac_ns as f64 - native_ns as f64) / native_ns as f64 * 100.0;
+    assert!(
+        overhead < 5.0,
+        "CRAC overhead {overhead:.2}% (native {native_ns} ns, CRAC {crac_ns} ns)"
+    );
+    assert!(overhead >= 0.0);
+}

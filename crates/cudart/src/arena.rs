@@ -1,0 +1,361 @@
+//! Deterministic library-allocated memory arenas.
+//!
+//! The CUDA library allocates its own backing memory with `mmap` and carves
+//! user allocations out of those arenas (Section 3.2.1: *callee-allocated*
+//! memory).  The properties that matter to CRAC, and that this model
+//! reproduces:
+//!
+//! * The first allocation creates a large arena chunk with `mmap`; later
+//!   allocations usually reuse the chunk and make **no** `mmap` call, so
+//!   interposing on `mmap` cannot identify individual `cudaMalloc`s.
+//! * Active allocations are typically a small fraction of the arena, so
+//!   checkpointing the whole arena would inflate the image (Section 3.2.3).
+//! * Allocation is **deterministic**: replaying the same sequence of
+//!   allocate/free calls against a fresh arena yields the same addresses
+//!   (Section 3.2.4) — provided ASLR is disabled, which CRAC arranges.
+
+use std::collections::BTreeMap;
+
+use crac_addrspace::{page_align_up, Addr, Half, MapRequest, SharedSpace};
+
+use crate::error::{CudaError, CudaResult};
+
+/// Which allocation family an arena serves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ArenaKind {
+    /// `cudaMalloc`: device global memory.
+    Device,
+    /// `cudaMallocHost` / `cudaHostAlloc`: page-locked host memory.
+    PinnedHost,
+    /// `cudaMallocManaged`: unified (UVM) memory.
+    Managed,
+}
+
+impl ArenaKind {
+    /// Label used for the arena's mmap regions (visible in the maps view).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArenaKind::Device => "cuda-device-arena",
+            ArenaKind::PinnedHost => "cuda-pinned-arena",
+            ArenaKind::Managed => "cuda-managed-arena",
+        }
+    }
+
+    /// Which half of the split process the arena's chunks are mapped into.
+    ///
+    /// Device and managed arenas are library state in the lower half (their
+    /// contents must be drained/refilled by CRAC); pinned host buffers live
+    /// in the application's (upper) half, so DMTCP checkpoints them directly
+    /// and CRAC only needs to replay the registration (Section 3.2.4).
+    pub fn half(self) -> Half {
+        match self {
+            ArenaKind::Device | ArenaKind::Managed => Half::Lower,
+            ArenaKind::PinnedHost => Half::Upper,
+        }
+    }
+}
+
+/// Aggregate statistics about an arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of chunks the arena has mmapped.
+    pub chunks: usize,
+    /// Total bytes reserved by those chunks.
+    pub reserved_bytes: u64,
+    /// Bytes in currently active (not freed) allocations.
+    pub active_bytes: u64,
+    /// Number of currently active allocations.
+    pub active_allocs: usize,
+    /// Cumulative allocations served.
+    pub total_allocs: u64,
+    /// Cumulative frees served.
+    pub total_frees: u64,
+    /// Number of `mmap` calls the arena has made (≠ allocation count).
+    pub mmap_calls: u64,
+}
+
+/// CUDA-style allocation alignment (256 bytes).
+const ALLOC_ALIGN: u64 = 256;
+
+/// A deterministic bump-plus-freelist allocator over lower-half mmap chunks.
+pub struct Arena {
+    kind: ArenaKind,
+    space: SharedSpace,
+    chunk_size: u64,
+    chunks: Vec<(Addr, u64)>,
+    /// Bump cursor: index into `chunks` plus offset within that chunk.
+    bump_chunk: usize,
+    bump_offset: u64,
+    /// Size-class free lists (LIFO for determinism).
+    free_lists: BTreeMap<u64, Vec<Addr>>,
+    /// Active allocations: address → rounded size.
+    active: BTreeMap<Addr, u64>,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    /// Creates an empty arena.  No memory is mapped until the first
+    /// allocation.
+    pub fn new(kind: ArenaKind, space: SharedSpace, chunk_size: u64) -> Self {
+        Self {
+            kind,
+            space,
+            chunk_size: page_align_up(chunk_size.max(1)),
+            chunks: Vec::new(),
+            bump_chunk: 0,
+            bump_offset: 0,
+            free_lists: BTreeMap::new(),
+            active: BTreeMap::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// The arena's kind.
+    pub fn kind(&self) -> ArenaKind {
+        self.kind
+    }
+
+    fn round_size(size: u64) -> u64 {
+        size.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN
+    }
+
+    /// Allocates `size` bytes, returning a pointer aligned to 256 bytes.
+    pub fn alloc(&mut self, size: u64) -> CudaResult<Addr> {
+        if size == 0 {
+            return Err(CudaError::InvalidValue("zero-size allocation"));
+        }
+        let rounded = Self::round_size(size);
+        self.stats.total_allocs += 1;
+
+        // Reuse an exact-size-class free block first (deterministic LIFO).
+        if let Some(list) = self.free_lists.get_mut(&rounded) {
+            if let Some(addr) = list.pop() {
+                self.active.insert(addr, rounded);
+                self.stats.active_bytes += rounded;
+                return Ok(addr);
+            }
+        }
+
+        // Bump-allocate from the current chunk, or mmap a new chunk.
+        loop {
+            if let Some(&(chunk_start, chunk_len)) = self.chunks.get(self.bump_chunk) {
+                if self.bump_offset + rounded <= chunk_len {
+                    let addr = chunk_start + self.bump_offset;
+                    self.bump_offset += rounded;
+                    self.active.insert(addr, rounded);
+                    self.stats.active_bytes += rounded;
+                    return Ok(addr);
+                }
+                // Current chunk exhausted; move to the next (if any).
+                if self.bump_chunk + 1 < self.chunks.len() {
+                    self.bump_chunk += 1;
+                    self.bump_offset = 0;
+                    continue;
+                }
+            }
+            // Need a fresh chunk, large enough for this allocation.
+            let chunk_len = page_align_up(rounded.max(self.chunk_size));
+            let addr = self
+                .space
+                .mmap(MapRequest::anon(chunk_len, self.kind.half(), self.kind.label()))
+                .map_err(|_| CudaError::MemoryAllocation { requested: size })?;
+            self.chunks.push((addr, chunk_len));
+            self.bump_chunk = self.chunks.len() - 1;
+            self.bump_offset = 0;
+            self.stats.chunks = self.chunks.len();
+            self.stats.reserved_bytes += chunk_len;
+            self.stats.mmap_calls += 1;
+        }
+    }
+
+    /// Adopts an existing buffer as an active allocation without carving it
+    /// out of the arena's own chunks.
+    ///
+    /// This is how `cudaHostRegister`-style re-registration works at restart:
+    /// the pinned buffer's bytes are already present (restored with the upper
+    /// half), the fresh library merely needs to know about them again
+    /// (Section 3.2.4, the `cudaHostAlloc` case).
+    pub fn adopt(&mut self, addr: Addr, size: u64) -> CudaResult<()> {
+        if size == 0 {
+            return Err(CudaError::InvalidValue("zero-size adoption"));
+        }
+        let rounded = Self::round_size(size);
+        self.stats.total_allocs += 1;
+        self.stats.active_bytes += rounded;
+        self.active.insert(addr, rounded);
+        Ok(())
+    }
+
+    /// Frees an allocation, returning its rounded size.
+    pub fn free(&mut self, addr: Addr) -> CudaResult<u64> {
+        match self.active.remove(&addr) {
+            Some(size) => {
+                self.stats.total_frees += 1;
+                self.stats.active_bytes -= size;
+                self.free_lists.entry(size).or_default().push(addr);
+                Ok(size)
+            }
+            None => Err(CudaError::InvalidDevicePointer(addr.as_u64())),
+        }
+    }
+
+    /// Size of the active allocation starting at `addr`, if any.
+    pub fn active_size(&self, addr: Addr) -> Option<u64> {
+        self.active.get(&addr).copied()
+    }
+
+    /// Returns `true` if `addr` lies inside any active allocation.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.active
+            .range(..=addr)
+            .next_back()
+            .map(|(start, len)| addr < *start + *len)
+            .unwrap_or(false)
+    }
+
+    /// Active allocations in address order as `(addr, size)` pairs — exactly
+    /// the set whose *contents* CRAC drains at checkpoint time.
+    pub fn active_allocations(&self) -> Vec<(Addr, u64)> {
+        self.active.iter().map(|(a, s)| (*a, *s)).collect()
+    }
+
+    /// The arena's mmap chunks as `(addr, len)` pairs.
+    pub fn chunks(&self) -> &[(Addr, u64)] {
+        &self.chunks
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ArenaStats {
+        let mut s = self.stats;
+        s.active_allocs = self.active.len();
+        s.chunks = self.chunks.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(chunk: u64) -> Arena {
+        Arena::new(ArenaKind::Device, SharedSpace::new_no_aslr(), chunk)
+    }
+
+    #[test]
+    fn first_alloc_maps_a_large_chunk_later_allocs_do_not() {
+        let mut a = arena(1 << 20);
+        a.alloc(1024).unwrap();
+        assert_eq!(a.stats().mmap_calls, 1);
+        for _ in 0..100 {
+            a.alloc(1024).unwrap();
+        }
+        // 101 allocations, still one mmap: mmap interposition cannot see
+        // individual cudaMallocs.
+        assert_eq!(a.stats().mmap_calls, 1);
+        assert_eq!(a.stats().total_allocs, 101);
+    }
+
+    #[test]
+    fn oversized_alloc_gets_its_own_chunk() {
+        let mut a = arena(1 << 16);
+        a.alloc(1024).unwrap();
+        a.alloc(1 << 20).unwrap();
+        assert_eq!(a.stats().chunks, 2);
+    }
+
+    #[test]
+    fn alloc_free_realloc_reuses_address() {
+        let mut a = arena(1 << 20);
+        let p1 = a.alloc(4096).unwrap();
+        a.free(p1).unwrap();
+        let p2 = a.alloc(4096).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = arena(1 << 20);
+        let ptrs: Vec<_> = (1..50u64).map(|i| (a.alloc(i * 100).unwrap(), i * 100)).collect();
+        for (p, _) in &ptrs {
+            assert_eq!(p.as_u64() % 256, 0);
+        }
+        for (i, (p1, s1)) in ptrs.iter().enumerate() {
+            for (p2, _) in ptrs.iter().skip(i + 1) {
+                assert!(*p1 + Arena::round_size(*s1) <= *p2 || *p2 + 1 <= *p1);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_of_same_sequence_reproduces_addresses() {
+        // The determinism CRAC's restart relies on: two fresh arenas (fresh
+        // address spaces, ASLR off) given the same alloc/free sequence
+        // produce identical pointers.
+        let run = || {
+            let mut a = arena(1 << 18);
+            let mut ptrs = Vec::new();
+            let mut live = Vec::new();
+            for i in 1..60u64 {
+                let p = a.alloc((i % 7 + 1) * 300).unwrap();
+                ptrs.push(p.as_u64());
+                live.push(p);
+                if i % 3 == 0 {
+                    let victim = live.remove((i as usize / 3) % live.len());
+                    a.free(victim).unwrap();
+                }
+            }
+            ptrs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn active_allocations_exclude_freed_buffers() {
+        let mut a = arena(1 << 20);
+        let p1 = a.alloc(1000).unwrap();
+        let p2 = a.alloc(2000).unwrap();
+        let _p3 = a.alloc(3000).unwrap();
+        a.free(p2).unwrap();
+        let active = a.active_allocations();
+        assert_eq!(active.len(), 2);
+        assert!(active.iter().any(|(p, _)| *p == p1));
+        assert!(!active.iter().any(|(p, _)| *p == p2));
+        // Active bytes are a small fraction of the reserved arena.
+        assert!(a.stats().active_bytes < a.stats().reserved_bytes / 10);
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut a = arena(1 << 20);
+        let p = a.alloc(64).unwrap();
+        a.free(p).unwrap();
+        assert!(matches!(a.free(p), Err(CudaError::InvalidDevicePointer(_))));
+    }
+
+    #[test]
+    fn zero_size_alloc_is_invalid() {
+        let mut a = arena(1 << 20);
+        assert!(matches!(a.alloc(0), Err(CudaError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn pinned_host_arena_lives_in_the_upper_half() {
+        let space = SharedSpace::new_no_aslr();
+        let mut pinned = Arena::new(ArenaKind::PinnedHost, space.clone(), 1 << 20);
+        let mut device = Arena::new(ArenaKind::Device, space, 1 << 20);
+        let hp = pinned.alloc(4096).unwrap();
+        let dp = device.alloc(4096).unwrap();
+        assert!(hp.as_u64() >= 0x4000_0000_0000, "pinned ptr {hp:?}");
+        assert!(dp.as_u64() < 0x4000_0000_0000, "device ptr {dp:?}");
+    }
+
+    #[test]
+    fn contains_covers_interior_pointers() {
+        let mut a = arena(1 << 20);
+        let p = a.alloc(1000).unwrap();
+        assert!(a.contains(p));
+        assert!(a.contains(p + 999));
+        assert!(!a.contains(p + 1024 + 1));
+        assert_eq!(a.active_size(p), Some(1024));
+    }
+}

@@ -1,0 +1,94 @@
+//! CUDA-runtime error codes.
+
+use crac_addrspace::MemError;
+use crac_gpu::GpuError;
+
+/// Result alias used across the runtime API.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Error codes surfaced by the runtime API (a condensed `cudaError_t`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CudaError {
+    /// `cudaErrorInvalidValue`: a bad argument (null pointer, zero size, …).
+    InvalidValue(&'static str),
+    /// `cudaErrorMemoryAllocation`: the device (or pinned-host pool) is out
+    /// of memory.
+    MemoryAllocation { requested: u64 },
+    /// `cudaErrorInvalidDevicePointer`: a pointer was not produced by the
+    /// `cudaMalloc` family, or was already freed.
+    InvalidDevicePointer(u64),
+    /// `cudaErrorInvalidResourceHandle`: an unknown stream, event or function
+    /// handle was used — the error an application hits after restart if
+    /// handles are not virtualised and re-created.
+    InvalidResourceHandle(&'static str),
+    /// A launch referenced a kernel that has not been registered (or whose
+    /// fat binary was unregistered) — the failure CRAC's re-registration at
+    /// restart prevents.
+    KernelNotRegistered(String),
+    /// An error bubbled up from the device model.
+    Gpu(String),
+    /// An error bubbled up from the simulated address space.
+    Mem(String),
+}
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudaError::InvalidValue(w) => write!(f, "cudaErrorInvalidValue: {w}"),
+            CudaError::MemoryAllocation { requested } => {
+                write!(f, "cudaErrorMemoryAllocation: {requested} bytes")
+            }
+            CudaError::InvalidDevicePointer(p) => {
+                write!(f, "cudaErrorInvalidDevicePointer: 0x{p:x}")
+            }
+            CudaError::InvalidResourceHandle(w) => {
+                write!(f, "cudaErrorInvalidResourceHandle: {w}")
+            }
+            CudaError::KernelNotRegistered(name) => {
+                write!(f, "kernel not registered: {name}")
+            }
+            CudaError::Gpu(e) => write!(f, "device error: {e}"),
+            CudaError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<GpuError> for CudaError {
+    fn from(e: GpuError) -> Self {
+        match e {
+            GpuError::OutOfMemory { requested, .. } => CudaError::MemoryAllocation { requested },
+            other => CudaError::Gpu(other.to_string()),
+        }
+    }
+}
+
+impl From<MemError> for CudaError {
+    fn from(e: MemError) -> Self {
+        CudaError::Mem(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_out_of_memory_maps_to_allocation_error() {
+        let e: CudaError = GpuError::OutOfMemory {
+            requested: 128,
+            available: 64,
+        }
+        .into();
+        assert_eq!(e, CudaError::MemoryAllocation { requested: 128 });
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CudaError::KernelNotRegistered("bfs_kernel".into());
+        assert!(e.to_string().contains("bfs_kernel"));
+        let e = CudaError::InvalidDevicePointer(0xdead);
+        assert!(e.to_string().contains("0xdead"));
+    }
+}

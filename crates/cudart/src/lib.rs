@@ -1,0 +1,44 @@
+//! A CUDA-runtime facade over the simulated GPU: the "lower-half library".
+//!
+//! In the real system, the closed-source `libcudart`/`libcuda` pair owns the
+//! state CRAC cannot checkpoint: allocation arenas created with `mmap`,
+//! stream and event handles, registered fat binaries, and the UVM driver
+//! state.  This crate is the reproduction's equivalent of those libraries.
+//! It deliberately mirrors the properties the paper's design depends on:
+//!
+//! * **Library-allocated memory.**  The `cudaMalloc` family carves
+//!   allocations out of arenas that the *library* creates with `mmap` in the
+//!   lower half of the address space ([`arena`]).  A single `cudaMalloc` may
+//!   trigger zero or several `mmap` calls, and the active allocations are a
+//!   small fraction of the arena — the two facts that make naive
+//!   mmap-interposition and whole-arena checkpointing unattractive
+//!   (Sections 3.2.1 and 3.2.3).
+//! * **Deterministic allocation.**  Given the same sequence of
+//!   allocate/free calls, a fresh runtime hands out the same addresses.
+//!   CRAC's log-and-replay restart leans on exactly this determinism
+//!   (Section 3.2.4).
+//! * **Opaque, unrecoverable internal state.**  Stream/event handles and the
+//!   UVM residency map live inside [`CudaRuntime`] and the device object; a
+//!   checkpointer cannot serialise them, it can only destroy the runtime and
+//!   build a fresh one — which is precisely what CRAC does.
+//! * **Fat-binary registration.**  Kernels must be registered through
+//!   [`fatbin`] before they can be launched, and registration is lost when
+//!   the runtime is discarded, so restart must re-register (Section 3.2.5).
+//!
+//! The crate also provides a small cuBLAS work-alike ([`blas`]) used by the
+//! Table 3 experiment, and an `nvprof`-style call counter ([`profile`]) used
+//! to compute the paper's CUDA-calls-per-second metric.
+
+pub mod arena;
+pub mod blas;
+pub mod error;
+pub mod fatbin;
+pub mod profile;
+pub mod runtime;
+
+pub use arena::{Arena, ArenaKind, ArenaStats};
+pub use blas::Cublas;
+pub use error::{CudaError, CudaResult};
+pub use fatbin::{FatBinaryHandle, FatBinaryRegistry, FunctionHandle};
+pub use profile::{CallCounters, CallKind};
+pub use runtime::{CudaRuntime, DevicePointerKind, MemcpyKind, RuntimeConfig};

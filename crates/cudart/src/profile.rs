@@ -1,0 +1,135 @@
+//! `nvprof`-style CUDA API call counting.
+//!
+//! Section 4.3 of the paper defines the metrics used throughout the
+//! evaluation:
+//!
+//! * *Total CUDA calls* = 3 × `count(cudaLaunchKernel)` + `count(rest of the
+//!   runtime API)` — the factor of three accounts for the two undocumented
+//!   `cudaPushCallConfiguration` / `cudaPopCallConfiguration` calls the
+//!   compiler emits around every launch.
+//! * *CPS* (CUDA calls per second) = total CUDA calls / execution time.
+//!
+//! [`CallCounters`] implements exactly that bookkeeping (per-API counts plus
+//! the paper's formulas).
+
+use std::collections::BTreeMap;
+
+/// Categories of runtime API calls that matter to the paper's accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum CallKind {
+    /// `cudaLaunchKernel` (each one implies push/pop call-configuration too).
+    LaunchKernel,
+    /// Any other CUDA runtime API call crossing from upper to lower half.
+    OtherApi,
+}
+
+/// Per-API-name call counters for one run.
+#[derive(Clone, Debug, Default)]
+pub struct CallCounters {
+    by_name: BTreeMap<String, u64>,
+    launches: u64,
+    other: u64,
+}
+
+impl CallCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one API call.
+    pub fn record(&mut self, name: &str, kind: CallKind) {
+        *self.by_name.entry(name.to_string()).or_insert(0) += 1;
+        match kind {
+            CallKind::LaunchKernel => self.launches += 1,
+            CallKind::OtherApi => self.other += 1,
+        }
+    }
+
+    /// Number of `cudaLaunchKernel` calls.
+    pub fn launch_count(&self) -> u64 {
+        self.launches
+    }
+
+    /// Number of non-launch runtime API calls.
+    pub fn other_count(&self) -> u64 {
+        self.other
+    }
+
+    /// The paper's *Total CUDA calls* formula
+    /// (3 × launches + rest of the runtime API).
+    pub fn total_cuda_calls(&self) -> u64 {
+        3 * self.launches + self.other
+    }
+
+    /// The paper's CPS metric for an execution time in seconds.
+    pub fn calls_per_second(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_cuda_calls() as f64 / elapsed_s
+    }
+
+    /// Count for a specific API name.
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.by_name.get(name).copied().unwrap_or(0)
+    }
+
+    /// All `(name, count)` pairs in name order.
+    pub fn by_name(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another set of counters into this one (used when an application
+    /// runs across several runtime instances, e.g. after restart).
+    pub fn merge(&mut self, other: &CallCounters) {
+        for (name, count) in &other.by_name {
+            *self.by_name.entry(name.clone()).or_insert(0) += count;
+        }
+        self.launches += other.launches;
+        self.other += other.other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_applies_the_3x_launch_formula() {
+        let mut c = CallCounters::new();
+        for _ in 0..10 {
+            c.record("cudaLaunchKernel", CallKind::LaunchKernel);
+        }
+        for _ in 0..5 {
+            c.record("cudaMemcpy", CallKind::OtherApi);
+        }
+        assert_eq!(c.launch_count(), 10);
+        assert_eq!(c.other_count(), 5);
+        assert_eq!(c.total_cuda_calls(), 35);
+        assert_eq!(c.count_of("cudaMemcpy"), 5);
+        assert_eq!(c.count_of("cudaFree"), 0);
+    }
+
+    #[test]
+    fn cps_divides_by_elapsed_time() {
+        let mut c = CallCounters::new();
+        for _ in 0..100 {
+            c.record("cudaMemcpy", CallKind::OtherApi);
+        }
+        assert!((c.calls_per_second(2.0) - 50.0).abs() < 1e-9);
+        assert_eq!(c.calls_per_second(0.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CallCounters::new();
+        a.record("cudaMalloc", CallKind::OtherApi);
+        let mut b = CallCounters::new();
+        b.record("cudaMalloc", CallKind::OtherApi);
+        b.record("cudaLaunchKernel", CallKind::LaunchKernel);
+        a.merge(&b);
+        assert_eq!(a.count_of("cudaMalloc"), 2);
+        assert_eq!(a.total_cuda_calls(), 2 + 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! The checkpoint-image format.
+
+use std::collections::BTreeMap;
+
+use crac_addrspace::{Addr, Prot, PAGE_SIZE};
+
+/// One saved memory region: its placement, protection and (sparsely) its
+/// content.
+#[derive(Clone, Debug)]
+pub struct SavedRegion {
+    /// Start address the region must be restored at.
+    pub start: Addr,
+    /// Logical length in bytes (what the image *size* accounts for, since a
+    /// real DMTCP image stores every byte when gzip is off).
+    pub len: u64,
+    /// Protection bits to restore.
+    pub prot: Prot,
+    /// Label (pathname column) for diagnostics.
+    pub label: String,
+    /// Dirty pages actually written during the run: `(page index within the
+    /// region, page bytes)`.  Unlisted pages are zero.
+    pub pages: Vec<(u64, Vec<u8>)>,
+}
+
+impl SavedRegion {
+    /// Bytes of page content physically stored for this region.
+    pub fn stored_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+}
+
+/// A checkpoint image: an ordered set of saved regions plus named plugin
+/// payloads (CRAC stores its CUDA log there).
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointImage {
+    /// Saved regions in address order.
+    pub regions: Vec<SavedRegion>,
+    /// Plugin payloads keyed by plugin name.
+    pub payloads: BTreeMap<String, Vec<u8>>,
+    /// Virtual time at which the checkpoint was taken (nanoseconds).
+    pub taken_at_ns: u64,
+}
+
+impl CheckpointImage {
+    /// Logical (uncompressed) image size in bytes: what the paper reports as
+    /// "checkpoint size".
+    pub fn logical_size(&self) -> u64 {
+        let regions: u64 = self.regions.iter().map(|r| r.len).sum();
+        let payloads: u64 = self.payloads.values().map(|p| p.len() as u64).sum();
+        regions + payloads
+    }
+
+    /// Bytes physically stored (dirty pages + payloads); what actually has to
+    /// be written in this in-memory model.
+    pub fn stored_size(&self) -> u64 {
+        let regions: u64 = self.regions.iter().map(|r| r.stored_bytes()).sum();
+        let payloads: u64 = self.payloads.values().map(|p| p.len() as u64).sum();
+        regions + payloads
+    }
+
+    /// Number of saved regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Serialises the image to a byte buffer (simple length-prefixed binary
+    /// format; no external dependencies).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CRACIMG1");
+        out.extend_from_slice(&self.taken_at_ns.to_le_bytes());
+        out.extend_from_slice(&(self.regions.len() as u64).to_le_bytes());
+        for r in &self.regions {
+            out.extend_from_slice(&r.start.as_u64().to_le_bytes());
+            out.extend_from_slice(&r.len.to_le_bytes());
+            let prot_bits: u8 = (r.prot.readable() as u8)
+                | ((r.prot.writable() as u8) << 1)
+                | ((r.prot.executable() as u8) << 2);
+            out.push(prot_bits);
+            out.extend_from_slice(&(r.label.len() as u32).to_le_bytes());
+            out.extend_from_slice(r.label.as_bytes());
+            out.extend_from_slice(&(r.pages.len() as u64).to_le_bytes());
+            for (idx, bytes) in &r.pages {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+        out.extend_from_slice(&(self.payloads.len() as u64).to_le_bytes());
+        for (name, payload) in &self.payloads {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Parses an image previously produced by [`CheckpointImage::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        struct Cursor<'a> {
+            data: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+                let s = self.data.get(self.pos..self.pos + n)?;
+                self.pos += n;
+                Some(s)
+            }
+            fn u64(&mut self) -> Option<u64> {
+                Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+            }
+            fn u8(&mut self) -> Option<u8> {
+                Some(self.take(1)?[0])
+            }
+        }
+
+        let mut c = Cursor { data, pos: 0 };
+        if c.take(8)? != b"CRACIMG1" {
+            return None;
+        }
+        let taken_at_ns = c.u64()?;
+        let nregions = c.u64()? as usize;
+        let mut regions = Vec::with_capacity(nregions);
+        for _ in 0..nregions {
+            let start = Addr(c.u64()?);
+            let len = c.u64()?;
+            let prot_bits = c.u8()?;
+            let mut prot = Prot::NONE;
+            if prot_bits & 1 != 0 {
+                prot = prot.union(Prot::READ);
+            }
+            if prot_bits & 2 != 0 {
+                prot = prot.union(Prot::WRITE);
+            }
+            if prot_bits & 4 != 0 {
+                prot = prot.union(Prot::EXEC);
+            }
+            let label_len = c.u32()? as usize;
+            let label = String::from_utf8(c.take(label_len)?.to_vec()).ok()?;
+            let npages = c.u64()? as usize;
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                let idx = c.u64()?;
+                let bytes = c.take(PAGE_SIZE as usize)?.to_vec();
+                pages.push((idx, bytes));
+            }
+            regions.push(SavedRegion {
+                start,
+                len,
+                prot,
+                label,
+                pages,
+            });
+        }
+        let npayloads = c.u64()? as usize;
+        let mut payloads = BTreeMap::new();
+        for _ in 0..npayloads {
+            let name_len = c.u32()? as usize;
+            let name = String::from_utf8(c.take(name_len)?.to_vec()).ok()?;
+            let plen = c.u64()? as usize;
+            let payload = c.take(plen)?.to_vec();
+            payloads.insert(name, payload);
+        }
+        Some(Self {
+            regions,
+            payloads,
+            taken_at_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> CheckpointImage {
+        let mut img = CheckpointImage {
+            taken_at_ns: 123_456,
+            ..Default::default()
+        };
+        img.regions.push(SavedRegion {
+            start: Addr(0x4000_0000_0000),
+            len: 4 * PAGE_SIZE,
+            prot: Prot::RW,
+            label: "[heap]".to_string(),
+            pages: vec![(1, vec![0xaa; PAGE_SIZE as usize])],
+        });
+        img.regions.push(SavedRegion {
+            start: Addr(0x4000_1000_0000),
+            len: 2 * PAGE_SIZE,
+            prot: Prot::RX,
+            label: "app.text".to_string(),
+            pages: vec![],
+        });
+        img.payloads.insert("crac".to_string(), vec![1, 2, 3, 4]);
+        img
+    }
+
+    #[test]
+    fn sizes_distinguish_logical_and_stored() {
+        let img = sample_image();
+        assert_eq!(img.logical_size(), 6 * PAGE_SIZE + 4);
+        assert_eq!(img.stored_size(), PAGE_SIZE + 4);
+        assert_eq!(img.region_count(), 2);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        let img = sample_image();
+        let bytes = img.to_bytes();
+        let back = CheckpointImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.taken_at_ns, img.taken_at_ns);
+        assert_eq!(back.region_count(), 2);
+        assert_eq!(back.regions[0].start, img.regions[0].start);
+        assert_eq!(back.regions[0].prot, Prot::RW);
+        assert_eq!(back.regions[0].pages.len(), 1);
+        assert_eq!(back.regions[0].pages[0].1[0], 0xaa);
+        assert_eq!(back.regions[1].prot, Prot::RX);
+        assert_eq!(back.payloads["crac"], vec![1, 2, 3, 4]);
+        assert_eq!(back.logical_size(), img.logical_size());
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let img = sample_image();
+        let mut bytes = img.to_bytes();
+        bytes[0] = b'X';
+        assert!(CheckpointImage::from_bytes(&bytes).is_none());
+        // Truncation is also rejected.
+        let bytes = img.to_bytes();
+        assert!(CheckpointImage::from_bytes(&bytes[..bytes.len() - 3]).is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! The plugin interface: the event hooks DMTCP offers to extensions such as
+//! CRAC.
+
+use crac_addrspace::{Addr, MapsEntry, SharedSpace};
+
+/// Checkpoint-lifecycle events delivered to plugins, in order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PluginEvent {
+    /// The coordinator is about to write a checkpoint; plugins quiesce their
+    /// subsystem (CRAC drains the GPU and stages device state).
+    PreCheckpoint,
+    /// The checkpoint has been written and the original process continues.
+    Resume,
+    /// The process is being reconstructed from an image on a (possibly
+    /// different) host; plugins rebuild their subsystem (CRAC loads a fresh
+    /// lower half and replays its log).
+    Restart,
+}
+
+/// A plugin's answer to "should this maps entry be included in the image?".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionDecision {
+    /// Save the whole entry.
+    Save,
+    /// Skip the whole entry (e.g. it is lower-half memory).
+    Skip,
+    /// Save only these sub-ranges of the entry — needed because the merged
+    /// maps view can fuse upper-half and lower-half mappings into one entry
+    /// (Section 3.2.2).
+    SaveRanges(Vec<(Addr, u64)>),
+}
+
+/// A DMTCP plugin.
+///
+/// Default implementations make every hook a no-op so simple plugins only
+/// override what they need.
+pub trait DmtcpPlugin: Send + Sync {
+    /// Unique plugin name; also the key of its payload in the image.
+    fn name(&self) -> &str;
+
+    /// Called before the image is written.
+    fn pre_checkpoint(&self) {}
+
+    /// Serialised plugin state to embed in the image (CRAC's CUDA log and
+    /// drained buffers metadata).
+    fn payload(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Region filter consulted for every merged `/proc/PID/maps` entry.
+    fn region_decision(&self, _entry: &MapsEntry) -> RegionDecision {
+        RegionDecision::Save
+    }
+
+    /// Called after the image is written, when the original process resumes.
+    fn resume(&self) {}
+
+    /// Called on restart, after memory has been restored, with the plugin's
+    /// payload from the image and the restored address space.
+    fn restart(&self, _payload: &[u8], _space: &SharedSpace) {}
+}
+
+/// A trivial plugin used in tests and as documentation of the hook order.
+#[derive(Default)]
+pub struct RecordingPlugin {
+    /// Events observed, in order.
+    pub events: parking_lot::Mutex<Vec<PluginEvent>>,
+}
+
+impl DmtcpPlugin for RecordingPlugin {
+    fn name(&self) -> &str {
+        "recording"
+    }
+
+    fn pre_checkpoint(&self) {
+        self.events.lock().push(PluginEvent::PreCheckpoint);
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        b"recorded".to_vec()
+    }
+
+    fn resume(&self) {
+        self.events.lock().push(PluginEvent::Resume);
+    }
+
+    fn restart(&self, payload: &[u8], _space: &SharedSpace) {
+        assert_eq!(payload, b"recorded");
+        self.events.lock().push(PluginEvent::Restart);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Minimal;
+        impl DmtcpPlugin for Minimal {
+            fn name(&self) -> &str {
+                "minimal"
+            }
+        }
+        let p = Minimal;
+        assert_eq!(p.name(), "minimal");
+        assert!(p.payload().is_empty());
+        let entry = MapsEntry {
+            start: Addr(0x1000),
+            end: Addr(0x2000),
+            prot: crac_addrspace::Prot::RW,
+            label: "x".to_string(),
+            merged_regions: 1,
+        };
+        assert_eq!(p.region_decision(&entry), RegionDecision::Save);
+        p.pre_checkpoint();
+        p.resume();
+        p.restart(&[], &SharedSpace::new_no_aslr());
+    }
+
+    #[test]
+    fn recording_plugin_tracks_event_order() {
+        let p = RecordingPlugin::default();
+        p.pre_checkpoint();
+        p.resume();
+        p.restart(b"recorded", &SharedSpace::new_no_aslr());
+        assert_eq!(
+            *p.events.lock(),
+            vec![
+                PluginEvent::PreCheckpoint,
+                PluginEvent::Resume,
+                PluginEvent::Restart
+            ]
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The virtual clock that stands in for wall-clock time.
+//!
+//! All runtimes reported by the benchmark harness (Figures 2–6, Table 3) are
+//! read from this clock.  It is a monotonically increasing nanosecond
+//! counter; host-side work, API-call overhead, interposition overhead and
+//! waits at synchronisation points all advance it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Nanoseconds of virtual time.
+pub type Ns = u64;
+
+/// A shareable, monotonically increasing virtual clock.
+///
+/// The clock is advanced with relaxed atomics: callers only require
+/// monotonicity of the value they observe, not cross-thread ordering of
+/// unrelated memory, and the single counter is itself the only shared state.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero wrapped for sharing.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `delta` nanoseconds and returns the new time.
+    #[inline]
+    pub fn advance(&self, delta: Ns) -> Ns {
+        self.now_ns.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Advances the clock to at least `target` (no-op if already past it).
+    /// Returns the resulting time.
+    pub fn advance_to(&self, target: Ns) -> Ns {
+        let mut cur = self.now();
+        while cur < target {
+            match self.now_ns.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return target,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+
+    /// Resets the clock to zero (used between benchmark repetitions).
+    pub fn reset(&self) {
+        self.now_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Converts nanoseconds to floating-point milliseconds (the unit of Table 3).
+#[inline]
+pub fn ns_to_ms(ns: Ns) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+/// Converts nanoseconds to floating-point seconds (the unit of the runtime
+/// figures).
+#[inline]
+pub fn ns_to_s(ns: Ns) -> f64 {
+    ns as f64 / 1.0e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::default();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = VirtualClock::default();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 100);
+        assert_eq!(c.advance_to(200), 200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = VirtualClock::default();
+        c.advance(42);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((ns_to_ms(1_500_000) - 1.5).abs() < 1e-12);
+        assert!((ns_to_s(2_000_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_advances_are_not_lost() {
+        let c = VirtualClock::new_shared();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), 8000);
+    }
+}

@@ -1,0 +1,68 @@
+//! CUDA events: markers recorded into streams, used for timing and
+//! cross-stream synchronisation.
+
+use crate::clock::Ns;
+
+/// Identifier of an event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// State of one event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Event {
+    /// Virtual time at which the stream's preceding work completes; `None`
+    /// until the event has been recorded.
+    pub completes_at: Option<Ns>,
+}
+
+impl Event {
+    /// Returns `true` if the event has been recorded and its stream position
+    /// has been reached by `now`.
+    pub fn is_complete(&self, now: Ns) -> bool {
+        matches!(self.completes_at, Some(t) if t <= now)
+    }
+
+    /// Elapsed time in milliseconds between two recorded events, mirroring
+    /// `cudaEventElapsedTime`.  Returns `None` if either event has not been
+    /// recorded.
+    pub fn elapsed_ms(start: &Event, end: &Event) -> Option<f64> {
+        match (start.completes_at, end.completes_at) {
+            (Some(s), Some(e)) => Some((e.saturating_sub(s)) as f64 / 1.0e6),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrecorded_event_is_incomplete() {
+        let e = Event::default();
+        assert!(!e.is_complete(u64::MAX));
+        assert!(Event::elapsed_ms(&e, &e).is_none());
+    }
+
+    #[test]
+    fn completion_depends_on_now() {
+        let e = Event {
+            completes_at: Some(100),
+        };
+        assert!(!e.is_complete(99));
+        assert!(e.is_complete(100));
+    }
+
+    #[test]
+    fn elapsed_converts_to_milliseconds() {
+        let a = Event {
+            completes_at: Some(1_000_000),
+        };
+        let b = Event {
+            completes_at: Some(3_500_000),
+        };
+        assert_eq!(Event::elapsed_ms(&a, &b), Some(2.5));
+        // Saturates rather than going negative when events are reversed.
+        assert_eq!(Event::elapsed_ms(&b, &a), Some(0.0));
+    }
+}

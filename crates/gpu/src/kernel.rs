@@ -1,0 +1,201 @@
+//! Kernel descriptions and the execution context handed to kernel bodies.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crac_addrspace::{Addr, MemError, SharedSpace};
+
+use crate::stream::StreamId;
+
+/// Grid/block dimensions of a launch, flattened to totals — the model does
+/// not simulate individual thread blocks, only aggregate work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Total number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+}
+
+impl LaunchDims {
+    /// A 1-D launch with the given block and thread counts.
+    pub fn linear(grid_blocks: u32, block_threads: u32) -> Self {
+        Self {
+            grid_blocks,
+            block_threads,
+        }
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+}
+
+/// Cost model of one kernel execution, used by the device's timing model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCost {
+    /// Floating-point (or equivalent) operations performed.
+    pub flops: u64,
+    /// Bytes read from or written to device memory.
+    pub bytes: u64,
+}
+
+impl KernelCost {
+    /// A cost dominated by compute.
+    pub fn compute(flops: u64) -> Self {
+        Self { flops, bytes: 0 }
+    }
+
+    /// A cost with both compute and memory components.
+    pub fn new(flops: u64, bytes: u64) -> Self {
+        Self { flops, bytes }
+    }
+}
+
+/// The functional body of a kernel.
+///
+/// Real CUDA kernels are device code embedded in a fat binary; here the body
+/// is a Rust closure that receives a [`KernelCtx`] through which it reads and
+/// writes simulated memory.  Bodies must be `Send + Sync` so that workloads
+/// may launch from multiple host threads.
+pub type KernelBody = Arc<dyn Fn(&KernelCtx) -> Result<(), MemError> + Send + Sync>;
+
+/// Static description of a kernel launch (everything except the stream).
+#[derive(Clone)]
+pub struct KernelDesc {
+    /// Kernel name as it would appear in an `nvprof` trace.
+    pub name: String,
+    /// Launch dimensions.
+    pub dims: LaunchDims,
+    /// Cost model input for the timing model.
+    pub cost: KernelCost,
+    /// Pointer and scalar arguments, passed by value exactly as CUDA passes
+    /// a kernel's argument buffer.
+    pub args: Vec<u64>,
+    /// Functional body; `None` models a kernel whose side effects are not
+    /// needed by the experiment (timing-only launch).
+    pub body: Option<KernelBody>,
+}
+
+impl fmt::Debug for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelDesc")
+            .field("name", &self.name)
+            .field("dims", &self.dims)
+            .field("cost", &self.cost)
+            .field("args", &self.args)
+            .field("has_body", &self.body.is_some())
+            .finish()
+    }
+}
+
+impl KernelDesc {
+    /// Creates a timing-only kernel (no functional body).
+    pub fn timing_only(name: &str, dims: LaunchDims, cost: KernelCost) -> Self {
+        Self {
+            name: name.to_string(),
+            dims,
+            cost,
+            args: Vec::new(),
+            body: None,
+        }
+    }
+
+    /// Creates a kernel with a functional body.
+    pub fn with_body<F>(name: &str, dims: LaunchDims, cost: KernelCost, args: Vec<u64>, body: F) -> Self
+    where
+        F: Fn(&KernelCtx) -> Result<(), MemError> + Send + Sync + 'static,
+    {
+        Self {
+            name: name.to_string(),
+            dims,
+            cost,
+            args,
+            body: Some(Arc::new(body)),
+        }
+    }
+}
+
+/// Execution context available to a kernel body: its launch parameters plus
+/// access to the simulated memory it may touch.
+pub struct KernelCtx {
+    /// Launch dimensions.
+    pub dims: LaunchDims,
+    /// Argument buffer (device pointers and scalars).
+    pub args: Vec<u64>,
+    /// Stream the kernel was launched on.
+    pub stream: StreamId,
+    /// Access to the single (unified) address space.
+    pub space: SharedSpace,
+}
+
+impl KernelCtx {
+    /// Interprets argument `i` as a pointer.
+    pub fn arg_ptr(&self, i: usize) -> Addr {
+        Addr(self.args[i])
+    }
+
+    /// Interprets argument `i` as a scalar.
+    pub fn arg_u64(&self, i: usize) -> u64 {
+        self.args[i]
+    }
+
+    /// Reads `n` f32 values starting at the pointer in argument `i`.
+    pub fn read_f32_arg(&self, i: usize, n: usize) -> Result<Vec<f32>, MemError> {
+        let mut out = vec![0f32; n];
+        self.space.read_f32(self.arg_ptr(i), &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes f32 values starting at the pointer in argument `i`.
+    pub fn write_f32_arg(&self, i: usize, data: &[f32]) -> Result<(), MemError> {
+        self.space.write_f32(self.arg_ptr(i), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crac_addrspace::{Half, MapRequest, PAGE_SIZE};
+
+    #[test]
+    fn launch_dims_total_threads() {
+        let d = LaunchDims::linear(128, 256);
+        assert_eq!(d.total_threads(), 128 * 256);
+    }
+
+    #[test]
+    fn kernel_ctx_argument_accessors() {
+        let space = SharedSpace::new_no_aslr();
+        let buf = space
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "arg"))
+            .unwrap();
+        space.write_f32(buf, &[1.0, 2.0, 3.0]).unwrap();
+        let ctx = KernelCtx {
+            dims: LaunchDims::linear(1, 32),
+            args: vec![buf.as_u64(), 3],
+            stream: StreamId::DEFAULT,
+            space: space.clone(),
+        };
+        assert_eq!(ctx.arg_ptr(0), buf);
+        assert_eq!(ctx.arg_u64(1), 3);
+        assert_eq!(ctx.read_f32_arg(0, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        ctx.write_f32_arg(0, &[9.0]).unwrap();
+        assert_eq!(ctx.read_f32_arg(0, 1).unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn kernel_desc_debug_does_not_require_body_debug() {
+        let d = KernelDesc::with_body(
+            "axpy",
+            LaunchDims::linear(1, 1),
+            KernelCost::compute(10),
+            vec![],
+            |_ctx| Ok(()),
+        );
+        let s = format!("{d:?}");
+        assert!(s.contains("axpy"));
+        assert!(s.contains("has_body: true"));
+    }
+}

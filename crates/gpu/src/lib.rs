@@ -1,0 +1,46 @@
+//! A discrete-event NVIDIA-GPU device model.
+//!
+//! The CRAC paper evaluates checkpoint-restart on real Tesla V100 and Quadro
+//! K600 GPUs.  Those are not available to this reproduction, so this crate
+//! provides the closest synthetic equivalent that exercises the same code
+//! paths:
+//!
+//! * a [`DeviceProfile`] capturing the performance envelope of a GPU
+//!   (compute throughput, memory and PCIe bandwidth, kernel-launch overhead,
+//!   the maximum number of concurrent kernels — 128 on V100, the figure the
+//!   paper's stream experiments push against);
+//! * a [`GpuDevice`] that accepts kernel launches, async memory copies and
+//!   events on [`streams`](stream), executes them *functionally* (the data
+//!   really moves, kernels really compute, so checkpoint/restart correctness
+//!   is checkable) and *temporally* (a virtual clock advances according to a
+//!   resource model with per-stream FIFO ordering, separate H2D/D2H copy
+//!   engines and a concurrent-kernel limit — so speedups from streams and
+//!   overheads from interposition show up with the right shape);
+//! * a [`UvmManager`](uvm) implementing Unified Virtual Memory: managed
+//!   ranges whose pages migrate on demand between host and device, with
+//!   fault counting and migration costs;
+//! * [`GpuMetrics`](metrics) counters that the benchmark harness reads to
+//!   report CUDA-calls-per-second, bytes moved and fault counts.
+//!
+//! Everything is deterministic: the virtual clock and the scheduling model
+//! contain no wall-clock or RNG inputs, so two identical runs produce
+//! identical timings — a property several CRAC invariants (and tests) rely
+//! on.
+
+pub mod clock;
+pub mod device;
+pub mod event;
+pub mod kernel;
+pub mod metrics;
+pub mod profile;
+pub mod stream;
+pub mod uvm;
+
+pub use clock::{ns_to_ms, ns_to_s, Ns, VirtualClock};
+pub use device::{GpuDevice, GpuError};
+pub use event::{Event, EventId};
+pub use kernel::{KernelCost, KernelCtx, KernelDesc, LaunchDims};
+pub use metrics::GpuMetrics;
+pub use profile::DeviceProfile;
+pub use stream::StreamId;
+pub use uvm::{PageLocation, UvmManager, UvmStats};

@@ -1,0 +1,70 @@
+//! Counters mirroring what `nvprof` reports for a run.
+//!
+//! The paper computes CUDA-calls-per-second (CPS) from `nvprof` counts; the
+//! benchmark harness computes the same quantity from these counters and the
+//! virtual clock.
+
+/// Aggregate activity counters for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GpuMetrics {
+    /// Kernels launched (`cudaLaunchKernel` count).
+    pub kernels_launched: u64,
+    /// Host→device copies and total bytes.
+    pub h2d_copies: u64,
+    /// Total bytes copied host→device.
+    pub h2d_bytes: u64,
+    /// Device→host copies.
+    pub d2h_copies: u64,
+    /// Total bytes copied device→host.
+    pub d2h_bytes: u64,
+    /// Device→device copies.
+    pub d2d_copies: u64,
+    /// Total bytes copied device→device.
+    pub d2d_bytes: u64,
+    /// Memsets executed.
+    pub memsets: u64,
+    /// Streams created over the run.
+    pub streams_created: u64,
+    /// Events recorded over the run.
+    pub events_recorded: u64,
+    /// Synchronisation calls (device or stream).
+    pub synchronizations: u64,
+}
+
+impl GpuMetrics {
+    /// Total bytes moved across PCIe in either direction.
+    pub fn pcie_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Total operation count (the device-side part of "total CUDA calls").
+    pub fn total_ops(&self) -> u64 {
+        self.kernels_launched
+            + self.h2d_copies
+            + self.d2h_copies
+            + self.d2d_copies
+            + self.memsets
+            + self.streams_created
+            + self.events_recorded
+            + self.synchronizations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let m = GpuMetrics {
+            kernels_launched: 3,
+            h2d_copies: 2,
+            h2d_bytes: 100,
+            d2h_copies: 1,
+            d2h_bytes: 50,
+            ..Default::default()
+        };
+        assert_eq!(m.pcie_bytes(), 150);
+        assert_eq!(m.total_ops(), 6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Performance profiles of the GPUs used in the paper's evaluation.
+
+/// Static description of a GPU's performance envelope.
+///
+/// Numbers are order-of-magnitude correct for the named parts; the
+/// reproduction cares about ratios (streamed vs non-streamed, native vs CRAC
+/// vs proxy) rather than absolute values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name, e.g. `"Tesla V100"`.
+    pub name: String,
+    /// Device global memory in bytes.
+    pub memory_bytes: u64,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum number of kernels that may execute concurrently
+    /// (128 for compute capability 7.0 — the limit the paper's stream
+    /// experiments run up against).
+    pub max_concurrent_kernels: u32,
+    /// Single-precision throughput in FLOP per nanosecond.
+    pub flops_per_ns: f64,
+    /// Device-memory bandwidth in bytes per nanosecond.
+    pub mem_bw_bytes_per_ns: f64,
+    /// Host↔device (PCIe) bandwidth in bytes per nanosecond.
+    pub pcie_bw_bytes_per_ns: f64,
+    /// Fixed cost of launching one kernel, in nanoseconds.
+    pub kernel_launch_overhead_ns: u64,
+    /// Fixed cost of a CUDA runtime API call that does not launch work.
+    pub api_call_overhead_ns: u64,
+    /// Latency of servicing one UVM page-fault batch, in nanoseconds.
+    pub uvm_fault_latency_ns: u64,
+    /// Granularity of UVM migration, in bytes (64 KiB on Pascal+).
+    pub uvm_page_bytes: u64,
+}
+
+impl DeviceProfile {
+    /// NVIDIA Tesla V100 (SXM2 32 GB), the PSG-cluster GPU used for
+    /// Figures 2–5 and Table 3.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "Tesla V100".to_string(),
+            memory_bytes: 32 * (1 << 30),
+            num_sms: 80,
+            max_concurrent_kernels: 128,
+            flops_per_ns: 14_000.0, // 14 TFLOP/s single precision
+            mem_bw_bytes_per_ns: 900.0, // 900 GB/s HBM2
+            pcie_bw_bytes_per_ns: 12.0,       // ~12 GB/s effective PCIe gen3 x16
+            kernel_launch_overhead_ns: 5_000,
+            api_call_overhead_ns: 1_000,
+            uvm_fault_latency_ns: 30_000,
+            uvm_page_bytes: 64 * 1024,
+        }
+    }
+
+    /// NVIDIA Quadro K600 (1 GB), the local GPU used for the FSGSBASE
+    /// experiment of Figure 6.  Roughly 40× slower than the V100, which is
+    /// why the same Rodinia configurations run for ≥10 s there.
+    pub fn quadro_k600() -> Self {
+        Self {
+            name: "Quadro K600".to_string(),
+            memory_bytes: 1 << 30,
+            num_sms: 1,
+            max_concurrent_kernels: 16,
+            flops_per_ns: 336.0, // 0.336 TFLOP/s
+            mem_bw_bytes_per_ns: 29.0, // 29 GB/s
+            pcie_bw_bytes_per_ns: 6.0,
+            kernel_launch_overhead_ns: 8_000,
+            api_call_overhead_ns: 1_500,
+            uvm_fault_latency_ns: 45_000,
+            uvm_page_bytes: 64 * 1024,
+        }
+    }
+
+    /// A deliberately tiny profile for fast unit tests: small memory, low
+    /// bandwidth, large overheads so that timing effects are visible with
+    /// little simulated work.
+    pub fn test_profile() -> Self {
+        Self {
+            name: "TestGPU".to_string(),
+            memory_bytes: 64 * (1 << 20),
+            num_sms: 4,
+            max_concurrent_kernels: 4,
+            flops_per_ns: 1.0,
+            mem_bw_bytes_per_ns: 16.0,
+            pcie_bw_bytes_per_ns: 2.0,
+            kernel_launch_overhead_ns: 1_000,
+            api_call_overhead_ns: 100,
+            uvm_fault_latency_ns: 10_000,
+            uvm_page_bytes: 4 * 1024,
+        }
+    }
+
+    /// Time to transfer `bytes` over PCIe, in nanoseconds (at least 1 ns for
+    /// non-zero transfers so orderings stay strict).
+    pub fn pcie_transfer_ns(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        ((bytes as f64 / self.pcie_bw_bytes_per_ns).ceil() as u64).max(1)
+    }
+
+    /// Execution time of a kernel with the given cost, in nanoseconds,
+    /// excluding launch overhead: the maximum of its compute-bound and
+    /// memory-bound estimates (a simple roofline).
+    pub fn kernel_exec_ns(&self, flops: u64, bytes: u64) -> u64 {
+        let compute = flops as f64 / self.flops_per_ns;
+        let memory = bytes as f64 / self.mem_bw_bytes_per_ns;
+        (compute.max(memory).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_is_much_faster_than_k600() {
+        let v = DeviceProfile::tesla_v100();
+        let k = DeviceProfile::quadro_k600();
+        assert!(v.flops_per_ns / k.flops_per_ns > 20.0);
+        assert!(v.mem_bw_bytes_per_ns / k.mem_bw_bytes_per_ns > 20.0);
+        assert_eq!(v.max_concurrent_kernels, 128);
+    }
+
+    #[test]
+    fn pcie_transfer_scales_linearly() {
+        let p = DeviceProfile::tesla_v100();
+        let one_mb = p.pcie_transfer_ns(1 << 20);
+        let ten_mb = p.pcie_transfer_ns(10 << 20);
+        let ratio = ten_mb as f64 / one_mb as f64;
+        assert!((ratio - 10.0).abs() < 0.1, "ratio was {ratio}");
+        assert_eq!(p.pcie_transfer_ns(0), 0);
+    }
+
+    #[test]
+    fn kernel_time_follows_roofline() {
+        let p = DeviceProfile::test_profile();
+        // Compute-bound: 1000 flops, tiny memory traffic.
+        assert_eq!(p.kernel_exec_ns(1000, 16), 1000);
+        // Memory-bound: tiny flops, 16_000 bytes at 16 B/ns.
+        assert_eq!(p.kernel_exec_ns(10, 16_000), 1000);
+        // Never zero.
+        assert_eq!(p.kernel_exec_ns(0, 0), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! CUDA-stream bookkeeping and the device's scheduling resources.
+//!
+//! A stream is a FIFO queue of operations; operations in different streams
+//! may overlap subject to the device's resources: a limited pool of
+//! concurrent-kernel slots and one copy engine per direction.  This module
+//! holds only the *timing* state — functional execution happens eagerly in
+//! [`crate::device`].
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::cmp::Reverse;
+
+use crate::clock::Ns;
+
+/// Identifier of a CUDA stream.  Stream 0 is the default (legacy) stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream, on which non-streamed work is serialised.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// Timing state of one stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamState {
+    /// Virtual time at which all work enqueued so far will have completed.
+    pub ready_at: Ns,
+    /// Number of operations ever enqueued on this stream.
+    pub ops_enqueued: u64,
+}
+
+/// The device's shared scheduling resources.
+#[derive(Debug)]
+pub struct Scheduler {
+    streams: BTreeMap<StreamId, StreamState>,
+    next_stream: u32,
+    /// End times of kernels currently occupying concurrent-kernel slots.
+    running_kernels: BinaryHeap<Reverse<Ns>>,
+    max_concurrent_kernels: usize,
+    /// Time at which the host→device copy engine becomes free.
+    h2d_free_at: Ns,
+    /// Time at which the device→host copy engine becomes free.
+    d2h_free_at: Ns,
+    /// High-water mark of concurrently scheduled kernels.
+    pub peak_concurrent_kernels: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given concurrent-kernel limit and only
+    /// the default stream.
+    pub fn new(max_concurrent_kernels: usize) -> Self {
+        let mut streams = BTreeMap::new();
+        streams.insert(StreamId::DEFAULT, StreamState::default());
+        Self {
+            streams,
+            next_stream: 1,
+            running_kernels: BinaryHeap::new(),
+            max_concurrent_kernels: max_concurrent_kernels.max(1),
+            h2d_free_at: 0,
+            d2h_free_at: 0,
+            peak_concurrent_kernels: 0,
+        }
+    }
+
+    /// Creates a new stream and returns its id.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.insert(id, StreamState::default());
+        id
+    }
+
+    /// Destroys a stream.  Returns `false` if it did not exist or is the
+    /// default stream (which cannot be destroyed).
+    pub fn destroy_stream(&mut self, id: StreamId) -> bool {
+        if id == StreamId::DEFAULT {
+            return false;
+        }
+        self.streams.remove(&id).is_some()
+    }
+
+    /// Returns `true` if the stream exists.
+    pub fn stream_exists(&self, id: StreamId) -> bool {
+        self.streams.contains_key(&id)
+    }
+
+    /// Number of user-created streams currently alive (excludes the default
+    /// stream).
+    pub fn live_streams(&self) -> usize {
+        self.streams.len() - 1
+    }
+
+    /// Ids of all currently existing streams (including the default stream).
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        self.streams.keys().copied().collect()
+    }
+
+    /// Completion time of all work enqueued so far on `stream`.
+    pub fn stream_ready_at(&self, stream: StreamId) -> Option<Ns> {
+        self.streams.get(&stream).map(|s| s.ready_at)
+    }
+
+    /// Completion time of all work enqueued so far on the whole device.
+    pub fn device_ready_at(&self) -> Ns {
+        let streams = self
+            .streams
+            .values()
+            .map(|s| s.ready_at)
+            .max()
+            .unwrap_or(0);
+        let kernels = self
+            .running_kernels
+            .iter()
+            .map(|Reverse(t)| *t)
+            .max()
+            .unwrap_or(0);
+        streams.max(kernels)
+    }
+
+    /// Schedules a kernel of duration `exec_ns` (plus `launch_overhead_ns`)
+    /// on `stream`, issued by the host at `issue_at`.  Returns the kernel's
+    /// completion time.
+    pub fn schedule_kernel(
+        &mut self,
+        stream: StreamId,
+        issue_at: Ns,
+        launch_overhead_ns: Ns,
+        exec_ns: Ns,
+    ) -> Option<Ns> {
+        let state = self.streams.get_mut(&stream)?;
+        let mut start = state.ready_at.max(issue_at) + launch_overhead_ns;
+
+        // Drop slots of kernels that have already finished by `start`.
+        while let Some(Reverse(end)) = self.running_kernels.peek() {
+            if *end <= start {
+                self.running_kernels.pop();
+            } else {
+                break;
+            }
+        }
+        // If all concurrent-kernel slots are busy, wait for the earliest one.
+        if self.running_kernels.len() >= self.max_concurrent_kernels {
+            if let Some(Reverse(earliest_end)) = self.running_kernels.pop() {
+                start = start.max(earliest_end);
+            }
+        }
+
+        let end = start + exec_ns;
+        self.running_kernels.push(Reverse(end));
+        self.peak_concurrent_kernels = self
+            .peak_concurrent_kernels
+            .max(self.running_kernels.len());
+        state.ready_at = end;
+        state.ops_enqueued += 1;
+        Some(end)
+    }
+
+    /// Schedules a host→device copy taking `xfer_ns` on `stream`.
+    pub fn schedule_h2d(&mut self, stream: StreamId, issue_at: Ns, xfer_ns: Ns) -> Option<Ns> {
+        let state = self.streams.get_mut(&stream)?;
+        let start = state.ready_at.max(issue_at).max(self.h2d_free_at);
+        let end = start + xfer_ns;
+        self.h2d_free_at = end;
+        state.ready_at = end;
+        state.ops_enqueued += 1;
+        Some(end)
+    }
+
+    /// Schedules a device→host copy taking `xfer_ns` on `stream`.
+    pub fn schedule_d2h(&mut self, stream: StreamId, issue_at: Ns, xfer_ns: Ns) -> Option<Ns> {
+        let state = self.streams.get_mut(&stream)?;
+        let start = state.ready_at.max(issue_at).max(self.d2h_free_at);
+        let end = start + xfer_ns;
+        self.d2h_free_at = end;
+        state.ready_at = end;
+        state.ops_enqueued += 1;
+        Some(end)
+    }
+
+    /// Schedules an operation that only occupies the stream (e.g. a
+    /// device-to-device copy or memset).
+    pub fn schedule_stream_only(&mut self, stream: StreamId, issue_at: Ns, dur_ns: Ns) -> Option<Ns> {
+        let state = self.streams.get_mut(&stream)?;
+        let start = state.ready_at.max(issue_at);
+        let end = start + dur_ns;
+        state.ready_at = end;
+        state.ops_enqueued += 1;
+        Some(end)
+    }
+
+    /// Makes `stream` wait until `t` (used for event waits / stream
+    /// dependencies).
+    pub fn stall_stream_until(&mut self, stream: StreamId, t: Ns) {
+        if let Some(s) = self.streams.get_mut(&stream) {
+            s.ready_at = s.ready_at.max(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_destroy_streams() {
+        let mut s = Scheduler::new(4);
+        let a = s.create_stream();
+        let b = s.create_stream();
+        assert_ne!(a, b);
+        assert_eq!(s.live_streams(), 2);
+        assert!(s.destroy_stream(a));
+        assert!(!s.destroy_stream(a));
+        assert!(!s.destroy_stream(StreamId::DEFAULT));
+        assert_eq!(s.live_streams(), 1);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize() {
+        let mut s = Scheduler::new(16);
+        let end1 = s.schedule_kernel(StreamId::DEFAULT, 0, 0, 100).unwrap();
+        let end2 = s.schedule_kernel(StreamId::DEFAULT, 0, 0, 100).unwrap();
+        assert_eq!(end1, 100);
+        assert_eq!(end2, 200);
+    }
+
+    #[test]
+    fn different_stream_kernels_overlap() {
+        let mut s = Scheduler::new(16);
+        let a = s.create_stream();
+        let b = s.create_stream();
+        let end_a = s.schedule_kernel(a, 0, 0, 100).unwrap();
+        let end_b = s.schedule_kernel(b, 0, 0, 100).unwrap();
+        assert_eq!(end_a, 100);
+        assert_eq!(end_b, 100);
+        assert_eq!(s.device_ready_at(), 100);
+        assert_eq!(s.peak_concurrent_kernels, 2);
+    }
+
+    #[test]
+    fn concurrent_kernel_limit_serialises_excess() {
+        let mut s = Scheduler::new(2);
+        let streams: Vec<_> = (0..4).map(|_| s.create_stream()).collect();
+        let ends: Vec<_> = streams
+            .iter()
+            .map(|&st| s.schedule_kernel(st, 0, 0, 100).unwrap())
+            .collect();
+        // Two run immediately, the other two wait for a slot.
+        assert_eq!(ends, vec![100, 100, 200, 200]);
+    }
+
+    #[test]
+    fn copy_engines_serialize_per_direction_but_not_across() {
+        let mut s = Scheduler::new(16);
+        let a = s.create_stream();
+        let b = s.create_stream();
+        let h2d_a = s.schedule_h2d(a, 0, 50).unwrap();
+        let h2d_b = s.schedule_h2d(b, 0, 50).unwrap();
+        // Same engine: serialized.
+        assert_eq!(h2d_a, 50);
+        assert_eq!(h2d_b, 100);
+        // Opposite direction uses the other engine and overlaps.
+        let c = s.create_stream();
+        let d2h_c = s.schedule_d2h(c, 0, 50).unwrap();
+        assert_eq!(d2h_c, 50);
+    }
+
+    #[test]
+    fn copy_and_kernel_overlap_across_streams() {
+        // The simpleStreams pattern: kernel on stream A overlaps the copy on
+        // stream B, so total time is less than the sum.
+        let mut s = Scheduler::new(16);
+        let a = s.create_stream();
+        let b = s.create_stream();
+        s.schedule_kernel(a, 0, 0, 1_000).unwrap();
+        let copy_end = s.schedule_d2h(b, 0, 800).unwrap();
+        assert_eq!(copy_end, 800);
+        assert_eq!(s.device_ready_at(), 1_000);
+    }
+
+    #[test]
+    fn unknown_stream_returns_none() {
+        let mut s = Scheduler::new(4);
+        assert!(s.schedule_kernel(StreamId(99), 0, 0, 10).is_none());
+        assert!(s.schedule_h2d(StreamId(99), 0, 10).is_none());
+    }
+
+    #[test]
+    fn stall_stream_until_delays_later_work() {
+        let mut s = Scheduler::new(4);
+        let a = s.create_stream();
+        s.stall_stream_until(a, 500);
+        let end = s.schedule_kernel(a, 0, 0, 10).unwrap();
+        assert_eq!(end, 510);
+    }
+}

@@ -1,0 +1,34 @@
+//! Proxy-process checkpointing baselines (CRCUDA / CRUM style).
+//!
+//! Before CRAC, the way to checkpoint CUDA 4.0+ applications was to keep the
+//! un-checkpointable CUDA library in a *separate proxy process*: the
+//! application never talks to the GPU directly, every CUDA call is forwarded
+//! over IPC, and argument/result buffers are copied between the two
+//! processes (CRCUDA, CRUM).  The paper's Table 3 quantifies what that
+//! forwarding costs, and Section 2.3 describes why CRUM's shadow-page
+//! approach to UVM is both slow and incomplete.
+//!
+//! This crate is that baseline:
+//!
+//! * [`ipc`] — the Cross-Memory-Attach (CMA) cost model: a fixed per-call
+//!   marshalling cost plus a per-byte copy cost, charged to the same virtual
+//!   clock the rest of the simulation uses;
+//! * [`session`] — [`ProxySession`]: a CUDA session in which every API call
+//!   is forwarded through the IPC channel to a runtime owned by the proxy,
+//!   and user buffers travel through CMA;
+//! * [`shadow`] — CRUM-style shadow-page UVM: managed buffers are mirrored
+//!   in the application process and synchronised around every kernel launch,
+//!   with the read-modify-write-per-launch restriction the paper calls out;
+//! * [`crum`] — a CRUM-style checkpointer over a proxy session: device state
+//!   is drained *through the IPC channel*, so checkpoint time scales with the
+//!   IPC bandwidth rather than the PCIe bandwidth.
+
+pub mod crum;
+pub mod ipc;
+pub mod session;
+pub mod shadow;
+
+pub use crum::CrumCheckpointer;
+pub use ipc::{CmaChannel, IpcStats};
+pub use session::ProxySession;
+pub use shadow::{ShadowError, ShadowUvm};

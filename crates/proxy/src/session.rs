@@ -1,0 +1,237 @@
+//! A proxy-process CUDA session: every call is forwarded over IPC.
+//!
+//! The proxy process owns the real CUDA library (and therefore the GPU);
+//! the application holds only opaque handles.  Host buffers live in the
+//! application, so every `cudaMemcpy` of host data and every kernel argument
+//! buffer must be shipped across the process boundary — the overhead CRAC's
+//! single-address-space design eliminates.
+
+use std::sync::Arc;
+
+use crac_addrspace::{Addr, SharedSpace};
+use crac_cudart::{CudaError, CudaResult, CudaRuntime, FunctionHandle, MemcpyKind, RuntimeConfig};
+use crac_gpu::{KernelCost, LaunchDims, StreamId};
+
+use crate::ipc::{CmaChannel, IpcStats};
+
+/// Size of the marshalled argument block shipped with every forwarded call
+/// (call id, handles, scalar arguments).
+const CALL_HEADER_BYTES: u64 = 256;
+
+/// A CUDA application talking to the GPU through a proxy process.
+pub struct ProxySession {
+    /// The proxy process's CUDA runtime (owns the GPU).
+    runtime: Arc<CudaRuntime>,
+    /// The IPC channel between application and proxy.
+    cma: CmaChannel,
+    /// The (shared, simulated) address space — used to model the fact that
+    /// the application's host buffers must be shipped by value.
+    space: SharedSpace,
+}
+
+impl ProxySession {
+    /// Launches an application under the proxy-based system.
+    pub fn launch(config: RuntimeConfig) -> Self {
+        let space = SharedSpace::new_no_aslr();
+        let runtime = CudaRuntime::new(config, space.clone());
+        let cma = CmaChannel::new(Arc::clone(runtime.device().clock()));
+        Self {
+            runtime,
+            cma,
+            space,
+        }
+    }
+
+    /// The proxy-side runtime (for metrics and assertions).
+    pub fn runtime(&self) -> &Arc<CudaRuntime> {
+        &self.runtime
+    }
+
+    /// The simulated address space.
+    pub fn space(&self) -> &SharedSpace {
+        &self.space
+    }
+
+    /// Cumulative IPC statistics.
+    pub fn ipc_stats(&self) -> IpcStats {
+        self.cma.stats()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.runtime.device().clock().now()
+    }
+
+    /// `cudaMalloc`, forwarded.
+    pub fn malloc(&self, bytes: u64) -> CudaResult<Addr> {
+        self.cma
+            .forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || self.runtime.malloc(bytes))
+    }
+
+    /// `cudaMallocManaged`, forwarded.  (CRCUDA rejects this entirely; CRUM
+    /// supports it through shadow pages — see [`crate::shadow`].)
+    pub fn malloc_managed(&self, bytes: u64) -> CudaResult<Addr> {
+        self.cma.forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || {
+            self.runtime.malloc_managed(bytes)
+        })
+    }
+
+    /// `cudaFree`, forwarded.
+    pub fn free(&self, ptr: Addr) -> CudaResult<()> {
+        self.cma
+            .forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || self.runtime.free(ptr))
+    }
+
+    /// `cudaMemcpy`, forwarded.  Host-sourced data is shipped to the proxy by
+    /// value; device-to-host results are shipped back.
+    pub fn memcpy(&self, dst: Addr, src: Addr, bytes: u64, kind: MemcpyKind) -> CudaResult<()> {
+        let (to_proxy, from_proxy) = match kind {
+            MemcpyKind::HostToDevice | MemcpyKind::HostToHost => (bytes, 0),
+            MemcpyKind::DeviceToHost => (0, bytes),
+            MemcpyKind::DeviceToDevice | MemcpyKind::Default => (0, 0),
+        };
+        self.cma
+            .forward(CALL_HEADER_BYTES + to_proxy, CALL_HEADER_BYTES + from_proxy, || {
+                self.runtime.memcpy(dst, src, bytes, kind)
+            })
+    }
+
+    /// `cudaStreamCreate`, forwarded.
+    pub fn stream_create(&self) -> CudaResult<StreamId> {
+        self.cma
+            .forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || self.runtime.stream_create())
+    }
+
+    /// `cudaStreamSynchronize`, forwarded.
+    pub fn stream_synchronize(&self, s: StreamId) -> CudaResult<()> {
+        self.cma.forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || {
+            self.runtime.stream_synchronize(s)
+        })
+    }
+
+    /// `__cudaRegisterFatBinary` + `__cudaRegisterFunction`, forwarded (the
+    /// whole fat binary image must be shipped to the proxy).
+    pub fn register_kernel(
+        &self,
+        name: &str,
+        body: Option<crac_gpu::kernel::KernelBody>,
+        fatbin_bytes: u64,
+    ) -> CudaResult<FunctionHandle> {
+        self.cma
+            .forward(CALL_HEADER_BYTES + fatbin_bytes, CALL_HEADER_BYTES, || {
+                let fb = self.runtime.register_fat_binary();
+                self.runtime.register_function(fb, name, body)
+            })
+    }
+
+    /// `cudaLaunchKernel`, forwarded.  `arg_buffer_bytes` is how much user
+    /// data must be shipped with the launch (zero when all arguments are
+    /// device pointers; large when the application passes host buffers by
+    /// value, as the Table 3 harness does).
+    pub fn launch_kernel(
+        &self,
+        function: FunctionHandle,
+        dims: LaunchDims,
+        cost: KernelCost,
+        args: Vec<u64>,
+        stream: StreamId,
+        arg_buffer_bytes: u64,
+        result_bytes: u64,
+    ) -> CudaResult<()> {
+        self.cma.forward(
+            CALL_HEADER_BYTES + arg_buffer_bytes,
+            CALL_HEADER_BYTES + result_bytes,
+            || self.runtime.launch_kernel(function, dims, cost, args, stream),
+        )
+    }
+
+    /// `cudaDeviceSynchronize`, forwarded.
+    pub fn device_synchronize(&self) -> CudaResult<()> {
+        self.cma.forward(CALL_HEADER_BYTES, CALL_HEADER_BYTES, || {
+            self.runtime.device_synchronize()
+        })
+    }
+
+    /// Host access to managed memory under a proxy-based system.  The
+    /// application process does not own the UVM mapping, so this is where
+    /// CRUM must interpose with shadow pages; plain proxy systems (CRCUDA)
+    /// simply cannot support it.
+    pub fn host_touch_managed_unsupported(&self) -> CudaError {
+        CudaError::InvalidValue("UVM host access is not supported by a plain proxy (CRCUDA)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> ProxySession {
+        ProxySession::launch(RuntimeConfig::test())
+    }
+
+    #[test]
+    fn forwarded_calls_work_but_cost_ipc_time() {
+        let s = session();
+        let dev = s.malloc(4096).unwrap();
+        let host = s.space().mmap(crac_addrspace::MapRequest::anon(
+            4096,
+            crac_addrspace::Half::Upper,
+            "app-buf",
+        )).unwrap();
+        s.space().write_bytes(host, &[3u8; 1024]).unwrap();
+        let before = s.now_ns();
+        s.memcpy(dev, host, 1024, MemcpyKind::HostToDevice).unwrap();
+        let elapsed = s.now_ns() - before;
+        // Per-call cost alone is 30 µs; a direct call would be ~1 µs.
+        assert!(elapsed >= CmaChannel::DEFAULT_PER_CALL_NS);
+        let mut out = [0u8; 16];
+        s.space().read_bytes(dev, &mut out).unwrap();
+        assert_eq!(out, [3u8; 16]);
+        assert_eq!(s.ipc_stats().calls, 2);
+        s.free(dev).unwrap();
+    }
+
+    #[test]
+    fn launch_ships_argument_buffers_by_value() {
+        let s = session();
+        let k = s.register_kernel("noop", None, 1 << 20).unwrap();
+        let before = s.now_ns();
+        s.launch_kernel(
+            k,
+            LaunchDims::linear(1, 32),
+            KernelCost::compute(10),
+            vec![],
+            StreamId::DEFAULT,
+            10 << 20,
+            0,
+        )
+        .unwrap();
+        let elapsed = s.now_ns() - before;
+        // 10 MB at 6 B/ns ≈ 1.7 ms of pure IPC before the kernel even runs.
+        assert!(elapsed >= 1_500_000, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn device_to_host_results_are_shipped_back() {
+        let s = session();
+        let dev = s.malloc(1 << 20).unwrap();
+        let host = s
+            .space()
+            .mmap(crac_addrspace::MapRequest::anon(
+                1 << 20,
+                crac_addrspace::Half::Upper,
+                "out",
+            ))
+            .unwrap();
+        s.memcpy(host, dev, 1 << 20, MemcpyKind::DeviceToHost).unwrap();
+        let stats = s.ipc_stats();
+        assert!(stats.bytes_from_proxy >= 1 << 20);
+    }
+
+    #[test]
+    fn plain_proxy_reports_uvm_host_access_unsupported() {
+        let s = session();
+        let err = s.host_touch_managed_unsupported();
+        assert!(matches!(err, CudaError::InvalidValue(_)));
+    }
+}

@@ -1,0 +1,201 @@
+//! CRUM-style shadow-page UVM support, with its cost and its restriction.
+//!
+//! CRUM keeps a *shadow copy* of every managed buffer in the application
+//! process.  Around every kernel launch it must synchronise: ship the pages
+//! the host modified to the proxy (and on to the device), run the kernel,
+//! and ship back the pages the kernel modified.  Two consequences the paper
+//! highlights:
+//!
+//! * every launch pays a synchronisation cost proportional to the managed
+//!   working set (plus `mprotect`/`userfaultfd` bookkeeping), which is where
+//!   CRUM's 6–12 % overhead comes from; and
+//! * the scheme only works if the application follows a strict
+//!   read-modify-write cycle between launches — concurrent writers from two
+//!   streams to the same page, or host writes racing a running kernel, are
+//!   unsupported.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crac_addrspace::Addr;
+
+/// Errors produced by the shadow-page scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShadowError {
+    /// Two different streams wrote the same managed page between two
+    /// synchronisation points — CRUM's scheme cannot order those writes.
+    ConcurrentWriters { page: u64 },
+    /// The pointer is not a registered managed buffer.
+    NotManaged(u64),
+}
+
+impl std::fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShadowError::ConcurrentWriters { page } => {
+                write!(f, "concurrent stream writers to managed page {page}")
+            }
+            ShadowError::NotManaged(p) => write!(f, "0x{p:x} is not a managed buffer"),
+        }
+    }
+}
+
+impl std::error::Error for ShadowError {}
+
+/// Book-keeping for one epoch (the interval between two kernel launches).
+#[derive(Debug, Default)]
+struct Epoch {
+    /// Pages dirtied by the host since the last sync.
+    host_dirty: BTreeSet<u64>,
+    /// Pages dirtied by kernels, with the stream that wrote them.
+    device_dirty: BTreeMap<u64, u32>,
+}
+
+/// The shadow-page UVM manager of a CRUM-like system.
+#[derive(Debug, Default)]
+pub struct ShadowUvm {
+    /// Managed ranges: start → length.
+    ranges: BTreeMap<u64, u64>,
+    page_bytes: u64,
+    epoch: Epoch,
+    /// Cumulative pages synchronised in either direction.
+    pub pages_synced: u64,
+    /// Cumulative mprotect/userfaultfd operations performed.
+    pub protection_flips: u64,
+}
+
+impl ShadowUvm {
+    /// Creates a manager with the given shadow-page granularity.
+    pub fn new(page_bytes: u64) -> Self {
+        Self {
+            page_bytes: page_bytes.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Registers a managed buffer.
+    pub fn register(&mut self, ptr: Addr, len: u64) {
+        self.ranges.insert(ptr.as_u64(), len);
+    }
+
+    /// Total managed bytes.
+    pub fn managed_bytes(&self) -> u64 {
+        self.ranges.values().sum()
+    }
+
+    fn page_of(&self, addr: u64) -> u64 {
+        addr / self.page_bytes
+    }
+
+    fn check_managed(&self, ptr: Addr) -> Result<(), ShadowError> {
+        let ok = self
+            .ranges
+            .range(..=ptr.as_u64())
+            .next_back()
+            .map(|(start, len)| ptr.as_u64() < start + len)
+            .unwrap_or(false);
+        if ok {
+            Ok(())
+        } else {
+            Err(ShadowError::NotManaged(ptr.as_u64()))
+        }
+    }
+
+    /// Records a host write to managed memory (detected via mprotect traps in
+    /// the real CRUM; each trap is a protection flip).
+    pub fn host_write(&mut self, ptr: Addr, len: u64) -> Result<(), ShadowError> {
+        self.check_managed(ptr)?;
+        let first = self.page_of(ptr.as_u64());
+        let last = self.page_of(ptr.as_u64() + len.max(1) - 1);
+        for p in first..=last {
+            if self.epoch.host_dirty.insert(p) {
+                self.protection_flips += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a kernel (device-side) write to managed memory by a stream.
+    pub fn device_write(&mut self, ptr: Addr, len: u64, stream: u32) -> Result<(), ShadowError> {
+        self.check_managed(ptr)?;
+        let first = self.page_of(ptr.as_u64());
+        let last = self.page_of(ptr.as_u64() + len.max(1) - 1);
+        for p in first..=last {
+            match self.epoch.device_dirty.get(&p) {
+                Some(&other) if other != stream => {
+                    return Err(ShadowError::ConcurrentWriters { page: p });
+                }
+                _ => {
+                    self.epoch.device_dirty.insert(p, stream);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronises shadow pages around a kernel launch and returns the
+    /// number of bytes that must cross the IPC channel (host-dirty pages to
+    /// the proxy plus device-dirty pages back).
+    pub fn sync_for_launch(&mut self) -> u64 {
+        let pages = (self.epoch.host_dirty.len() + self.epoch.device_dirty.len()) as u64;
+        self.pages_synced += pages;
+        // Re-protecting every synced page costs another flip each.
+        self.protection_flips += pages;
+        self.epoch = Epoch::default();
+        pages * self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: u64 = 4096;
+
+    fn shadow_with_range(len: u64) -> (ShadowUvm, Addr) {
+        let mut s = ShadowUvm::new(PAGE);
+        let base = Addr(PAGE * 100);
+        s.register(base, len);
+        (s, base)
+    }
+
+    #[test]
+    fn read_modify_write_cycle_is_supported() {
+        let (mut s, base) = shadow_with_range(16 * PAGE);
+        s.host_write(base, 2 * PAGE).unwrap();
+        let shipped = s.sync_for_launch();
+        assert_eq!(shipped, 2 * PAGE);
+        s.device_write(base, 2 * PAGE, 1).unwrap();
+        let back = s.sync_for_launch();
+        assert_eq!(back, 2 * PAGE);
+        assert_eq!(s.pages_synced, 4);
+        assert!(s.protection_flips >= 4);
+    }
+
+    #[test]
+    fn concurrent_stream_writers_to_one_page_fail() {
+        let (mut s, base) = shadow_with_range(4 * PAGE);
+        s.device_write(base, PAGE, 1).unwrap();
+        // Same stream again: fine.
+        s.device_write(base, PAGE, 1).unwrap();
+        // A different stream touching the same page: unsupported.
+        let err = s.device_write(base, PAGE, 2).unwrap_err();
+        assert!(matches!(err, ShadowError::ConcurrentWriters { .. }));
+    }
+
+    #[test]
+    fn sync_cost_scales_with_dirty_footprint_not_allocation_size() {
+        let (mut s, base) = shadow_with_range(1 << 20);
+        s.host_write(base, 3 * PAGE).unwrap();
+        assert_eq!(s.sync_for_launch(), 3 * PAGE);
+        // Nothing dirtied since: the next launch ships nothing.
+        assert_eq!(s.sync_for_launch(), 0);
+    }
+
+    #[test]
+    fn unmanaged_pointers_are_rejected() {
+        let (mut s, base) = shadow_with_range(PAGE);
+        assert!(s.host_write(base + 10 * PAGE, 8).is_err());
+        assert!(s.device_write(Addr(1), 8, 0).is_err());
+        assert_eq!(s.managed_bytes(), PAGE);
+    }
+}

@@ -1,0 +1,72 @@
+//! The fs-register switch: the per-crossing cost of calling into the lower
+//! half.
+//!
+//! Thread-local storage on x86-64 Linux is addressed through the `fs`
+//! segment register.  The upper and lower halves have separate libc/TLS, so
+//! every upper→lower call must swap `fs` on entry and swap it back on
+//! return.  Stock kernels only allow that via the `arch_prctl` system call;
+//! the FSGSBASE patch (merged after the paper was written) exposes the
+//! `WRFSBASE` instruction and makes the swap nearly free.  Figure 6 measures
+//! how much that matters to CRAC's overhead — the answer being "very
+//! little", because CRAC's per-call overhead is already small.
+
+/// How the fs register is switched on an upper→lower crossing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsRegisterMode {
+    /// Unpatched kernel: each switch is an `arch_prctl(SET_FS)` system call.
+    #[default]
+    KernelCall,
+    /// FSGSBASE-patched kernel: each switch is a single unprivileged
+    /// instruction.
+    FsGsBase,
+}
+
+impl FsRegisterMode {
+    /// Cost of one fs-register switch, in nanoseconds.
+    pub fn switch_ns(self) -> u64 {
+        match self {
+            // An `arch_prctl(ARCH_SET_FS)` round-trip on a current x86-64
+            // server: roughly 150 ns.
+            FsRegisterMode::KernelCall => 150,
+            // WRFSBASE: a handful of cycles; keep a small non-zero cost.
+            FsRegisterMode::FsGsBase => 5,
+        }
+    }
+
+    /// Cost of one complete upper→lower→upper crossing (two switches: one on
+    /// entry, one on return).
+    pub fn crossing_ns(self) -> u64 {
+        2 * self.switch_ns()
+    }
+
+    /// Human-readable name used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsRegisterMode::KernelCall => "unpatched",
+            FsRegisterMode::FsGsBase => "FSGSBASE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsgsbase_is_much_cheaper_than_a_kernel_call() {
+        assert!(FsRegisterMode::KernelCall.switch_ns() > 10 * FsRegisterMode::FsGsBase.switch_ns());
+    }
+
+    #[test]
+    fn crossing_is_two_switches() {
+        for mode in [FsRegisterMode::KernelCall, FsRegisterMode::FsGsBase] {
+            assert_eq!(mode.crossing_ns(), 2 * mode.switch_ns());
+        }
+    }
+
+    #[test]
+    fn default_is_the_unpatched_kernel() {
+        assert_eq!(FsRegisterMode::default(), FsRegisterMode::KernelCall);
+        assert_eq!(FsRegisterMode::default().label(), "unpatched");
+    }
+}

@@ -1,0 +1,124 @@
+//! A simple upper-half host heap.
+//!
+//! Applications allocate ordinary (non-pinned) host memory with `malloc`;
+//! those buffers live in the upper half and are checkpointed by DMTCP like
+//! any other application memory.  Workloads in this reproduction use
+//! [`HostHeap`] for that purpose.
+
+use crac_addrspace::{page_align_up, Addr, Half, MapRequest, MemError, SharedSpace};
+use parking_lot::Mutex;
+
+/// A bump allocator over upper-half mappings labelled `[heap]`.
+pub struct HostHeap {
+    space: SharedSpace,
+    state: Mutex<HeapState>,
+    chunk_bytes: u64,
+}
+
+struct HeapState {
+    chunks: Vec<(Addr, u64)>,
+    cursor: u64,
+    allocated: u64,
+}
+
+impl HostHeap {
+    /// Creates a heap that grows in chunks of `chunk_bytes`.
+    pub fn new(space: SharedSpace, chunk_bytes: u64) -> Self {
+        Self {
+            space,
+            state: Mutex::new(HeapState {
+                chunks: Vec::new(),
+                cursor: 0,
+                allocated: 0,
+            }),
+            chunk_bytes: page_align_up(chunk_bytes.max(4096)),
+        }
+    }
+
+    /// Allocates `bytes` of host memory, 64-byte aligned.
+    pub fn alloc(&self, bytes: u64) -> Result<Addr, MemError> {
+        let rounded = bytes.div_ceil(64) * 64;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(&(start, len)) = st.chunks.last() {
+                if st.cursor + rounded <= len {
+                    let addr = start + st.cursor;
+                    st.cursor += rounded;
+                    st.allocated += rounded;
+                    return Ok(addr);
+                }
+            }
+            let len = page_align_up(rounded.max(self.chunk_bytes));
+            let start = self
+                .space
+                .mmap(MapRequest::anon(len, Half::Upper, "[heap]"))?;
+            st.chunks.push((start, len));
+            st.cursor = 0;
+        }
+    }
+
+    /// Total bytes handed out (the heap never reuses freed memory; workloads
+    /// in this reproduction allocate up front and free at exit, as the
+    /// benchmark applications do).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.state.lock().allocated
+    }
+
+    /// Number of chunks mapped so far.
+    pub fn chunk_count(&self) -> usize {
+        self.state.lock().chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_upper_half_and_usable() {
+        let space = SharedSpace::new_no_aslr();
+        let heap = HostHeap::new(space.clone(), 1 << 16);
+        let a = heap.alloc(1000).unwrap();
+        assert!(a.as_u64() >= 0x4000_0000_0000);
+        space.write_bytes(a, &[9u8; 1000]).unwrap();
+        let b = heap.alloc(1000).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(heap.allocated_bytes(), 2 * 1024);
+    }
+
+    #[test]
+    fn heap_grows_by_mapping_new_chunks() {
+        let space = SharedSpace::new_no_aslr();
+        let heap = HostHeap::new(space, 1 << 14);
+        for _ in 0..10 {
+            heap.alloc(8 << 10).unwrap();
+        }
+        assert!(heap.chunk_count() >= 5);
+    }
+
+    #[test]
+    fn oversized_allocation_gets_a_dedicated_chunk() {
+        let space = SharedSpace::new_no_aslr();
+        let heap = HostHeap::new(space.clone(), 1 << 14);
+        let big = heap.alloc(1 << 20).unwrap();
+        space.write_bytes(big + ((1 << 20) - 8), &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn concurrent_allocations_do_not_overlap() {
+        let space = SharedSpace::new_no_aslr();
+        let heap = std::sync::Arc::new(HostHeap::new(space, 1 << 20));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let heap = std::sync::Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| heap.alloc(128).unwrap().as_u64()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+}

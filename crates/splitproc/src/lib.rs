@@ -1,0 +1,36 @@
+//! The split-process mechanism: two programs in one address space.
+//!
+//! CRAC adapts MANA's *split process* idea (Section 3.1): a tiny helper
+//! program containing the real CUDA library is loaded into the **lower half**
+//! of the address space; the end-user CUDA application is loaded into the
+//! **upper half**; the application's CUDA calls reach the lower-half library
+//! through a trampoline table of entry points.  Only the upper half is
+//! checkpointed.
+//!
+//! This crate provides the loader, the trampoline table, the fs-register
+//! switching cost model (the subject of the Figure 6 FSGSBASE experiment)
+//! and the upper-half host heap the workloads allocate from:
+//!
+//! * [`loader`] — a program-loading mechanism imitating the kernel's ELF
+//!   loader: text/data/library segments are mapped into a chosen half with
+//!   deterministic placement (ASLR disabled), so a fresh lower half loads at
+//!   the same addresses on restart;
+//! * [`lowerhalf`] — boots the helper program: loads its segments, creates
+//!   the CUDA runtime and publishes the entry-point table;
+//! * [`trampoline`] — the upper→lower crossing: each call pays the
+//!   fs-register switch cost and is counted;
+//! * [`fsgs`] — the two ways of setting the `fs` register (kernel call vs
+//!   the FSGSBASE instructions) and their per-crossing costs;
+//! * [`heap`] — a simple upper-half heap for application host allocations.
+
+pub mod fsgs;
+pub mod heap;
+pub mod loader;
+pub mod lowerhalf;
+pub mod trampoline;
+
+pub use fsgs::FsRegisterMode;
+pub use heap::HostHeap;
+pub use loader::{LoadedProgram, ProgramSpec};
+pub use lowerhalf::LowerHalf;
+pub use trampoline::TrampolineTable;

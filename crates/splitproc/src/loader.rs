@@ -1,0 +1,228 @@
+//! The user-space program loader.
+//!
+//! CRAC cannot use `dlmopen` (process-in-process) because it must know which
+//! mappings belong to which half; instead it imitates the kernel's ELF
+//! loader: it maps each segment of the target program — and of every library
+//! the program needs — itself, so every `mmap` can be tagged and placed in a
+//! restricted portion of the address space (Section 3.1, "split processes").
+//! This module is that loader for the simulated address space.
+
+use crac_addrspace::{page_align_up, Addr, Half, MapRequest, Prot, SharedSpace};
+
+/// Description of a program to load: segment sizes plus dependent libraries.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    /// Program name (used as the mapping label prefix).
+    pub name: String,
+    /// Size of the text (code) segment in bytes.
+    pub text_bytes: u64,
+    /// Size of the data+bss segment in bytes.
+    pub data_bytes: u64,
+    /// Initial stack reservation in bytes.
+    pub stack_bytes: u64,
+    /// Dynamically linked libraries: `(name, text bytes, data bytes)`.
+    pub libraries: Vec<(String, u64, u64)>,
+}
+
+impl ProgramSpec {
+    /// A typical CUDA application image: a few MB of text, some data, the
+    /// CUDA runtime, libc and the loader.
+    pub fn cuda_application(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            text_bytes: 2 << 20,
+            data_bytes: 4 << 20,
+            stack_bytes: 8 << 20,
+            libraries: vec![
+                ("libcudart.so (dummy)".to_string(), 1 << 20, 256 << 10),
+                ("libc.so".to_string(), 2 << 20, 512 << 10),
+                ("ld.so".to_string(), 256 << 10, 64 << 10),
+            ],
+        }
+    }
+
+    /// The lower-half helper: a tiny program linked against the *real* CUDA
+    /// libraries (which are large).
+    pub fn cuda_helper() -> Self {
+        Self {
+            name: "crac-helper".to_string(),
+            text_bytes: 256 << 10,
+            data_bytes: 256 << 10,
+            stack_bytes: 1 << 20,
+            libraries: vec![
+                ("libcudart.so".to_string(), 8 << 20, 2 << 20),
+                ("libcuda.so".to_string(), 24 << 20, 8 << 20),
+                ("libc.so".to_string(), 2 << 20, 512 << 10),
+                ("ld.so".to_string(), 256 << 10, 64 << 10),
+            ],
+        }
+    }
+
+    /// Total bytes the program will map.
+    pub fn total_bytes(&self) -> u64 {
+        let segs = page_align_up(self.text_bytes)
+            + page_align_up(self.data_bytes)
+            + page_align_up(self.stack_bytes);
+        let libs: u64 = self
+            .libraries
+            .iter()
+            .map(|(_, t, d)| page_align_up(*t) + page_align_up(*d))
+            .sum();
+        segs + libs
+    }
+}
+
+/// One mapped segment of a loaded program.
+#[derive(Clone, Debug)]
+pub struct LoadedSegment {
+    /// Mapping label (program or library name plus segment kind).
+    pub label: String,
+    /// Start address.
+    pub start: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Protection bits.
+    pub prot: Prot,
+}
+
+/// A program that has been loaded into one half of the address space.
+#[derive(Clone, Debug)]
+pub struct LoadedProgram {
+    /// The program's spec.
+    pub spec: ProgramSpec,
+    /// Which half it was loaded into.
+    pub half: Half,
+    /// Every segment that was mapped, in load order.
+    pub segments: Vec<LoadedSegment>,
+}
+
+impl LoadedProgram {
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Start address of the program's data segment (applications place their
+    /// statically allocated state there).
+    pub fn data_segment(&self) -> Option<&LoadedSegment> {
+        self.segments
+            .iter()
+            .find(|s| s.label.ends_with(".data") && s.label.starts_with(&self.spec.name))
+    }
+
+    /// Unmaps every segment (what discarding the lower half at restart does).
+    pub fn unload(&self, space: &SharedSpace) {
+        for seg in &self.segments {
+            let _ = space.munmap(seg.start, seg.len);
+        }
+    }
+}
+
+/// Loads `spec` into the requested half of `space`, mimicking the kernel
+/// loader followed by the dynamic linker: text (r-x), data (rw-), stack
+/// (rw-), then each library's text and data.
+///
+/// Placement is deterministic as long as the space has ASLR disabled, which
+/// is what makes a restart's fresh lower half land at the same addresses.
+pub fn load_program(space: &SharedSpace, spec: &ProgramSpec, half: Half) -> LoadedProgram {
+    let mut segments = Vec::new();
+    let mut map = |label: String, bytes: u64, prot: Prot| {
+        if bytes == 0 {
+            return;
+        }
+        let len = page_align_up(bytes);
+        let start = space
+            .mmap(MapRequest {
+                len,
+                prot,
+                half,
+                label: label.clone(),
+                fixed: None,
+            })
+            .expect("program loading must not run out of address space");
+        segments.push(LoadedSegment {
+            label,
+            start,
+            len,
+            prot,
+        });
+    };
+
+    map(format!("{}.text", spec.name), spec.text_bytes, Prot::RX);
+    map(format!("{}.data", spec.name), spec.data_bytes, Prot::RW);
+    map(format!("{}.stack", spec.name), spec.stack_bytes, Prot::RW);
+    for (lib, text, data) in &spec.libraries {
+        map(format!("{lib}.text"), *text, Prot::RX);
+        map(format!("{lib}.data"), *data, Prot::RW);
+    }
+
+    LoadedProgram {
+        spec: spec.clone(),
+        half,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loader_places_program_in_requested_half() {
+        let space = SharedSpace::new_no_aslr();
+        let helper = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
+        let app = load_program(&space, &ProgramSpec::cuda_application("lulesh"), Half::Upper);
+        for seg in &helper.segments {
+            assert!(seg.start.as_u64() < 0x4000_0000_0000, "{seg:?}");
+        }
+        for seg in &app.segments {
+            assert!(seg.start.as_u64() >= 0x4000_0000_0000, "{seg:?}");
+        }
+        assert_eq!(helper.mapped_bytes(), helper.spec.total_bytes());
+    }
+
+    #[test]
+    fn loading_is_deterministic_without_aslr() {
+        let load_addrs = || {
+            let space = SharedSpace::new_no_aslr();
+            let p = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
+            p.segments.iter().map(|s| s.start.as_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(load_addrs(), load_addrs());
+    }
+
+    #[test]
+    fn unload_then_reload_lands_at_the_same_addresses() {
+        // The restart scenario: discard the lower half, load a fresh helper,
+        // get the same layout (upper half regions unchanged).
+        let space = SharedSpace::new_no_aslr();
+        let helper1 = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
+        let addrs1: Vec<u64> = helper1.segments.iter().map(|s| s.start.as_u64()).collect();
+        let app = load_program(&space, &ProgramSpec::cuda_application("app"), Half::Upper);
+        helper1.unload(&space);
+        let helper2 = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
+        let addrs2: Vec<u64> = helper2.segments.iter().map(|s| s.start.as_u64()).collect();
+        assert_eq!(addrs1, addrs2);
+        // The application is untouched.
+        assert_eq!(app.mapped_bytes(), app.spec.total_bytes());
+    }
+
+    #[test]
+    fn text_segments_are_not_writable() {
+        let space = SharedSpace::new_no_aslr();
+        let p = load_program(&space, &ProgramSpec::cuda_application("x"), Half::Upper);
+        let text = &p.segments[0];
+        assert_eq!(text.prot, Prot::RX);
+        assert!(space.write_bytes(text.start, b"patch").is_err());
+        let data = p.data_segment().unwrap();
+        assert!(space.write_bytes(data.start, b"globals").is_ok());
+    }
+
+    #[test]
+    fn helper_is_tiny_but_its_cuda_libraries_are_not() {
+        let spec = ProgramSpec::cuda_helper();
+        let own = spec.text_bytes + spec.data_bytes;
+        let libs: u64 = spec.libraries.iter().map(|(_, t, d)| t + d).sum();
+        assert!(libs > 10 * own);
+    }
+}

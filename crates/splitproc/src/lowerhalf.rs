@@ -1,0 +1,186 @@
+//! The lower-half helper program.
+//!
+//! The helper is "a tiny CUDA application that was loaded into the lower half
+//! of the virtual memory address space.  At the time of launch, it copied the
+//! entry points of CUDA library calls from the lower-half libcuda to an array
+//! of libcuda entry addresses" (Figure 1).  Booting a [`LowerHalf`] performs
+//! the simulated equivalent: load the helper's segments (including the large
+//! CUDA libraries), create the CUDA runtime, and publish the entry-point
+//! table that the upper half's trampolines jump through.
+
+use std::sync::Arc;
+
+use crac_addrspace::{Half, SharedSpace};
+use crac_cudart::{CudaRuntime, RuntimeConfig};
+use crac_gpu::VirtualClock;
+
+use crate::fsgs::FsRegisterMode;
+use crate::loader::{load_program, LoadedProgram, ProgramSpec};
+use crate::trampoline::TrampolineTable;
+
+/// The CUDA runtime API entry points the helper publishes.  (A real helper
+/// publishes hundreds; these are the ones this reproduction's applications
+/// use.)
+pub const CUDA_API_NAMES: &[&str] = &[
+    "cudaMalloc",
+    "cudaMallocHost",
+    "cudaMallocManaged",
+    "cudaFree",
+    "cudaMemcpy",
+    "cudaMemcpyAsync",
+    "cudaMemset",
+    "cudaMemsetAsync",
+    "cudaMemPrefetchAsync",
+    "cudaStreamCreate",
+    "cudaStreamDestroy",
+    "cudaStreamSynchronize",
+    "cudaStreamWaitEvent",
+    "cudaEventCreate",
+    "cudaEventDestroy",
+    "cudaEventRecord",
+    "cudaEventSynchronize",
+    "cudaEventQuery",
+    "cudaEventElapsedTime",
+    "cudaLaunchKernel",
+    "cudaDeviceSynchronize",
+    "cudaPointerGetAttributes",
+    "__cudaRegisterFatBinary",
+    "__cudaRegisterFunction",
+    "__cudaUnregisterFatBinary",
+];
+
+/// A booted lower half: the helper's mapped segments, the live CUDA runtime,
+/// and the published trampoline table.
+pub struct LowerHalf {
+    program: LoadedProgram,
+    runtime: Arc<CudaRuntime>,
+    trampolines: TrampolineTable,
+}
+
+impl LowerHalf {
+    /// Boots the helper into `space`.
+    ///
+    /// `clock` is `None` at initial launch (a fresh clock is created) and
+    /// `Some` at restart, when virtual time must keep running across the
+    /// reload.
+    pub fn boot(
+        space: &SharedSpace,
+        config: RuntimeConfig,
+        clock: Option<Arc<VirtualClock>>,
+        fs_mode: FsRegisterMode,
+    ) -> Self {
+        let program = load_program(space, &ProgramSpec::cuda_helper(), Half::Lower);
+        let runtime = match clock {
+            Some(c) => CudaRuntime::with_clock(config, space.clone(), c),
+            None => CudaRuntime::new(config, space.clone()),
+        };
+        let mut trampolines =
+            TrampolineTable::new(fs_mode, Arc::clone(runtime.device().clock()));
+        // Entry points live in the helper's libcudart text segment; give each
+        // published API a distinct pseudo-address inside it.
+        let libcudart_text = program
+            .segments
+            .iter()
+            .find(|s| s.label == "libcudart.so.text")
+            .map(|s| s.start.as_u64())
+            .unwrap_or(0);
+        for (i, name) in CUDA_API_NAMES.iter().enumerate() {
+            trampolines.publish(name, libcudart_text + (i as u64) * 64);
+        }
+        Self {
+            program,
+            runtime,
+            trampolines,
+        }
+    }
+
+    /// The live CUDA runtime (the "real libcudart" of the lower half).
+    pub fn runtime(&self) -> &Arc<CudaRuntime> {
+        &self.runtime
+    }
+
+    /// The published trampoline table.
+    pub fn trampolines(&self) -> &TrampolineTable {
+        &self.trampolines
+    }
+
+    /// The helper's mapped segments.
+    pub fn program(&self) -> &LoadedProgram {
+        &self.program
+    }
+
+    /// Discards the lower half: unmaps the helper's segments and drops the
+    /// runtime.  This is what conceptually happens at restart — the old
+    /// lower half is simply not part of the restored image.
+    pub fn shutdown(self, space: &SharedSpace) {
+        self.program.unload(space);
+        // Device and managed arena chunks are lower-half library state and go
+        // away with the helper.  Pinned-host chunks are upper-half application
+        // memory and must survive (DMTCP checkpoints them).
+        for (addr, len) in self.runtime.arena_chunks() {
+            if addr.as_u64() < 0x4000_0000_0000 {
+                let _ = space.munmap(addr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crac_addrspace::Half;
+
+    #[test]
+    fn boot_publishes_all_api_entry_points() {
+        let space = SharedSpace::new_no_aslr();
+        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        assert_eq!(lh.trampolines().len(), CUDA_API_NAMES.len());
+        assert!(lh.trampolines().entry("cudaMalloc").is_some());
+        assert!(lh.trampolines().entry("cudaLaunchKernel").is_some());
+        // Entry points lie in the lower half.
+        assert!(lh.trampolines().entry("cudaMalloc").unwrap() < 0x4000_0000_0000);
+    }
+
+    #[test]
+    fn helper_memory_is_entirely_lower_half() {
+        let space = SharedSpace::new_no_aslr();
+        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        // Allocate through the runtime so arena chunks appear too.
+        lh.runtime().malloc(1 << 20).unwrap();
+        let lower_bytes: u64 = space.with(|s| s.regions_in_half(Half::Lower).map(|r| r.len).sum());
+        let upper_bytes: u64 = space.with(|s| s.regions_in_half(Half::Upper).map(|r| r.len).sum());
+        assert!(lower_bytes > 0);
+        assert_eq!(upper_bytes, 0);
+    }
+
+    #[test]
+    fn reboot_with_shared_clock_preserves_time_and_layout() {
+        let space = SharedSpace::new_no_aslr();
+        let lh1 = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        let addrs1: Vec<u64> = lh1.program().segments.iter().map(|s| s.start.as_u64()).collect();
+        let clock = Arc::clone(lh1.runtime().device().clock());
+        clock.advance(999);
+        lh1.shutdown(&space);
+        let lh2 = LowerHalf::boot(
+            &space,
+            RuntimeConfig::test(),
+            Some(Arc::clone(&clock)),
+            FsRegisterMode::KernelCall,
+        );
+        let addrs2: Vec<u64> = lh2.program().segments.iter().map(|s| s.start.as_u64()).collect();
+        assert_eq!(addrs1, addrs2);
+        assert_eq!(lh2.runtime().device().clock().now(), 999);
+    }
+
+    #[test]
+    fn shutdown_releases_lower_half_memory() {
+        let space = SharedSpace::new_no_aslr();
+        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        lh.runtime().malloc(1 << 20).unwrap();
+        let before: usize = space.with(|s| s.regions_in_half(Half::Lower).count());
+        assert!(before > 0);
+        lh.shutdown(&space);
+        let after: usize = space.with(|s| s.regions_in_half(Half::Lower).count());
+        assert_eq!(after, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The upper→lower trampoline: how application CUDA calls reach the
+//! lower-half library, and what each crossing costs.
+//!
+//! At launch, the lower-half helper copies the entry points of its CUDA
+//! library into an array; DMTCP then patches the application's (dummy) CUDA
+//! library so that every call jumps through that array (Figure 1 of the
+//! paper).  At runtime the only per-call overhead CRAC adds is therefore:
+//! the indirect jump, the fs-register switch, and whatever logging the CRAC
+//! plugin does for that call.  This module models the jump table and charges
+//! the fs-register cost to the virtual clock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crac_gpu::VirtualClock;
+
+use crate::fsgs::FsRegisterMode;
+
+/// The array of lower-half entry points plus crossing bookkeeping.
+pub struct TrampolineTable {
+    /// API name → pseudo entry-point address (the lower-half address the
+    /// upper half jumps to).  Purely informational in the model, but lets
+    /// tests assert the table is rebuilt after restart.
+    entries: BTreeMap<String, u64>,
+    mode: FsRegisterMode,
+    clock: Arc<VirtualClock>,
+    crossings: AtomicU64,
+    /// Extra per-crossing cost in nanoseconds (the CRAC plugin adds its
+    /// logging cost here).
+    extra_ns: AtomicU64,
+}
+
+impl TrampolineTable {
+    /// Builds a table with the given fs-register mode, charging crossings to
+    /// `clock`.
+    pub fn new(mode: FsRegisterMode, clock: Arc<VirtualClock>) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            mode,
+            clock,
+            crossings: AtomicU64::new(0),
+            extra_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes one lower-half entry point (done by the helper at boot and
+    /// again at restart).
+    pub fn publish(&mut self, api_name: &str, entry_addr: u64) {
+        self.entries.insert(api_name.to_string(), entry_addr);
+    }
+
+    /// Looks up a published entry point.
+    pub fn entry(&self, api_name: &str) -> Option<u64> {
+        self.entries.get(api_name).copied()
+    }
+
+    /// Number of published entry points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entry points are published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fs-register mode in use.
+    pub fn mode(&self) -> FsRegisterMode {
+        self.mode
+    }
+
+    /// Sets an additional per-crossing cost (CRAC's logging overhead).
+    pub fn set_extra_crossing_cost(&self, ns: u64) {
+        self.extra_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Number of upper→lower crossings made so far.
+    pub fn crossings(&self) -> u64 {
+        self.crossings.load(Ordering::Relaxed)
+    }
+
+    /// Executes `f` as a lower-half call: charges the crossing cost to the
+    /// clock, counts the crossing, and runs the closure.
+    pub fn call<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
+        self.clock
+            .advance(self.mode.crossing_ns() + self.extra_ns.load(Ordering::Relaxed));
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(mode: FsRegisterMode) -> TrampolineTable {
+        TrampolineTable::new(mode, VirtualClock::new_shared())
+    }
+
+    #[test]
+    fn publish_and_lookup_entries() {
+        let mut t = table(FsRegisterMode::KernelCall);
+        assert!(t.is_empty());
+        t.publish("cudaMalloc", 0x1000);
+        t.publish("cudaLaunchKernel", 0x2000);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entry("cudaMalloc"), Some(0x1000));
+        assert_eq!(t.entry("cudaFree"), None);
+    }
+
+    #[test]
+    fn each_call_charges_the_crossing_cost_and_counts() {
+        let t = table(FsRegisterMode::KernelCall);
+        let before = t.clock.now();
+        let r = t.call(|| 7);
+        assert_eq!(r, 7);
+        assert_eq!(t.crossings(), 1);
+        assert_eq!(t.clock.now() - before, FsRegisterMode::KernelCall.crossing_ns());
+        for _ in 0..9 {
+            t.call(|| ());
+        }
+        assert_eq!(t.crossings(), 10);
+    }
+
+    #[test]
+    fn fsgsbase_crossings_are_cheaper() {
+        let slow = table(FsRegisterMode::KernelCall);
+        let fast = table(FsRegisterMode::FsGsBase);
+        for _ in 0..1000 {
+            slow.call(|| ());
+            fast.call(|| ());
+        }
+        assert!(slow.clock.now() > 10 * fast.clock.now());
+    }
+
+    #[test]
+    fn extra_crossing_cost_is_added() {
+        let t = table(FsRegisterMode::FsGsBase);
+        t.set_extra_crossing_cost(500);
+        let before = t.clock.now();
+        t.call(|| ());
+        assert_eq!(
+            t.clock.now() - before,
+            FsRegisterMode::FsGsBase.crossing_ns() + 500
+        );
+    }
+}

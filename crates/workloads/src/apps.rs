@@ -1,0 +1,488 @@
+//! The synthetic-application engine and the specification of every benchmark
+//! application used in the paper's evaluation.
+//!
+//! Each [`AppSpec`] is calibrated to the characteristics the paper reports
+//! for the real application: native runtime on the reference GPU, total CUDA
+//! API calls (the Figure 2 annotations), stream count, UVM usage, and the
+//! memory footprint that determines the checkpoint-image size (Figure 3 /
+//! Figure 5c).  The [`run_app`] engine turns a spec into an actual sequence
+//! of CUDA calls against a [`Session`], so the same code path measures
+//! native and CRAC executions.
+
+use crac_core::CracStream;
+use crac_cudart::MemcpyKind;
+use crac_gpu::{KernelCost, LaunchDims};
+
+use crate::session::{Session, SessionResult};
+
+/// Specification of one synthetic application.
+#[derive(Clone, Debug)]
+pub struct AppSpec {
+    /// Application name as used in the paper's figures.
+    pub name: &'static str,
+    /// Command-line arguments of the real application (Table 2 and
+    /// Section 4.4.3) — informational, reproduced in the harness output.
+    pub cmdline: &'static str,
+    /// Whether the application uses Unified Virtual Memory.
+    pub uses_uvm: bool,
+    /// Number of user CUDA streams (0 = default stream only).
+    pub streams: u32,
+    /// Device-memory footprint in MiB (`cudaMalloc`).
+    pub device_mb: u64,
+    /// Pinned host-memory footprint in MiB (`cudaMallocHost`).
+    pub pinned_host_mb: u64,
+    /// Managed (UVM) footprint in MiB (`cudaMallocManaged`).
+    pub managed_mb: u64,
+    /// Total kernel launches over a full run.
+    pub kernel_launches: u64,
+    /// Total `cudaMemcpyAsync`/`cudaMemcpy` calls over a full run.
+    pub memcpy_calls: u64,
+    /// Native runtime on the reference GPU, in seconds (calibration target).
+    pub target_native_s: f64,
+    /// Default scale factor used by the figure harness so very call-heavy
+    /// applications stay tractable (1.0 = the full run).  Scaling reduces
+    /// launches and runtime proportionally, leaving CPS and footprints
+    /// unchanged.
+    pub default_scale: f64,
+}
+
+impl AppSpec {
+    /// Approximate total CUDA API calls of a full run
+    /// (3 × launches + memcpys + allocation/sync calls).
+    pub fn approx_total_calls(&self) -> u64 {
+        3 * self.kernel_launches + self.memcpy_calls + 64
+    }
+}
+
+/// Result of running one application in one mode.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Application name.
+    pub name: String,
+    /// `"native"` or `"CRAC"`.
+    pub mode: String,
+    /// Virtual runtime in seconds (includes launch/startup costs).
+    pub elapsed_s: f64,
+    /// Total CUDA calls (the paper's 3×launch formula).
+    pub total_cuda_calls: u64,
+    /// CUDA calls per second.
+    pub cps: f64,
+    /// Kernel launches performed.
+    pub kernel_launches: u64,
+    /// Peak concurrently scheduled kernels observed.
+    pub peak_concurrent_kernels: usize,
+    /// UVM device faults observed.
+    pub uvm_device_faults: u64,
+    /// UVM host faults observed.
+    pub uvm_host_faults: u64,
+}
+
+/// Buffers allocated for a run (kept so a caller can checkpoint mid-run with
+/// live allocations, then free them later).
+pub struct AppBuffers {
+    /// Device allocations.
+    pub device: Vec<(crac_addrspace::Addr, u64)>,
+    /// Pinned host allocations.
+    pub pinned: Vec<(crac_addrspace::Addr, u64)>,
+    /// Managed allocations.
+    pub managed: Vec<(crac_addrspace::Addr, u64)>,
+    /// User streams.
+    pub streams: Vec<CracStream>,
+}
+
+/// Maximum size of a single allocation made by the engine (MiB); larger
+/// footprints are split across several allocations, as real applications do.
+const ALLOC_CHUNK_MB: u64 = 64;
+
+fn alloc_footprint(
+    session: &Session,
+    total_mb: u64,
+    mut alloc: impl FnMut(&Session, u64) -> SessionResult<crac_addrspace::Addr>,
+) -> SessionResult<Vec<(crac_addrspace::Addr, u64)>> {
+    let mut out = Vec::new();
+    let mut remaining = total_mb;
+    while remaining > 0 {
+        let mb = remaining.min(ALLOC_CHUNK_MB);
+        let bytes = mb << 20;
+        let ptr = alloc(session, bytes)?;
+        // Touch a little of the buffer so checkpoints have real content to
+        // carry (sparse storage keeps this cheap).
+        session.space().write_bytes(ptr, &[0xC5; 256]).map_err(|e| e.to_string())?;
+        out.push((ptr, bytes));
+        remaining -= mb;
+    }
+    Ok(out)
+}
+
+/// Sets up the application's buffers, streams and kernels.
+pub fn setup_app(session: &Session, spec: &AppSpec) -> SessionResult<AppBuffers> {
+    let device = alloc_footprint(session, spec.device_mb, |s, b| s.malloc(b))?;
+    let pinned = alloc_footprint(session, spec.pinned_host_mb, |s, b| s.malloc_host(b))?;
+    let managed = alloc_footprint(session, spec.managed_mb, |s, b| s.malloc_managed(b))?;
+    let streams = (0..spec.streams)
+        .map(|_| session.stream_create())
+        .collect::<SessionResult<Vec<_>>>()?;
+    Ok(AppBuffers {
+        device,
+        pinned,
+        managed,
+        streams,
+    })
+}
+
+/// Runs `fraction` of the application's work (1.0 = the whole run) at the
+/// given `scale`.  The session is left alive (buffers allocated, streams
+/// open) so the caller can checkpoint afterwards.
+pub fn run_app_phase(
+    session: &Session,
+    spec: &AppSpec,
+    buffers: &AppBuffers,
+    scale: f64,
+    fraction: f64,
+) -> SessionResult<()> {
+    let launches = ((spec.kernel_launches as f64) * scale * fraction).round().max(1.0) as u64;
+    let memcpys = ((spec.memcpy_calls as f64) * scale * fraction).round() as u64;
+    let profile = session.device_profile();
+
+    // Calibrate per-kernel execution time so that the *native* full run hits
+    // the paper-reported runtime: the device is busy ~90% of the time and
+    // kernels from different streams overlap.
+    let concurrency = if spec.streams <= 1 {
+        1
+    } else {
+        (spec.streams as u64).min(profile.max_concurrent_kernels as u64)
+    };
+    let busy_ns = spec.target_native_s * 1e9 * 0.90;
+    let per_kernel_exec_ns = (busy_ns * concurrency as f64 / spec.kernel_launches as f64).max(1.0);
+    let flops_per_kernel = (per_kernel_exec_ns * profile.flops_per_ns) as u64;
+
+    let work = session.register_kernel("work")?;
+    let memcpy_chunk: u64 = 1 << 20;
+
+    let nstreams = buffers.streams.len().max(1);
+    let mut memcpys_done = 0u64;
+    let sync_every = (launches / 50).max(1);
+
+    for i in 0..launches {
+        let stream = if buffers.streams.is_empty() {
+            CracStream::DEFAULT
+        } else {
+            buffers.streams[(i as usize) % nstreams]
+        };
+
+        // Managed-memory activity: periodically touch UVM from the host and
+        // hand the managed pointer to the kernel, so pages migrate both ways.
+        let mut args = Vec::new();
+        if spec.uses_uvm && !buffers.managed.is_empty() && i % 16 == 0 {
+            let (mptr, mlen) = buffers.managed[(i as usize / 16) % buffers.managed.len()];
+            session.host_touch_managed(mptr, memcpy_chunk.min(mlen));
+            session.mem_prefetch_async(mptr, memcpy_chunk.min(mlen), true, stream)?;
+            args.push(mptr.as_u64());
+        } else if let Some((dptr, _)) = buffers.device.first() {
+            args.push(dptr.as_u64());
+        }
+
+        session.launch(
+            work,
+            LaunchDims::linear(64, 256),
+            KernelCost::new(flops_per_kernel, 4096),
+            args,
+            stream,
+        )?;
+
+        // Interleave memcpys at the spec's ratio.  The device-side operand is
+        // a device allocation when the application has one, otherwise a
+        // managed allocation (the UnifiedMemoryStreams pattern).
+        let device_side: &[(crac_addrspace::Addr, u64)] = if buffers.device.is_empty() {
+            &buffers.managed
+        } else {
+            &buffers.device
+        };
+        let target_memcpys = (memcpys as f64 * (i + 1) as f64 / launches as f64) as u64;
+        while memcpys_done < target_memcpys {
+            if device_side.is_empty() {
+                memcpys_done = target_memcpys;
+                break;
+            }
+            let (dptr, dlen) = device_side[(memcpys_done as usize) % device_side.len()];
+            if let Some((hptr, hlen)) = buffers.pinned.first() {
+                let bytes = memcpy_chunk.min(dlen).min(*hlen);
+                let kind = if memcpys_done % 2 == 0 {
+                    MemcpyKind::HostToDevice
+                } else {
+                    MemcpyKind::DeviceToHost
+                };
+                let (dst, src) = if memcpys_done % 2 == 0 {
+                    (dptr, *hptr)
+                } else {
+                    (*hptr, dptr)
+                };
+                session.memcpy_async(dst, src, bytes, kind, stream)?;
+            }
+            memcpys_done += 1;
+        }
+
+        if (i + 1) % sync_every == 0 {
+            session.stream_synchronize(stream)?;
+        }
+    }
+    session.device_synchronize()?;
+    Ok(())
+}
+
+/// Tears the application down (frees buffers, destroys streams).
+pub fn teardown_app(session: &Session, buffers: AppBuffers) -> SessionResult<()> {
+    for (ptr, _) in buffers
+        .device
+        .iter()
+        .chain(buffers.pinned.iter())
+        .chain(buffers.managed.iter())
+    {
+        session.free(*ptr)?;
+    }
+    for s in buffers.streams {
+        session.stream_destroy(s)?;
+    }
+    Ok(())
+}
+
+/// Runs a complete application (setup → work → teardown) and reports the
+/// paper's metrics.
+pub fn run_app(session: &Session, spec: &AppSpec, scale: f64) -> SessionResult<RunResult> {
+    let buffers = setup_app(session, spec)?;
+    run_app_phase(session, spec, &buffers, scale, 1.0)?;
+    teardown_app(session, buffers)?;
+    let elapsed_s = session.elapsed_s();
+    let total = session.total_cuda_calls();
+    let uvm = session.uvm_stats();
+    let (df, hf) = (uvm.device_faults, uvm.host_faults);
+    Ok(RunResult {
+        name: spec.name.to_string(),
+        mode: match session {
+            Session::Native(_) => "native".to_string(),
+            Session::Crac(_) => "CRAC".to_string(),
+        },
+        elapsed_s,
+        total_cuda_calls: total,
+        cps: if elapsed_s > 0.0 { total as f64 / elapsed_s } else { 0.0 },
+        kernel_launches: ((spec.kernel_launches as f64) * scale).round() as u64,
+        peak_concurrent_kernels: session.peak_concurrent_kernels(),
+        uvm_device_faults: df,
+        uvm_host_faults: hf,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Application specifications
+// ---------------------------------------------------------------------------
+
+/// The 14 Rodinia benchmark applications used in Figures 2, 3 and 6, with the
+/// command-line arguments of Table 2.
+pub fn all_rodinia() -> Vec<AppSpec> {
+    // (name, cmdline, total-call annotation of Figure 2, native seconds,
+    //  checkpoint-size target in MB from Figure 3)
+    let rows: [(&str, &str, u64, f64, u64); 14] = [
+        ("BFS", "graph1MW_6.txt", 100, 2.5, 39),
+        ("CFD", "fvcorr.domn.193K", 72_000, 35.0, 39),
+        ("DWT2D", "rgb.bmp -d 1024x1024 -f -5 -l 100000", 800_000, 6.0, 40),
+        ("Gaussian", "-s 8192 -q", 18_000, 70.0, 783),
+        ("Heartwall", "test.avi 104", 1_700, 5.0, 16),
+        ("Hotspot", "temp_512 power_512 output.out", 7_000, 3.0, 18),
+        ("Hotspot3D", "512 8 1000 power_512x8 temp_512x8 output.out", 3_000, 25.0, 54),
+        ("Kmeans", "kdd_cup -l 1000", 30_000, 20.0, 374),
+        ("LUD", "-s 2048 -v", 1_000, 4.0, 695),
+        ("Leukocyte", "testfile.avi 500", 12_000, 6.0, 57),
+        ("NW", "40960 10", 15_000, 12.0, 45),
+        ("Particlefilter", "-x 128 -y 128 -z 10 -np 100000", 120, 5.0, 36),
+        ("SRAD", "2048 2048 0 127 0 127 0.5 1000", 8_000, 6.0, 53),
+        ("Streamcluster", "10 20 256 65536 65536 1000 none output.txt 1", 69_000, 6.5, 83),
+    ];
+    rows.iter()
+        .map(|&(name, cmdline, total_calls, native_s, ckpt_mb)| {
+            // Work backwards from the Figure 2 call annotation:
+            // total ≈ 3 × launches + memcpys, with memcpys ≈ launches / 4.
+            let launches = (total_calls as f64 / 3.25).max(8.0) as u64;
+            let memcpys = launches / 4;
+            // The checkpoint image ≈ application image (~14 MB) + pinned host
+            // + drained device memory; split the remainder 40/60.
+            let payload_mb = ckpt_mb.saturating_sub(14).max(2);
+            let device_mb = (payload_mb * 2 / 5).max(1);
+            let pinned_mb = payload_mb - device_mb;
+            AppSpec {
+                name,
+                cmdline,
+                uses_uvm: false,
+                streams: 0,
+                device_mb,
+                pinned_host_mb: pinned_mb,
+                managed_mb: 0,
+                kernel_launches: launches,
+                memcpy_calls: memcpys,
+                target_native_s: native_s,
+                default_scale: if total_calls > 100_000 { 0.1 } else { 1.0 },
+            }
+        })
+        .collect()
+}
+
+/// LULESH 2.0 (GPU version), structured grid `-s 150` (Section 4.4.2).
+pub fn lulesh() -> AppSpec {
+    AppSpec {
+        name: "LULESH",
+        cmdline: "-s 150",
+        uses_uvm: false,
+        streams: 16,
+        device_mb: 72,
+        pinned_host_mb: 30,
+        managed_mb: 0,
+        kernel_launches: 65_000,
+        memcpy_calls: 14_000,
+        target_native_s: 80.0,
+        default_scale: 0.2,
+    }
+}
+
+/// UnifiedMemoryStreams: 128 streams, 1280 tasks, all data in unified memory
+/// (Section 4.4.2).
+pub fn unified_memory_streams() -> AppSpec {
+    AppSpec {
+        name: "UnifiedMemoryStreams",
+        cmdline: "128 streams, 1280 tasks, seed 12701",
+        uses_uvm: true,
+        streams: 128,
+        device_mb: 0,
+        pinned_host_mb: 16,
+        managed_mb: 384,
+        kernel_launches: 6_400,
+        memcpy_calls: 1_280,
+        target_native_s: 16.0,
+        default_scale: 1.0,
+    }
+}
+
+/// HPGMG-FV with arguments `7 8`: ~35 000 CUDA calls per second, UVM, no
+/// user streams (Section 4.4.3).
+pub fn hpgmg() -> AppSpec {
+    AppSpec {
+        name: "HPGMG-FV",
+        cmdline: "7 8",
+        uses_uvm: true,
+        streams: 0,
+        device_mb: 24,
+        pinned_host_mb: 48,
+        managed_mb: 64,
+        kernel_launches: 1_500_000,
+        memcpy_calls: 900_000,
+        target_native_s: 170.0,
+        default_scale: 0.02,
+    }
+}
+
+/// HYPRE `ij` solver: ~600 CUDA calls per second, large UVM regions and
+/// long-running kernels on up to 10 streams (Section 4.4.3).
+pub fn hypre() -> AppSpec {
+    AppSpec {
+        name: "HYPRE",
+        cmdline: "ij -solver 1 -rlx 18 -ns 2 -CF 0 -hmis -interptype 6 -Pmx 4 -keepT 1 -tol 1.e-8 -agg_nl 1 -n 250 250 250 250",
+        uses_uvm: true,
+        streams: 10,
+        device_mb: 96,
+        pinned_host_mb: 1_200,
+        managed_mb: 1_024,
+        kernel_launches: 22_000,
+        memcpy_calls: 5_000,
+        target_native_s: 150.0,
+        default_scale: 0.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::registry;
+    use crac_cudart::RuntimeConfig;
+
+    #[test]
+    fn rodinia_suite_has_all_14_applications() {
+        let suite = all_rodinia();
+        assert_eq!(suite.len(), 14);
+        let names: Vec<_> = suite.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"BFS"));
+        assert!(names.contains(&"Streamcluster"));
+        // None of the Rodinia applications uses UVM or streams (Table 1).
+        assert!(suite.iter().all(|s| !s.uses_uvm && s.streams == 0));
+        // Call counts match the Figure 2 annotations to within rounding.
+        let dwt = suite.iter().find(|s| s.name == "DWT2D").unwrap();
+        assert!(dwt.approx_total_calls() > 700_000);
+    }
+
+    #[test]
+    fn table1_characteristics_are_respected() {
+        assert!(unified_memory_streams().uses_uvm);
+        assert_eq!(unified_memory_streams().streams, 128);
+        assert!(hpgmg().uses_uvm);
+        assert_eq!(hpgmg().streams, 0);
+        assert!(hypre().uses_uvm);
+        assert!(hypre().streams >= 1 && hypre().streams <= 10);
+        assert!(!lulesh().uses_uvm);
+        assert!(lulesh().streams >= 2 && lulesh().streams <= 32);
+    }
+
+    #[test]
+    fn small_app_runs_in_both_modes_with_low_overhead() {
+        let spec = AppSpec {
+            name: "mini",
+            cmdline: "",
+            uses_uvm: true,
+            streams: 4,
+            device_mb: 2,
+            pinned_host_mb: 1,
+            managed_mb: 1,
+            kernel_launches: 400,
+            memcpy_calls: 100,
+            target_native_s: 0.5,
+            default_scale: 1.0,
+        };
+        let native = Session::native(RuntimeConfig::v100(), registry());
+        let rn = run_app(&native, &spec, 1.0).unwrap();
+        let mut cfg = crac_core::CracConfig::v100("mini");
+        cfg.dmtcp_startup_ns = 0;
+        let crac = Session::crac(cfg, registry());
+        let rc = run_app(&crac, &spec, 1.0).unwrap();
+        assert_eq!(rn.mode, "native");
+        assert_eq!(rc.mode, "CRAC");
+        assert!(rn.total_cuda_calls > 1200);
+        assert!(rc.elapsed_s >= rn.elapsed_s);
+        let overhead = (rc.elapsed_s - rn.elapsed_s) / rn.elapsed_s * 100.0;
+        assert!(overhead < 10.0, "overhead {overhead:.2}%");
+        // Native runtime lands near the calibration target.
+        assert!(rn.elapsed_s > 0.3 && rn.elapsed_s < 0.8, "native {}", rn.elapsed_s);
+        // UVM activity happened.
+        assert!(rc.uvm_device_faults > 0 || rc.uvm_host_faults > 0);
+        assert!(rc.peak_concurrent_kernels >= 2);
+    }
+
+    #[test]
+    fn scaling_preserves_cps_but_shortens_the_run() {
+        let spec = AppSpec {
+            name: "scaled",
+            cmdline: "",
+            uses_uvm: false,
+            streams: 0,
+            device_mb: 1,
+            pinned_host_mb: 1,
+            managed_mb: 0,
+            kernel_launches: 2_000,
+            memcpy_calls: 500,
+            target_native_s: 2.0,
+            default_scale: 1.0,
+        };
+        let full = Session::native(RuntimeConfig::v100(), registry());
+        let r_full = run_app(&full, &spec, 1.0).unwrap();
+        let half = Session::native(RuntimeConfig::v100(), registry());
+        let r_half = run_app(&half, &spec, 0.5).unwrap();
+        assert!(r_half.elapsed_s < r_full.elapsed_s * 0.7);
+        let rel = (r_half.cps - r_full.cps).abs() / r_full.cps;
+        assert!(rel < 0.25, "CPS drifted by {rel:.2}");
+    }
+}

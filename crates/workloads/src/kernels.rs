@@ -1,0 +1,67 @@
+//! Kernel bodies registered by the synthetic applications.
+//!
+//! Most synthetic kernels are *timing-only*: the experiments of the paper
+//! measure overhead, not numerical output, and the functional correctness of
+//! checkpoint/restart is covered by kernels that really compute (`iota`,
+//! `scale`, `saxpy`) and by the `crac-core` integration tests.
+
+use std::sync::Arc;
+
+use crac_core::KernelRegistry;
+
+/// Names of the kernels every workload may register.
+pub const KERNEL_NAMES: &[&str] = &[
+    "work",      // generic timing-only compute kernel
+    "stencil",   // generic timing-only memory-bound kernel
+    "iota",      // writes 0..n into an f32 buffer
+    "scale",     // multiplies an f32 buffer in place
+    "saxpy",     // y = a*x + y over f32 buffers
+    "init_task", // UnifiedMemoryStreams per-task kernel
+];
+
+/// Builds the kernel registry shared by all workloads.
+pub fn registry() -> Arc<KernelRegistry> {
+    let mut reg = KernelRegistry::new();
+    reg.insert("work", |_ctx| Ok(()));
+    reg.insert("stencil", |_ctx| Ok(()));
+    reg.insert("init_task", |_ctx| Ok(()));
+    reg.insert("iota", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.write_f32_arg(0, &v)
+    });
+    reg.insert("scale", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let factor = f32::from_bits(ctx.arg_u64(2) as u32);
+        let mut v = ctx.read_f32_arg(0, n)?;
+        for x in &mut v {
+            *x *= factor;
+        }
+        ctx.write_f32_arg(0, &v)
+    });
+    reg.insert("saxpy", |ctx| {
+        let n = ctx.arg_u64(2) as usize;
+        let a = f32::from_bits(ctx.arg_u64(3) as u32);
+        let x = ctx.read_f32_arg(0, n)?;
+        let mut y = ctx.read_f32_arg(1, n)?;
+        for i in 0..n {
+            y[i] += a * x[i];
+        }
+        ctx.write_f32_arg(1, &y)
+    });
+    Arc::new(reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_every_advertised_kernel() {
+        let reg = registry();
+        for name in KERNEL_NAMES {
+            assert!(reg.get(name).is_some(), "missing kernel {name}");
+        }
+        assert_eq!(reg.len(), KERNEL_NAMES.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! High-level drivers: run an application natively, under CRAC, or under
+//! CRAC with a mid-run checkpoint followed by a restart.
+
+use crac_core::{CracConfig, CracProcess};
+use crac_cudart::RuntimeConfig;
+
+use crate::apps::{run_app, run_app_phase, setup_app, AppSpec, RunResult};
+use crate::kernels::registry;
+use crate::session::{Session, SessionResult};
+
+/// Which execution mode a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Direct CUDA calls (the paper's "native" bars).
+    Native,
+    /// Under CRAC (split process + interposition + DMTCP).
+    Crac,
+}
+
+/// Result of a CRAC run that included a checkpoint and a restart.
+#[derive(Clone, Debug)]
+pub struct CracRunResult {
+    /// The (partial) run that preceded the checkpoint.
+    pub run: RunResult,
+    /// Checkpoint time in seconds (Figures 3 and 5c).
+    pub ckpt_time_s: f64,
+    /// Restart time in seconds (Figures 3 and 5c).
+    pub restart_time_s: f64,
+    /// Checkpoint image size in bytes (the Figure 3 / 5c annotations).
+    pub image_bytes: u64,
+    /// Bytes of device/managed state drained into the image.
+    pub drained_bytes: u64,
+    /// Log entries replayed at restart.
+    pub replayed_calls: usize,
+}
+
+/// Runs `spec` natively on the given GPU profile.
+pub fn run_native(spec: &AppSpec, runtime: RuntimeConfig, scale: f64) -> SessionResult<RunResult> {
+    let session = Session::native(runtime, registry());
+    run_app(&session, spec, scale)
+}
+
+/// Runs `spec` under CRAC (no checkpoint taken).
+pub fn run_crac(spec: &AppSpec, config: CracConfig, scale: f64) -> SessionResult<RunResult> {
+    let session = Session::crac(config, registry());
+    run_app(&session, spec, scale)
+}
+
+/// Runs `spec` under CRAC, checkpoints at `checkpoint_at` of the way through
+/// the work (the paper triggers checkpoints "at random times during an
+/// entire run"), restarts from the image in a fresh process, and finishes
+/// the remaining work there.
+pub fn run_crac_with_checkpoint(
+    spec: &AppSpec,
+    config: CracConfig,
+    scale: f64,
+    checkpoint_at: f64,
+) -> SessionResult<CracRunResult> {
+    let reg = registry();
+    let session = Session::crac(config.clone(), reg.clone());
+    let buffers = setup_app(&session, spec)?;
+    run_app_phase(&session, spec, &buffers, scale, checkpoint_at.clamp(0.0, 1.0))?;
+    session.device_synchronize()?;
+
+    let proc = session.as_crac().expect("session runs under CRAC");
+    let report = proc.checkpoint();
+
+    // Restart in a brand-new process and finish the remaining fraction there.
+    let (proc2, restart) = CracProcess::restart(&report.image, config, reg)
+        .map_err(|e| e.to_string())?;
+    let session2 = Session::from_crac(proc2);
+    let remaining = 1.0 - checkpoint_at.clamp(0.0, 1.0);
+    if remaining > 0.0 {
+        run_app_phase(&session2, spec, &buffers, scale, remaining)?;
+        session2.device_synchronize()?;
+    }
+
+    let elapsed_s = session.elapsed_s();
+    let total = session.total_cuda_calls();
+    let run = RunResult {
+        name: spec.name.to_string(),
+        mode: "CRAC+ckpt".to_string(),
+        elapsed_s,
+        total_cuda_calls: total,
+        cps: if elapsed_s > 0.0 { total as f64 / elapsed_s } else { 0.0 },
+        kernel_launches: ((spec.kernel_launches as f64) * scale * checkpoint_at) as u64,
+        peak_concurrent_kernels: session.peak_concurrent_kernels(),
+        uvm_device_faults: session.uvm_stats().device_faults,
+        uvm_host_faults: session.uvm_stats().host_faults,
+    };
+    Ok(CracRunResult {
+        run,
+        ckpt_time_s: report.ckpt_time_s,
+        restart_time_s: restart.restart_time_s,
+        image_bytes: report.image_bytes,
+        drained_bytes: report.drained_bytes,
+        replayed_calls: restart.replayed_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::all_rodinia;
+
+    fn tiny_spec() -> AppSpec {
+        AppSpec {
+            name: "tiny",
+            cmdline: "",
+            uses_uvm: true,
+            streams: 4,
+            device_mb: 4,
+            pinned_host_mb: 2,
+            managed_mb: 2,
+            kernel_launches: 200,
+            memcpy_calls: 50,
+            target_native_s: 0.2,
+            default_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn native_and_crac_runs_produce_comparable_call_counts() {
+        let spec = tiny_spec();
+        let rn = run_native(&spec, RuntimeConfig::v100(), 1.0).unwrap();
+        let mut cfg = CracConfig::v100("tiny");
+        cfg.dmtcp_startup_ns = 0;
+        let rc = run_crac(&spec, cfg, 1.0).unwrap();
+        let ratio = rc.total_cuda_calls as f64 / rn.total_cuda_calls as f64;
+        assert!((0.9..1.2).contains(&ratio), "call ratio {ratio}");
+    }
+
+    #[test]
+    fn checkpoint_restart_mid_run_completes_the_work() {
+        let spec = tiny_spec();
+        let result =
+            run_crac_with_checkpoint(&spec, CracConfig::test("tiny"), 1.0, 0.5).unwrap();
+        assert!(result.ckpt_time_s > 0.0);
+        assert!(result.restart_time_s > 0.0);
+        assert!(result.image_bytes > 1 << 20);
+        assert!(result.drained_bytes >= (spec.device_mb + spec.managed_mb) << 20);
+        assert!(result.replayed_calls > 0);
+    }
+
+    #[test]
+    fn rodinia_bfs_runs_quickly_at_small_scale() {
+        let bfs = all_rodinia().into_iter().find(|s| s.name == "BFS").unwrap();
+        let r = run_native(&bfs, RuntimeConfig::v100(), 1.0).unwrap();
+        // BFS's full run is only ~100 CUDA calls, so even scale 1.0 is cheap;
+        // the native runtime should land near the 2.5 s calibration target.
+        assert!(r.elapsed_s > 1.5 && r.elapsed_s < 3.5, "elapsed {}", r.elapsed_s);
+    }
+}

@@ -1,0 +1,195 @@
+//! The `simpleStreams` NVIDIA sample (Section 4.4.2, Figures 4a and 4b).
+//!
+//! The sample initialises a large integer array on the device with a kernel
+//! whose inner loop runs `niterations` times, then copies the array back to
+//! the host.  The non-streamed variant serialises kernel and copy; the
+//! streamed variant splits the array into `nstreams` chunks, each processed
+//! by its own kernel/`memcpyAsync` pair in its own stream, so copies overlap
+//! compute.  The paper sweeps `niterations` ∈ {5, 10, 100, 500} with
+//! `nreps = 1000` repetitions and 128 streams (the V100 maximum) and shows
+//! that CRAC's overhead stays under 1% in every configuration.
+
+use crac_core::CracStream;
+use crac_cudart::MemcpyKind;
+use crac_gpu::{KernelCost, LaunchDims};
+
+use crate::session::{Session, SessionResult};
+
+/// Configuration of one `simpleStreams` run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimpleStreamsConfig {
+    /// Number of CUDA streams (128 in the paper's experiments).
+    pub nstreams: u32,
+    /// Number of repetitions of the kernel/copy experiment (1000 in the
+    /// paper).
+    pub nreps: u32,
+    /// Iterations of the loop inside the kernel (5, 10, 100 or 500).
+    pub niterations: u32,
+    /// Array size in 4-byte elements (16 Mi elements = 64 MiB, the sample's
+    /// default).
+    pub elements: u64,
+}
+
+impl Default for SimpleStreamsConfig {
+    fn default() -> Self {
+        Self {
+            nstreams: 128,
+            nreps: 1000,
+            niterations: 500,
+            elements: 16 << 20,
+        }
+    }
+}
+
+/// Results of one `simpleStreams` run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimpleStreamsResult {
+    /// Total runtime in seconds (Figure 4a).
+    pub total_runtime_s: f64,
+    /// Time to process the array once without streams, in ms (Figure 4b).
+    pub nonstreamed_ms: f64,
+    /// Time to process the array once with `nstreams` streams, in ms
+    /// (Figure 4b).
+    pub streamed_ms: f64,
+    /// Total CUDA calls issued.
+    pub total_cuda_calls: u64,
+}
+
+/// Runs `simpleStreams` on the given session.  `scale` multiplies `nreps`
+/// (1.0 = the paper's 1000 repetitions).
+pub fn run_simple_streams(
+    session: &Session,
+    config: SimpleStreamsConfig,
+    scale: f64,
+) -> SessionResult<SimpleStreamsResult> {
+    let nreps = ((config.nreps as f64) * scale).round().max(1.0) as u32;
+    let bytes = config.elements * 4;
+    let chunk_elems = config.elements / config.nstreams as u64;
+    let chunk_bytes = chunk_elems * 4;
+
+    let init = session.register_kernel("work")?;
+    let dev = session.malloc(bytes)?;
+    let host = session.malloc_host(bytes)?;
+    let streams: Vec<CracStream> = (0..config.nstreams)
+        .map(|_| session.stream_create())
+        .collect::<SessionResult<Vec<_>>>()?;
+
+    // The kernel's work: `niterations` passes over its elements.
+    let flops_full = config.elements * config.niterations as u64;
+    let flops_chunk = chunk_elems * config.niterations as u64;
+
+    let mut nonstreamed_ms = 0.0;
+    let mut streamed_ms = 0.0;
+
+    for rep in 0..nreps {
+        // --- Non-streamed: one kernel over the whole array, then one
+        //     synchronous copy back to the host.
+        let t0 = session.now_ns();
+        session.launch(
+            init,
+            LaunchDims::linear(1024, 256),
+            KernelCost::new(flops_full, bytes),
+            vec![dev.as_u64()],
+            CracStream::DEFAULT,
+        )?;
+        session.stream_synchronize(CracStream::DEFAULT)?;
+        session.memcpy(host, dev, bytes, MemcpyKind::DeviceToHost)?;
+        let t1 = session.now_ns();
+
+        // --- Streamed: one kernel + async copy per chunk, each in its own
+        //     stream; copies overlap the other chunks' kernels.
+        for (i, s) in streams.iter().enumerate() {
+            let off = (i as u64) * chunk_bytes;
+            session.launch(
+                init,
+                LaunchDims::linear(8, 256),
+                KernelCost::new(flops_chunk, chunk_bytes),
+                vec![dev.as_u64() + off],
+                *s,
+            )?;
+            session.memcpy_async(
+                host + off,
+                dev + off,
+                chunk_bytes,
+                MemcpyKind::DeviceToHost,
+                *s,
+            )?;
+        }
+        session.device_synchronize()?;
+        let t2 = session.now_ns();
+
+        if rep == 0 {
+            nonstreamed_ms = (t1 - t0) as f64 / 1e6;
+            streamed_ms = (t2 - t1) as f64 / 1e6;
+        }
+    }
+
+    session.device_synchronize()?;
+    for s in streams {
+        session.stream_destroy(s)?;
+    }
+    session.free(dev)?;
+    session.free(host)?;
+
+    Ok(SimpleStreamsResult {
+        total_runtime_s: session.elapsed_s(),
+        nonstreamed_ms,
+        streamed_ms,
+        total_cuda_calls: session.total_cuda_calls(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::registry;
+    use crac_core::CracConfig;
+    use crac_cudart::RuntimeConfig;
+
+    fn config(niter: u32) -> SimpleStreamsConfig {
+        SimpleStreamsConfig {
+            nstreams: 32,
+            nreps: 4,
+            niterations: niter,
+            elements: 16 << 20,
+        }
+    }
+
+    #[test]
+    fn streams_overlap_copies_with_compute() {
+        let session = Session::native(RuntimeConfig::v100(), registry());
+        let r = run_simple_streams(&session, config(500), 1.0).unwrap();
+        assert!(
+            r.streamed_ms < r.nonstreamed_ms,
+            "streamed {} vs non-streamed {}",
+            r.streamed_ms,
+            r.nonstreamed_ms
+        );
+        assert!(r.total_runtime_s > 0.0);
+        assert!(r.total_cuda_calls > 100);
+        // Kernels from different streams were in flight at once.
+        assert!(session.peak_concurrent_kernels() >= 4);
+    }
+
+    #[test]
+    fn longer_kernels_mean_longer_runtimes() {
+        let short = Session::native(RuntimeConfig::v100(), registry());
+        let r_short = run_simple_streams(&short, config(5), 1.0).unwrap();
+        let long = Session::native(RuntimeConfig::v100(), registry());
+        let r_long = run_simple_streams(&long, config(500), 1.0).unwrap();
+        assert!(r_long.total_runtime_s > r_short.total_runtime_s);
+        assert!(r_long.nonstreamed_ms > r_short.nonstreamed_ms);
+    }
+
+    #[test]
+    fn crac_overhead_stays_low_with_max_streams() {
+        let native = Session::native(RuntimeConfig::v100(), registry());
+        let rn = run_simple_streams(&native, config(100), 1.0).unwrap();
+        let mut cfg = CracConfig::v100("simpleStreams");
+        cfg.dmtcp_startup_ns = 0;
+        let crac = Session::crac(cfg, registry());
+        let rc = run_simple_streams(&crac, config(100), 1.0).unwrap();
+        let overhead = (rc.total_runtime_s - rn.total_runtime_s) / rn.total_runtime_s * 100.0;
+        assert!(overhead < 5.0, "overhead {overhead:.2}%");
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: whole applications running on the whole
+//! stack (address space + GPU model + CUDA runtime + split process + CRAC +
+//! DMTCP), natively and under CRAC, with checkpoints and restarts.
+
+use crac_repro::prelude::*;
+use crac_repro::workloads::apps::{all_rodinia, unified_memory_streams, AppSpec};
+use crac_repro::workloads::runner::{run_crac, run_crac_with_checkpoint, run_native};
+
+fn small_scale(spec: &AppSpec) -> f64 {
+    // Keep every integration test under a second or two of wall time.
+    (200.0 / spec.kernel_launches as f64).min(1.0)
+}
+
+#[test]
+fn rodinia_class_app_has_low_crac_overhead() {
+    let spec = all_rodinia().into_iter().find(|s| s.name == "CFD").unwrap();
+    let scale = small_scale(&spec);
+    let native = run_native(&spec, RuntimeConfig::v100(), scale).unwrap();
+    let mut cfg = CracConfig::v100(spec.name);
+    cfg.dmtcp_startup_ns = 0;
+    let crac = run_crac(&spec, cfg, scale).unwrap();
+    let overhead = (crac.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
+    assert!(overhead >= 0.0, "CRAC cannot be faster than native here");
+    assert!(overhead < 5.0, "overhead {overhead:.2}% exceeds the paper's band");
+}
+
+#[test]
+fn uvm_and_128_streams_survive_a_mid_run_checkpoint() {
+    let spec = unified_memory_streams();
+    let scale = small_scale(&spec);
+    let result = run_crac_with_checkpoint(&spec, CracConfig::test(spec.name), scale, 0.5).unwrap();
+    // The managed footprint (384 MB) dominates the image.
+    assert!(result.image_bytes > 300 << 20, "image {} bytes", result.image_bytes);
+    assert!(result.drained_bytes >= 384 << 20);
+    assert!(result.ckpt_time_s > 0.0 && result.restart_time_s > 0.0);
+    assert!(result.replayed_calls > 100);
+}
+
+#[test]
+fn checkpoint_image_size_tracks_application_footprint() {
+    let suite = all_rodinia();
+    let small = suite.iter().find(|s| s.name == "Heartwall").unwrap();
+    let large = suite.iter().find(|s| s.name == "Kmeans").unwrap();
+    // The V100 profile is needed here: Kmeans' device footprint exceeds the
+    // tiny test GPU's memory.
+    let r_small =
+        run_crac_with_checkpoint(small, CracConfig::v100(small.name), small_scale(small), 0.4)
+            .unwrap();
+    let r_large =
+        run_crac_with_checkpoint(large, CracConfig::v100(large.name), small_scale(large), 0.4)
+            .unwrap();
+    // Kmeans (374 MB in the paper) dwarfs Heartwall (16 MB); the same ordering
+    // must hold here, by a wide margin.
+    assert!(
+        r_large.image_bytes > 4 * r_small.image_bytes,
+        "large {} vs small {}",
+        r_large.image_bytes,
+        r_small.image_bytes
+    );
+}
+
+#[test]
+fn restart_produces_a_process_that_can_checkpoint_again() {
+    use std::sync::Arc;
+    let mut kernels = KernelRegistry::new();
+    kernels.insert("bump", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let mut v = ctx.read_f32_arg(0, n)?;
+        for x in &mut v {
+            *x += 1.0;
+        }
+        ctx.write_f32_arg(0, &v)
+    });
+    let kernels = Arc::new(kernels);
+
+    let proc = CracProcess::launch(CracConfig::test("chain"), Arc::clone(&kernels));
+    let fb = proc.register_fat_binary();
+    let bump = proc.register_function(fb, "bump").unwrap();
+    let buf = proc.malloc(4 * 64).unwrap();
+    proc.space().write_f32(buf, &[0.0; 64]).unwrap();
+
+    // Three generations: run, checkpoint, restart, repeat.
+    let mut current = proc;
+    for generation in 1..=3u32 {
+        current
+            .launch_kernel(
+                bump,
+                LaunchDims::linear(1, 64),
+                KernelCost::compute(64),
+                vec![buf.as_u64(), 64],
+                CracStream::DEFAULT,
+            )
+            .unwrap();
+        current.device_synchronize().unwrap();
+        let report = current.checkpoint();
+        let (next, _) =
+            CracProcess::restart(&report.image, CracConfig::test("chain"), Arc::clone(&kernels))
+                .unwrap();
+        let mut out = [0f32; 64];
+        next.space().read_f32(buf, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == generation as f32), "generation {generation}");
+        current = next;
+    }
+}
+
+#[test]
+fn native_and_crac_compute_identical_results() {
+    use std::sync::Arc;
+    use crac_repro::workloads::kernels::registry;
+    use crac_repro::workloads::Session;
+    use crac_repro::cudart::MemcpyKind;
+
+    let run = |session: &Session| -> Vec<f32> {
+        let iota = session.register_kernel("iota").unwrap();
+        let scale = session.register_kernel("scale").unwrap();
+        let dev = session.malloc(4 * 256).unwrap();
+        let host = session.malloc_host(4 * 256).unwrap();
+        let s = session.stream_create().unwrap();
+        session
+            .launch(
+                iota,
+                LaunchDims::linear(1, 256),
+                KernelCost::compute(256),
+                vec![dev.as_u64(), 256],
+                s,
+            )
+            .unwrap();
+        session
+            .launch(
+                scale,
+                LaunchDims::linear(1, 256),
+                KernelCost::compute(256),
+                vec![dev.as_u64(), 256, 0.5f32.to_bits() as u64],
+                s,
+            )
+            .unwrap();
+        session.stream_synchronize(s).unwrap();
+        session
+            .memcpy(host, dev, 4 * 256, MemcpyKind::DeviceToHost)
+            .unwrap();
+        let mut out = vec![0f32; 256];
+        session.space().read_f32(host, &mut out).unwrap();
+        out
+    };
+
+    let native = Session::native(RuntimeConfig::test(), registry());
+    let crac = Session::crac(CracConfig::test("equivalence"), registry());
+    let a = run(&native);
+    let b = run(&crac);
+    assert_eq!(a, b);
+    assert_eq!(a[100], 50.0);
+    let _ = Arc::strong_count(&registry());
+}
