@@ -27,7 +27,7 @@ impl Addr {
     /// Returns `true` if the address is page-aligned.
     #[inline]
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Offset of this address within its page.
@@ -152,6 +152,23 @@ impl Prot {
     pub fn executable(self) -> bool {
         self.contains(Prot::EXEC)
     }
+
+    /// The raw `PROT_*`-style bit pattern (bit 0 = read, 1 = write,
+    /// 2 = exec), for serialisation into checkpoint images.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Reconstructs protection bits from [`Prot::bits`].  Unknown high bits
+    /// are rejected so a corrupted image byte cannot round-trip silently.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Option<Prot> {
+        if bits & !0b111 != 0 {
+            return None;
+        }
+        Some(Prot { bits })
+    }
 }
 
 impl fmt::Debug for Prot {
@@ -207,5 +224,21 @@ mod tests {
         assert_eq!(Prot::READ.union(Prot::EXEC), Prot::RX);
         assert_eq!(format!("{}", Prot::RX), "r-x");
         assert_eq!(format!("{}", Prot::NONE), "---");
+    }
+
+    #[test]
+    fn prot_bits_round_trip() {
+        for p in [
+            Prot::NONE,
+            Prot::READ,
+            Prot::WRITE,
+            Prot::RW,
+            Prot::RX,
+            Prot::RWX,
+        ] {
+            assert_eq!(Prot::from_bits(p.bits()), Some(p));
+        }
+        assert_eq!(Prot::from_bits(0b1000), None);
+        assert_eq!(Prot::from_bits(0xff), None);
     }
 }

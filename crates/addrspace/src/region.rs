@@ -120,8 +120,7 @@ impl PageStore {
     /// Discards pages at or beyond `first_page` (used when a region is split
     /// or truncated).
     pub fn truncate_pages(&mut self, first_page: u64) -> BTreeMap<u64, Box<[u8]>> {
-        let tail = self.pages.split_off(&first_page);
-        tail
+        self.pages.split_off(&first_page)
     }
 
     /// Inserts pre-existing pages, with their keys shifted by `shift` pages
@@ -139,6 +138,52 @@ impl fmt::Debug for PageStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "PageStore({} resident pages)", self.pages.len())
     }
+}
+
+/// A maximal run of consecutive dirty pages: `count` pages starting at page
+/// index `first`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRun {
+    /// Index of the first page in the run (relative to its region start).
+    pub first: u64,
+    /// Number of consecutive pages in the run.
+    pub count: u64,
+}
+
+impl PageRun {
+    /// Iterates the page indices covered by the run.
+    pub fn pages(self) -> impl Iterator<Item = u64> {
+        self.first..self.first + self.count
+    }
+}
+
+/// Groups page indices into maximal runs of consecutive values.
+///
+/// The input must be strictly increasing (which `BTreeMap` key order and
+/// sorted dirty-page lists both guarantee); out-of-order input panics in
+/// debug builds and starts a fresh run in release builds.
+pub fn page_runs(indices: impl IntoIterator<Item = u64>) -> Vec<PageRun> {
+    let mut runs: Vec<PageRun> = Vec::new();
+    for idx in indices {
+        match runs.last_mut() {
+            Some(run) if idx == run.first + run.count => run.count += 1,
+            Some(run) => {
+                debug_assert!(
+                    idx > run.first + run.count,
+                    "page indices must be increasing"
+                );
+                runs.push(PageRun {
+                    first: idx,
+                    count: 1,
+                });
+            }
+            None => runs.push(PageRun {
+                first: idx,
+                count: 1,
+            }),
+        }
+    }
+    runs
 }
 
 /// A single contiguous mapping in the simulated address space.

@@ -126,7 +126,9 @@ mod tests {
     fn shared_space_clones_alias_the_same_memory() {
         let a = SharedSpace::new_no_aslr();
         let b = a.clone();
-        let addr = a.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let addr = a
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
         b.write_bytes(addr, b"shared").unwrap();
         let mut buf = [0u8; 6];
         a.read_bytes(addr, &mut buf).unwrap();
@@ -136,7 +138,9 @@ mod tests {
     #[test]
     fn typed_f32_round_trip() {
         let s = SharedSpace::new_no_aslr();
-        let addr = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "f")).unwrap();
+        let addr = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "f"))
+            .unwrap();
         let data = [1.5f32, -2.25, 3.0, 0.0];
         s.write_f32(addr, &data).unwrap();
         let mut out = [0f32; 4];
@@ -147,7 +151,9 @@ mod tests {
     #[test]
     fn typed_u64_round_trip() {
         let s = SharedSpace::new_no_aslr();
-        let addr = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "u")).unwrap();
+        let addr = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "u"))
+            .unwrap();
         s.write_u64(addr + 16, 0xdead_beef_cafe_f00d).unwrap();
         assert_eq!(s.read_u64(addr + 16).unwrap(), 0xdead_beef_cafe_f00d);
     }
@@ -155,7 +161,9 @@ mod tests {
     #[test]
     fn concurrent_writers_do_not_corrupt_disjoint_buffers() {
         let s = SharedSpace::new_no_aslr();
-        let addr = s.mmap(MapRequest::anon(64 * PAGE_SIZE, Half::Upper, "par")).unwrap();
+        let addr = s
+            .mmap(MapRequest::anon(64 * PAGE_SIZE, Half::Upper, "par"))
+            .unwrap();
         std::thread::scope(|scope| {
             for t in 0..8u8 {
                 let s = s.clone();
@@ -167,7 +175,8 @@ mod tests {
         });
         for t in 0..8u8 {
             let mut buf = [0u8; 8];
-            s.read_bytes(addr + (t as u64) * 8 * PAGE_SIZE, &mut buf).unwrap();
+            s.read_bytes(addr + (t as u64) * 8 * PAGE_SIZE, &mut buf)
+                .unwrap();
             assert_eq!(buf, [t + 1; 8]);
         }
     }

@@ -410,14 +410,8 @@ impl AddressSpace {
     pub fn stats(&self) -> SpaceStats {
         let mut s = self.stats;
         s.region_count = self.regions.len();
-        s.upper_bytes = self
-            .regions_in_half(Half::Upper)
-            .map(|r| r.len)
-            .sum();
-        s.lower_bytes = self
-            .regions_in_half(Half::Lower)
-            .map(|r| r.len)
-            .sum();
+        s.upper_bytes = self.regions_in_half(Half::Upper).map(|r| r.len).sum();
+        s.lower_bytes = self.regions_in_half(Half::Lower).map(|r| r.len).sum();
         s.resident_pages = self.regions.values().map(|r| r.resident_pages()).sum();
         s
     }
@@ -546,7 +540,8 @@ impl AddressSpace {
             label: region.label.clone(),
             store: PageStore::new(),
         };
-        tail.store.adopt_pages(tail_pages, -(tail_first_page as i64));
+        tail.store
+            .adopt_pages(tail_pages, -(tail_first_page as i64));
         self.regions.insert(addr, tail);
     }
 
@@ -597,8 +592,12 @@ mod tests {
     #[test]
     fn mmap_places_halves_in_disjoint_ranges() {
         let mut s = space();
-        let lo = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Lower, "lower")).unwrap();
-        let up = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "upper")).unwrap();
+        let lo = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Lower, "lower"))
+            .unwrap();
+        let up = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "upper"))
+            .unwrap();
         assert!(lo.as_u64() >= LOWER_BASE && lo.as_u64() < UPPER_BASE);
         assert!(up.as_u64() >= UPPER_BASE && up.as_u64() < SPACE_END);
     }
@@ -625,15 +624,21 @@ mod tests {
         a.seed_aslr(1);
         let mut b = AddressSpace::new();
         b.seed_aslr(2);
-        let ra = a.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
-        let rb = b.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let ra = a
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
+        let rb = b
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
         assert_ne!(ra, rb);
     }
 
     #[test]
     fn write_then_read_round_trips() {
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "data")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "data"))
+            .unwrap();
         s.write(a + 100, b"checkpoint me").unwrap();
         let mut buf = [0u8; 13];
         s.read(a + 100, &mut buf).unwrap();
@@ -664,7 +669,9 @@ mod tests {
     #[test]
     fn munmap_then_access_faults() {
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(2 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(2 * PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
         s.write(a, &[1, 2, 3]).unwrap();
         s.munmap(a, 2 * PAGE_SIZE).unwrap();
         let mut buf = [0u8; 3];
@@ -674,7 +681,9 @@ mod tests {
     #[test]
     fn partial_munmap_splits_region_and_keeps_content() {
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
         s.write(a, &[0xaa; 8]).unwrap();
         s.write(a + 3 * PAGE_SIZE, &[0xbb; 8]).unwrap();
         // Punch out the middle two pages.
@@ -695,7 +704,9 @@ mod tests {
         // Reproduces the Section 3.2.2 hazard: a lower-half MAP_FIXED call can
         // silently clobber upper-half pages.
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "victim")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "victim"))
+            .unwrap();
         s.write(a + PAGE_SIZE, &[7u8; 16]).unwrap();
         // Upper-half range address, but mapped on behalf of the lower half is
         // not allowed (OutsideHalf); overwrite within the same half instead.
@@ -724,7 +735,9 @@ mod tests {
     #[test]
     fn mprotect_splits_and_applies() {
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "x"))
+            .unwrap();
         s.mprotect(a + PAGE_SIZE, PAGE_SIZE, Prot::READ).unwrap();
         assert_eq!(s.region_count(), 3);
         assert!(s.write(a, &[1]).is_ok());
@@ -747,8 +760,12 @@ mod tests {
     #[test]
     fn consolidate_merges_adjacent_upper_regions() {
         let mut s = space();
-        let a = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "a")).unwrap();
-        let b = s.mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "b")).unwrap();
+        let a = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "a"))
+            .unwrap();
+        let b = s
+            .mmap(MapRequest::anon(PAGE_SIZE, Half::Upper, "b"))
+            .unwrap();
         assert_eq!(b, a + PAGE_SIZE);
         s.write(b, &[9u8; 4]).unwrap();
         let eliminated = s.consolidate_upper_half();
@@ -762,8 +779,10 @@ mod tests {
     #[test]
     fn stats_track_halves_separately() {
         let mut s = space();
-        s.mmap(MapRequest::anon(3 * PAGE_SIZE, Half::Upper, "u")).unwrap();
-        s.mmap(MapRequest::anon(5 * PAGE_SIZE, Half::Lower, "l")).unwrap();
+        s.mmap(MapRequest::anon(3 * PAGE_SIZE, Half::Upper, "u"))
+            .unwrap();
+        s.mmap(MapRequest::anon(5 * PAGE_SIZE, Half::Lower, "l"))
+            .unwrap();
         let st = s.stats();
         assert_eq!(st.upper_bytes, 3 * PAGE_SIZE);
         assert_eq!(st.lower_bytes, 5 * PAGE_SIZE);
@@ -778,14 +797,21 @@ mod tests {
             s.mmap(MapRequest::anon(0, Half::Upper, "x")).unwrap_err(),
             MemError::ZeroLength
         );
-        assert_eq!(s.munmap(Addr(UPPER_BASE), 0).unwrap_err(), MemError::ZeroLength);
+        assert_eq!(
+            s.munmap(Addr(UPPER_BASE), 0).unwrap_err(),
+            MemError::ZeroLength
+        );
     }
 
     #[test]
     fn sparse_copy_moves_only_dirty_bytes() {
         let mut s = space();
-        let src = s.mmap(MapRequest::anon(1 << 20, Half::Upper, "src")).unwrap();
-        let dst = s.mmap(MapRequest::anon(1 << 20, Half::Upper, "dst")).unwrap();
+        let src = s
+            .mmap(MapRequest::anon(1 << 20, Half::Upper, "src"))
+            .unwrap();
+        let dst = s
+            .mmap(MapRequest::anon(1 << 20, Half::Upper, "dst"))
+            .unwrap();
         // Write two small islands far apart, at unaligned offsets.
         s.write(src + 100, b"island one").unwrap();
         s.write(src + 700_000, b"island two").unwrap();
@@ -807,8 +833,12 @@ mod tests {
     #[test]
     fn sparse_copy_respects_sub_range_boundaries() {
         let mut s = space();
-        let src = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "src")).unwrap();
-        let dst = s.mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "dst")).unwrap();
+        let src = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "src"))
+            .unwrap();
+        let dst = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "dst"))
+            .unwrap();
         s.fill(src, 4 * PAGE_SIZE, 0x11).unwrap();
         // Copy only an interior window starting at an unaligned offset.
         let copied = s.sparse_copy(dst, src + 300, 5000).unwrap();

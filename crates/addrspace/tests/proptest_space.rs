@@ -10,10 +10,26 @@ use proptest::prelude::*;
 /// A randomly generated sequence of address-space operations.
 #[derive(Clone, Debug)]
 enum Op {
-    Map { pages: u64, half: Half, fixed_slot: Option<u8> },
-    Unmap { slot: u8, page_off: u64, pages: u64 },
-    Write { slot: u8, off: u64, len: u8, byte: u8 },
-    Protect { slot: u8, prot_ro: bool },
+    Map {
+        pages: u64,
+        half: Half,
+        fixed_slot: Option<u8>,
+    },
+    Unmap {
+        slot: u8,
+        page_off: u64,
+        pages: u64,
+    },
+    Write {
+        slot: u8,
+        off: u64,
+        len: u8,
+        byte: u8,
+    },
+    Protect {
+        slot: u8,
+        prot_ro: bool,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -31,7 +47,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             pages
         }),
         (any::<u8>(), 0u64..1024, 1u8..64, any::<u8>()).prop_map(|(slot, off, len, byte)| {
-            Op::Write { slot, off, len, byte }
+            Op::Write {
+                slot,
+                off,
+                len,
+                byte,
+            }
         }),
         (any::<u8>(), any::<bool>()).prop_map(|(slot, prot_ro)| Op::Protect { slot, prot_ro }),
     ]

@@ -32,7 +32,9 @@ fn bench_drain_strategies(c: &mut Criterion) {
     let chunks: Vec<_> = arena.chunks().to_vec();
 
     let mut group = c.benchmark_group("drain_strategy");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("active_mallocs_only (CRAC)", |b| {
         b.iter(|| {

@@ -25,7 +25,9 @@ fn fragmented_space() -> SharedSpace {
 
 fn bench_region_consolidation(c: &mut Criterion) {
     let mut group = c.benchmark_group("region_consolidation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("checkpoint_fragmented", |b| {
         let space = fragmented_space();

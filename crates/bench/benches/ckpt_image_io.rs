@@ -1,0 +1,151 @@
+//! Image-store I/O bench: full vs. incremental vs. compressed checkpoint
+//! image write and read throughput through `crac-imagestore`.
+//!
+//! Alongside the criterion timings it prints the storage-volume comparison
+//! the store exists for: an incremental checkpoint with ~5 % dirty pages
+//! must write a small fraction of the bytes a full checkpoint writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crac_addrspace::{Addr, Prot, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, SavedRegion};
+use crac_imagestore::testutil::TempDir;
+use crac_imagestore::{Compression, ImageStore, WriteOptions};
+
+/// A checkpoint image with `regions` regions of `pages_per_region` dirty
+/// pages each (mixed compressible / incompressible content).
+fn build_image(regions: usize, pages_per_region: u64) -> CheckpointImage {
+    let mut image = CheckpointImage {
+        taken_at_ns: 1_000_000,
+        ..Default::default()
+    };
+    for r in 0..regions {
+        let pages = (0..pages_per_region)
+            .map(|i| {
+                let mut page = vec![(r as u8) ^ (i as u8); PAGE_SIZE as usize];
+                if i % 4 == 0 {
+                    // A quarter of the pages are incompressible (the rest
+                    // model zero/constant fills, which dominate real ckpts).
+                    for (j, b) in page.iter_mut().enumerate() {
+                        *b = (j as u8).wrapping_mul(31).wrapping_add(i as u8);
+                    }
+                }
+                // Unique stamp: no two pages are identical, so intra-image
+                // dedup cannot skew the full-write baseline.
+                page[..8].copy_from_slice(&(((r as u64) << 32) | (i + 1)).to_le_bytes());
+                (i, page)
+            })
+            .collect();
+        image.regions.push(SavedRegion {
+            start: Addr(0x4000_0000_0000 + ((r as u64) << 28)),
+            len: pages_per_region * PAGE_SIZE,
+            prot: Prot::RW,
+            label: format!("bench-region-{r}"),
+            pages,
+        });
+    }
+    image.payloads.insert("crac".into(), vec![0xAB; 64 << 10]);
+    image
+}
+
+/// Rewrites a contiguous ~`percent`% of each region's pages, modelling the
+/// clustered write sets real applications produce (hot buffers, not a page
+/// sprayed every N pages — scattered singles would touch nearly every
+/// chunk and erase the incremental win).
+fn dirty_some_pages(image: &mut CheckpointImage, percent: u64) {
+    for region in &mut image.regions {
+        let total = region.pages.len() as u64;
+        let dirty = (total * percent / 100).max(1);
+        for (idx, page) in &mut region.pages {
+            if *idx < dirty {
+                page.fill(0xD1);
+                page[..8].copy_from_slice(&(0xD1D1_0000_0000_0000u64 | *idx).to_le_bytes());
+            }
+        }
+    }
+}
+
+fn bench_image_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_image_io");
+    group.sample_size(10);
+
+    // 8 regions × 256 pages × 4 KiB = 8 MiB of dirty page content.
+    let image = build_image(8, 256);
+    let mut incremental = image.clone();
+    dirty_some_pages(&mut incremental, 5);
+
+    group.bench_function("write_full", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-full");
+            let store = ImageStore::open(dir.path()).unwrap();
+            store.write_image(&image, &WriteOptions::full()).unwrap()
+        })
+    });
+
+    group.bench_function("write_full_rle", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-rle");
+            let store = ImageStore::open(dir.path()).unwrap();
+            store
+                .write_image(
+                    &image,
+                    &WriteOptions::full().with_compression(Compression::Rle),
+                )
+                .unwrap()
+        })
+    });
+
+    group.bench_function("write_incremental_5pct", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-incr");
+            let store = ImageStore::open(dir.path()).unwrap();
+            let (parent, _) = store.write_image(&image, &WriteOptions::full()).unwrap();
+            store
+                .write_image(&incremental, &WriteOptions::incremental(parent))
+                .unwrap()
+        })
+    });
+
+    let dir = TempDir::new("bench-read");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let (id, _) = store.write_image(&image, &WriteOptions::full()).unwrap();
+    group.bench_function("read_verify", |b| b.iter(|| store.read_image(id).unwrap()));
+    group.finish();
+
+    // Storage-volume report (the store's reason to exist).
+    let dir = TempDir::new("bench-report");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let (parent, full) = store.write_image(&image, &WriteOptions::full()).unwrap();
+    let (_, incr) = store
+        .write_image(&incremental, &WriteOptions::incremental(parent))
+        .unwrap();
+    let (_, rle) = {
+        let dir = TempDir::new("bench-report-rle");
+        let store = ImageStore::open(dir.path()).unwrap();
+        store
+            .write_image(
+                &image,
+                &WriteOptions::full().with_compression(Compression::Rle),
+            )
+            .unwrap()
+    };
+    println!(
+        "\nckpt_image_io volume: full={} KiB  incremental(5% dirty)={} KiB ({:.1}% of full)  rle={} KiB ({:.1}% of full)",
+        full.bytes_written() >> 10,
+        incr.bytes_written() >> 10,
+        100.0 * incr.bytes_written() as f64 / full.bytes_written() as f64,
+        rle.bytes_written() >> 10,
+        100.0 * rle.bytes_written() as f64 / full.bytes_written() as f64,
+    );
+    println!(
+        "ckpt_image_io chunks: full wrote {}/{} chunks, incremental wrote {}/{} (deduped {})",
+        full.chunks_written,
+        full.chunks_total,
+        incr.chunks_written,
+        incr.chunks_total,
+        incr.chunks_deduped,
+    );
+}
+
+criterion_group!(benches, bench_image_io);
+criterion_main!(benches);

@@ -44,16 +44,16 @@ fn build_process() -> CracProcess {
 
 fn bench_ckpt_restart(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpoint_restart");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let proc = build_process();
     group.bench_function("checkpoint", |b| b.iter(|| proc.checkpoint()));
 
     let image = proc.checkpoint().image;
     group.bench_function("restart", |b| {
-        b.iter(|| {
-            CracProcess::restart(&image, CracConfig::test("bench-ckpt"), registry()).unwrap()
-        })
+        b.iter(|| CracProcess::restart(&image, CracConfig::test("bench-ckpt"), registry()).unwrap())
     });
     group.finish();
 }

@@ -25,7 +25,9 @@ fn bench_cublas_regimes(c: &mut Criterion) {
     let cma = CmaChannel::new(Arc::clone(rt.device().clock()));
 
     let mut group = c.benchmark_group("cublas_sdot_1mb");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("native", |b| {
         b.iter(|| {
             blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap();
@@ -40,7 +42,9 @@ fn bench_cublas_regimes(c: &mut Criterion) {
     });
     group.bench_function("cma_ipc", |b| {
         b.iter(|| {
-            cma.forward(2 * bytes, 4, || blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap());
+            cma.forward(2 * bytes, 4, || {
+                blas.sdot(n, x, y, r, StreamId::DEFAULT).unwrap()
+            });
             rt.device_synchronize().unwrap();
         })
     });

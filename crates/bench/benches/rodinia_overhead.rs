@@ -31,7 +31,9 @@ fn small_spec() -> AppSpec {
 fn bench_rodinia_overhead(c: &mut Criterion) {
     let spec = small_spec();
     let mut group = c.benchmark_group("rodinia_app_simulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("native", |b| {
         b.iter(|| run_native(&spec, RuntimeConfig::v100(), 1.0).unwrap())
     });

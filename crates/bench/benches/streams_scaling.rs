@@ -13,7 +13,9 @@ use crac_workloads::Session;
 
 fn bench_stream_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("streams_scaling_crac");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for nstreams in [1u32, 8, 32, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(nstreams), &nstreams, |b, &n| {
             b.iter(|| {

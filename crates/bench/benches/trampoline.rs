@@ -16,13 +16,17 @@ use crac_splitproc::{FsRegisterMode, TrampolineTable};
 fn bench_call_paths(c: &mut Criterion) {
     let runtime = CudaRuntime::new(RuntimeConfig::v100(), SharedSpace::new_no_aslr());
     let ptr = runtime.malloc(4096).unwrap();
-    let trampolines =
-        TrampolineTable::new(FsRegisterMode::KernelCall, Arc::clone(runtime.device().clock()));
+    let trampolines = TrampolineTable::new(
+        FsRegisterMode::KernelCall,
+        Arc::clone(runtime.device().clock()),
+    );
     trampolines.set_extra_crossing_cost(60);
     let cma = CmaChannel::new(Arc::clone(runtime.device().clock()));
 
     let mut group = c.benchmark_group("call_path");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("direct_memset", |b| {
         b.iter(|| runtime.memset(ptr, 1, 4096).unwrap())
     });

@@ -96,13 +96,18 @@ fn fig3(scale: f64) {
         "replayed calls",
     ]);
     for r in rows {
-        let paper = RODINIA_REF.iter().find(|p| p.name == r.name).and_then(|p| p.ckpt_mb);
+        let paper = RODINIA_REF
+            .iter()
+            .find(|p| p.name == r.name)
+            .and_then(|p| p.ckpt_mb);
         t.row(vec![
             r.name.clone(),
             format!("{:.3}", r.ckpt_s),
             format!("{:.3}", r.restart_s),
             format!("{:.1}", r.image_mb),
-            paper.map(|m| m.to_string()).unwrap_or_else(|| "—".to_string()),
+            paper
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "—".to_string()),
             r.replayed_calls.to_string(),
         ]);
     }
@@ -118,7 +123,10 @@ fn fig4(scale: f64) {
             r.niterations.to_string(),
             format!("{:.2}", r.native_total_s),
             format!("{:.2}", r.crac_total_s),
-            format!("{:.2}", (r.crac_total_s - r.native_total_s) / r.native_total_s * 100.0),
+            format!(
+                "{:.2}",
+                (r.crac_total_s - r.native_total_s) / r.native_total_s * 100.0
+            ),
         ]);
     }
     print!("{}", a.render());
@@ -144,7 +152,13 @@ fn fig4(scale: f64) {
 
 fn overhead_table(title: &str, rows: Vec<exp::OverheadRow>) {
     print_header(title);
-    let mut t = TextTable::new(vec!["Benchmark", "native (s)", "CRAC (s)", "overhead %", "CUDA calls"]);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "native (s)",
+        "CRAC (s)",
+        "overhead %",
+        "CUDA calls",
+    ]);
     for r in rows {
         t.row(vec![
             r.name.clone(),
@@ -168,7 +182,10 @@ fn fig5c(scale: f64) {
         "image MB (paper)",
     ]);
     for r in rows {
-        let paper = FIG5C_CKPT_MB.iter().find(|(n, _)| *n == r.name).map(|(_, m)| *m);
+        let paper = FIG5C_CKPT_MB
+            .iter()
+            .find(|(n, _)| *n == r.name)
+            .map(|(_, m)| *m);
         t.row(vec![
             r.name.clone(),
             format!("{:.3}", r.ckpt_s),
@@ -205,7 +222,9 @@ fn table3(iters: u32) {
             format!("{:.1}", r.crac_overhead_pct),
             format!("{:.2}", r.ipc_ms),
             format!("{:.0}", r.ipc_overhead_pct),
-            paper.map(|p| format!("{:.0}", p.ipc_overhead_pct)).unwrap_or_default(),
+            paper
+                .map(|p| format!("{:.0}", p.ipc_overhead_pct))
+                .unwrap_or_default(),
         ]);
     }
     print!("{}", t.render());
@@ -259,8 +278,14 @@ fn main() {
         "fig2" => fig2(scale),
         "fig3" => fig3(scale),
         "fig4" | "fig4a" | "fig4b" => fig4(scale),
-        "fig5a" => overhead_table("Figure 5a: stream-oriented benchmarks", exp::fig5a_streams_apps(scale)),
-        "fig5b" => overhead_table("Figure 5b: real-world benchmarks", exp::fig5b_realworld(scale)),
+        "fig5a" => overhead_table(
+            "Figure 5a: stream-oriented benchmarks",
+            exp::fig5a_streams_apps(scale),
+        ),
+        "fig5b" => overhead_table(
+            "Figure 5b: real-world benchmarks",
+            exp::fig5b_realworld(scale),
+        ),
         "fig5c" => fig5c(scale),
         "table3" => table3(iters),
         "fig6" => fig6(scale),
@@ -272,8 +297,14 @@ fn main() {
             fig2(scale);
             fig3(scale);
             fig4(scale);
-            overhead_table("Figure 5a: stream-oriented benchmarks", exp::fig5a_streams_apps(scale));
-            overhead_table("Figure 5b: real-world benchmarks", exp::fig5b_realworld(scale));
+            overhead_table(
+                "Figure 5a: stream-oriented benchmarks",
+                exp::fig5a_streams_apps(scale),
+            );
+            overhead_table(
+                "Figure 5b: real-world benchmarks",
+                exp::fig5b_realworld(scale),
+            );
             fig5c(scale);
             table3(iters);
             fig6(scale);

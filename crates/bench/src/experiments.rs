@@ -129,7 +129,11 @@ pub fn table1(scale_mult: f64) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     // A representative Rodinia application (Hotspot) for the suite's CPS.
     let rodinia = all_rodinia();
-    let hotspot = rodinia.iter().find(|s| s.name == "Hotspot").unwrap().clone();
+    let hotspot = rodinia
+        .iter()
+        .find(|s| s.name == "Hotspot")
+        .unwrap()
+        .clone();
     let specs: Vec<(AppSpec, &str, &str)> = vec![
         (hotspot, "Rodinia", "—"),
         (lulesh(), "Lulesh", "2-32"),
@@ -268,13 +272,11 @@ pub fn fig6_fsgsbase(scale_mult: f64) -> Vec<Fig6Row> {
             let scale = spec.default_scale * scale_mult * 0.5;
             let native = run_native(&spec, RuntimeConfig::k600(), scale).expect("native run");
             let mut cfg_unpatched = CracConfig::k600(spec.name);
-            cfg_unpatched.dmtcp_startup_ns =
-                (cfg_unpatched.dmtcp_startup_ns as f64 * scale) as u64;
+            cfg_unpatched.dmtcp_startup_ns = (cfg_unpatched.dmtcp_startup_ns as f64 * scale) as u64;
             let cfg_fsgs = cfg_unpatched.clone().with_fsgsbase();
             let unpatched = run_crac(&spec, cfg_unpatched, scale).expect("CRAC run");
             let fsgs = run_crac(&spec, cfg_fsgs, scale).expect("CRAC run");
-            let o_unpatched =
-                (unpatched.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
+            let o_unpatched = (unpatched.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
             let o_fsgs = (fsgs.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
             Fig6Row {
                 name: spec.name.to_string(),
@@ -311,7 +313,9 @@ mod tests {
     fn table2_lists_the_rodinia_command_lines() {
         let rows = table2();
         assert_eq!(rows.len(), 14);
-        assert!(rows.iter().any(|(n, c)| n == "Gaussian" && c.contains("-s 8192")));
+        assert!(rows
+            .iter()
+            .any(|(n, c)| n == "Gaussian" && c.contains("-s 8192")));
     }
 
     #[test]
@@ -320,9 +324,12 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.native_streamed_ms < r.native_nonstreamed_ms);
-            let overhead =
-                (r.crac_total_s - r.native_total_s) / r.native_total_s * 100.0;
-            assert!(overhead.abs() < 8.0, "{} overhead {overhead:.2}%", r.niterations);
+            let overhead = (r.crac_total_s - r.native_total_s) / r.native_total_s * 100.0;
+            assert!(
+                overhead.abs() < 8.0,
+                "{} overhead {overhead:.2}%",
+                r.niterations
+            );
         }
         // Longer kernels → longer runs.
         assert!(rows[3].native_total_s > rows[0].native_total_s);

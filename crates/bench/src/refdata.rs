@@ -13,20 +13,76 @@ pub struct RodiniaRef {
 
 /// Figure 2 / Figure 3 reference values.
 pub const RODINIA_REF: &[RodiniaRef] = &[
-    RodiniaRef { name: "BFS", total_calls: 100, ckpt_mb: Some(39) },
-    RodiniaRef { name: "CFD", total_calls: 72_000, ckpt_mb: Some(39) },
-    RodiniaRef { name: "DWT2D", total_calls: 800_000, ckpt_mb: Some(40) },
-    RodiniaRef { name: "Gaussian", total_calls: 18_000, ckpt_mb: Some(783) },
-    RodiniaRef { name: "Heartwall", total_calls: 1_700, ckpt_mb: Some(16) },
-    RodiniaRef { name: "Hotspot", total_calls: 7_000, ckpt_mb: Some(18) },
-    RodiniaRef { name: "Hotspot3D", total_calls: 3_000, ckpt_mb: Some(54) },
-    RodiniaRef { name: "Kmeans", total_calls: 30_000, ckpt_mb: Some(374) },
-    RodiniaRef { name: "LUD", total_calls: 1_000, ckpt_mb: Some(695) },
-    RodiniaRef { name: "Leukocyte", total_calls: 12_000, ckpt_mb: Some(57) },
-    RodiniaRef { name: "NW", total_calls: 15_000, ckpt_mb: None },
-    RodiniaRef { name: "Particlefilter", total_calls: 120, ckpt_mb: Some(36) },
-    RodiniaRef { name: "SRAD", total_calls: 8_000, ckpt_mb: Some(53) },
-    RodiniaRef { name: "Streamcluster", total_calls: 69_000, ckpt_mb: Some(83) },
+    RodiniaRef {
+        name: "BFS",
+        total_calls: 100,
+        ckpt_mb: Some(39),
+    },
+    RodiniaRef {
+        name: "CFD",
+        total_calls: 72_000,
+        ckpt_mb: Some(39),
+    },
+    RodiniaRef {
+        name: "DWT2D",
+        total_calls: 800_000,
+        ckpt_mb: Some(40),
+    },
+    RodiniaRef {
+        name: "Gaussian",
+        total_calls: 18_000,
+        ckpt_mb: Some(783),
+    },
+    RodiniaRef {
+        name: "Heartwall",
+        total_calls: 1_700,
+        ckpt_mb: Some(16),
+    },
+    RodiniaRef {
+        name: "Hotspot",
+        total_calls: 7_000,
+        ckpt_mb: Some(18),
+    },
+    RodiniaRef {
+        name: "Hotspot3D",
+        total_calls: 3_000,
+        ckpt_mb: Some(54),
+    },
+    RodiniaRef {
+        name: "Kmeans",
+        total_calls: 30_000,
+        ckpt_mb: Some(374),
+    },
+    RodiniaRef {
+        name: "LUD",
+        total_calls: 1_000,
+        ckpt_mb: Some(695),
+    },
+    RodiniaRef {
+        name: "Leukocyte",
+        total_calls: 12_000,
+        ckpt_mb: Some(57),
+    },
+    RodiniaRef {
+        name: "NW",
+        total_calls: 15_000,
+        ckpt_mb: None,
+    },
+    RodiniaRef {
+        name: "Particlefilter",
+        total_calls: 120,
+        ckpt_mb: Some(36),
+    },
+    RodiniaRef {
+        name: "SRAD",
+        total_calls: 8_000,
+        ckpt_mb: Some(53),
+    },
+    RodiniaRef {
+        name: "Streamcluster",
+        total_calls: 69_000,
+        ckpt_mb: Some(83),
+    },
 ];
 
 /// Table 1 reference characterisation.
@@ -47,12 +103,48 @@ pub struct Table1Ref {
 
 /// Table 1 as printed in the paper.
 pub const TABLE1_REF: &[Table1Ref] = &[
-    Table1Ref { name: "Rodinia", uvm: false, streams: false, cps: 85_000.0, stream_range: "—" },
-    Table1Ref { name: "Lulesh", uvm: false, streams: true, cps: 2_500.0, stream_range: "2-32" },
-    Table1Ref { name: "simpleStreams", uvm: false, streams: true, cps: 10_000.0, stream_range: "4-128" },
-    Table1Ref { name: "UnifiedMemoryStreams", uvm: true, streams: true, cps: 4_400.0, stream_range: "4-128" },
-    Table1Ref { name: "HPGMG-FV", uvm: true, streams: false, cps: 35_000.0, stream_range: "—" },
-    Table1Ref { name: "HYPRE", uvm: true, streams: true, cps: 600.0, stream_range: "1-10" },
+    Table1Ref {
+        name: "Rodinia",
+        uvm: false,
+        streams: false,
+        cps: 85_000.0,
+        stream_range: "—",
+    },
+    Table1Ref {
+        name: "Lulesh",
+        uvm: false,
+        streams: true,
+        cps: 2_500.0,
+        stream_range: "2-32",
+    },
+    Table1Ref {
+        name: "simpleStreams",
+        uvm: false,
+        streams: true,
+        cps: 10_000.0,
+        stream_range: "4-128",
+    },
+    Table1Ref {
+        name: "UnifiedMemoryStreams",
+        uvm: true,
+        streams: true,
+        cps: 4_400.0,
+        stream_range: "4-128",
+    },
+    Table1Ref {
+        name: "HPGMG-FV",
+        uvm: true,
+        streams: false,
+        cps: 35_000.0,
+        stream_range: "—",
+    },
+    Table1Ref {
+        name: "HYPRE",
+        uvm: true,
+        streams: true,
+        cps: 600.0,
+        stream_range: "1-10",
+    },
 ];
 
 /// One Table 3 row as reported by the paper (per-call times in ms).
@@ -72,15 +164,69 @@ pub struct Table3Ref {
 
 /// Table 3 as printed in the paper.
 pub const TABLE3_REF: &[Table3Ref] = &[
-    Table3Ref { routine: "cublasSdot", data_mb: 1, native_ms: 0.026, crac_overhead_pct: 3.9, ipc_overhead_pct: 698.0 },
-    Table3Ref { routine: "cublasSdot", data_mb: 10, native_ms: 0.049, crac_overhead_pct: 3.3, ipc_overhead_pct: 5_142.0 },
-    Table3Ref { routine: "cublasSdot", data_mb: 100, native_ms: 0.282, crac_overhead_pct: 0.5, ipc_overhead_pct: 17_766.0 },
-    Table3Ref { routine: "cublasSgemv", data_mb: 1, native_ms: 0.012, crac_overhead_pct: 1.9, ipc_overhead_pct: 577.0 },
-    Table3Ref { routine: "cublasSgemv", data_mb: 10, native_ms: 0.036, crac_overhead_pct: 0.7, ipc_overhead_pct: 3_329.0 },
-    Table3Ref { routine: "cublasSgemv", data_mb: 100, native_ms: 0.142, crac_overhead_pct: -0.1, ipc_overhead_pct: 17_812.0 },
-    Table3Ref { routine: "cublasSgemm", data_mb: 1, native_ms: 0.202, crac_overhead_pct: 2.4, ipc_overhead_pct: 142.0 },
-    Table3Ref { routine: "cublasSgemm", data_mb: 10, native_ms: 1.806, crac_overhead_pct: 0.6, ipc_overhead_pct: 400.0 },
-    Table3Ref { routine: "cublasSgemm", data_mb: 100, native_ms: 32.373, crac_overhead_pct: -0.8, ipc_overhead_pct: 209.0 },
+    Table3Ref {
+        routine: "cublasSdot",
+        data_mb: 1,
+        native_ms: 0.026,
+        crac_overhead_pct: 3.9,
+        ipc_overhead_pct: 698.0,
+    },
+    Table3Ref {
+        routine: "cublasSdot",
+        data_mb: 10,
+        native_ms: 0.049,
+        crac_overhead_pct: 3.3,
+        ipc_overhead_pct: 5_142.0,
+    },
+    Table3Ref {
+        routine: "cublasSdot",
+        data_mb: 100,
+        native_ms: 0.282,
+        crac_overhead_pct: 0.5,
+        ipc_overhead_pct: 17_766.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemv",
+        data_mb: 1,
+        native_ms: 0.012,
+        crac_overhead_pct: 1.9,
+        ipc_overhead_pct: 577.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemv",
+        data_mb: 10,
+        native_ms: 0.036,
+        crac_overhead_pct: 0.7,
+        ipc_overhead_pct: 3_329.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemv",
+        data_mb: 100,
+        native_ms: 0.142,
+        crac_overhead_pct: -0.1,
+        ipc_overhead_pct: 17_812.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemm",
+        data_mb: 1,
+        native_ms: 0.202,
+        crac_overhead_pct: 2.4,
+        ipc_overhead_pct: 142.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemm",
+        data_mb: 10,
+        native_ms: 1.806,
+        crac_overhead_pct: 0.6,
+        ipc_overhead_pct: 400.0,
+    },
+    Table3Ref {
+        routine: "cublasSgemm",
+        data_mb: 100,
+        native_ms: 32.373,
+        crac_overhead_pct: -0.8,
+        ipc_overhead_pct: 209.0,
+    },
 ];
 
 /// TOP500 systems with NVIDIA GPUs per year (the introduction's graph).

@@ -73,7 +73,11 @@ impl TextTable {
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));

@@ -62,10 +62,7 @@ impl KernelRegistry {
     /// Adds (or replaces) a kernel body under `name`.
     pub fn insert<F>(&mut self, name: &str, body: F)
     where
-        F: Fn(&crac_gpu::KernelCtx) -> Result<(), crac_addrspace::MemError>
-            + Send
-            + Sync
-            + 'static,
+        F: Fn(&crac_gpu::KernelCtx) -> Result<(), crac_addrspace::MemError> + Send + Sync + 'static,
     {
         self.kernels.insert(name.to_string(), Arc::new(body));
     }

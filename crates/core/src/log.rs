@@ -212,11 +212,20 @@ mod tests {
             vfunction: 2,
             name: "bfs_kernel".to_string(),
         });
-        log.push(LoggedCall::Malloc { size: 4096, ptr: 0x1000 });
-        log.push(LoggedCall::MallocManaged { size: 1 << 20, ptr: 0x200000 });
+        log.push(LoggedCall::Malloc {
+            size: 4096,
+            ptr: 0x1000,
+        });
+        log.push(LoggedCall::MallocManaged {
+            size: 1 << 20,
+            ptr: 0x200000,
+        });
         log.push(LoggedCall::StreamCreate { vstream: 3 });
         log.push(LoggedCall::Free { ptr: 0x1000 });
-        log.push(LoggedCall::Malloc { size: 4096, ptr: 0x1000 });
+        log.push(LoggedCall::Malloc {
+            size: 4096,
+            ptr: 0x1000,
+        });
         log.push(LoggedCall::EventCreate { vevent: 4 });
         log.push(LoggedCall::StreamDestroy { vstream: 3 });
         log

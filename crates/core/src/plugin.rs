@@ -189,7 +189,12 @@ mod tests {
     use crac_addrspace::Prot;
     use crac_cudart::RuntimeConfig;
 
-    fn setup() -> (Arc<CudaRuntime>, SharedSpace, Arc<Mutex<CracState>>, CracPlugin) {
+    fn setup() -> (
+        Arc<CudaRuntime>,
+        SharedSpace,
+        Arc<Mutex<CracState>>,
+        CracPlugin,
+    ) {
         let space = SharedSpace::new_no_aslr();
         let runtime = CudaRuntime::new(RuntimeConfig::test(), space.clone());
         let state = Arc::new(Mutex::new(CracState::new()));
@@ -203,7 +208,10 @@ mod tests {
             next_handle: 7,
             log: {
                 let mut l = CudaCallLog::new();
-                l.push(LoggedCall::Malloc { size: 64, ptr: 0x100 });
+                l.push(LoggedCall::Malloc {
+                    size: 64,
+                    ptr: 0x100,
+                });
                 l
             },
             mallocs: {
@@ -231,10 +239,7 @@ mod tests {
         let (runtime, space, state, plugin) = setup();
         let dev = runtime.malloc(8192).unwrap();
         space.write_bytes(dev, &[0x5a; 128]).unwrap();
-        state
-            .lock()
-            .mallocs
-            .insert(dev, 8192, AllocKind::Device);
+        state.lock().mallocs.insert(dev, 8192, AllocKind::Device);
 
         plugin.pre_checkpoint();
         let staged = state.lock().staging.clone();

@@ -9,6 +9,7 @@ use crac_cudart::{CudaError, CudaRuntime, MemcpyKind};
 use crac_dmtcp::{CheckpointImage, Coordinator};
 use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
+use crac_imagestore::{ImageId, ImageStore, ReadStats, StoreError, WriteOptions, WriteStats};
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
 
@@ -43,6 +44,9 @@ pub enum CracError {
     InvalidHandle(&'static str),
     /// The checkpoint image did not contain a (valid) CRAC payload.
     BadImage,
+    /// The persistent image store failed (I/O error or corruption detected
+    /// by its integrity checks).
+    Store(String),
 }
 
 impl std::fmt::Display for CracError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for CracError {
             CracError::Mem(e) => write!(f, "memory error: {e}"),
             CracError::InvalidHandle(w) => write!(f, "invalid handle: {w}"),
             CracError::BadImage => write!(f, "checkpoint image has no valid CRAC payload"),
+            CracError::Store(e) => write!(f, "image store error: {e}"),
         }
     }
 }
@@ -78,6 +83,12 @@ impl From<MemError> for CracError {
     }
 }
 
+impl From<StoreError> for CracError {
+    fn from(e: StoreError) -> Self {
+        CracError::Store(e.to_string())
+    }
+}
+
 /// Result of [`CracProcess::checkpoint`].
 #[derive(Clone, Debug)]
 pub struct CkptReport {
@@ -93,6 +104,21 @@ pub struct CkptReport {
     pub regions_saved: usize,
     /// Merged maps entries excluded (lower half).
     pub regions_skipped: usize,
+}
+
+/// Result of [`CracProcess::checkpoint_to_store`]: the in-memory checkpoint
+/// report plus where and how the image landed on disk.
+#[derive(Clone, Debug)]
+pub struct StoredCkptReport {
+    /// The in-memory checkpoint report (image included, as with
+    /// [`CracProcess::checkpoint`]).
+    pub report: CkptReport,
+    /// Id of the stored image.
+    pub image_id: ImageId,
+    /// Whether this checkpoint was stored incrementally on a parent.
+    pub parent: Option<ImageId>,
+    /// Store-side write statistics (dedup, compression, bytes written).
+    pub write: WriteStats,
 }
 
 /// Result of [`CracProcess::restart`].
@@ -121,6 +147,11 @@ pub struct CracProcess {
     registry: Arc<KernelRegistry>,
     state: Arc<Mutex<CracState>>,
     coordinator: Coordinator,
+    /// The most recent checkpoint this process wrote: which store (by root
+    /// path) and which image.  Used as the implicit parent for the next
+    /// incremental checkpoint — but only into the *same* store, since image
+    /// ids carry no meaning across stores.
+    last_stored_image: Mutex<Option<(std::path::PathBuf, ImageId)>>,
 }
 
 impl CracProcess {
@@ -134,10 +165,18 @@ impl CracProcess {
             .trampolines()
             .set_extra_crossing_cost(config.log_overhead_ns);
         // Starting under DMTCP costs a fixed amount once.
-        lower.runtime().device().clock().advance(config.dmtcp_startup_ns);
+        lower
+            .runtime()
+            .device()
+            .clock()
+            .advance(config.dmtcp_startup_ns);
 
         // Load the application into the upper half.
-        load_program(&space, &ProgramSpec::cuda_application(&config.app_name), Half::Upper);
+        load_program(
+            &space,
+            &ProgramSpec::cuda_application(&config.app_name),
+            Half::Upper,
+        );
         let heap = HostHeap::new(space.clone(), 4 << 20);
 
         let state = Arc::new(Mutex::new(CracState::new()));
@@ -156,6 +195,7 @@ impl CracProcess {
             registry,
             state,
             coordinator,
+            last_stored_image: Mutex::new(None),
         }
     }
 
@@ -299,7 +339,13 @@ impl CracProcess {
     }
 
     /// `cudaMemcpy` (interposed; not logged — data, not CUDA state).
-    pub fn memcpy(&self, dst: Addr, src: Addr, bytes: u64, kind: MemcpyKind) -> Result<(), CracError> {
+    pub fn memcpy(
+        &self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: MemcpyKind,
+    ) -> Result<(), CracError> {
         let rt = self.lower.runtime();
         self.lower
             .trampolines()
@@ -327,7 +373,9 @@ impl CracProcess {
     /// `cudaMemset` (interposed).
     pub fn memset(&self, ptr: Addr, value: u8, bytes: u64) -> Result<(), CracError> {
         let rt = self.lower.runtime();
-        self.lower.trampolines().call(|| rt.memset(ptr, value, bytes))?;
+        self.lower
+            .trampolines()
+            .call(|| rt.memset(ptr, value, bytes))?;
         Ok(())
     }
 
@@ -393,7 +441,9 @@ impl CracProcess {
         let s = self.stream_of(stream)?;
         let e = self.event_of(event)?;
         let rt = self.lower.runtime();
-        self.lower.trampolines().call(|| rt.stream_wait_event(s, e))?;
+        self.lower
+            .trampolines()
+            .call(|| rt.stream_wait_event(s, e))?;
         Ok(())
     }
 
@@ -441,7 +491,10 @@ impl CracProcess {
         let s = self.event_of(start)?;
         let e = self.event_of(end)?;
         let rt = self.lower.runtime();
-        Ok(self.lower.trampolines().call(|| rt.event_elapsed_ms(s, e))?)
+        Ok(self
+            .lower
+            .trampolines()
+            .call(|| rt.event_elapsed_ms(s, e))?)
     }
 
     /// `cudaDeviceSynchronize` (interposed).
@@ -512,7 +565,8 @@ impl CracProcess {
             .call(|| rt.unregister_fat_binary(fb))?;
         let mut st = self.state.lock();
         st.fatbins.remove(&fatbin.0);
-        st.log.push(LoggedCall::UnregisterFatBinary { vfatbin: fatbin.0 });
+        st.log
+            .push(LoggedCall::UnregisterFatBinary { vfatbin: fatbin.0 });
         Ok(())
     }
 
@@ -566,6 +620,65 @@ impl CracProcess {
         }
     }
 
+    /// Takes a checkpoint and persists it into `store`, returning the
+    /// stored image's id alongside the usual checkpoint report.
+    ///
+    /// When `opts.parent` is `None`, the process's previous checkpoint into
+    /// *this same store* (if any) is used as the parent automatically, so
+    /// repeated calls produce an incremental chain: unchanged chunks are
+    /// deduplicated against everything already in the store and only the
+    /// pages dirtied since the last checkpoint cost write I/O.  Writing to
+    /// a different store starts a fresh (full) chain — ids from one store
+    /// mean nothing in another.  Use [`CracProcess::clear_stored_parent`]
+    /// to force the next checkpoint to record no parent.
+    pub fn checkpoint_to_store(
+        &self,
+        store: &ImageStore,
+        mut opts: WriteOptions,
+    ) -> Result<StoredCkptReport, CracError> {
+        if opts.parent.is_none() {
+            if let Some((root, id)) = self.last_stored_image.lock().as_ref() {
+                if root == store.root() {
+                    opts.parent = Some(*id);
+                }
+            }
+        }
+        let report = self.checkpoint();
+        let (image_id, write) = store.write_image(&report.image, &opts)?;
+        *self.last_stored_image.lock() = Some((store.root().to_path_buf(), image_id));
+        Ok(StoredCkptReport {
+            report,
+            image_id,
+            parent: opts.parent,
+            write,
+        })
+    }
+
+    /// Forgets the stored-checkpoint lineage: the next
+    /// [`CracProcess::checkpoint_to_store`] with `parent: None` records no
+    /// parent (chunk-level dedup against the store still applies).
+    pub fn clear_stored_parent(&self) {
+        *self.last_stored_image.lock() = None;
+    }
+
+    /// Restarts an application from image `id` of `store` in a brand-new
+    /// simulated process.  The image is integrity-checked (CRC + content
+    /// hashes) while being read; any corruption surfaces as
+    /// [`CracError::Store`] before any state is restored.
+    pub fn restart_from_store(
+        store: &ImageStore,
+        id: ImageId,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+    ) -> Result<(Self, RestartReport, ReadStats), CracError> {
+        let (image, read_stats) = store.read_image(id)?;
+        let (proc, report) = Self::restart(&image, config, registry)?;
+        // The restored process chains its next incremental checkpoint off
+        // the image it came from.
+        *proc.last_stored_image.lock() = Some((store.root().to_path_buf(), id));
+        Ok((proc, report, read_stats))
+    }
+
     /// Restarts an application from a checkpoint image in a brand-new
     /// simulated process.
     ///
@@ -606,7 +719,12 @@ impl CracProcess {
         //    streams/events/fat binaries are recreated.
         let payload_bytes = image.payloads.get("crac").ok_or(CracError::BadImage)?;
         let payload = CracPayload::decode(payload_bytes).ok_or(CracError::BadImage)?;
-        let outcome = replay_log(&payload.log, lower.runtime(), lower.trampolines(), &registry)?;
+        let outcome = replay_log(
+            &payload.log,
+            lower.runtime(),
+            lower.trampolines(),
+            &registry,
+        )?;
 
         // 4. Refill device/managed allocations from the staged copies and
         //    release the staging buffers.
@@ -651,6 +769,7 @@ impl CracProcess {
                 registry,
                 state,
                 coordinator,
+                last_stored_image: Mutex::new(None),
             },
             RestartReport {
                 restart_time_s,

@@ -148,15 +148,27 @@ mod tests {
         let mut log = CudaCallLog::new();
         let mut survivors = Vec::new();
         let a = rt.malloc(1000).unwrap();
-        log.push(LoggedCall::Malloc { size: 1000, ptr: a.as_u64() });
+        log.push(LoggedCall::Malloc {
+            size: 1000,
+            ptr: a.as_u64(),
+        });
         let m = rt.malloc_managed(64 * 1024).unwrap();
-        log.push(LoggedCall::MallocManaged { size: 64 * 1024, ptr: m.as_u64() });
+        log.push(LoggedCall::MallocManaged {
+            size: 64 * 1024,
+            ptr: m.as_u64(),
+        });
         let b = rt.malloc(2000).unwrap();
-        log.push(LoggedCall::Malloc { size: 2000, ptr: b.as_u64() });
+        log.push(LoggedCall::Malloc {
+            size: 2000,
+            ptr: b.as_u64(),
+        });
         rt.free(a).unwrap();
         log.push(LoggedCall::Free { ptr: a.as_u64() });
         let c = rt.malloc(1000).unwrap();
-        log.push(LoggedCall::Malloc { size: 1000, ptr: c.as_u64() });
+        log.push(LoggedCall::Malloc {
+            size: 1000,
+            ptr: c.as_u64(),
+        });
         survivors.extend([m.as_u64(), b.as_u64(), c.as_u64()]);
         (log, survivors)
     }

@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn round_trip_mixed_values() {
         let mut e = Encoder::new();
-        e.u64(42).u8(7).string("checkpoint").bytes(&[1, 2, 3]).u64(u64::MAX);
+        e.u64(42)
+            .u8(7)
+            .string("checkpoint")
+            .bytes(&[1, 2, 3])
+            .u64(u64::MAX);
         let data = e.finish();
         let mut d = Decoder::new(&data);
         assert_eq!(d.u64(), Some(42));

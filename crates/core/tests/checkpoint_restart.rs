@@ -77,12 +77,8 @@ fn build_app() -> App {
         stream,
     )
     .unwrap();
-    proc.space()
-        .write_f32(pinned, &vec![7.0f32; N])
-        .unwrap();
-    proc.space()
-        .write_f32(managed, &vec![3.5f32; N])
-        .unwrap();
+    proc.space().write_f32(pinned, &vec![7.0f32; N]).unwrap();
+    proc.space().write_f32(managed, &vec![3.5f32; N]).unwrap();
     proc.host_touch_managed(managed, (N * 4) as u64);
     proc.stream_synchronize(stream).unwrap();
 
@@ -155,7 +151,12 @@ fn application_continues_with_its_old_handles_after_restart() {
 
     // Old pointers remain valid CUDA pointers for further API calls.
     proc2
-        .memcpy(app.pinned, app.dev, (N * 4) as u64, MemcpyKind::DeviceToHost)
+        .memcpy(
+            app.pinned,
+            app.dev,
+            (N * 4) as u64,
+            MemcpyKind::DeviceToHost,
+        )
         .unwrap();
     let mut pin = vec![0f32; N];
     proc2.space().read_f32(app.pinned, &mut pin).unwrap();

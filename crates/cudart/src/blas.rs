@@ -87,8 +87,10 @@ impl Cublas {
     pub fn new(rt: Arc<CudaRuntime>) -> CudaResult<Self> {
         let fatbin = rt.register_fat_binary();
         let sdot = rt.register_function(fatbin, "cublasSdot_kernel", Some(Arc::new(sdot_body)))?;
-        let sgemv = rt.register_function(fatbin, "cublasSgemv_kernel", Some(Arc::new(sgemv_body)))?;
-        let sgemm = rt.register_function(fatbin, "cublasSgemm_kernel", Some(Arc::new(sgemm_body)))?;
+        let sgemv =
+            rt.register_function(fatbin, "cublasSgemv_kernel", Some(Arc::new(sgemv_body)))?;
+        let sgemm =
+            rt.register_function(fatbin, "cublasSgemm_kernel", Some(Arc::new(sgemm_body)))?;
         Ok(Self {
             rt,
             fatbin,
@@ -131,6 +133,7 @@ impl Cublas {
     }
 
     /// `cublasSgemm`: C ← A·B with A `m×k`, B `k×n`, C `m×n` (row-major).
+    #[allow(clippy::too_many_arguments)]
     pub fn sgemm(
         &self,
         m: u64,
@@ -144,7 +147,10 @@ impl Cublas {
         let cost = KernelCost::new(2 * m * n * k, 4 * (m * k + k * n + m * n));
         self.rt.launch_kernel(
             self.sgemm,
-            LaunchDims::linear((m * n).div_ceil(256).max(1).min(u32::MAX as u64) as u32, 256),
+            LaunchDims::linear(
+                (m * n).div_ceil(256).max(1).min(u32::MAX as u64) as u32,
+                256,
+            ),
             cost,
             vec![a.as_u64(), b.as_u64(), c.as_u64(), m, n, k],
             stream,
@@ -155,8 +161,8 @@ impl Cublas {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crac_addrspace::SharedSpace;
     use crate::runtime::RuntimeConfig;
+    use crac_addrspace::SharedSpace;
 
     fn setup() -> (Arc<CudaRuntime>, Cublas) {
         let rt = CudaRuntime::new(RuntimeConfig::test(), SharedSpace::new_no_aslr());
@@ -190,7 +196,7 @@ mod tests {
         // A = row i is [i+1, i+1, i+1]; x = [1, 2, 3] → y_i = 6 (i+1).
         let mut amat = Vec::new();
         for i in 0..m {
-            amat.extend(std::iter::repeat((i + 1) as f32).take(n as usize));
+            amat.extend(std::iter::repeat_n((i + 1) as f32, n as usize));
         }
         rt.space().write_f32(a, &amat).unwrap();
         rt.space().write_f32(x, &[1.0, 2.0, 3.0]).unwrap();
@@ -259,7 +265,8 @@ mod tests {
             let b = rt.malloc(4 * dim * dim).unwrap();
             let c = rt.malloc(4 * dim * dim).unwrap();
             let before = rt.device().clock().now();
-            blas.sgemm(dim, dim, dim, a, b, c, StreamId::DEFAULT).unwrap();
+            blas.sgemm(dim, dim, dim, a, b, c, StreamId::DEFAULT)
+                .unwrap();
             rt.device_synchronize().unwrap();
             rt.device().clock().now() - before
         };

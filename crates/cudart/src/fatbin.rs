@@ -81,7 +81,10 @@ impl FatBinaryRegistry {
                 body,
             },
         );
-        self.fatbins.get_mut(&fatbin).expect("checked above").push(h);
+        self.fatbins
+            .get_mut(&fatbin)
+            .expect("checked above")
+            .push(h);
         Ok(h)
     }
 
@@ -173,7 +176,9 @@ mod tests {
     fn register_and_lookup_round_trip() {
         let mut reg = FatBinaryRegistry::new();
         let fb = reg.register_fat_binary();
-        let f = reg.register_function(fb, "vector_add", Some(noop_body())).unwrap();
+        let f = reg
+            .register_function(fb, "vector_add", Some(noop_body()))
+            .unwrap();
         let k = reg.lookup(f).unwrap();
         assert_eq!(k.name, "vector_add");
         assert_eq!(k.fatbin, fb);

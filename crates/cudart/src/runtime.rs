@@ -212,7 +212,7 @@ impl CudaRuntime {
         let mut st = self.state.lock();
         if st.device_arena.active_size(ptr).is_some() {
             let size = st.device_arena.free(ptr)?;
-            self.device.release_device_mem(size.min(u64::MAX));
+            self.device.release_device_mem(size);
             return Ok(());
         }
         if st.pinned_arena.active_size(ptr).is_some() {
@@ -344,7 +344,13 @@ impl CudaRuntime {
     }
 
     /// `cudaMemsetAsync`.
-    pub fn memset_async(&self, ptr: Addr, value: u8, bytes: u64, stream: StreamId) -> CudaResult<()> {
+    pub fn memset_async(
+        &self,
+        ptr: Addr,
+        value: u8,
+        bytes: u64,
+        stream: StreamId,
+    ) -> CudaResult<()> {
         self.record("cudaMemsetAsync", CallKind::OtherApi);
         self.device.memset(ptr, value, bytes, Some(stream))?;
         Ok(())
@@ -476,7 +482,10 @@ impl CudaRuntime {
     ) -> CudaResult<FunctionHandle> {
         self.record("__cudaRegisterFunction", CallKind::OtherApi);
         self.host_api_cost();
-        self.state.lock().fatbins.register_function(fatbin, name, body)
+        self.state
+            .lock()
+            .fatbins
+            .register_function(fatbin, name, body)
     }
 
     /// `__cudaUnregisterFatBinary`.
@@ -589,7 +598,8 @@ mod tests {
         assert_eq!(rt.device().metrics().h2d_copies, 1);
         // Explicit D2H back into a different host region.
         let host2 = rt.malloc_host(1024).unwrap();
-        rt.memcpy(host2, dev, 256, MemcpyKind::DeviceToHost).unwrap();
+        rt.memcpy(host2, dev, 256, MemcpyKind::DeviceToHost)
+            .unwrap();
         assert_eq!(rt.device().metrics().d2h_copies, 1);
     }
 

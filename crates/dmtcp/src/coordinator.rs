@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crac_addrspace::{Addr, MapRequest, Half, Prot, SharedSpace, PAGE_SIZE};
+use crac_addrspace::{Addr, Half, MapRequest, Prot, SharedSpace, PAGE_SIZE};
 
 use crate::image::{CheckpointImage, SavedRegion};
 use crate::plugin::{DmtcpPlugin, RegionDecision};
@@ -129,7 +129,9 @@ impl Coordinator {
             }
             stats.regions_saved += 1;
             for (start, len) in ranges {
-                image.regions.push(self.save_range(start, len, entry.prot, &entry.label));
+                image
+                    .regions
+                    .push(self.save_range(start, len, entry.prot, &entry.label));
             }
         }
 
@@ -351,7 +353,9 @@ mod tests {
         let space = SharedSpace::new_no_aslr();
         let a = upper_mapping(&space, 1, "text");
         space.write_bytes(a, b"code bytes").unwrap();
-        space.with_mut(|s| s.mprotect(a, PAGE_SIZE, Prot::RX)).unwrap();
+        space
+            .with_mut(|s| s.mprotect(a, PAGE_SIZE, Prot::RX))
+            .unwrap();
         let coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
         let (image, _) = coord.checkpoint(0);
         let fresh = SharedSpace::new_no_aslr();

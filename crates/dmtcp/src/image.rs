@@ -2,11 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use crac_addrspace::{Addr, Prot, PAGE_SIZE};
+use crac_addrspace::{page_runs, Addr, PageRun, Prot, PAGE_SIZE};
 
 /// One saved memory region: its placement, protection and (sparsely) its
 /// content.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SavedRegion {
     /// Start address the region must be restored at.
     pub start: Addr,
@@ -27,11 +27,22 @@ impl SavedRegion {
     pub fn stored_bytes(&self) -> u64 {
         self.pages.len() as u64 * PAGE_SIZE
     }
+
+    /// Indices of the dirty pages, in increasing order.
+    pub fn dirty_page_indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages.iter().map(|(idx, _)| *idx)
+    }
+
+    /// The dirty pages grouped into maximal consecutive runs — the unit an
+    /// image store chunks its I/O along.
+    pub fn page_runs(&self) -> Vec<PageRun> {
+        page_runs(self.dirty_page_indices())
+    }
 }
 
 /// A checkpoint image: an ordered set of saved regions plus named plugin
 /// payloads (CRAC stores its CUDA log there).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckpointImage {
     /// Saved regions in address order.
     pub regions: Vec<SavedRegion>,
@@ -73,10 +84,7 @@ impl CheckpointImage {
         for r in &self.regions {
             out.extend_from_slice(&r.start.as_u64().to_le_bytes());
             out.extend_from_slice(&r.len.to_le_bytes());
-            let prot_bits: u8 = (r.prot.readable() as u8)
-                | ((r.prot.writable() as u8) << 1)
-                | ((r.prot.executable() as u8) << 2);
-            out.push(prot_bits);
+            out.push(r.prot.bits());
             out.extend_from_slice(&(r.label.len() as u32).to_le_bytes());
             out.extend_from_slice(r.label.as_bytes());
             out.extend_from_slice(&(r.pages.len() as u64).to_le_bytes());
@@ -97,52 +105,23 @@ impl CheckpointImage {
 
     /// Parses an image previously produced by [`CheckpointImage::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> Option<Self> {
-        struct Cursor<'a> {
-            data: &'a [u8],
-            pos: usize,
-        }
-        impl<'a> Cursor<'a> {
-            fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-                let s = self.data.get(self.pos..self.pos + n)?;
-                self.pos += n;
-                Some(s)
-            }
-            fn u64(&mut self) -> Option<u64> {
-                Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-            }
-            fn u32(&mut self) -> Option<u32> {
-                Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
-            }
-            fn u8(&mut self) -> Option<u8> {
-                Some(self.take(1)?[0])
-            }
-        }
-
-        let mut c = Cursor { data, pos: 0 };
+        let mut c = crate::cursor::ByteCursor::new(data);
         if c.take(8)? != b"CRACIMG1" {
             return None;
         }
         let taken_at_ns = c.u64()?;
         let nregions = c.u64()? as usize;
-        let mut regions = Vec::with_capacity(nregions);
+        // Capacity hints are capped: a corrupt count must fail at the next
+        // cursor read, not abort inside the allocator.
+        let mut regions = Vec::with_capacity(nregions.min(1 << 16));
         for _ in 0..nregions {
             let start = Addr(c.u64()?);
             let len = c.u64()?;
-            let prot_bits = c.u8()?;
-            let mut prot = Prot::NONE;
-            if prot_bits & 1 != 0 {
-                prot = prot.union(Prot::READ);
-            }
-            if prot_bits & 2 != 0 {
-                prot = prot.union(Prot::WRITE);
-            }
-            if prot_bits & 4 != 0 {
-                prot = prot.union(Prot::EXEC);
-            }
+            let prot = Prot::from_bits(c.u8()?)?;
             let label_len = c.u32()? as usize;
             let label = String::from_utf8(c.take(label_len)?.to_vec()).ok()?;
             let npages = c.u64()? as usize;
-            let mut pages = Vec::with_capacity(npages);
+            let mut pages = Vec::with_capacity(npages.min(1 << 16));
             for _ in 0..npages {
                 let idx = c.u64()?;
                 let bytes = c.take(PAGE_SIZE as usize)?.to_vec();

@@ -18,9 +18,11 @@
 //! default gzip for its measurements); image sizes are reported uncompressed.
 
 pub mod coordinator;
+pub mod cursor;
 pub mod image;
 pub mod plugin;
 
 pub use coordinator::{CkptStats, Coordinator, CoordinatorConfig, RestartStats};
+pub use cursor::ByteCursor;
 pub use image::{CheckpointImage, SavedRegion};
 pub use plugin::{DmtcpPlugin, PluginEvent, RegionDecision};

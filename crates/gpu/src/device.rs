@@ -38,8 +38,14 @@ impl std::fmt::Display for GpuError {
         match self {
             GpuError::InvalidStream(s) => write!(f, "invalid stream {s:?}"),
             GpuError::InvalidEvent(e) => write!(f, "invalid event {e:?}"),
-            GpuError::OutOfMemory { requested, available } => {
-                write!(f, "out of device memory: requested {requested}, available {available}")
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of device memory: requested {requested}, available {available}"
+                )
             }
             GpuError::Mem(e) => write!(f, "memory error: {e}"),
             GpuError::KernelFault(k) => write!(f, "kernel fault in {k}"),
@@ -213,7 +219,10 @@ impl GpuDevice {
     /// Destroys an event.
     pub fn destroy_event(&self, id: EventId) -> Result<(), GpuError> {
         let mut st = self.state.lock();
-        st.events.remove(&id).map(|_| ()).ok_or(GpuError::InvalidEvent(id))
+        st.events
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(GpuError::InvalidEvent(id))
     }
 
     /// Records `event` into `stream` (`cudaEventRecord`): the event completes
@@ -225,7 +234,10 @@ impl GpuDevice {
             .stream_ready_at(stream)
             .ok_or(GpuError::InvalidStream(stream))?
             .max(self.clock.now());
-        let ev = st.events.get_mut(&event).ok_or(GpuError::InvalidEvent(event))?;
+        let ev = st
+            .events
+            .get_mut(&event)
+            .ok_or(GpuError::InvalidEvent(event))?;
         ev.completes_at = Some(at);
         st.metrics.events_recorded += 1;
         Ok(())
@@ -288,7 +300,9 @@ impl GpuDevice {
     /// eagerly, in enqueue order.
     pub fn launch_kernel(&self, stream: StreamId, desc: &KernelDesc) -> Result<Ns, GpuError> {
         let issue_at = self.clock.now();
-        let exec_ns = self.profile.kernel_exec_ns(desc.cost.flops, desc.cost.bytes);
+        let exec_ns = self
+            .profile
+            .kernel_exec_ns(desc.cost.flops, desc.cost.bytes);
 
         // UVM: a kernel dereferencing a managed pointer pulls the pages it
         // touches onto the device.  Argument pointers that fall inside a
@@ -328,9 +342,7 @@ impl GpuDevice {
                     stream,
                     space: self.space.clone(),
                 };
-                body(&ctx).map_err(|e| {
-                    GpuError::KernelFault(format!("{}: {e}", desc.name))
-                })?;
+                body(&ctx).map_err(|e| GpuError::KernelFault(format!("{}: {e}", desc.name)))?;
             }
             Ok(end)
         }
@@ -528,7 +540,8 @@ impl GpuDevice {
         let out = self.state.lock().uvm.touch_host(addr, len);
         if out.faults > 0 {
             self.clock.advance(
-                self.profile.uvm_fault_latency_ns + self.profile.pcie_transfer_ns(out.bytes_migrated),
+                self.profile.uvm_fault_latency_ns
+                    + self.profile.pcie_transfer_ns(out.bytes_migrated),
             );
         }
     }
@@ -562,8 +575,8 @@ impl GpuDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crac_addrspace::{Half, MapRequest, PAGE_SIZE};
     use crate::kernel::{KernelCost, LaunchDims};
+    use crac_addrspace::{Half, MapRequest, PAGE_SIZE};
 
     fn device() -> (Arc<GpuDevice>, SharedSpace) {
         let space = SharedSpace::new_no_aslr();
@@ -750,7 +763,8 @@ mod tests {
         let buf = alloc(&space, 16, "managed");
         dev.uvm_register(buf, 16 * PAGE_SIZE);
         assert_eq!(dev.uvm_location_of(buf), Some(PageLocation::Host));
-        let desc = KernelDesc::timing_only("touch", LaunchDims::linear(1, 1), KernelCost::compute(10));
+        let desc =
+            KernelDesc::timing_only("touch", LaunchDims::linear(1, 1), KernelCost::compute(10));
         let desc = KernelDesc {
             args: vec![buf.as_u64()],
             ..desc

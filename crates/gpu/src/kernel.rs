@@ -103,7 +103,13 @@ impl KernelDesc {
     }
 
     /// Creates a kernel with a functional body.
-    pub fn with_body<F>(name: &str, dims: LaunchDims, cost: KernelCost, args: Vec<u64>, body: F) -> Self
+    pub fn with_body<F>(
+        name: &str,
+        dims: LaunchDims,
+        cost: KernelCost,
+        args: Vec<u64>,
+        body: F,
+    ) -> Self
     where
         F: Fn(&KernelCtx) -> Result<(), MemError> + Send + Sync + 'static,
     {

@@ -42,9 +42,9 @@ impl DeviceProfile {
             memory_bytes: 32 * (1 << 30),
             num_sms: 80,
             max_concurrent_kernels: 128,
-            flops_per_ns: 14_000.0, // 14 TFLOP/s single precision
+            flops_per_ns: 14_000.0,     // 14 TFLOP/s single precision
             mem_bw_bytes_per_ns: 900.0, // 900 GB/s HBM2
-            pcie_bw_bytes_per_ns: 12.0,       // ~12 GB/s effective PCIe gen3 x16
+            pcie_bw_bytes_per_ns: 12.0, // ~12 GB/s effective PCIe gen3 x16
             kernel_launch_overhead_ns: 5_000,
             api_call_overhead_ns: 1_000,
             uvm_fault_latency_ns: 30_000,
@@ -61,7 +61,7 @@ impl DeviceProfile {
             memory_bytes: 1 << 30,
             num_sms: 1,
             max_concurrent_kernels: 16,
-            flops_per_ns: 336.0, // 0.336 TFLOP/s
+            flops_per_ns: 336.0,       // 0.336 TFLOP/s
             mem_bw_bytes_per_ns: 29.0, // 29 GB/s
             pcie_bw_bytes_per_ns: 6.0,
             kernel_launch_overhead_ns: 8_000,

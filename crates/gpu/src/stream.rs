@@ -6,8 +6,8 @@
 //! holds only the *timing* state — functional execution happens eagerly in
 //! [`crate::device`].
 
-use std::collections::{BTreeMap, BinaryHeap};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::clock::Ns;
 
@@ -102,12 +102,7 @@ impl Scheduler {
 
     /// Completion time of all work enqueued so far on the whole device.
     pub fn device_ready_at(&self) -> Ns {
-        let streams = self
-            .streams
-            .values()
-            .map(|s| s.ready_at)
-            .max()
-            .unwrap_or(0);
+        let streams = self.streams.values().map(|s| s.ready_at).max().unwrap_or(0);
         let kernels = self
             .running_kernels
             .iter()
@@ -147,9 +142,7 @@ impl Scheduler {
 
         let end = start + exec_ns;
         self.running_kernels.push(Reverse(end));
-        self.peak_concurrent_kernels = self
-            .peak_concurrent_kernels
-            .max(self.running_kernels.len());
+        self.peak_concurrent_kernels = self.peak_concurrent_kernels.max(self.running_kernels.len());
         state.ready_at = end;
         state.ops_enqueued += 1;
         Some(end)
@@ -179,7 +172,12 @@ impl Scheduler {
 
     /// Schedules an operation that only occupies the stream (e.g. a
     /// device-to-device copy or memset).
-    pub fn schedule_stream_only(&mut self, stream: StreamId, issue_at: Ns, dur_ns: Ns) -> Option<Ns> {
+    pub fn schedule_stream_only(
+        &mut self,
+        stream: StreamId,
+        issue_at: Ns,
+        dur_ns: Ns,
+    ) -> Option<Ns> {
         let state = self.streams.get_mut(&stream)?;
         let start = state.ready_at.max(issue_at);
         let end = start + dur_ns;

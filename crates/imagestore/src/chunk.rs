@@ -1,0 +1,185 @@
+//! Splitting a [`SavedRegion`]'s dirty pages into content-addressed chunks.
+//!
+//! Chunk boundaries follow the region's dirty-page *runs* (maximal spans of
+//! consecutive dirty pages, via `crac_addrspace::page_runs`), split to at
+//! most [`CHUNK_PAGES`] pages each.  Aligning chunks to runs keeps them
+//! stable across checkpoints: a page written between two checkpoints only
+//! perturbs the chunks of its own run, so every other chunk re-hashes to the
+//! same content hash and is deduplicated away by the incremental writer.
+
+use crac_addrspace::{PageRun, PAGE_SIZE};
+use crac_dmtcp::SavedRegion;
+
+use crate::hash::ContentHash;
+
+/// Maximum pages per chunk (16 × 4 KiB = 64 KiB raw), balancing dedup
+/// granularity against per-chunk metadata and file-count overhead.
+pub const CHUNK_PAGES: u64 = 16;
+
+/// A chunk not yet hashed or encoded: which pages of which region it covers,
+/// and their raw bytes.
+#[derive(Clone, Debug)]
+pub struct ChunkJob {
+    /// Index of the source region within the image's region list.
+    pub region_index: usize,
+    /// The page runs (indices relative to the region start) this chunk
+    /// covers, in increasing order.
+    pub runs: Vec<PageRun>,
+    /// Concatenated page bytes in run order; length is a multiple of
+    /// [`PAGE_SIZE`].
+    pub raw: Vec<u8>,
+}
+
+impl ChunkJob {
+    /// Number of pages in the chunk.
+    pub fn page_count(&self) -> u64 {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+
+    /// Content hash of the raw bytes.
+    pub fn content_hash(&self) -> ContentHash {
+        ContentHash::of(&self.raw)
+    }
+}
+
+/// Splits one region's dirty pages into chunk jobs.
+///
+/// `region_index` is recorded into each job so parallel workers can be
+/// handed a flat job list across all regions.
+pub fn chunk_region(region_index: usize, region: &SavedRegion) -> Vec<ChunkJob> {
+    let runs = region.page_runs();
+    // Page bytes keyed by index for O(log n) lookup while assembling runs.
+    let by_index: std::collections::BTreeMap<u64, &[u8]> = region
+        .pages
+        .iter()
+        .map(|(idx, bytes)| (*idx, bytes.as_slice()))
+        .collect();
+
+    let mut jobs: Vec<ChunkJob> = Vec::new();
+    let mut cur_runs: Vec<PageRun> = Vec::new();
+    let mut cur_pages = 0u64;
+    let mut flush = |cur_runs: &mut Vec<PageRun>, cur_pages: &mut u64| {
+        if cur_runs.is_empty() {
+            return;
+        }
+        let mut raw = Vec::with_capacity((*cur_pages * PAGE_SIZE) as usize);
+        for run in cur_runs.iter() {
+            for page in run.pages() {
+                let bytes = by_index[&page];
+                debug_assert_eq!(bytes.len(), PAGE_SIZE as usize);
+                raw.extend_from_slice(bytes);
+            }
+        }
+        jobs.push(ChunkJob {
+            region_index,
+            runs: std::mem::take(cur_runs),
+            raw,
+        });
+        *cur_pages = 0;
+    };
+
+    for run in runs {
+        // Split oversized runs into CHUNK_PAGES pieces first.
+        let mut first = run.first;
+        let mut remaining = run.count;
+        while remaining > 0 {
+            let space = CHUNK_PAGES - cur_pages;
+            let take = remaining.min(space);
+            cur_runs.push(PageRun { first, count: take });
+            cur_pages += take;
+            first += take;
+            remaining -= take;
+            if cur_pages == CHUNK_PAGES {
+                flush(&mut cur_runs, &mut cur_pages);
+            }
+        }
+    }
+    flush(&mut cur_runs, &mut cur_pages);
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crac_addrspace::{Addr, Prot};
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE as usize]
+    }
+
+    fn region_with_pages(indices: &[u64]) -> SavedRegion {
+        SavedRegion {
+            start: Addr(0x4000_0000_0000),
+            len: 1 << 20,
+            prot: Prot::RW,
+            label: "test".into(),
+            pages: indices.iter().map(|&i| (i, page(i as u8))).collect(),
+        }
+    }
+
+    #[test]
+    fn contiguous_pages_form_one_chunk() {
+        let region = region_with_pages(&[0, 1, 2, 3]);
+        let jobs = chunk_region(0, &region);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].runs, vec![PageRun { first: 0, count: 4 }]);
+        assert_eq!(jobs[0].raw.len(), 4 * PAGE_SIZE as usize);
+        // Bytes are in page order.
+        assert_eq!(jobs[0].raw[0], 0);
+        assert_eq!(jobs[0].raw[PAGE_SIZE as usize], 1);
+    }
+
+    #[test]
+    fn long_runs_split_at_chunk_pages() {
+        let indices: Vec<u64> = (0..CHUNK_PAGES * 2 + 3).collect();
+        let jobs = chunk_region(0, &region_with_pages(&indices));
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].page_count(), CHUNK_PAGES);
+        assert_eq!(jobs[1].page_count(), CHUNK_PAGES);
+        assert_eq!(jobs[2].page_count(), 3);
+        assert_eq!(
+            jobs[1].runs,
+            vec![PageRun {
+                first: CHUNK_PAGES,
+                count: CHUNK_PAGES
+            }]
+        );
+    }
+
+    #[test]
+    fn scattered_runs_pack_into_one_chunk() {
+        let jobs = chunk_region(7, &region_with_pages(&[0, 5, 6, 9]));
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].region_index, 7);
+        assert_eq!(
+            jobs[0].runs,
+            vec![
+                PageRun { first: 0, count: 1 },
+                PageRun { first: 5, count: 2 },
+                PageRun { first: 9, count: 1 },
+            ]
+        );
+        assert_eq!(jobs[0].page_count(), 4);
+    }
+
+    #[test]
+    fn unchanged_tail_chunks_keep_their_hash_when_one_page_changes() {
+        let indices: Vec<u64> = (0..CHUNK_PAGES * 4).collect();
+        let mut a = region_with_pages(&indices);
+        let before: Vec<ContentHash> = chunk_region(0, &a)
+            .iter()
+            .map(|j| j.content_hash())
+            .collect();
+        // Mutate one page in the second chunk.
+        a.pages[(CHUNK_PAGES + 1) as usize].1 = page(0xEE);
+        let after: Vec<ContentHash> = chunk_region(0, &a)
+            .iter()
+            .map(|j| j.content_hash())
+            .collect();
+        assert_eq!(before.len(), after.len());
+        assert_ne!(before[1], after[1], "touched chunk must re-hash");
+        assert_eq!(before[0], after[0]);
+        assert_eq!(before[2], after[2]);
+        assert_eq!(before[3], after[3]);
+    }
+}

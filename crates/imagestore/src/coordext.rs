@@ -1,0 +1,60 @@
+//! Store-aware checkpoint/restart paths for the DMTCP coordinator.
+//!
+//! `crac-dmtcp` cannot depend on this crate (the dependency points the
+//! other way), so the coordinator gains its `checkpoint_to_store` /
+//! `restart_from_store` entry points through an extension trait defined
+//! here and implemented for [`Coordinator`].
+
+use crac_addrspace::SharedSpace;
+use crac_dmtcp::{CkptStats, Coordinator, RestartStats};
+
+use crate::error::StoreError;
+use crate::reader::ReadStats;
+use crate::store::{ImageId, ImageStore};
+use crate::writer::{WriteOptions, WriteStats};
+
+/// Checkpoint/restart straight through an [`ImageStore`].
+pub trait CoordinatorStoreExt {
+    /// Takes a checkpoint at virtual time `now_ns` and persists it into
+    /// `store`, returning the stored image's id plus both the coordinator's
+    /// checkpoint stats and the store's write stats.
+    fn checkpoint_to_store(
+        &self,
+        store: &ImageStore,
+        now_ns: u64,
+        opts: &WriteOptions,
+    ) -> Result<(ImageId, CkptStats, WriteStats), StoreError>;
+
+    /// Reads image `id` from `store` (verifying integrity) and restores it
+    /// into `space`.
+    fn restart_from_store(
+        &self,
+        store: &ImageStore,
+        id: ImageId,
+        space: &SharedSpace,
+    ) -> Result<(RestartStats, ReadStats), StoreError>;
+}
+
+impl CoordinatorStoreExt for Coordinator {
+    fn checkpoint_to_store(
+        &self,
+        store: &ImageStore,
+        now_ns: u64,
+        opts: &WriteOptions,
+    ) -> Result<(ImageId, CkptStats, WriteStats), StoreError> {
+        let (image, ckpt_stats) = self.checkpoint(now_ns);
+        let (id, write_stats) = store.write_image(&image, opts)?;
+        Ok((id, ckpt_stats, write_stats))
+    }
+
+    fn restart_from_store(
+        &self,
+        store: &ImageStore,
+        id: ImageId,
+        space: &SharedSpace,
+    ) -> Result<(RestartStats, ReadStats), StoreError> {
+        let (image, read_stats) = store.read_image(id)?;
+        let restart_stats = self.restart_into(&image, space);
+        Ok((restart_stats, read_stats))
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type of the image store.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use crate::store::ImageId;
+
+/// Everything that can go wrong while writing to or reading from a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the path involved.
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// On-disk data failed an integrity check (bad magic, CRC mismatch,
+    /// truncation, invalid field).
+    Corrupt {
+        /// File that failed verification.
+        path: PathBuf,
+        /// What exactly was wrong.
+        what: String,
+    },
+    /// A manifest references a chunk that is not present in the store.
+    MissingChunk {
+        /// Hex content hash of the missing chunk.
+        hash: String,
+    },
+    /// The requested image id has no manifest in the store.
+    UnknownImage(ImageId),
+}
+
+impl StoreError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, what: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.into(),
+            what: what.into(),
+        }
+    }
+
+    /// Returns `true` if the error is an integrity (not availability)
+    /// failure — what a flipped bit on disk produces.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, what } => {
+                write!(f, "corrupt store file {}: {what}", path.display())
+            }
+            StoreError::MissingChunk { hash } => write!(f, "chunk {hash} missing from store"),
+            StoreError::UnknownImage(id) => write!(f, "image {id} not present in store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Integrity primitives: CRC-32 (IEEE) framing checks and the 128-bit
+//! content hash that names chunks.
+//!
+//! Both are implemented locally because the build environment has no
+//! registry access.  CRC-32 guards against *accidental* corruption (the
+//! roundtrip tests flip single bytes); the content hash only needs to make
+//! collisions between distinct page contents astronomically unlikely, for
+//! which 128-bit FNV-1a is sufficient — there is no adversary in a
+//! checkpoint store the process writes for itself.
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh CRC state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ CRC_TABLE[idx];
+        }
+    }
+
+    /// Finalises and returns the checksum.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// 128-bit content hash naming a chunk in the store.
+///
+/// Equal hash ⇒ treated as equal content (that is what deduplication
+/// *means*); the 128-bit width makes accidental collisions negligible.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+impl ContentHash {
+    /// Hashes `bytes` with FNV-1a-128.
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut h = FNV128_OFFSET;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+        ContentHash(h)
+    }
+
+    /// Lower-case hex rendering (32 chars) — also the chunk's file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses [`ContentHash::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ContentHash)
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming equals one-shot.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn content_hash_hex_round_trip() {
+        let h = ContentHash::of(b"some page bytes");
+        assert_eq!(ContentHash::from_hex(&h.to_hex()), Some(h));
+        assert_ne!(h, ContentHash::of(b"other page bytes"));
+        assert!(ContentHash::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both_digests() {
+        let a = vec![0u8; 4096];
+        let mut b = a.clone();
+        b[2049] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+        assert_ne!(ContentHash::of(&a), ContentHash::of(&b));
+    }
+}

@@ -1,0 +1,45 @@
+//! A persistent, incremental, parallel checkpoint-image store.
+//!
+//! The CRAC paper's headline numbers are checkpoint/restart *time* and image
+//! *size*; both are dominated by image I/O.  This crate gives the
+//! reproduction a real I/O pipeline for `crac_dmtcp::CheckpointImage`:
+//!
+//! * **Chunked binary on-disk format** ([`format`]): a CRC-framed manifest
+//!   per image (header, region table, chunk references, inline plugin
+//!   payloads) plus content-addressed chunk files holding the page data.
+//!   Any single flipped byte anywhere in the store is detected on read.
+//! * **Parallel writer pipeline** ([`writer`]): dirty pages are chunked
+//!   along their runs (`crac_addrspace::page_runs`), then hashed and
+//!   encoded on scoped worker threads; optional run-length compression
+//!   ([`codec`]) is kept per chunk only when it shrinks the data.
+//! * **Content-hash dedup / incremental checkpoints**: chunks are named by
+//!   a 128-bit content hash, so a checkpoint taken after a small mutation
+//!   writes only the chunks covering changed pages; `WriteOptions::parent`
+//!   records the checkpoint lineage.  Manifests always describe the full
+//!   image, so restore never chains through parents.
+//! * **Verifying reader** ([`reader`]): rebuilds a byte-identical
+//!   `CheckpointImage`, recomputing every CRC and content hash on the way.
+//!
+//! The [`CoordinatorStoreExt`] trait stitches the store into the DMTCP
+//! coordinator (`checkpoint_to_store` / `restart_from_store`); `crac-core`
+//! builds its `CracProcess` disk paths on top of that.
+
+pub mod chunk;
+pub mod codec;
+pub mod coordext;
+pub mod error;
+pub mod format;
+pub mod hash;
+pub mod reader;
+pub mod store;
+#[doc(hidden)]
+pub mod testutil;
+pub mod writer;
+
+pub use codec::Compression;
+pub use coordext::CoordinatorStoreExt;
+pub use error::StoreError;
+pub use hash::ContentHash;
+pub use reader::ReadStats;
+pub use store::{ImageId, ImageInfo, ImageStore, StoreStats};
+pub use writer::{WriteOptions, WriteStats};

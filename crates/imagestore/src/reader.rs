@@ -1,0 +1,173 @@
+//! The restore-side reader: manifest → chunks → verified `CheckpointImage`.
+//!
+//! Every byte read is integrity-checked: the manifest is CRC-framed, each
+//! chunk file carries its own CRC over the encoded bytes, and after decoding
+//! the chunk's content hash is recomputed and compared against the name the
+//! manifest references — so a flipped bit anywhere in the store surfaces as
+//! a [`StoreError::Corrupt`] instead of silently restoring wrong memory.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crac_addrspace::{Addr, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, SavedRegion};
+
+use crate::codec::decode;
+use crate::error::StoreError;
+use crate::format::{ChunkFile, Manifest};
+use crate::hash::ContentHash;
+use crate::store::{ImageId, ImageStore};
+
+/// What one image read cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadStats {
+    /// Chunk files read (after intra-image caching).
+    pub chunks_read: usize,
+    /// Chunk references served from the intra-image cache (an image that
+    /// contains the same content many times reads it once).
+    pub chunks_cached: usize,
+    /// Encoded chunk bytes read from disk.
+    pub chunk_bytes_read: u64,
+    /// Manifest file size.
+    pub manifest_bytes: u64,
+    /// Wall-clock time of the whole read.
+    pub elapsed: Duration,
+}
+
+/// Reads and fully verifies image `id`, reconstructing the checkpoint.
+///
+/// Called by [`ImageStore::read_image`]; not public API.
+pub(crate) fn read_image(
+    store: &ImageStore,
+    id: ImageId,
+) -> Result<(CheckpointImage, ReadStats), StoreError> {
+    let start = Instant::now();
+    let manifest = store.load_manifest(id)?;
+    let mut stats = ReadStats {
+        manifest_bytes: store.manifest_size(id)?,
+        ..Default::default()
+    };
+
+    // An image can reference the same content many times (deduped repeats);
+    // fetch each distinct chunk once, but only *keep* it while later
+    // references remain — a mostly-unique multi-GB image must not hold a
+    // second copy of itself in the cache.
+    let mut refs_left: HashMap<ContentHash, usize> = HashMap::new();
+    for chunk in manifest.chunk_refs() {
+        *refs_left.entry(chunk.hash).or_insert(0) += 1;
+    }
+    let mut cache: HashMap<ContentHash, Vec<u8>> = HashMap::new();
+    let mut image = CheckpointImage {
+        taken_at_ns: manifest.taken_at_ns,
+        ..Default::default()
+    };
+
+    for region in &manifest.regions {
+        let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
+        for chunk in &region.chunks {
+            let raw = match cache.remove(&chunk.hash) {
+                Some(raw) => {
+                    stats.chunks_cached += 1;
+                    raw
+                }
+                None => fetch_chunk(store, chunk.hash, chunk.raw_len, &mut stats)?,
+            };
+            // Identical hash across chunk refs must mean identical length;
+            // a manifest violating that is corrupt.
+            if raw.len() as u64 != chunk.raw_len {
+                return Err(StoreError::corrupt(
+                    store.image_path(id),
+                    format!("chunk {} referenced with conflicting lengths", chunk.hash),
+                ));
+            }
+            // Distribute the chunk's pages to their region-relative indices.
+            let expected_pages: u64 = chunk.runs.iter().map(|r| r.count).sum();
+            if expected_pages * PAGE_SIZE != chunk.raw_len {
+                return Err(StoreError::corrupt(
+                    store.image_path(id),
+                    format!(
+                        "chunk {} covers {expected_pages} pages but holds {} bytes",
+                        chunk.hash, chunk.raw_len
+                    ),
+                ));
+            }
+            let mut offset = 0usize;
+            for run in &chunk.runs {
+                for page in run.pages() {
+                    pages.push((page, raw[offset..offset + PAGE_SIZE as usize].to_vec()));
+                    offset += PAGE_SIZE as usize;
+                }
+            }
+            // Keep the raw bytes only while later references remain.
+            let left = refs_left.get_mut(&chunk.hash).expect("counted above");
+            *left -= 1;
+            if *left > 0 {
+                cache.insert(chunk.hash, raw);
+            }
+        }
+        pages.sort_by_key(|(idx, _)| *idx);
+        image.regions.push(SavedRegion {
+            start: Addr(region.start),
+            len: region.len,
+            prot: region.prot,
+            label: region.label.clone(),
+            pages,
+        });
+    }
+
+    for (name, data) in &manifest.payloads {
+        image.payloads.insert(name.clone(), data.clone());
+    }
+    stats.elapsed = start.elapsed();
+    Ok((image, stats))
+}
+
+/// Loads, CRC-checks, decodes and hash-verifies one chunk.
+fn fetch_chunk(
+    store: &ImageStore,
+    hash: ContentHash,
+    raw_len: u64,
+    stats: &mut ReadStats,
+) -> Result<Vec<u8>, StoreError> {
+    let path = store.chunk_path(hash);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::MissingChunk {
+                hash: hash.to_hex(),
+            })
+        }
+        Err(e) => return Err(StoreError::io(&path, e)),
+    };
+    stats.chunks_read += 1;
+    stats.chunk_bytes_read += bytes.len() as u64;
+    let file = ChunkFile::from_bytes(&bytes).map_err(|what| StoreError::corrupt(&path, what))?;
+    if file.raw_len != raw_len {
+        return Err(StoreError::corrupt(
+            &path,
+            format!(
+                "chunk raw length {} does not match manifest ({raw_len})",
+                file.raw_len
+            ),
+        ));
+    }
+    let raw = decode(file.encoding, &file.encoded, file.raw_len as usize)
+        .ok_or_else(|| StoreError::corrupt(&path, "chunk payload failed to decode"))?;
+    let actual = ContentHash::of(&raw);
+    if actual != hash {
+        return Err(StoreError::corrupt(
+            &path,
+            format!("chunk content hashes to {actual}, expected {hash}"),
+        ));
+    }
+    Ok(raw)
+}
+
+/// Re-exported manifest loader used by [`ImageStore::image_info`].
+pub(crate) fn load_manifest_file(path: &std::path::Path) -> Result<Manifest, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    Manifest::from_bytes(&bytes).map_err(|what| StoreError::corrupt(path, what))
+}

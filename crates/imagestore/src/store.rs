@@ -1,0 +1,272 @@
+//! The store: a directory of content-addressed chunks plus image manifests.
+//!
+//! ```text
+//! <root>/
+//!   chunks/<32-hex-content-hash>.chk    shared, content-addressed
+//!   images/<16-hex-image-id>.crimg      one manifest per checkpoint
+//! ```
+//!
+//! The store is cheap to reopen: `open` scans the two directories to rebuild
+//! the chunk index and the next image id, so a store outlives the process
+//! that wrote it — the "persistent" in persistent image store.
+//!
+//! **Concurrency**: one `ImageStore` value is safe to share across threads
+//! (`&self` methods; the index is mutex-protected, chunk files are
+//! content-addressed and written via unique temp names).  Concurrent
+//! *processes* writing one store directory are not coordinated: image-id
+//! allocation is per-process, so a second writer process can reuse ids and
+//! replace the first's manifests (chunk data is never corrupted).  Run one
+//! writer process per store; cross-process locking is a ROADMAP item.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crac_dmtcp::CheckpointImage;
+use parking_lot::Mutex;
+
+use crate::error::StoreError;
+use crate::format::Manifest;
+use crate::hash::ContentHash;
+use crate::reader::{self, ReadStats};
+use crate::writer::{self, WriteOptions, WriteStats};
+
+/// Identifier of a stored image.  Ids start at 1 and are monotonically
+/// increasing per store; 0 is reserved as the "no parent" sentinel on disk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ImageId(pub u64);
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img-{:016x}", self.0)
+    }
+}
+
+/// Summary of one stored image, as listed by [`ImageStore::list_images`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageInfo {
+    /// The image's id.
+    pub id: ImageId,
+    /// Parent image if the checkpoint was incremental.
+    pub parent: Option<ImageId>,
+    /// Virtual time the checkpoint was taken.
+    pub taken_at_ns: u64,
+    /// Number of saved regions.
+    pub regions: usize,
+    /// Logical (uncompressed) image size in bytes.
+    pub logical_bytes: u64,
+    /// Distinct chunks the manifest references.
+    pub chunk_refs: usize,
+}
+
+/// Aggregate store occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Stored images (manifests).
+    pub images: usize,
+    /// Distinct chunks in the store.
+    pub chunks: usize,
+    /// Total on-disk bytes of all chunk files.
+    pub chunk_bytes: u64,
+}
+
+struct StoreIndex {
+    known_chunks: HashSet<ContentHash>,
+    next_image: u64,
+}
+
+/// A persistent, deduplicating checkpoint-image store rooted at a directory.
+pub struct ImageStore {
+    root: PathBuf,
+    chunks_dir: PathBuf,
+    images_dir: PathBuf,
+    index: Mutex<StoreIndex>,
+}
+
+impl ImageStore {
+    /// Opens (creating if necessary) a store rooted at `root`, rebuilding
+    /// the in-memory index from the directory contents.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let chunks_dir = root.join("chunks");
+        let images_dir = root.join("images");
+        fs::create_dir_all(&chunks_dir).map_err(|e| StoreError::io(&chunks_dir, e))?;
+        fs::create_dir_all(&images_dir).map_err(|e| StoreError::io(&images_dir, e))?;
+
+        let mut known_chunks = HashSet::new();
+        for entry in fs::read_dir(&chunks_dir).map_err(|e| StoreError::io(&chunks_dir, e))? {
+            let entry = entry.map_err(|e| StoreError::io(&chunks_dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".chk") {
+                if let Some(hash) = ContentHash::from_hex(stem) {
+                    known_chunks.insert(hash);
+                }
+            }
+        }
+        let mut next_image = 1u64;
+        for entry in fs::read_dir(&images_dir).map_err(|e| StoreError::io(&images_dir, e))? {
+            let entry = entry.map_err(|e| StoreError::io(&images_dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".crimg") {
+                if let Ok(id) = u64::from_str_radix(stem, 16) {
+                    next_image = next_image.max(id + 1);
+                }
+            }
+        }
+
+        Ok(Self {
+            root,
+            chunks_dir,
+            images_dir,
+            index: Mutex::new(StoreIndex {
+                known_chunks,
+                next_image,
+            }),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Writes a checkpoint image, returning its new id and write stats.
+    ///
+    /// Chunks whose content already exists in the store (from any previous
+    /// image) are not rewritten; with `opts.parent` set this is what makes a
+    /// checkpoint *incremental* — only the chunks covering changed pages
+    /// cost I/O.
+    pub fn write_image(
+        &self,
+        image: &CheckpointImage,
+        opts: &WriteOptions,
+    ) -> Result<(ImageId, WriteStats), StoreError> {
+        let (manifest, stats) = writer::write_image(self, image, opts)?;
+        Ok((manifest.image_id, stats))
+    }
+
+    /// Reads and fully verifies image `id`, reconstructing the checkpoint
+    /// byte for byte.
+    pub fn read_image(&self, id: ImageId) -> Result<(CheckpointImage, ReadStats), StoreError> {
+        reader::read_image(self, id)
+    }
+
+    /// Summarises one stored image from its manifest.
+    pub fn image_info(&self, id: ImageId) -> Result<ImageInfo, StoreError> {
+        let manifest = self.load_manifest(id)?;
+        Ok(Self::info_of(&manifest))
+    }
+
+    /// Lists all stored images, ordered by id.
+    pub fn list_images(&self) -> Result<Vec<ImageInfo>, StoreError> {
+        let mut ids: Vec<ImageId> = Vec::new();
+        for entry in
+            fs::read_dir(&self.images_dir).map_err(|e| StoreError::io(&self.images_dir, e))?
+        {
+            let entry = entry.map_err(|e| StoreError::io(&self.images_dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".crimg") {
+                if let Ok(id) = u64::from_str_radix(stem, 16) {
+                    ids.push(ImageId(id));
+                }
+            }
+        }
+        ids.sort();
+        ids.into_iter().map(|id| self.image_info(id)).collect()
+    }
+
+    /// Aggregate occupancy of the store.  Counts directory entries only —
+    /// it never parses manifests, so it stays cheap on large stores.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let mut images = 0usize;
+        for entry in
+            fs::read_dir(&self.images_dir).map_err(|e| StoreError::io(&self.images_dir, e))?
+        {
+            let entry = entry.map_err(|e| StoreError::io(&self.images_dir, e))?;
+            if entry.file_name().to_string_lossy().ends_with(".crimg") {
+                images += 1;
+            }
+        }
+        let mut chunks = 0usize;
+        let mut chunk_bytes = 0u64;
+        for entry in
+            fs::read_dir(&self.chunks_dir).map_err(|e| StoreError::io(&self.chunks_dir, e))?
+        {
+            let entry = entry.map_err(|e| StoreError::io(&self.chunks_dir, e))?;
+            if entry.file_name().to_string_lossy().ends_with(".chk") {
+                chunks += 1;
+                chunk_bytes += entry
+                    .metadata()
+                    .map_err(|e| StoreError::io(&self.chunks_dir, e))?
+                    .len();
+            }
+        }
+        Ok(StoreStats {
+            images,
+            chunks,
+            chunk_bytes,
+        })
+    }
+
+    /// Returns `true` if image `id` exists in the store.
+    pub fn contains_image(&self, id: ImageId) -> bool {
+        self.image_path(id).exists()
+    }
+
+    /// Returns `true` if a chunk with this content is stored.
+    pub fn contains_chunk(&self, hash: ContentHash) -> bool {
+        self.index.lock().known_chunks.contains(&hash)
+    }
+
+    // -- crate-internal plumbing used by the writer/reader --------------
+
+    pub(crate) fn image_path(&self, id: ImageId) -> PathBuf {
+        self.images_dir.join(format!("{:016x}.crimg", id.0))
+    }
+
+    pub(crate) fn chunk_path(&self, hash: ContentHash) -> PathBuf {
+        self.chunks_dir.join(format!("{}.chk", hash.to_hex()))
+    }
+
+    pub(crate) fn commit_chunks(&self, hashes: &[ContentHash]) {
+        let mut index = self.index.lock();
+        index.known_chunks.extend(hashes.iter().copied());
+    }
+
+    pub(crate) fn allocate_image_id(&self) -> ImageId {
+        let mut index = self.index.lock();
+        let id = ImageId(index.next_image);
+        index.next_image += 1;
+        id
+    }
+
+    pub(crate) fn load_manifest(&self, id: ImageId) -> Result<Manifest, StoreError> {
+        let path = self.image_path(id);
+        if !path.exists() {
+            return Err(StoreError::UnknownImage(id));
+        }
+        reader::load_manifest_file(&path)
+    }
+
+    pub(crate) fn manifest_size(&self, id: ImageId) -> Result<u64, StoreError> {
+        let path = self.image_path(id);
+        fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|e| StoreError::io(&path, e))
+    }
+
+    fn info_of(manifest: &Manifest) -> ImageInfo {
+        ImageInfo {
+            id: manifest.image_id,
+            parent: manifest.parent,
+            taken_at_ns: manifest.taken_at_ns,
+            regions: manifest.regions.len(),
+            logical_bytes: manifest.logical_size(),
+            chunk_refs: manifest.chunk_refs().count(),
+        }
+    }
+}

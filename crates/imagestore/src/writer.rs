@@ -1,0 +1,298 @@
+//! The checkpoint writer pipeline: chunk → hash → dedup → encode → write.
+//!
+//! Hashing and encoding are the CPU-heavy stages, so they run on scoped
+//! worker threads over disjoint slices of the chunk-job list; deduplication
+//! needs a single view of the store's chunk set, so workers consult a shared
+//! mutex-protected reservation set (first worker to hash a given content
+//! wins and encodes it, everyone else records a dedup hit).  File writes
+//! happen on the calling thread afterwards — chunk files are content-named
+//! and written via a temp-file + rename so a crash never leaves a torn chunk
+//! under its final name.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crac_dmtcp::CheckpointImage;
+use parking_lot::Mutex;
+
+use crate::chunk::{chunk_region, ChunkJob};
+use crate::codec::{encode, Compression, Encoding};
+use crate::error::StoreError;
+use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
+use crate::hash::ContentHash;
+use crate::store::{ImageId, ImageStore};
+
+/// Per-write options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteOptions {
+    /// Chunk compression policy.
+    pub compression: Compression,
+    /// Parent image for an incremental checkpoint.  Chunks shared with
+    /// *any* stored image are deduplicated either way (the chunk store is
+    /// content-addressed); the parent records lineage for bookkeeping and
+    /// future garbage collection.
+    pub parent: Option<ImageId>,
+    /// Worker threads for hashing/encoding; 0 picks the machine default.
+    pub threads: usize,
+}
+
+impl WriteOptions {
+    /// Full checkpoint, no compression (the paper's measurement config).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Incremental checkpoint on top of `parent`.
+    pub fn incremental(parent: ImageId) -> Self {
+        Self {
+            parent: Some(parent),
+            ..Self::default()
+        }
+    }
+
+    /// Returns the options with RLE compression enabled.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+}
+
+/// What one image write cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteStats {
+    /// Chunks the image decomposed into.
+    pub chunks_total: usize,
+    /// Chunks actually written (new content).
+    pub chunks_written: usize,
+    /// Chunks already present in the store (dedup hits).
+    pub chunks_deduped: usize,
+    /// Raw (decoded) bytes across all chunks of the image.
+    pub raw_chunk_bytes: u64,
+    /// Encoded bytes newly written into the chunk store.
+    pub chunk_bytes_written: u64,
+    /// Size of the manifest file.
+    pub manifest_bytes: u64,
+    /// Plugin payload bytes (stored inline in the manifest).
+    pub payload_bytes: u64,
+    /// Worker threads used for hashing/encoding.
+    pub threads_used: usize,
+    /// Wall-clock time of the whole write.
+    pub elapsed: Duration,
+}
+
+impl WriteStats {
+    /// Total bytes this write added to the store.
+    pub fn bytes_written(&self) -> u64 {
+        self.chunk_bytes_written + self.manifest_bytes
+    }
+
+    /// Fraction of chunk bytes avoided via dedup + compression, relative to
+    /// storing every raw chunk byte (1.0 = stored nothing new).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.raw_chunk_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.chunk_bytes_written as f64 / self.raw_chunk_bytes as f64
+    }
+}
+
+/// Outcome of hashing/encoding one chunk job.
+enum JobOutcome {
+    /// Content already in the store (or claimed by an earlier job of this
+    /// batch).
+    Dedup { hash: ContentHash },
+    /// New content: encoded and ready to write.
+    New {
+        hash: ContentHash,
+        encoding: Encoding,
+        encoded: Vec<u8>,
+    },
+}
+
+impl JobOutcome {
+    fn hash(&self) -> ContentHash {
+        match self {
+            JobOutcome::Dedup { hash } | JobOutcome::New { hash, .. } => *hash,
+        }
+    }
+}
+
+/// Writes `image` into the store, returning the written manifest and stats.
+///
+/// Called by [`ImageStore::write_image`]; not public API.
+pub(crate) fn write_image(
+    store: &ImageStore,
+    image: &CheckpointImage,
+    opts: &WriteOptions,
+) -> Result<(Manifest, WriteStats), StoreError> {
+    let start = Instant::now();
+    if let Some(parent) = opts.parent {
+        if !store.contains_image(parent) {
+            return Err(StoreError::UnknownImage(parent));
+        }
+    }
+
+    // Stage 1: chunk every region (cheap, sequential).
+    let mut jobs: Vec<ChunkJob> = Vec::new();
+    for (i, region) in image.regions.iter().enumerate() {
+        jobs.extend(chunk_region(i, region));
+    }
+
+    // Stage 2: hash + dedup + encode in parallel over disjoint job slices.
+    // Workers consult the store's index directly (brief lock per chunk)
+    // plus a batch-local claim set, so the cost per write scales with the
+    // checkpoint, not with the store's lifetime chunk count.
+    let threads = effective_threads(opts.threads, jobs.len());
+    let claimed: Mutex<HashSet<ContentHash>> = Mutex::new(HashSet::new());
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
+    outcomes.resize_with(jobs.len(), || None);
+    let compression = opts.compression;
+
+    std::thread::scope(|scope| {
+        let mut job_tail: &[ChunkJob] = &jobs;
+        let mut out_tail: &mut [Option<JobOutcome>] = &mut outcomes;
+        let per_thread = jobs.len().div_ceil(threads.max(1));
+        for _ in 0..threads {
+            let n = per_thread.min(job_tail.len());
+            if n == 0 {
+                break;
+            }
+            let (job_slice, rest_jobs) = job_tail.split_at(n);
+            let (out_slice, rest_out) = out_tail.split_at_mut(n);
+            job_tail = rest_jobs;
+            out_tail = rest_out;
+            let claimed = &claimed;
+            scope.spawn(move || {
+                for (job, out) in job_slice.iter().zip(out_slice.iter_mut()) {
+                    let hash = job.content_hash();
+                    let is_new = !store.contains_chunk(hash) && claimed.lock().insert(hash);
+                    *out = Some(if is_new {
+                        let (encoding, encoded) = encode(&job.raw, compression);
+                        JobOutcome::New {
+                            hash,
+                            encoding,
+                            encoded,
+                        }
+                    } else {
+                        JobOutcome::Dedup { hash }
+                    });
+                }
+            });
+        }
+    });
+
+    // Stage 3: write new chunk files, then assemble the manifest.
+    let mut stats = WriteStats {
+        chunks_total: jobs.len(),
+        threads_used: threads,
+        ..Default::default()
+    };
+    let mut region_chunks: Vec<Vec<ChunkEntry>> = vec![Vec::new(); image.regions.len()];
+    let mut newly_written: Vec<ContentHash> = Vec::new();
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        let outcome = outcome.expect("every job slice was processed");
+        let hash = outcome.hash();
+        stats.raw_chunk_bytes += job.raw.len() as u64;
+        match outcome {
+            JobOutcome::New {
+                encoding, encoded, ..
+            } => {
+                let file = ChunkFile {
+                    encoding,
+                    raw_len: job.raw.len() as u64,
+                    encoded,
+                };
+                let bytes = file.to_bytes();
+                write_atomically(&store.chunk_path(hash), &bytes)?;
+                stats.chunks_written += 1;
+                stats.chunk_bytes_written += bytes.len() as u64;
+                newly_written.push(hash);
+            }
+            JobOutcome::Dedup { .. } => stats.chunks_deduped += 1,
+        }
+        region_chunks[job.region_index].push(ChunkEntry {
+            runs: job.runs.clone(),
+            hash,
+            raw_len: job.raw.len() as u64,
+        });
+    }
+
+    let image_id = store.allocate_image_id();
+    let manifest = Manifest {
+        image_id,
+        parent: opts.parent,
+        taken_at_ns: image.taken_at_ns,
+        compression: opts.compression,
+        regions: image
+            .regions
+            .iter()
+            .zip(region_chunks)
+            .map(|(r, chunks)| RegionEntry {
+                start: r.start.as_u64(),
+                len: r.len,
+                prot: r.prot,
+                label: r.label.clone(),
+                chunks,
+            })
+            .collect(),
+        payloads: image
+            .payloads
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    };
+    let manifest_bytes = manifest.to_bytes();
+    write_atomically(&store.image_path(image_id), &manifest_bytes)?;
+    stats.manifest_bytes = manifest_bytes.len() as u64;
+    stats.payload_bytes = image.payloads.values().map(|p| p.len() as u64).sum();
+
+    // Only now publish the new chunks into the store's index: a failure
+    // above leaves the index unchanged (orphan files are harmless — they
+    // are re-discovered or re-written, never referenced).
+    store.commit_chunks(&newly_written);
+    stats.elapsed = start.elapsed();
+    Ok((manifest, stats))
+}
+
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested > 0 { requested } else { hw.min(8) };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Writes `bytes` to `path` through a temp file + rename, so the final name
+/// never holds a torn write.  The temp name is unique per process *and* per
+/// call: two concurrent writers racing on the same content-addressed chunk
+/// must not interleave into one shared `.tmp` — each renames a complete
+/// file, and whichever rename lands last wins with valid bytes.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    {
+        use std::io::Write;
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        // Flush data to stable storage *before* the rename: on journaling
+        // filesystems the rename can otherwise persist ahead of the data,
+        // leaving a truncated file under its final content-hash name after
+        // a crash — which the name-based index would then trust forever.
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    // Persist the directory entry too, so the rename itself survives a
+    // crash (best-effort: not all platforms allow dir fsync).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}

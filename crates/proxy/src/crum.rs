@@ -69,7 +69,7 @@ impl CrumCheckpointer {
             session
                 .runtime()
                 .device()
-                .memcpy_d2h(*ptr, *ptr, 0.max(*len), None)
+                .memcpy_d2h(*ptr, *ptr, *len, None)
                 .ok();
             // ...then host(proxy) → host(application) over CMA.  Model the
             // copy cost without moving bytes (the simulated data already

@@ -44,7 +44,11 @@ impl CmaChannel {
 
     /// Creates a channel with the default cost parameters.
     pub fn new(clock: Arc<VirtualClock>) -> Self {
-        Self::with_costs(clock, Self::DEFAULT_PER_CALL_NS, Self::DEFAULT_BW_BYTES_PER_NS)
+        Self::with_costs(
+            clock,
+            Self::DEFAULT_PER_CALL_NS,
+            Self::DEFAULT_BW_BYTES_PER_NS,
+        )
     }
 
     /// Creates a channel with explicit cost parameters.

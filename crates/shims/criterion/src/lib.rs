@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace-local shim
+//! implements the criterion API surface the `crac-bench` benches use:
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once,
+//! then timed for `sample_size` batches (or until `measurement_time`
+//! elapses, whichever comes first) and the per-iteration mean / min are
+//! printed.  Under `cargo test` (cargo invokes bench executables with
+//! `--test`) every benchmark body runs exactly once as a smoke test.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value laundering, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How benchmark executables were invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Bench,
+    /// `cargo test`: run each body once, report nothing.
+    Test,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Bench
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing callback handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// `(total_elapsed, iterations)` accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly per the harness settings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up (also primes caches/allocators).
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 || start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if self.criterion.mode == Mode::Test {
+            return;
+        }
+        match bencher.measured {
+            Some((elapsed, iters)) if iters > 0 => {
+                let mean = elapsed.as_secs_f64() / iters as f64;
+                println!(
+                    "{}/{:<32} {:>12.3} µs/iter  ({} iters in {:.3} s)",
+                    self.name,
+                    id.id,
+                    mean * 1e6,
+                    iters,
+                    elapsed.as_secs_f64()
+                );
+            }
+            _ => println!(
+                "{}/{}: no measurement (b.iter never called)",
+                self.name, id.id
+            ),
+        }
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.id.clone())
+            .bench_function("base", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench executable's `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_chains() {
+        let mut c = Criterion { mode: Mode::Bench };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(50));
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            group.finish();
+        }
+        assert!(ran >= 3, "warm-up plus samples should run the body");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

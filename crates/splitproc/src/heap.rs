@@ -112,10 +112,15 @@ mod tests {
         for _ in 0..8 {
             let heap = std::sync::Arc::clone(&heap);
             handles.push(std::thread::spawn(move || {
-                (0..100).map(|_| heap.alloc(128).unwrap().as_u64()).collect::<Vec<_>>()
+                (0..100)
+                    .map(|_| heap.alloc(128).unwrap().as_u64())
+                    .collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let before = all.len();
         all.sort_unstable();
         all.dedup();

@@ -171,7 +171,11 @@ mod tests {
     fn loader_places_program_in_requested_half() {
         let space = SharedSpace::new_no_aslr();
         let helper = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
-        let app = load_program(&space, &ProgramSpec::cuda_application("lulesh"), Half::Upper);
+        let app = load_program(
+            &space,
+            &ProgramSpec::cuda_application("lulesh"),
+            Half::Upper,
+        );
         for seg in &helper.segments {
             assert!(seg.start.as_u64() < 0x4000_0000_0000, "{seg:?}");
         }
@@ -186,7 +190,10 @@ mod tests {
         let load_addrs = || {
             let space = SharedSpace::new_no_aslr();
             let p = load_program(&space, &ProgramSpec::cuda_helper(), Half::Lower);
-            p.segments.iter().map(|s| s.start.as_u64()).collect::<Vec<_>>()
+            p.segments
+                .iter()
+                .map(|s| s.start.as_u64())
+                .collect::<Vec<_>>()
         };
         assert_eq!(load_addrs(), load_addrs());
     }

@@ -74,8 +74,7 @@ impl LowerHalf {
             Some(c) => CudaRuntime::with_clock(config, space.clone(), c),
             None => CudaRuntime::new(config, space.clone()),
         };
-        let mut trampolines =
-            TrampolineTable::new(fs_mode, Arc::clone(runtime.device().clock()));
+        let mut trampolines = TrampolineTable::new(fs_mode, Arc::clone(runtime.device().clock()));
         // Entry points live in the helper's libcudart text segment; give each
         // published API a distinct pseudo-address inside it.
         let libcudart_text = program
@@ -133,7 +132,12 @@ mod tests {
     #[test]
     fn boot_publishes_all_api_entry_points() {
         let space = SharedSpace::new_no_aslr();
-        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        let lh = LowerHalf::boot(
+            &space,
+            RuntimeConfig::test(),
+            None,
+            FsRegisterMode::KernelCall,
+        );
         assert_eq!(lh.trampolines().len(), CUDA_API_NAMES.len());
         assert!(lh.trampolines().entry("cudaMalloc").is_some());
         assert!(lh.trampolines().entry("cudaLaunchKernel").is_some());
@@ -144,7 +148,12 @@ mod tests {
     #[test]
     fn helper_memory_is_entirely_lower_half() {
         let space = SharedSpace::new_no_aslr();
-        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        let lh = LowerHalf::boot(
+            &space,
+            RuntimeConfig::test(),
+            None,
+            FsRegisterMode::KernelCall,
+        );
         // Allocate through the runtime so arena chunks appear too.
         lh.runtime().malloc(1 << 20).unwrap();
         let lower_bytes: u64 = space.with(|s| s.regions_in_half(Half::Lower).map(|r| r.len).sum());
@@ -156,8 +165,18 @@ mod tests {
     #[test]
     fn reboot_with_shared_clock_preserves_time_and_layout() {
         let space = SharedSpace::new_no_aslr();
-        let lh1 = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
-        let addrs1: Vec<u64> = lh1.program().segments.iter().map(|s| s.start.as_u64()).collect();
+        let lh1 = LowerHalf::boot(
+            &space,
+            RuntimeConfig::test(),
+            None,
+            FsRegisterMode::KernelCall,
+        );
+        let addrs1: Vec<u64> = lh1
+            .program()
+            .segments
+            .iter()
+            .map(|s| s.start.as_u64())
+            .collect();
         let clock = Arc::clone(lh1.runtime().device().clock());
         clock.advance(999);
         lh1.shutdown(&space);
@@ -167,7 +186,12 @@ mod tests {
             Some(Arc::clone(&clock)),
             FsRegisterMode::KernelCall,
         );
-        let addrs2: Vec<u64> = lh2.program().segments.iter().map(|s| s.start.as_u64()).collect();
+        let addrs2: Vec<u64> = lh2
+            .program()
+            .segments
+            .iter()
+            .map(|s| s.start.as_u64())
+            .collect();
         assert_eq!(addrs1, addrs2);
         assert_eq!(lh2.runtime().device().clock().now(), 999);
     }
@@ -175,7 +199,12 @@ mod tests {
     #[test]
     fn shutdown_releases_lower_half_memory() {
         let space = SharedSpace::new_no_aslr();
-        let lh = LowerHalf::boot(&space, RuntimeConfig::test(), None, FsRegisterMode::KernelCall);
+        let lh = LowerHalf::boot(
+            &space,
+            RuntimeConfig::test(),
+            None,
+            FsRegisterMode::KernelCall,
+        );
         lh.runtime().malloc(1 << 20).unwrap();
         let before: usize = space.with(|s| s.regions_in_half(Half::Lower).count());
         assert!(before > 0);

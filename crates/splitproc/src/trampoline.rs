@@ -116,7 +116,10 @@ mod tests {
         let r = t.call(|| 7);
         assert_eq!(r, 7);
         assert_eq!(t.crossings(), 1);
-        assert_eq!(t.clock.now() - before, FsRegisterMode::KernelCall.crossing_ns());
+        assert_eq!(
+            t.clock.now() - before,
+            FsRegisterMode::KernelCall.crossing_ns()
+        );
         for _ in 0..9 {
             t.call(|| ());
         }

@@ -107,7 +107,10 @@ fn alloc_footprint(
         let ptr = alloc(session, bytes)?;
         // Touch a little of the buffer so checkpoints have real content to
         // carry (sparse storage keeps this cheap).
-        session.space().write_bytes(ptr, &[0xC5; 256]).map_err(|e| e.to_string())?;
+        session
+            .space()
+            .write_bytes(ptr, &[0xC5; 256])
+            .map_err(|e| e.to_string())?;
         out.push((ptr, bytes));
         remaining -= mb;
     }
@@ -140,7 +143,9 @@ pub fn run_app_phase(
     scale: f64,
     fraction: f64,
 ) -> SessionResult<()> {
-    let launches = ((spec.kernel_launches as f64) * scale * fraction).round().max(1.0) as u64;
+    let launches = ((spec.kernel_launches as f64) * scale * fraction)
+        .round()
+        .max(1.0) as u64;
     let memcpys = ((spec.memcpy_calls as f64) * scale * fraction).round() as u64;
     let profile = session.device_profile();
 
@@ -207,12 +212,12 @@ pub fn run_app_phase(
             let (dptr, dlen) = device_side[(memcpys_done as usize) % device_side.len()];
             if let Some((hptr, hlen)) = buffers.pinned.first() {
                 let bytes = memcpy_chunk.min(dlen).min(*hlen);
-                let kind = if memcpys_done % 2 == 0 {
+                let kind = if memcpys_done.is_multiple_of(2) {
                     MemcpyKind::HostToDevice
                 } else {
                     MemcpyKind::DeviceToHost
                 };
-                let (dst, src) = if memcpys_done % 2 == 0 {
+                let (dst, src) = if memcpys_done.is_multiple_of(2) {
                     (dptr, *hptr)
                 } else {
                     (*hptr, dptr)
@@ -264,7 +269,11 @@ pub fn run_app(session: &Session, spec: &AppSpec, scale: f64) -> SessionResult<R
         },
         elapsed_s,
         total_cuda_calls: total,
-        cps: if elapsed_s > 0.0 { total as f64 / elapsed_s } else { 0.0 },
+        cps: if elapsed_s > 0.0 {
+            total as f64 / elapsed_s
+        } else {
+            0.0
+        },
         kernel_launches: ((spec.kernel_launches as f64) * scale).round() as u64,
         peak_concurrent_kernels: session.peak_concurrent_kernels(),
         uvm_device_faults: df,
@@ -284,18 +293,42 @@ pub fn all_rodinia() -> Vec<AppSpec> {
     let rows: [(&str, &str, u64, f64, u64); 14] = [
         ("BFS", "graph1MW_6.txt", 100, 2.5, 39),
         ("CFD", "fvcorr.domn.193K", 72_000, 35.0, 39),
-        ("DWT2D", "rgb.bmp -d 1024x1024 -f -5 -l 100000", 800_000, 6.0, 40),
+        (
+            "DWT2D",
+            "rgb.bmp -d 1024x1024 -f -5 -l 100000",
+            800_000,
+            6.0,
+            40,
+        ),
         ("Gaussian", "-s 8192 -q", 18_000, 70.0, 783),
         ("Heartwall", "test.avi 104", 1_700, 5.0, 16),
         ("Hotspot", "temp_512 power_512 output.out", 7_000, 3.0, 18),
-        ("Hotspot3D", "512 8 1000 power_512x8 temp_512x8 output.out", 3_000, 25.0, 54),
+        (
+            "Hotspot3D",
+            "512 8 1000 power_512x8 temp_512x8 output.out",
+            3_000,
+            25.0,
+            54,
+        ),
         ("Kmeans", "kdd_cup -l 1000", 30_000, 20.0, 374),
         ("LUD", "-s 2048 -v", 1_000, 4.0, 695),
         ("Leukocyte", "testfile.avi 500", 12_000, 6.0, 57),
         ("NW", "40960 10", 15_000, 12.0, 45),
-        ("Particlefilter", "-x 128 -y 128 -z 10 -np 100000", 120, 5.0, 36),
+        (
+            "Particlefilter",
+            "-x 128 -y 128 -z 10 -np 100000",
+            120,
+            5.0,
+            36,
+        ),
         ("SRAD", "2048 2048 0 127 0 127 0.5 1000", 8_000, 6.0, 53),
-        ("Streamcluster", "10 20 256 65536 65536 1000 none output.txt 1", 69_000, 6.5, 83),
+        (
+            "Streamcluster",
+            "10 20 256 65536 65536 1000 none output.txt 1",
+            69_000,
+            6.5,
+            83,
+        ),
     ];
     rows.iter()
         .map(|&(name, cmdline, total_calls, native_s, ckpt_mb)| {
@@ -456,7 +489,11 @@ mod tests {
         let overhead = (rc.elapsed_s - rn.elapsed_s) / rn.elapsed_s * 100.0;
         assert!(overhead < 10.0, "overhead {overhead:.2}%");
         // Native runtime lands near the calibration target.
-        assert!(rn.elapsed_s > 0.3 && rn.elapsed_s < 0.8, "native {}", rn.elapsed_s);
+        assert!(
+            rn.elapsed_s > 0.3 && rn.elapsed_s < 0.8,
+            "native {}",
+            rn.elapsed_s
+        );
         // UVM activity happened.
         assert!(rc.uvm_device_faults > 0 || rc.uvm_host_faults > 0);
         assert!(rc.peak_concurrent_kernels >= 2);

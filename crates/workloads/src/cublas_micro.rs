@@ -108,7 +108,10 @@ impl BlasBench {
         let b = data_mb << 20;
         match routine {
             BlasRoutine::Sdot => (2 * b, 4),
-            BlasRoutine::Sgemv => (b + (b as f64).sqrt() as u64 * 4, (b as f64).sqrt() as u64 * 4),
+            BlasRoutine::Sgemv => (
+                b + (b as f64).sqrt() as u64 * 4,
+                (b as f64).sqrt() as u64 * 4,
+            ),
             BlasRoutine::Sgemm => (2 * b, b),
         }
     }
@@ -214,6 +217,8 @@ mod tests {
     fn full_table_has_nine_rows() {
         let rows = run_table3(1);
         assert_eq!(rows.len(), 9);
-        assert!(rows.iter().all(|r| r.native_ms > 0.0 && r.ipc_ms > r.native_ms));
+        assert!(rows
+            .iter()
+            .all(|r| r.native_ms > 0.0 && r.ipc_ms > r.native_ms));
     }
 }

@@ -59,15 +59,21 @@ pub fn run_crac_with_checkpoint(
     let reg = registry();
     let session = Session::crac(config.clone(), reg.clone());
     let buffers = setup_app(&session, spec)?;
-    run_app_phase(&session, spec, &buffers, scale, checkpoint_at.clamp(0.0, 1.0))?;
+    run_app_phase(
+        &session,
+        spec,
+        &buffers,
+        scale,
+        checkpoint_at.clamp(0.0, 1.0),
+    )?;
     session.device_synchronize()?;
 
     let proc = session.as_crac().expect("session runs under CRAC");
     let report = proc.checkpoint();
 
     // Restart in a brand-new process and finish the remaining fraction there.
-    let (proc2, restart) = CracProcess::restart(&report.image, config, reg)
-        .map_err(|e| e.to_string())?;
+    let (proc2, restart) =
+        CracProcess::restart(&report.image, config, reg).map_err(|e| e.to_string())?;
     let session2 = Session::from_crac(proc2);
     let remaining = 1.0 - checkpoint_at.clamp(0.0, 1.0);
     if remaining > 0.0 {
@@ -82,7 +88,11 @@ pub fn run_crac_with_checkpoint(
         mode: "CRAC+ckpt".to_string(),
         elapsed_s,
         total_cuda_calls: total,
-        cps: if elapsed_s > 0.0 { total as f64 / elapsed_s } else { 0.0 },
+        cps: if elapsed_s > 0.0 {
+            total as f64 / elapsed_s
+        } else {
+            0.0
+        },
         kernel_launches: ((spec.kernel_launches as f64) * scale * checkpoint_at) as u64,
         peak_concurrent_kernels: session.peak_concurrent_kernels(),
         uvm_device_faults: session.uvm_stats().device_faults,
@@ -133,8 +143,7 @@ mod tests {
     #[test]
     fn checkpoint_restart_mid_run_completes_the_work() {
         let spec = tiny_spec();
-        let result =
-            run_crac_with_checkpoint(&spec, CracConfig::test("tiny"), 1.0, 0.5).unwrap();
+        let result = run_crac_with_checkpoint(&spec, CracConfig::test("tiny"), 1.0, 0.5).unwrap();
         assert!(result.ckpt_time_s > 0.0);
         assert!(result.restart_time_s > 0.0);
         assert!(result.image_bytes > 1 << 20);
@@ -148,6 +157,10 @@ mod tests {
         let r = run_native(&bfs, RuntimeConfig::v100(), 1.0).unwrap();
         // BFS's full run is only ~100 CUDA calls, so even scale 1.0 is cheap;
         // the native runtime should land near the 2.5 s calibration target.
-        assert!(r.elapsed_s > 1.5 && r.elapsed_s < 3.5, "elapsed {}", r.elapsed_s);
+        assert!(
+            r.elapsed_s > 1.5 && r.elapsed_s < 3.5,
+            "elapsed {}",
+            r.elapsed_s
+        );
     }
 }

@@ -199,7 +199,10 @@ impl Session {
     /// `cudaMemcpy`.
     pub fn memcpy(&self, dst: Addr, src: Addr, bytes: u64, kind: MemcpyKind) -> SessionResult<()> {
         match self {
-            Session::Native(n) => n.runtime.memcpy(dst, src, bytes, kind).map_err(|e| e.to_string()),
+            Session::Native(n) => n
+                .runtime
+                .memcpy(dst, src, bytes, kind)
+                .map_err(|e| e.to_string()),
             Session::Crac(p) => p.memcpy(dst, src, bytes, kind).map_err(|e| e.to_string()),
         }
     }
@@ -229,7 +232,10 @@ impl Session {
     /// `cudaMemset`.
     pub fn memset(&self, ptr: Addr, value: u8, bytes: u64) -> SessionResult<()> {
         match self {
-            Session::Native(n) => n.runtime.memset(ptr, value, bytes).map_err(|e| e.to_string()),
+            Session::Native(n) => n
+                .runtime
+                .memset(ptr, value, bytes)
+                .map_err(|e| e.to_string()),
             Session::Crac(p) => p.memset(ptr, value, bytes).map_err(|e| e.to_string()),
         }
     }

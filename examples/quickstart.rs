@@ -39,7 +39,8 @@ fn main() {
     let host = proc.malloc_host((N * 4) as u64).unwrap();
 
     proc.space().write_f32(host, &vec![2.0f32; N]).unwrap();
-    proc.memcpy(x, host, (N * 4) as u64, MemcpyKind::HostToDevice).unwrap();
+    proc.memcpy(x, host, (N * 4) as u64, MemcpyKind::HostToDevice)
+        .unwrap();
     proc.memset(y, 0, (N * 4) as u64).unwrap();
     let stream = proc.stream_create().unwrap();
     proc.launch_kernel(
@@ -92,5 +93,8 @@ fn main() {
         )
         .unwrap();
     restarted.device_synchronize().unwrap();
-    println!("continued computing after restart; virtual time = {:.3} s", restarted.elapsed_s());
+    println!(
+        "continued computing after restart; virtual time = {:.3} s",
+        restarted.elapsed_s()
+    );
 }

@@ -29,8 +29,12 @@ fn main() {
     let fill = proc.register_function(fatbin, "chunk_fill").unwrap();
 
     // One stream + one device chunk + one pinned chunk per lane.
-    let streams: Vec<CracStream> = (0..NSTREAMS).map(|_| proc.stream_create().unwrap()).collect();
-    let dev: Vec<Addr> = (0..NSTREAMS).map(|_| proc.malloc((CHUNK * 4) as u64).unwrap()).collect();
+    let streams: Vec<CracStream> = (0..NSTREAMS)
+        .map(|_| proc.stream_create().unwrap())
+        .collect();
+    let dev: Vec<Addr> = (0..NSTREAMS)
+        .map(|_| proc.malloc((CHUNK * 4) as u64).unwrap())
+        .collect();
     let host: Vec<Addr> = (0..NSTREAMS)
         .map(|_| proc.malloc_host((CHUNK * 4) as u64).unwrap())
         .collect();
@@ -46,8 +50,14 @@ fn main() {
             *s,
         )
         .unwrap();
-        proc.memcpy_async(host[i], dev[i], (CHUNK * 4) as u64, MemcpyKind::DeviceToHost, *s)
-            .unwrap();
+        proc.memcpy_async(
+            host[i],
+            dev[i],
+            (CHUNK * 4) as u64,
+            MemcpyKind::DeviceToHost,
+            *s,
+        )
+        .unwrap();
     }
     println!(
         "enqueued work on {NSTREAMS} streams; peak concurrent kernels so far: {}",
@@ -88,7 +98,11 @@ fn main() {
                 fill,
                 LaunchDims::linear(4, 256),
                 KernelCost::new(CHUNK as u64 * 200, (CHUNK * 4) as u64),
-                vec![dev[i].as_u64(), CHUNK as u64, (1000.0 + i as f32).to_bits() as u64],
+                vec![
+                    dev[i].as_u64(),
+                    CHUNK as u64,
+                    (1000.0 + i as f32).to_bits() as u64,
+                ],
                 *s,
             )
             .unwrap();

@@ -38,10 +38,11 @@ pub mod prelude {
     pub use crac_addrspace::{Addr, SharedSpace};
     pub use crac_core::{
         CkptReport, CracConfig, CracError, CracEvent, CracFatBinary, CracKernel, CracProcess,
-        CracStream, KernelRegistry, RestartReport,
+        CracStream, KernelRegistry, RestartReport, StoredCkptReport,
     };
     pub use crac_cudart::{CudaRuntime, MemcpyKind, RuntimeConfig};
     pub use crac_gpu::{DeviceProfile, KernelCost, LaunchDims};
+    pub use crac_imagestore::{Compression, ImageId, ImageStore, WriteOptions};
     pub use crac_workloads::{run_crac, run_crac_with_checkpoint, run_native, Session};
 }
 
@@ -50,6 +51,7 @@ pub use crac_core as crac;
 pub use crac_cudart as cudart;
 pub use crac_dmtcp as dmtcp;
 pub use crac_gpu as gpu;
+pub use crac_imagestore as imagestore;
 pub use crac_proxy as proxy;
 pub use crac_splitproc as splitproc;
 pub use crac_workloads as workloads;

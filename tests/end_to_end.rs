@@ -21,7 +21,10 @@ fn rodinia_class_app_has_low_crac_overhead() {
     let crac = run_crac(&spec, cfg, scale).unwrap();
     let overhead = (crac.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
     assert!(overhead >= 0.0, "CRAC cannot be faster than native here");
-    assert!(overhead < 5.0, "overhead {overhead:.2}% exceeds the paper's band");
+    assert!(
+        overhead < 5.0,
+        "overhead {overhead:.2}% exceeds the paper's band"
+    );
 }
 
 #[test]
@@ -30,7 +33,11 @@ fn uvm_and_128_streams_survive_a_mid_run_checkpoint() {
     let scale = small_scale(&spec);
     let result = run_crac_with_checkpoint(&spec, CracConfig::test(spec.name), scale, 0.5).unwrap();
     // The managed footprint (384 MB) dominates the image.
-    assert!(result.image_bytes > 300 << 20, "image {} bytes", result.image_bytes);
+    assert!(
+        result.image_bytes > 300 << 20,
+        "image {} bytes",
+        result.image_bytes
+    );
     assert!(result.drained_bytes >= 384 << 20);
     assert!(result.ckpt_time_s > 0.0 && result.restart_time_s > 0.0);
     assert!(result.replayed_calls > 100);
@@ -93,22 +100,28 @@ fn restart_produces_a_process_that_can_checkpoint_again() {
             .unwrap();
         current.device_synchronize().unwrap();
         let report = current.checkpoint();
-        let (next, _) =
-            CracProcess::restart(&report.image, CracConfig::test("chain"), Arc::clone(&kernels))
-                .unwrap();
+        let (next, _) = CracProcess::restart(
+            &report.image,
+            CracConfig::test("chain"),
+            Arc::clone(&kernels),
+        )
+        .unwrap();
         let mut out = [0f32; 64];
         next.space().read_f32(buf, &mut out).unwrap();
-        assert!(out.iter().all(|&v| v == generation as f32), "generation {generation}");
+        assert!(
+            out.iter().all(|&v| v == generation as f32),
+            "generation {generation}"
+        );
         current = next;
     }
 }
 
 #[test]
 fn native_and_crac_compute_identical_results() {
-    use std::sync::Arc;
+    use crac_repro::cudart::MemcpyKind;
     use crac_repro::workloads::kernels::registry;
     use crac_repro::workloads::Session;
-    use crac_repro::cudart::MemcpyKind;
+    use std::sync::Arc;
 
     let run = |session: &Session| -> Vec<f32> {
         let iota = session.register_kernel("iota").unwrap();

@@ -63,7 +63,7 @@ fn restart_on_a_different_gpu_platform_is_detected() {
     let report = checkpointed_app();
     let mut other_platform = CracConfig::test("victim");
     other_platform.runtime.arena_chunk_bytes = 8 << 20; // original test config: 1 MiB
-    other_platform.runtime.profile.uvm_page_bytes = 2 * other_platform.runtime.profile.uvm_page_bytes;
+    other_platform.runtime.profile.uvm_page_bytes *= 2;
     match CracProcess::restart(&report.image, other_platform, kernels()) {
         Err(CracError::ReplayMismatch { .. }) => {}
         Err(other) => panic!("expected a replay mismatch, got {other:?}"),

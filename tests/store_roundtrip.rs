@@ -1,0 +1,172 @@
+//! End-to-end image-store integration: a live `CracProcess` checkpointed to
+//! disk through `crac-imagestore` and restarted from the stored file, plus
+//! the incremental-chain behaviour of repeated disk checkpoints.
+
+use std::sync::Arc;
+
+use crac_repro::imagestore::testutil::TempDir;
+use crac_repro::prelude::*;
+
+fn bump_registry() -> Arc<KernelRegistry> {
+    let mut kernels = KernelRegistry::new();
+    kernels.insert("bump", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let mut v = ctx.read_f32_arg(0, n)?;
+        for x in &mut v {
+            *x += 1.0;
+        }
+        ctx.write_f32_arg(0, &v)
+    });
+    Arc::new(kernels)
+}
+
+#[test]
+fn process_checkpoints_to_disk_and_restarts_from_the_file() {
+    let kernels = bump_registry();
+    let proc = CracProcess::launch(CracConfig::test("disk-ckpt"), Arc::clone(&kernels));
+    let fb = proc.register_fat_binary();
+    let bump = proc.register_function(fb, "bump").unwrap();
+    let buf = proc.malloc(4 * 128).unwrap();
+    proc.space().write_f32(buf, &[0.0; 128]).unwrap();
+    proc.launch_kernel(
+        bump,
+        LaunchDims::linear(1, 128),
+        KernelCost::compute(128),
+        vec![buf.as_u64(), 128],
+        CracStream::DEFAULT,
+    )
+    .unwrap();
+    proc.device_synchronize().unwrap();
+
+    let dir = TempDir::new("proc-disk");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let stored = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+    assert!(stored.parent.is_none(), "first checkpoint is full");
+    assert!(stored.write.chunks_written > 0);
+    assert!(store.contains_image(stored.image_id));
+
+    // Restart from the on-disk image in a brand-new process (the original
+    // is dropped first, as in a real kill + dmtcp_restart).
+    drop(proc);
+    let (restarted, report, read_stats) = CracProcess::restart_from_store(
+        &store,
+        stored.image_id,
+        CracConfig::test("disk-ckpt"),
+        Arc::clone(&kernels),
+    )
+    .unwrap();
+    assert!(report.replayed_calls > 0);
+    assert!(read_stats.chunks_read > 0);
+
+    // The restored upper half carries the kernel's work...
+    let mut out = [0f32; 128];
+    restarted.space().read_f32(buf, &mut out).unwrap();
+    assert!(out.iter().all(|&v| v == 1.0));
+
+    // ...and the process is fully alive: it can compute and checkpoint again.
+    restarted
+        .launch_kernel(
+            bump,
+            LaunchDims::linear(1, 128),
+            KernelCost::compute(128),
+            vec![buf.as_u64(), 128],
+            CracStream::DEFAULT,
+        )
+        .unwrap();
+    restarted.device_synchronize().unwrap();
+    restarted.space().read_f32(buf, &mut out).unwrap();
+    assert!(out.iter().all(|&v| v == 2.0));
+}
+
+#[test]
+fn repeated_disk_checkpoints_form_an_incremental_chain() {
+    let kernels = bump_registry();
+    let proc = CracProcess::launch(CracConfig::test("disk-chain"), Arc::clone(&kernels));
+    let fb = proc.register_fat_binary();
+    let bump = proc.register_function(fb, "bump").unwrap();
+    // A larger footprint so chunk dedup has something to chew on: 1 MiB of
+    // host heap data plus a small device buffer.
+    let heap = proc.heap_alloc(1 << 20).unwrap();
+    proc.space().fill(heap, 1 << 20, 0x5A).unwrap();
+    let buf = proc.malloc(4 * 64).unwrap();
+    proc.space().write_f32(buf, &[0.0; 64]).unwrap();
+
+    let dir = TempDir::new("proc-chain");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let first = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    // Touch a tiny fraction of state, checkpoint again with no explicit
+    // parent: the process chains automatically.
+    proc.launch_kernel(
+        bump,
+        LaunchDims::linear(1, 64),
+        KernelCost::compute(64),
+        vec![buf.as_u64(), 64],
+        CracStream::DEFAULT,
+    )
+    .unwrap();
+    proc.device_synchronize().unwrap();
+    let second = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    assert_eq!(second.parent, Some(first.image_id), "auto-chained parent");
+    assert!(
+        second.write.chunks_deduped > 0,
+        "unchanged heap chunks must dedup"
+    );
+    assert!(
+        second.write.bytes_written() < first.write.bytes_written() / 2,
+        "incremental wrote {} vs full {}",
+        second.write.bytes_written(),
+        first.write.bytes_written()
+    );
+
+    // A restart from the incremental image restores the *complete* state
+    // (manifests are self-contained; no parent-chain walk).
+    let (restarted, _, _) = CracProcess::restart_from_store(
+        &store,
+        second.image_id,
+        CracConfig::test("disk-chain"),
+        Arc::clone(&kernels),
+    )
+    .unwrap();
+    let mut probe = vec![0u8; 64];
+    restarted.space().read_bytes(heap, &mut probe).unwrap();
+    assert!(probe.iter().all(|&b| b == 0x5A), "heap restored");
+    let mut out = [0f32; 64];
+    restarted.space().read_f32(buf, &mut out).unwrap();
+    assert!(out.iter().all(|&v| v == 1.0), "device work restored");
+
+    // The restarted process keeps extending the same chain.
+    let third = restarted
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+    assert_eq!(third.parent, Some(second.image_id));
+    assert_eq!(store.list_images().unwrap().len(), 3);
+
+    // Chains are scoped to their store: a checkpoint into a *different*
+    // store starts full (ids from the first store mean nothing there)...
+    let other_dir = TempDir::new("proc-chain-other");
+    let other = ImageStore::open(other_dir.path()).unwrap();
+    let elsewhere = restarted
+        .checkpoint_to_store(&other, WriteOptions::full())
+        .unwrap();
+    assert_eq!(elsewhere.parent, None, "cross-store chaining must not leak");
+
+    // ...and clear_stored_parent forces a parentless checkpoint even into
+    // the same store (chunk dedup still applies).
+    restarted.clear_stored_parent();
+    let fresh = restarted
+        .checkpoint_to_store(&other, WriteOptions::full())
+        .unwrap();
+    assert_eq!(fresh.parent, None);
+    assert!(
+        fresh.write.chunks_deduped > 0,
+        "dedup is independent of lineage"
+    );
+}
