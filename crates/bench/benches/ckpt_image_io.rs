@@ -7,10 +7,27 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use crac_addrspace::{Addr, Prot, PAGE_SIZE};
-use crac_dmtcp::{CheckpointImage, SavedRegion};
+use crac_addrspace::{Addr, PageRun, Prot, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, RegionDescriptor, SavedRegion};
 use crac_imagestore::testutil::TempDir;
-use crac_imagestore::{Compression, ImageStore, WriteOptions};
+use crac_imagestore::{ChunkSink, Compression, ImageStore, WriteOptions};
+
+/// One synthetic page's content (shared by the materialised and streaming
+/// producers so both write identical bytes).
+fn page_content(r: usize, i: u64) -> Vec<u8> {
+    let mut page = vec![(r as u8) ^ (i as u8); PAGE_SIZE as usize];
+    if i.is_multiple_of(4) {
+        // A quarter of the pages are incompressible (the rest
+        // model zero/constant fills, which dominate real ckpts).
+        for (j, b) in page.iter_mut().enumerate() {
+            *b = (j as u8).wrapping_mul(31).wrapping_add(i as u8);
+        }
+    }
+    // Unique stamp: no two pages are identical, so intra-image
+    // dedup cannot skew the full-write baseline.
+    page[..8].copy_from_slice(&(((r as u64) << 32) | (i + 1)).to_le_bytes());
+    page
+}
 
 /// A checkpoint image with `regions` regions of `pages_per_region` dirty
 /// pages each (mixed compressible / incompressible content).
@@ -21,20 +38,7 @@ fn build_image(regions: usize, pages_per_region: u64) -> CheckpointImage {
     };
     for r in 0..regions {
         let pages = (0..pages_per_region)
-            .map(|i| {
-                let mut page = vec![(r as u8) ^ (i as u8); PAGE_SIZE as usize];
-                if i % 4 == 0 {
-                    // A quarter of the pages are incompressible (the rest
-                    // model zero/constant fills, which dominate real ckpts).
-                    for (j, b) in page.iter_mut().enumerate() {
-                        *b = (j as u8).wrapping_mul(31).wrapping_add(i as u8);
-                    }
-                }
-                // Unique stamp: no two pages are identical, so intra-image
-                // dedup cannot skew the full-write baseline.
-                page[..8].copy_from_slice(&(((r as u64) << 32) | (i + 1)).to_le_bytes());
-                (i, page)
-            })
+            .map(|i| (i, page_content(r, i)))
             .collect();
         image.regions.push(SavedRegion {
             start: Addr(0x4000_0000_0000 + ((r as u64) << 28)),
@@ -46,6 +50,39 @@ fn build_image(regions: usize, pages_per_region: u64) -> CheckpointImage {
     }
     image.payloads.insert("crac".into(), vec![0xAB; 64 << 10]);
     image
+}
+
+/// Streams the same synthetic checkpoint straight into a sink, generating
+/// page content run by run — the producer never holds more than one run
+/// buffer, exactly like the coordinator's streaming walk.
+fn stream_synthetic(
+    sink: &mut dyn ChunkSink,
+    regions: usize,
+    pages_per_region: u64,
+) -> Result<(), crac_imagestore::StoreError> {
+    const RUN_PAGES: u64 = 16;
+    let mut buf = Vec::with_capacity((RUN_PAGES * PAGE_SIZE) as usize);
+    for r in 0..regions {
+        sink.begin_region(&RegionDescriptor {
+            start: Addr(0x4000_0000_0000 + ((r as u64) << 28)),
+            len: pages_per_region * PAGE_SIZE,
+            prot: Prot::RW,
+            label: format!("bench-region-{r}"),
+        })?;
+        let mut first = 0u64;
+        while first < pages_per_region {
+            let take = RUN_PAGES.min(pages_per_region - first);
+            buf.clear();
+            for i in first..first + take {
+                buf.extend_from_slice(&page_content(r, i));
+            }
+            sink.push_run(PageRun { first, count: take }, &buf)?;
+            first += take;
+        }
+        sink.end_region()?;
+    }
+    sink.push_payload("crac", &vec![0xAB; 64 << 10])?;
+    Ok(())
 }
 
 /// Rewrites a contiguous ~`percent`% of each region's pages, modelling the
@@ -111,6 +148,54 @@ fn bench_image_io(c: &mut Criterion) {
     let (id, _) = store.write_image(&image, &WriteOptions::full()).unwrap();
     group.bench_function("read_verify", |b| b.iter(|| store.read_image(id).unwrap()));
     group.finish();
+
+    // Streaming vs. materialise-then-write: identical bytes, two producer
+    // shapes.  The "materialise" variant is the pre-streaming architecture
+    // (build the full in-memory image, then hand it to the store); the
+    // "streaming" variant generates runs on the fly and never holds the
+    // image — it must be at least as fast, while buffering O(queue-depth)
+    // instead of O(image).
+    let mut group = c.benchmark_group("ckpt_image_io_streaming");
+    group.sample_size(10);
+    group.bench_function("materialise_then_write", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-mat");
+            let store = ImageStore::open(dir.path()).unwrap();
+            let image = build_image(8, 256);
+            store.write_image(&image, &WriteOptions::full()).unwrap()
+        })
+    });
+    group.bench_function("streaming_write", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-stream");
+            let store = ImageStore::open(dir.path()).unwrap();
+            store
+                .stream_image(&WriteOptions::full(), |w| stream_synthetic(w, 8, 256))
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // Peak-buffering report for the same write, both shapes.
+    {
+        let dir = TempDir::new("bench-peak");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let image = build_image(8, 256);
+        let (_, mat) = store.write_image(&image, &WriteOptions::full()).unwrap();
+        let dir2 = TempDir::new("bench-peak-stream");
+        let store2 = ImageStore::open(dir2.path()).unwrap();
+        let (_, (), stream) = store2
+            .stream_image(&WriteOptions::full(), |w| stream_synthetic(w, 8, 256))
+            .unwrap();
+        println!(
+            "\nckpt_image_io streaming: raw payload {} KiB; pipeline peak buffer \
+             materialised-source={} KiB streamed-source={} KiB (bound {} KiB)",
+            stream.raw_chunk_bytes >> 10,
+            mat.peak_buffered_bytes >> 10,
+            stream.peak_buffered_bytes >> 10,
+            crac_imagestore::stream_buffer_bound(stream.threads_used) >> 10,
+        );
+    }
 
     // Storage-volume report (the store's reason to exist).
     let dir = TempDir::new("bench-report");

@@ -9,7 +9,10 @@ use crac_cudart::{CudaError, CudaRuntime, MemcpyKind};
 use crac_dmtcp::{CheckpointImage, Coordinator};
 use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
-use crac_imagestore::{ImageId, ImageStore, ReadStats, StoreError, WriteOptions, WriteStats};
+use crac_imagestore::{
+    drive_checkpoint_streaming, ImageId, ImageStore, ReadStats, StoreError, WriteOptions,
+    WriteStats,
+};
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
 
@@ -106,19 +109,44 @@ pub struct CkptReport {
     pub regions_skipped: usize,
 }
 
-/// Result of [`CracProcess::checkpoint_to_store`]: the in-memory checkpoint
-/// report plus where and how the image landed on disk.
+/// Result of [`CracProcess::checkpoint_to_store`]: how the checkpoint went
+/// and where and how the image landed on disk.
+///
+/// Unlike [`CkptReport`] there is **no** `image` field: the disk path
+/// streams regions straight into the store's writer pipeline, so the full
+/// `CheckpointImage` is never materialised.  The memory cost that replaces
+/// it is [`StoredCkptReport::peak_buffered_bytes`] — bounded by the
+/// pipeline's queue depths (`crac_imagestore::stream_buffer_bound`), not by
+/// the image size.
 #[derive(Clone, Debug)]
 pub struct StoredCkptReport {
-    /// The in-memory checkpoint report (image included, as with
-    /// [`CracProcess::checkpoint`]).
-    pub report: CkptReport,
     /// Id of the stored image.
     pub image_id: ImageId,
     /// Whether this checkpoint was stored incrementally on a parent.
     pub parent: Option<ImageId>,
-    /// Store-side write statistics (dedup, compression, bytes written).
+    /// Checkpoint time in seconds of virtual time (drain + image write).
+    pub ckpt_time_s: f64,
+    /// Logical image size in bytes.
+    pub image_bytes: u64,
+    /// Bytes of device/managed allocations drained into the image.
+    pub drained_bytes: u64,
+    /// Merged maps entries saved.
+    pub regions_saved: usize,
+    /// Merged maps entries excluded (lower half).
+    pub regions_skipped: usize,
+    /// Store-side write statistics (dedup, compression, bytes written,
+    /// pipeline buffering).
     pub write: WriteStats,
+}
+
+impl StoredCkptReport {
+    /// Peak payload bytes buffered in this process while the checkpoint
+    /// streamed to disk — the streaming path's stand-in for the peak-RSS
+    /// delta the old materialise-then-write path paid (which was the whole
+    /// image, [`StoredCkptReport::image_bytes`]).
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.write.peak_buffered_bytes
+    }
 }
 
 /// Result of [`CracProcess::restart`].
@@ -620,8 +648,11 @@ impl CracProcess {
         }
     }
 
-    /// Takes a checkpoint and persists it into `store`, returning the
-    /// stored image's id alongside the usual checkpoint report.
+    /// Takes a checkpoint and persists it into `store`, streaming regions
+    /// straight into the store's writer pipeline — the full
+    /// `CheckpointImage` is never materialised, so peak memory during the
+    /// checkpoint is bounded by the pipeline's queues instead of the image
+    /// size (see [`StoredCkptReport::peak_buffered_bytes`]).
     ///
     /// When `opts.parent` is `None`, the process's previous checkpoint into
     /// *this same store* (if any) is used as the parent automatically, so
@@ -643,13 +674,27 @@ impl CracProcess {
                 }
             }
         }
-        let report = self.checkpoint();
-        let (image_id, write) = store.write_image(&report.image, &opts)?;
+        let clock = Arc::clone(self.clock());
+        let t0 = clock.now();
+        let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        let (image_id, stats, write) = store.stream_image(&opts, |writer| {
+            let stats = drive_checkpoint_streaming(&self.coordinator, writer)?;
+            // Model the image-write time and stamp the manifest with the
+            // time the checkpoint *completed*, so a restarted process
+            // resumes virtual time from there.
+            clock.advance(stats.write_ns);
+            writer.set_taken_at(clock.now());
+            Ok(stats)
+        })?;
         *self.last_stored_image.lock() = Some((store.root().to_path_buf(), image_id));
         Ok(StoredCkptReport {
-            report,
             image_id,
             parent: opts.parent,
+            ckpt_time_s: ns_to_s(clock.now() - t0),
+            image_bytes: stats.image_bytes,
+            drained_bytes,
+            regions_saved: stats.regions_saved,
+            regions_skipped: stats.regions_skipped,
             write,
         })
     }

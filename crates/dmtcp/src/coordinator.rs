@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use crac_addrspace::{Addr, Half, MapRequest, Prot, SharedSpace, PAGE_SIZE};
+use crac_addrspace::{page_runs, Addr, Half, MapRequest, Prot, SharedSpace, PAGE_SIZE};
 
-use crate::image::{CheckpointImage, SavedRegion};
+use crate::image::CheckpointImage;
 use crate::plugin::{DmtcpPlugin, RegionDecision};
+use crate::stream::{CheckpointSink, ImageSink, RegionDescriptor, SinkClosed, MAX_RUN_PAGES};
 
 /// Coordinator configuration.
 #[derive(Clone, Debug)]
@@ -95,17 +96,51 @@ impl Coordinator {
     /// (`pre_checkpoint`), the coordinator walks the merged maps view and
     /// saves whatever the plugins do not exclude, plugin payloads are
     /// embedded, and finally plugins `resume`.
+    ///
+    /// This is the materialising entry point for in-memory users — it is
+    /// the streaming walk ([`Coordinator::checkpoint_streaming`]) driven
+    /// into an [`ImageSink`], so the two paths cannot diverge.
     pub fn checkpoint(&self, now_ns: u64) -> (CheckpointImage, CkptStats) {
+        let mut sink = ImageSink::default();
+        let stats = self
+            .checkpoint_streaming(&mut sink)
+            .expect("ImageSink is infallible");
+        sink.image.taken_at_ns = now_ns;
+        (sink.image, stats)
+    }
+
+    /// Takes a checkpoint, pushing `(region descriptor, page-run payload)`
+    /// records into `sink` instead of materialising a [`CheckpointImage`].
+    ///
+    /// The walk takes no timestamp: the sink's owner stamps the
+    /// checkpoint's completion time itself (it may want to account for
+    /// modelled write time first, as `crac-core` does).
+    ///
+    /// The producer holds at most one bounded run buffer
+    /// ([`MAX_RUN_PAGES`] pages) of content at a time, so a disk-backed
+    /// sink bounds the checkpoint's peak memory by its own queue depth
+    /// rather than the image size.  If the sink reports [`SinkClosed`],
+    /// the walk stops immediately — but plugins are still resumed, so a
+    /// failed checkpoint never leaves the application quiesced — and the
+    /// marker is propagated for the sink's owner to translate into the
+    /// real error.
+    pub fn checkpoint_streaming(
+        &self,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<CkptStats, SinkClosed> {
         for p in &self.plugins {
             p.pre_checkpoint();
         }
+        let result = self.stream_regions(sink);
+        for p in &self.plugins {
+            p.resume();
+        }
+        result
+    }
 
-        let mut image = CheckpointImage {
-            taken_at_ns: now_ns,
-            ..Default::default()
-        };
+    /// The shared walk behind both checkpoint flavours.
+    fn stream_regions(&self, sink: &mut dyn CheckpointSink) -> Result<CkptStats, SinkClosed> {
         let mut stats = CkptStats::default();
-
         let entries = self.space.with(|s| s.proc_maps());
         for entry in &entries {
             // First plugin with a non-Save opinion wins.
@@ -129,39 +164,53 @@ impl Coordinator {
             }
             stats.regions_saved += 1;
             for (start, len) in ranges {
-                image
-                    .regions
-                    .push(self.save_range(start, len, entry.prot, &entry.label));
+                let desc = RegionDescriptor {
+                    start,
+                    len,
+                    prot: entry.prot,
+                    label: entry.label.clone(),
+                };
+                sink.begin_region(&desc)?;
+                stats.stored_bytes += self.stream_range(start, len, sink)?;
+                sink.end_region()?;
+                stats.image_bytes += len;
             }
         }
 
         for p in &self.plugins {
             let payload = p.payload();
             if !payload.is_empty() {
-                image.payloads.insert(p.name().to_string(), payload);
+                sink.payload(p.name(), &payload)?;
+                stats.image_bytes += payload.len() as u64;
+                stats.stored_bytes += payload.len() as u64;
             }
         }
 
-        stats.image_bytes = image.logical_size();
-        stats.stored_bytes = image.stored_size();
         let effective_bytes = if self.config.gzip {
             (stats.image_bytes as f64 / 2.5) as u64
         } else {
             stats.image_bytes
         };
         stats.write_ns = (effective_bytes as f64 / self.config.disk_write_bw).ceil() as u64;
-
-        for p in &self.plugins {
-            p.resume();
-        }
-        (image, stats)
+        Ok(stats)
     }
 
-    fn save_range(&self, start: Addr, len: u64, prot: Prot, label: &str) -> SavedRegion {
-        let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
+    /// Streams one saved range's dirty pages into `sink` as runs of at most
+    /// [`MAX_RUN_PAGES`] pages, returning the content bytes streamed.
+    ///
+    /// Only page *references* (16 bytes each) are gathered up front; content
+    /// is copied one run buffer at a time, which is the whole point of the
+    /// streaming path.
+    fn stream_range(
+        &self,
+        start: Addr,
+        len: u64,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<u64, SinkClosed> {
         self.space.with(|s| {
             // Walk the underlying (unmerged) regions overlapping this range
-            // and harvest their dirty pages.
+            // and index their dirty pages by range-relative position.
+            let mut pages: Vec<(u64, &[u8])> = Vec::new();
             for region in s.regions() {
                 if !region.overlaps(start, len) {
                     continue;
@@ -169,20 +218,32 @@ impl Coordinator {
                 for (page_idx, bytes) in region.store.dirty_pages() {
                     let page_addr = region.start + page_idx * PAGE_SIZE;
                     if page_addr >= start && page_addr + PAGE_SIZE <= start + len {
-                        let rel = (page_addr - start) / PAGE_SIZE;
-                        pages.push((rel, bytes.to_vec()));
+                        pages.push(((page_addr - start) / PAGE_SIZE, bytes));
                     }
                 }
             }
-        });
-        pages.sort_by_key(|(idx, _)| *idx);
-        SavedRegion {
-            start,
-            len,
-            prot,
-            label: label.to_string(),
-            pages,
-        }
+            pages.sort_by_key(|(idx, _)| *idx);
+            let by_index: std::collections::BTreeMap<u64, &[u8]> = pages.iter().copied().collect();
+            let mut streamed = 0u64;
+            let mut buf: Vec<u8> = Vec::new();
+            for run in page_runs(pages.iter().map(|(idx, _)| *idx)) {
+                // Split oversized runs so the buffer stays bounded.
+                let mut first = run.first;
+                let mut remaining = run.count;
+                while remaining > 0 {
+                    let take = remaining.min(MAX_RUN_PAGES);
+                    buf.clear();
+                    for page in first..first + take {
+                        buf.extend_from_slice(by_index[&page]);
+                    }
+                    sink.page_run(crac_addrspace::PageRun { first, count: take }, &buf)?;
+                    streamed += take * PAGE_SIZE;
+                    first += take;
+                    remaining -= take;
+                }
+            }
+            Ok(streamed)
+        })
     }
 
     /// Restores `image` into `space` (a fresh process on restart) and fires

@@ -21,8 +21,10 @@ pub mod coordinator;
 pub mod cursor;
 pub mod image;
 pub mod plugin;
+pub mod stream;
 
 pub use coordinator::{CkptStats, Coordinator, CoordinatorConfig, RestartStats};
 pub use cursor::ByteCursor;
 pub use image::{CheckpointImage, SavedRegion};
 pub use plugin::{DmtcpPlugin, PluginEvent, RegionDecision};
+pub use stream::{CheckpointSink, ImageSink, RegionDescriptor, SinkClosed, MAX_RUN_PAGES};

@@ -1,0 +1,129 @@
+//! Streaming checkpoint production: region-by-region, run-by-run.
+//!
+//! The materialising path ([`Coordinator::checkpoint`]) builds a complete
+//! in-memory [`CheckpointImage`] before anyone can write a byte — for a
+//! multi-GB footprint that doubles peak RSS at the worst possible moment
+//! (the application is quiesced).  The streaming path inverts control: the
+//! coordinator walks the merged maps view exactly as before, but pushes
+//! `(region descriptor, page-run payload)` records into a caller-supplied
+//! [`CheckpointSink`] as it goes, holding at most one bounded run buffer
+//! ([`MAX_RUN_PAGES`] pages) of content at a time.  A disk-backed sink (the
+//! image store's writer pipeline) can then overlap hashing, encoding and
+//! file I/O with the walk itself.
+//!
+//! The sink signals failure with the opaque [`SinkClosed`] marker: the
+//! producer stops feeding immediately, and the *real* error (an I/O error,
+//! say) is recovered from the sink by whoever owns it.  This keeps
+//! `crac-dmtcp` free of any dependency on the consumer's error type — the
+//! image store depends on this crate, not the other way around.
+
+use crac_addrspace::{Addr, PageRun, Prot, PAGE_SIZE};
+
+use crate::image::{CheckpointImage, SavedRegion};
+
+/// Upper bound on pages per [`CheckpointSink::page_run`] call.  Runs longer
+/// than this are split, so a sink never receives (and the producer never
+/// buffers) more than `MAX_RUN_PAGES * PAGE_SIZE` bytes per record — this is
+/// what bounds the producer side of the streaming pipeline.
+pub const MAX_RUN_PAGES: u64 = 16;
+
+/// A saved region's identity, sans content: everything a manifest needs to
+/// describe the region before its page runs stream through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionDescriptor {
+    /// Start address the region must be restored at.
+    pub start: Addr,
+    /// Logical length in bytes.
+    pub len: u64,
+    /// Protection bits to restore.
+    pub prot: Prot,
+    /// Label (pathname column) for diagnostics.
+    pub label: String,
+}
+
+/// Opaque "stop producing" marker returned by a failed sink.
+///
+/// Carries no payload by design: the underlying error lives in the sink
+/// (which the caller owns and can interrogate), so this crate needs no
+/// knowledge of downstream error types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkClosed;
+
+/// Consumer of a streamed checkpoint.
+///
+/// Calls arrive in a strict order the producer guarantees:
+///
+/// ```text
+/// (begin_region (page_run)* end_region)* (payload)*
+/// ```
+///
+/// with runs inside a region in strictly increasing page order and each run
+/// at most [`MAX_RUN_PAGES`] pages.  Any method may return
+/// `Err(SinkClosed)`; the producer then stops immediately (plugins are
+/// still resumed) and propagates the marker.
+pub trait CheckpointSink {
+    /// Opens a region; subsequent [`CheckpointSink::page_run`] calls belong
+    /// to it until [`CheckpointSink::end_region`].
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed>;
+
+    /// One run of consecutive dirty pages.  `bytes.len()` is exactly
+    /// `run.count * PAGE_SIZE`.
+    fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed>;
+
+    /// Closes the region opened by the last
+    /// [`CheckpointSink::begin_region`].
+    fn end_region(&mut self) -> Result<(), SinkClosed>;
+
+    /// One named plugin payload (only non-empty payloads are delivered).
+    fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed>;
+}
+
+/// The infallible in-memory sink: rebuilds a [`CheckpointImage`].
+///
+/// [`Coordinator::checkpoint`](crate::Coordinator::checkpoint) is this sink
+/// driven by the streaming walk — one code path produces both the legacy
+/// materialised image and the streamed-to-disk variant, so they cannot
+/// drift apart.
+#[derive(Debug, Default)]
+pub struct ImageSink {
+    /// The image being accumulated.
+    pub image: CheckpointImage,
+}
+
+impl CheckpointSink for ImageSink {
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed> {
+        self.image.regions.push(SavedRegion {
+            start: desc.start,
+            len: desc.len,
+            prot: desc.prot,
+            label: desc.label.clone(),
+            pages: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed> {
+        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
+        let region = self
+            .image
+            .regions
+            .last_mut()
+            .expect("page_run outside begin_region/end_region");
+        for (i, page) in run.pages().enumerate() {
+            let off = i * PAGE_SIZE as usize;
+            region
+                .pages
+                .push((page, bytes[off..off + PAGE_SIZE as usize].to_vec()));
+        }
+        Ok(())
+    }
+
+    fn end_region(&mut self) -> Result<(), SinkClosed> {
+        Ok(())
+    }
+
+    fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed> {
+        self.image.payloads.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+}

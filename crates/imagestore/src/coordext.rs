@@ -4,6 +4,12 @@
 //! other way), so the coordinator gains its `checkpoint_to_store` /
 //! `restart_from_store` entry points through an extension trait defined
 //! here and implemented for [`Coordinator`].
+//!
+//! `checkpoint_to_store` is the flagship streaming path: the coordinator's
+//! region walk feeds the store's writer pipeline **directly** through a
+//! [`SinkBridge`] — no `CheckpointImage` is ever materialised, so the
+//! checkpoint's peak memory is the pipeline's bounded buffering
+//! ([`crate::writer::stream_buffer_bound`]) instead of the image size.
 
 use crac_addrspace::SharedSpace;
 use crac_dmtcp::{CkptStats, Coordinator, RestartStats};
@@ -11,13 +17,36 @@ use crac_dmtcp::{CkptStats, Coordinator, RestartStats};
 use crate::error::StoreError;
 use crate::reader::ReadStats;
 use crate::store::{ImageId, ImageStore};
-use crate::writer::{WriteOptions, WriteStats};
+use crate::stream::SinkBridge;
+use crate::writer::{StreamWriter, WriteOptions, WriteStats};
+
+/// Drives the coordinator's streaming checkpoint walk into `writer`,
+/// translating the opaque `SinkClosed` stop marker back into the store
+/// error the bridge parked.
+///
+/// Deliberately does **not** stamp the manifest's `taken_at` — the caller
+/// owns completion-time semantics (`crac-core` advances its virtual clock
+/// by the modelled write time first); call
+/// [`StreamWriter::set_taken_at`] after this returns.
+pub fn drive_checkpoint_streaming(
+    coordinator: &Coordinator,
+    writer: &mut StreamWriter<'_>,
+) -> Result<CkptStats, StoreError> {
+    let mut bridge = SinkBridge::new(&mut *writer);
+    match coordinator.checkpoint_streaming(&mut bridge) {
+        Ok(stats) => Ok(stats),
+        Err(_closed) => Err(bridge
+            .into_error()
+            .unwrap_or_else(|| StoreError::busy("checkpoint sink closed without an error"))),
+    }
+}
 
 /// Checkpoint/restart straight through an [`ImageStore`].
 pub trait CoordinatorStoreExt {
-    /// Takes a checkpoint at virtual time `now_ns` and persists it into
-    /// `store`, returning the stored image's id plus both the coordinator's
-    /// checkpoint stats and the store's write stats.
+    /// Takes a checkpoint at virtual time `now_ns` and streams it into
+    /// `store` without materialising an in-memory image, returning the
+    /// stored image's id plus both the coordinator's checkpoint stats and
+    /// the store's write stats.
     fn checkpoint_to_store(
         &self,
         store: &ImageStore,
@@ -42,8 +71,11 @@ impl CoordinatorStoreExt for Coordinator {
         now_ns: u64,
         opts: &WriteOptions,
     ) -> Result<(ImageId, CkptStats, WriteStats), StoreError> {
-        let (image, ckpt_stats) = self.checkpoint(now_ns);
-        let (id, write_stats) = store.write_image(&image, opts)?;
+        let (id, ckpt_stats, write_stats) = store.stream_image(opts, |writer| {
+            let stats = drive_checkpoint_streaming(self, writer)?;
+            writer.set_taken_at(now_ns);
+            Ok(stats)
+        })?;
         Ok((id, ckpt_stats, write_stats))
     }
 

@@ -31,6 +31,20 @@ pub enum StoreError {
     },
     /// The requested image id has no manifest in the store.
     UnknownImage(ImageId),
+    /// Another live process holds the store's writer lock.
+    Locked {
+        /// The `store.lock` file.
+        path: PathBuf,
+        /// PID recorded in the lock file.
+        holder: u32,
+    },
+    /// The operation conflicts with the store's current state (for example,
+    /// deleting images while a streaming write is in flight, or writing
+    /// through a read-only handle).
+    Busy {
+        /// Human-readable description of the conflict.
+        what: String,
+    },
 }
 
 impl StoreError {
@@ -46,6 +60,10 @@ impl StoreError {
             path: path.into(),
             what: what.into(),
         }
+    }
+
+    pub(crate) fn busy(what: impl Into<String>) -> Self {
+        StoreError::Busy { what: what.into() }
     }
 
     /// Returns `true` if the error is an integrity (not availability)
@@ -66,6 +84,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::MissingChunk { hash } => write!(f, "chunk {hash} missing from store"),
             StoreError::UnknownImage(id) => write!(f, "image {id} not present in store"),
+            StoreError::Locked { path, holder } => write!(
+                f,
+                "store is locked by live process {holder} (lock file {})",
+                path.display()
+            ),
+            StoreError::Busy { what } => write!(f, "store is busy: {what}"),
         }
     }
 }

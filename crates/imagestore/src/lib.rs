@@ -8,21 +8,34 @@
 //!   per image (header, region table, chunk references, inline plugin
 //!   payloads) plus content-addressed chunk files holding the page data.
 //!   Any single flipped byte anywhere in the store is detected on read.
-//! * **Parallel writer pipeline** ([`writer`]): dirty pages are chunked
-//!   along their runs (`crac_addrspace::page_runs`), then hashed and
-//!   encoded on scoped worker threads; optional run-length compression
-//!   ([`codec`]) is kept per chunk only when it shrinks the data.
+//! * **Streaming writer pipeline** ([`writer`], [`stream`]): producers
+//!   push `(region descriptor, page-run payload)` records into a
+//!   [`ChunkSink`]; the [`StreamWriter`] chunks them along their runs,
+//!   hashes/encodes on worker threads and writes chunk files on a
+//!   dedicated I/O thread through bounded queues — encode overlaps I/O,
+//!   and peak buffered payload is a fixed multiple of the chunk size
+//!   ([`stream_buffer_bound`]), never the image size.  Optional
+//!   run-length compression ([`codec`]) is kept per chunk only when it
+//!   shrinks the data.
 //! * **Content-hash dedup / incremental checkpoints**: chunks are named by
 //!   a 128-bit content hash, so a checkpoint taken after a small mutation
 //!   writes only the chunks covering changed pages; `WriteOptions::parent`
 //!   records the checkpoint lineage.  Manifests always describe the full
 //!   image, so restore never chains through parents.
-//! * **Verifying reader** ([`reader`]): rebuilds a byte-identical
-//!   `CheckpointImage`, recomputing every CRC and content hash on the way.
+//! * **Verifying parallel reader** ([`reader`]): rebuilds a byte-identical
+//!   `CheckpointImage`, fetching and verifying distinct chunks (CRC +
+//!   content hash) on parallel worker threads before a single-threaded
+//!   splice.
+//! * **Administration** ([`store`], [`lock`]): a PID-keyed cross-process
+//!   writer lock (`store.lock`, stale locks stolen; `open_read_only`
+//!   bypasses it), image deletion with reachability-based chunk
+//!   reclamation, and a `retain_last(n)` retention helper.
 //!
 //! The [`CoordinatorStoreExt`] trait stitches the store into the DMTCP
-//! coordinator (`checkpoint_to_store` / `restart_from_store`); `crac-core`
-//! builds its `CracProcess` disk paths on top of that.
+//! coordinator: `checkpoint_to_store` drives the coordinator's streaming
+//! walk straight into the pipeline (via [`SinkBridge`]) without ever
+//! materialising a `CheckpointImage`; `crac-core` builds its
+//! `CracProcess` disk paths on top of that.
 
 pub mod chunk;
 pub mod codec;
@@ -30,16 +43,19 @@ pub mod coordext;
 pub mod error;
 pub mod format;
 pub mod hash;
+pub mod lock;
 pub mod reader;
 pub mod store;
+pub mod stream;
 #[doc(hidden)]
 pub mod testutil;
 pub mod writer;
 
 pub use codec::Compression;
-pub use coordext::CoordinatorStoreExt;
+pub use coordext::{drive_checkpoint_streaming, CoordinatorStoreExt};
 pub use error::StoreError;
 pub use hash::ContentHash;
 pub use reader::ReadStats;
-pub use store::{ImageId, ImageInfo, ImageStore, StoreStats};
-pub use writer::{WriteOptions, WriteStats};
+pub use store::{DeleteStats, ImageId, ImageInfo, ImageStore, StoreStats};
+pub use stream::{ChunkSink, RegionSource, SinkBridge};
+pub use writer::{stream_buffer_bound, StreamWriter, WriteOptions, WriteStats};

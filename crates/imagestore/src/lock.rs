@@ -1,0 +1,152 @@
+//! Cross-process writer lock: one writer process per store directory.
+//!
+//! Image-id allocation and manifest naming are only coordinated *within* a
+//! process (the index mutex), so a second writer process sharing the
+//! directory could reuse ids and replace manifests.  `ImageStore::open`
+//! therefore claims `<root>/store.lock` — a file holding the owner's PID —
+//! and refuses to open for writing while another *live* process holds it.
+//!
+//! The lock is PID-keyed, not lifetime-keyed:
+//!
+//! * a file naming **our own** PID is re-entrant (many `ImageStore` values
+//!   in one process were always safe — the in-process mutexes coordinate
+//!   them);
+//! * a file naming a **dead** PID is stale and stolen in place, so a
+//!   crashed writer never wedges the store (no unlock step exists to
+//!   forget);
+//! * a file naming a **live foreign** PID fails the open with
+//!   [`StoreError::Locked`].
+//!
+//! Liveness is judged via `/proc/<pid>` (the store targets Linux, as the
+//! rest of the reproduction does); on other platforms an existing lock is
+//! conservatively treated as live.  Read-only opens
+//! (`ImageStore::open_read_only`) skip the lock entirely — restore-side
+//! consumers on other machines or in other processes are always welcome.
+
+use std::fs;
+use std::io::ErrorKind;
+use std::path::Path;
+
+use crate::error::StoreError;
+
+/// Name of the lock file under the store root.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// Claims the writer lock for the calling process, per the policy above.
+///
+/// The claim is race-free: the lock file is prepared off to the side with
+/// its PID already written and *linked* into place (`hard_link` fails if
+/// the name exists), so the lock can never be observed empty or torn.
+/// Stealing a stale lock is remove + re-claim in a loop — if two
+/// processes race for a dead holder's lock, exactly one link wins and the
+/// loser re-reads the winner's (live) PID and backs off with
+/// [`StoreError::Locked`].
+pub(crate) fn acquire(root: &Path) -> Result<(), StoreError> {
+    let path = root.join(LOCK_FILE);
+    let me = std::process::id();
+    // A complete lock file of our own, staged under a per-process name.
+    let staged = path.with_extension(format!("lock.claim.{me}"));
+    fs::write(&staged, me.to_string()).map_err(|e| StoreError::io(&staged, e))?;
+    let result = claim_loop(&path, &staged, me);
+    let _ = fs::remove_file(&staged);
+    result
+}
+
+fn claim_loop(path: &Path, staged: &Path, me: u32) -> Result<(), StoreError> {
+    // Two iterations suffice in the absence of an adversarial loop of
+    // processes dying mid-claim; a few more cost nothing and keep this
+    // total.
+    for _ in 0..8 {
+        match fs::hard_link(staged, path) {
+            Ok(()) => return Ok(()), // atomically claimed, content complete
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(StoreError::io(path, e)),
+        }
+        // Somebody holds (or held) it: decide by the recorded PID.  The
+        // file is never empty/torn (every claimant links a complete file),
+        // so unparseable content means an unknown writer — treat as stale.
+        let holder = fs::read_to_string(path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok());
+        match holder {
+            // Unreadable or unparseable: every real claimant links a
+            // complete PID file atomically, so this is foreign garbage (or
+            // the file vanished mid-read) — clear it and retry the claim.
+            None => {
+                let _ = fs::remove_file(path);
+            }
+            Some(pid) if pid == me => return Ok(()), // re-entrant in-process
+            Some(pid) if pid_alive(pid) => {
+                return Err(StoreError::Locked {
+                    path: path.to_path_buf(),
+                    holder: pid,
+                })
+            }
+            Some(_) => {
+                // Dead holder: remove the stale lock and loop to re-claim.
+                // Losing the re-claim race is handled by the next read.
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+    Err(StoreError::busy(format!(
+        "could not claim {} after repeated stale-lock races",
+        path.display()
+    )))
+}
+
+/// Is the process with this PID alive?
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        // Without /proc (and without libc's kill(pid, 0)) we cannot probe;
+        // err on the safe side and treat the holder as alive.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn fresh_lock_is_claimed_and_reentrant() {
+        let dir = TempDir::new("lock-fresh");
+        acquire(dir.path()).unwrap();
+        let recorded = fs::read_to_string(dir.path().join(LOCK_FILE)).unwrap();
+        assert_eq!(recorded.trim(), std::process::id().to_string());
+        // Same process claims again without error.
+        acquire(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn live_foreign_holder_blocks_the_open() {
+        if !Path::new("/proc/1").exists() {
+            return; // no /proc: liveness probing unavailable on this host
+        }
+        let dir = TempDir::new("lock-live");
+        fs::write(dir.path().join(LOCK_FILE), "1").unwrap(); // PID 1 is always alive
+        match acquire(dir.path()) {
+            Err(StoreError::Locked { holder, .. }) => assert_eq!(holder, 1),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_holder_and_garbage_are_stolen() {
+        if !Path::new("/proc/1").exists() {
+            return;
+        }
+        let dir = TempDir::new("lock-stale");
+        // A PID far above any real pid_max.
+        fs::write(dir.path().join(LOCK_FILE), "4194304999").unwrap();
+        acquire(dir.path()).unwrap();
+        let recorded = fs::read_to_string(dir.path().join(LOCK_FILE)).unwrap();
+        assert_eq!(recorded.trim(), std::process::id().to_string());
+
+        fs::write(dir.path().join(LOCK_FILE), "not a pid").unwrap();
+        acquire(dir.path()).unwrap();
+    }
+}

@@ -1,10 +1,18 @@
-//! The restore-side reader: manifest → chunks → verified `CheckpointImage`.
+//! The restore-side reader: manifest → parallel chunk fetch → verified
+//! `CheckpointImage`.
 //!
 //! Every byte read is integrity-checked: the manifest is CRC-framed, each
 //! chunk file carries its own CRC over the encoded bytes, and after decoding
 //! the chunk's content hash is recomputed and compared against the name the
 //! manifest references — so a flipped bit anywhere in the store surfaces as
 //! a [`StoreError::Corrupt`] instead of silently restoring wrong memory.
+//!
+//! Fetching is the expensive part (file read + CRC + decode + re-hash per
+//! chunk), and chunks are independent, so the reader fans the manifest's
+//! *distinct* chunk list out over scoped worker threads first; the
+//! single-threaded splice that follows only moves verified bytes into
+//! place.  Any worker's failure aborts the read — the first error in
+//! manifest order wins, keeping error messages deterministic.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -21,15 +29,17 @@ use crate::store::{ImageId, ImageStore};
 /// What one image read cost.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ReadStats {
-    /// Chunk files read (after intra-image caching).
+    /// Chunk files read (each distinct chunk is read exactly once).
     pub chunks_read: usize,
-    /// Chunk references served from the intra-image cache (an image that
+    /// Chunk references served from the already-fetched set (an image that
     /// contains the same content many times reads it once).
     pub chunks_cached: usize,
     /// Encoded chunk bytes read from disk.
     pub chunk_bytes_read: u64,
     /// Manifest file size.
     pub manifest_bytes: u64,
+    /// Worker threads used for fetching/verifying chunks.
+    pub threads_used: usize,
     /// Wall-clock time of the whole read.
     pub elapsed: Duration,
 }
@@ -48,29 +58,46 @@ pub(crate) fn read_image(
         ..Default::default()
     };
 
-    // An image can reference the same content many times (deduped repeats);
-    // fetch each distinct chunk once, but only *keep* it while later
-    // references remain — a mostly-unique multi-GB image must not hold a
-    // second copy of itself in the cache.
-    let mut refs_left: HashMap<ContentHash, usize> = HashMap::new();
+    // The manifest may reference the same content many times (deduped
+    // repeats); fetch each distinct chunk once, in parallel.
+    let mut refs_total: HashMap<ContentHash, usize> = HashMap::new();
+    let mut distinct: Vec<(ContentHash, u64)> = Vec::new();
     for chunk in manifest.chunk_refs() {
-        *refs_left.entry(chunk.hash).or_insert(0) += 1;
+        let refs = refs_total.entry(chunk.hash).or_insert(0);
+        if *refs == 0 {
+            distinct.push((chunk.hash, chunk.raw_len));
+        }
+        *refs += 1;
     }
-    let mut cache: HashMap<ContentHash, Vec<u8>> = HashMap::new();
+    let (mut fetched, fetch_stats) = fetch_chunks_parallel(store, &distinct)?;
+    stats.chunks_read = fetch_stats.chunks_read;
+    stats.chunk_bytes_read = fetch_stats.chunk_bytes_read;
+    stats.threads_used = fetch_stats.threads_used;
+    stats.chunks_cached = manifest.chunk_refs().count() - distinct.len();
+
+    // Single-threaded splice: distribute each chunk's pages to their
+    // region-relative indices.  Verified bytes are *moved* out of the
+    // fetched set on a chunk's last reference, so the transient double
+    // copy lives only as long as later references remain.
+    let mut refs_left = refs_total;
     let mut image = CheckpointImage {
         taken_at_ns: manifest.taken_at_ns,
         ..Default::default()
     };
-
     for region in &manifest.regions {
         let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
         for chunk in &region.chunks {
-            let raw = match cache.remove(&chunk.hash) {
-                Some(raw) => {
-                    stats.chunks_cached += 1;
-                    raw
-                }
-                None => fetch_chunk(store, chunk.hash, chunk.raw_len, &mut stats)?,
+            let left = refs_left.get_mut(&chunk.hash).expect("counted above");
+            *left -= 1;
+            let raw = if *left > 0 {
+                fetched
+                    .get(&chunk.hash)
+                    .expect("every distinct chunk was fetched")
+                    .clone()
+            } else {
+                fetched
+                    .remove(&chunk.hash)
+                    .expect("every distinct chunk was fetched")
             };
             // Identical hash across chunk refs must mean identical length;
             // a manifest violating that is corrupt.
@@ -80,7 +107,6 @@ pub(crate) fn read_image(
                     format!("chunk {} referenced with conflicting lengths", chunk.hash),
                 ));
             }
-            // Distribute the chunk's pages to their region-relative indices.
             let expected_pages: u64 = chunk.runs.iter().map(|r| r.count).sum();
             if expected_pages * PAGE_SIZE != chunk.raw_len {
                 return Err(StoreError::corrupt(
@@ -97,12 +123,6 @@ pub(crate) fn read_image(
                     pages.push((page, raw[offset..offset + PAGE_SIZE as usize].to_vec()));
                     offset += PAGE_SIZE as usize;
                 }
-            }
-            // Keep the raw bytes only while later references remain.
-            let left = refs_left.get_mut(&chunk.hash).expect("counted above");
-            *left -= 1;
-            if *left > 0 {
-                cache.insert(chunk.hash, raw);
             }
         }
         pages.sort_by_key(|(idx, _)| *idx);
@@ -122,13 +142,79 @@ pub(crate) fn read_image(
     Ok((image, stats))
 }
 
-/// Loads, CRC-checks, decodes and hash-verifies one chunk.
+/// Per-fetch accounting each worker accumulates locally.
+#[derive(Default)]
+struct FetchStats {
+    chunks_read: usize,
+    chunk_bytes_read: u64,
+    threads_used: usize,
+}
+
+/// One worker's verdict on one chunk: `(raw bytes, file size)` or the
+/// error that aborts the read.
+type FetchSlot = Option<Result<(Vec<u8>, u64), StoreError>>;
+
+/// Fetches, CRC-checks, decodes and hash-verifies every distinct chunk on
+/// parallel worker threads.  Workers own disjoint slices of the chunk
+/// list, so no locking guards the result slots; the first failure (in
+/// manifest order) aborts the read.
+fn fetch_chunks_parallel(
+    store: &ImageStore,
+    distinct: &[(ContentHash, u64)],
+) -> Result<(HashMap<ContentHash, Vec<u8>>, FetchStats), StoreError> {
+    let threads = effective_read_threads(distinct.len());
+    let mut slots: Vec<FetchSlot> = Vec::new();
+    slots.resize_with(distinct.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut chunk_tail: &[(ContentHash, u64)] = distinct;
+        let mut slot_tail: &mut [FetchSlot] = &mut slots;
+        let per_thread = distinct.len().div_ceil(threads.max(1));
+        for _ in 0..threads {
+            let n = per_thread.min(chunk_tail.len());
+            if n == 0 {
+                break;
+            }
+            let (chunk_slice, rest_chunks) = chunk_tail.split_at(n);
+            let (slot_slice, rest_slots) = slot_tail.split_at_mut(n);
+            chunk_tail = rest_chunks;
+            slot_tail = rest_slots;
+            scope.spawn(move || {
+                for (&(hash, raw_len), slot) in chunk_slice.iter().zip(slot_slice.iter_mut()) {
+                    *slot = Some(fetch_chunk(store, hash, raw_len));
+                }
+            });
+        }
+    });
+
+    let mut fetched = HashMap::with_capacity(distinct.len());
+    let mut stats = FetchStats {
+        threads_used: threads,
+        ..Default::default()
+    };
+    for (&(hash, _), slot) in distinct.iter().zip(slots) {
+        let (raw, file_bytes) = slot.expect("every slot slice was processed")?;
+        stats.chunks_read += 1;
+        stats.chunk_bytes_read += file_bytes;
+        fetched.insert(hash, raw);
+    }
+    Ok((fetched, stats))
+}
+
+fn effective_read_threads(chunks: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(8).clamp(1, chunks.max(1))
+}
+
+/// Loads, CRC-checks, decodes and hash-verifies one chunk, returning its
+/// raw bytes and the on-disk file size.
 fn fetch_chunk(
     store: &ImageStore,
     hash: ContentHash,
     raw_len: u64,
-    stats: &mut ReadStats,
-) -> Result<Vec<u8>, StoreError> {
+) -> Result<(Vec<u8>, u64), StoreError> {
     let path = store.chunk_path(hash);
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
@@ -139,8 +225,7 @@ fn fetch_chunk(
         }
         Err(e) => return Err(StoreError::io(&path, e)),
     };
-    stats.chunks_read += 1;
-    stats.chunk_bytes_read += bytes.len() as u64;
+    let file_bytes = bytes.len() as u64;
     let file = ChunkFile::from_bytes(&bytes).map_err(|what| StoreError::corrupt(&path, what))?;
     if file.raw_len != raw_len {
         return Err(StoreError::corrupt(
@@ -160,7 +245,7 @@ fn fetch_chunk(
             format!("chunk content hashes to {actual}, expected {hash}"),
         ));
     }
-    Ok(raw)
+    Ok((raw, file_bytes))
 }
 
 /// Re-exported manifest loader used by [`ImageStore::image_info`].

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! <root>/
+//!   store.lock                          writer-process lock (PID-keyed)
 //!   chunks/<32-hex-content-hash>.chk    shared, content-addressed
 //!   images/<16-hex-image-id>.crimg      one manifest per checkpoint
 //! ```
@@ -12,25 +13,40 @@
 //!
 //! **Concurrency**: one `ImageStore` value is safe to share across threads
 //! (`&self` methods; the index is mutex-protected, chunk files are
-//! content-addressed and written via unique temp names).  Concurrent
-//! *processes* writing one store directory are not coordinated: image-id
-//! allocation is per-process, so a second writer process can reuse ids and
-//! replace the first's manifests (chunk data is never corrupted).  Run one
-//! writer process per store; cross-process locking is a ROADMAP item.
+//! content-addressed and written via unique temp names).  Across
+//! *processes*, [`ImageStore::open`] claims the `store.lock` file (see
+//! [`crate::lock`]): a second live writer process is refused, a crashed
+//! writer's stale lock is stolen, and [`ImageStore::open_read_only`]
+//! bypasses the lock for restore-side consumers.
+//!
+//! **Writing** goes through the streaming pipeline
+//! ([`ImageStore::stream_image`] / [`crate::writer::StreamWriter`]); the
+//! materialised [`ImageStore::write_image`] is a convenience wrapper that
+//! drives a [`CheckpointImage`] through the same pipeline.
+//!
+//! **Deleting** ([`ImageStore::delete_image`], [`ImageStore::retain_last`])
+//! reclaims chunks by reachability: after the doomed manifests are gone,
+//! every chunk no surviving manifest references is removed — including
+//! orphans left by aborted writes.  Deletion is refused while a streaming
+//! write is in flight, so a half-written image's chunks can never be swept
+//! out from under it.
 
 use std::collections::HashSet;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crac_dmtcp::CheckpointImage;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::StoreError;
 use crate::format::Manifest;
 use crate::hash::ContentHash;
+use crate::lock;
 use crate::reader::{self, ReadStats};
-use crate::writer::{self, WriteOptions, WriteStats};
+use crate::stream::RegionSource;
+use crate::writer::{StreamWriter, WriteOptions, WriteStats};
 
 /// Identifier of a stored image.  Ids start at 1 and are monotonically
 /// increasing per store; 0 is reserved as the "no parent" sentinel on disk.
@@ -71,24 +87,74 @@ pub struct StoreStats {
     pub chunk_bytes: u64,
 }
 
-struct StoreIndex {
+/// What one [`ImageStore::delete_image`] / [`ImageStore::retain_last`]
+/// reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeleteStats {
+    /// Manifests deleted.
+    pub images_deleted: usize,
+    /// Chunk files removed (unreferenced after the manifests went away,
+    /// including orphans of aborted writes).
+    pub chunks_deleted: usize,
+    /// On-disk bytes those chunk files occupied.
+    pub chunk_bytes_reclaimed: u64,
+}
+
+pub(crate) struct StoreIndex {
     known_chunks: HashSet<ContentHash>,
     next_image: u64,
 }
+
+impl StoreIndex {
+    pub(crate) fn contains(&self, hash: ContentHash) -> bool {
+        self.known_chunks.contains(&hash)
+    }
+}
+
+/// The chunk index handle shared with pipeline worker threads.
+pub(crate) type SharedIndex = Arc<Mutex<StoreIndex>>;
 
 /// A persistent, deduplicating checkpoint-image store rooted at a directory.
 pub struct ImageStore {
     root: PathBuf,
     chunks_dir: PathBuf,
     images_dir: PathBuf,
-    index: Mutex<StoreIndex>,
+    index: SharedIndex,
+    read_only: bool,
+    /// Serialises streaming writes against deletion *without* a TOCTOU
+    /// window: every in-flight [`StreamWriter`] holds a read guard for its
+    /// whole lifetime, and deletion takes (tries) the write side — so a
+    /// write beginning concurrently with a delete either starts before the
+    /// sweep (delete returns `Busy`) or after it (and sees the post-sweep
+    /// index), never in between.
+    writer_gate: RwLock<()>,
 }
 
 impl ImageStore {
-    /// Opens (creating if necessary) a store rooted at `root`, rebuilding
-    /// the in-memory index from the directory contents.
+    /// Opens (creating if necessary) a store rooted at `root` for writing:
+    /// claims the cross-process writer lock and rebuilds the in-memory
+    /// index from the directory contents.
+    ///
+    /// Fails with [`StoreError::Locked`] if another live process holds the
+    /// store open for writing.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let root = root.as_ref().to_path_buf();
+        let store = Self::open_unlocked(root.as_ref(), false)?;
+        lock::acquire(&store.root)?;
+        Ok(store)
+    }
+
+    /// Opens a store without claiming the writer lock; every write path
+    /// ([`ImageStore::stream_image`], [`ImageStore::write_image`],
+    /// [`ImageStore::delete_image`], …) fails with [`StoreError::Busy`].
+    ///
+    /// Use this for restore-side consumers that must coexist with a live
+    /// writer process.
+    pub fn open_read_only(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_unlocked(root.as_ref(), true)
+    }
+
+    fn open_unlocked(root: &Path, read_only: bool) -> Result<Self, StoreError> {
+        let root = root.to_path_buf();
         let chunks_dir = root.join("chunks");
         let images_dir = root.join("images");
         fs::create_dir_all(&chunks_dir).map_err(|e| StoreError::io(&chunks_dir, e))?;
@@ -97,23 +163,15 @@ impl ImageStore {
         let mut known_chunks = HashSet::new();
         for entry in fs::read_dir(&chunks_dir).map_err(|e| StoreError::io(&chunks_dir, e))? {
             let entry = entry.map_err(|e| StoreError::io(&chunks_dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(".chk") {
-                if let Some(hash) = ContentHash::from_hex(stem) {
-                    known_chunks.insert(hash);
-                }
+            if let Some(hash) = chunk_hash_of(&entry.file_name().to_string_lossy()) {
+                known_chunks.insert(hash);
             }
         }
         let mut next_image = 1u64;
         for entry in fs::read_dir(&images_dir).map_err(|e| StoreError::io(&images_dir, e))? {
             let entry = entry.map_err(|e| StoreError::io(&images_dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(".crimg") {
-                if let Ok(id) = u64::from_str_radix(stem, 16) {
-                    next_image = next_image.max(id + 1);
-                }
+            if let Some(id) = image_id_of(&entry.file_name().to_string_lossy()) {
+                next_image = next_image.max(id.0 + 1);
             }
         }
 
@@ -121,10 +179,12 @@ impl ImageStore {
             root,
             chunks_dir,
             images_dir,
-            index: Mutex::new(StoreIndex {
+            index: Arc::new(Mutex::new(StoreIndex {
                 known_chunks,
                 next_image,
-            }),
+            })),
+            read_only,
+            writer_gate: RwLock::new(()),
         })
     }
 
@@ -133,7 +193,36 @@ impl ImageStore {
         &self.root
     }
 
-    /// Writes a checkpoint image, returning its new id and write stats.
+    /// Streams one checkpoint image into the store through the writer
+    /// pipeline.
+    ///
+    /// `produce` receives the [`StreamWriter`] (the store's canonical
+    /// [`ChunkSink`](crate::stream::ChunkSink)) and pushes regions, runs
+    /// and payloads into it; encoding and chunk-file I/O proceed on
+    /// background threads *while the producer is still walking memory*.
+    /// When the closure returns `Ok`, the pipeline is drained and the
+    /// manifest published; on `Err` nothing is published and the same
+    /// error is returned.
+    ///
+    /// Returns the new image id, the closure's result, and the write
+    /// stats — whose [`WriteStats::peak_buffered_bytes`] demonstrates the
+    /// bounded-memory property ([`crate::writer::stream_buffer_bound`]).
+    pub fn stream_image<T>(
+        &self,
+        opts: &WriteOptions,
+        produce: impl FnOnce(&mut StreamWriter<'_>) -> Result<T, StoreError>,
+    ) -> Result<(ImageId, T, WriteStats), StoreError> {
+        let mut writer = StreamWriter::new(self, *opts)?;
+        let value = produce(&mut writer)?;
+        let (manifest, stats) = writer.finish()?;
+        Ok((manifest.image_id, value, stats))
+    }
+
+    /// Writes a materialised checkpoint image, returning its new id and
+    /// write stats.  This is [`ImageStore::stream_image`] driven by the
+    /// image itself (see [`RegionSource`]); in-memory users keep this
+    /// API, disk-bound producers should stream and skip the
+    /// materialisation entirely.
     ///
     /// Chunks whose content already exists in the store (from any previous
     /// image) are not rewritten; with `opts.parent` set this is what makes a
@@ -144,14 +233,109 @@ impl ImageStore {
         image: &CheckpointImage,
         opts: &WriteOptions,
     ) -> Result<(ImageId, WriteStats), StoreError> {
-        let (manifest, stats) = writer::write_image(self, image, opts)?;
-        Ok((manifest.image_id, stats))
+        let (id, (), stats) = self.stream_image(opts, |writer| {
+            image.stream_into(writer)?;
+            writer.set_taken_at(image.taken_at_ns);
+            Ok(())
+        })?;
+        Ok((id, stats))
     }
 
     /// Reads and fully verifies image `id`, reconstructing the checkpoint
-    /// byte for byte.
+    /// byte for byte.  Chunk fetch + verification is parallelised across
+    /// worker threads; see [`crate::reader`].
     pub fn read_image(&self, id: ImageId) -> Result<(CheckpointImage, ReadStats), StoreError> {
         reader::read_image(self, id)
+    }
+
+    /// Deletes image `id` and reclaims every chunk no surviving manifest
+    /// references.
+    ///
+    /// Manifests are self-contained (restore never walks parent chains),
+    /// so deleting a parent never breaks its children — the children's
+    /// recorded lineage simply dangles, which only bookkeeping sees.
+    /// Fails with [`StoreError::Busy`] while a streaming write is in
+    /// flight in this process.
+    pub fn delete_image(&self, id: ImageId) -> Result<DeleteStats, StoreError> {
+        self.delete_images(&[id])
+    }
+
+    /// Retention policy: keeps the newest `keep` images (by id) and
+    /// deletes the rest, returning the deleted ids and what the sweep
+    /// reclaimed.
+    pub fn retain_last(&self, keep: usize) -> Result<(Vec<ImageId>, DeleteStats), StoreError> {
+        let mut ids = self.image_ids()?;
+        let cut = ids.len().saturating_sub(keep);
+        ids.truncate(cut);
+        let stats = self.delete_images(&ids)?;
+        Ok((ids, stats))
+    }
+
+    fn delete_images(&self, ids: &[ImageId]) -> Result<DeleteStats, StoreError> {
+        self.check_writable()?;
+        // Exclude every in-flight streaming write for the whole deletion,
+        // sweep included: a concurrent write could otherwise dedup against
+        // a chunk this sweep is about to remove.
+        let _writers_excluded = self.writer_gate.try_write().ok_or_else(|| {
+            StoreError::busy("cannot delete images while a streaming write is in flight")
+        })?;
+        for &id in ids {
+            if !self.contains_image(id) {
+                return Err(StoreError::UnknownImage(id));
+            }
+        }
+        let mut stats = DeleteStats::default();
+        for &id in ids {
+            let path = self.image_path(id);
+            fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+            stats.images_deleted += 1;
+        }
+        if stats.images_deleted > 0 {
+            self.sweep_unreferenced(&mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Removes every chunk file no surviving manifest references and
+    /// rebuilds the chunk index from what was kept.
+    ///
+    /// This is reachability-based reference counting evaluated lazily: the
+    /// per-manifest counts are implicit in the manifests themselves, so
+    /// there is no side-car refcount file to corrupt or drift.  If any
+    /// surviving manifest is unreadable the sweep aborts without deleting
+    /// anything — never trade a corrupt manifest for missing chunks.
+    fn sweep_unreferenced(&self, stats: &mut DeleteStats) -> Result<(), StoreError> {
+        let mut live: HashSet<ContentHash> = HashSet::new();
+        for id in self.image_ids()? {
+            let manifest = self.load_manifest(id)?;
+            live.extend(manifest.chunk_refs().map(|c| c.hash));
+        }
+        let mut kept: HashSet<ContentHash> = HashSet::new();
+        for entry in
+            fs::read_dir(&self.chunks_dir).map_err(|e| StoreError::io(&self.chunks_dir, e))?
+        {
+            let entry = entry.map_err(|e| StoreError::io(&self.chunks_dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(hash) = chunk_hash_of(&name) else {
+                // `.tmp` litter from crashed writers is fair game too.
+                if name.contains(".tmp.") {
+                    let _ = fs::remove_file(entry.path());
+                }
+                continue;
+            };
+            if live.contains(&hash) {
+                kept.insert(hash);
+            } else {
+                let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+                stats.chunks_deleted += 1;
+                stats.chunk_bytes_reclaimed += bytes;
+            }
+        }
+        self.index.lock().known_chunks = kept;
+        Ok(())
     }
 
     /// Summarises one stored image from its manifest.
@@ -162,21 +346,10 @@ impl ImageStore {
 
     /// Lists all stored images, ordered by id.
     pub fn list_images(&self) -> Result<Vec<ImageInfo>, StoreError> {
-        let mut ids: Vec<ImageId> = Vec::new();
-        for entry in
-            fs::read_dir(&self.images_dir).map_err(|e| StoreError::io(&self.images_dir, e))?
-        {
-            let entry = entry.map_err(|e| StoreError::io(&self.images_dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(".crimg") {
-                if let Ok(id) = u64::from_str_radix(stem, 16) {
-                    ids.push(ImageId(id));
-                }
-            }
-        }
-        ids.sort();
-        ids.into_iter().map(|id| self.image_info(id)).collect()
+        self.image_ids()?
+            .into_iter()
+            .map(|id| self.image_info(id))
+            .collect()
     }
 
     /// Aggregate occupancy of the store.  Counts directory entries only —
@@ -219,10 +392,45 @@ impl ImageStore {
 
     /// Returns `true` if a chunk with this content is stored.
     pub fn contains_chunk(&self, hash: ContentHash) -> bool {
-        self.index.lock().known_chunks.contains(&hash)
+        self.index.lock().contains(hash)
     }
 
     // -- crate-internal plumbing used by the writer/reader --------------
+
+    fn image_ids(&self) -> Result<Vec<ImageId>, StoreError> {
+        let mut ids: Vec<ImageId> = Vec::new();
+        for entry in
+            fs::read_dir(&self.images_dir).map_err(|e| StoreError::io(&self.images_dir, e))?
+        {
+            let entry = entry.map_err(|e| StoreError::io(&self.images_dir, e))?;
+            if let Some(id) = image_id_of(&entry.file_name().to_string_lossy()) {
+                ids.push(id);
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    pub(crate) fn check_writable(&self) -> Result<(), StoreError> {
+        if self.read_only {
+            return Err(StoreError::busy("store was opened read-only"));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn index_handle(&self) -> SharedIndex {
+        Arc::clone(&self.index)
+    }
+
+    pub(crate) fn chunks_dir(&self) -> &Path {
+        &self.chunks_dir
+    }
+
+    /// Registers a streaming write for its whole lifetime: while any
+    /// returned guard is alive, deletion is refused.
+    pub(crate) fn writer_guard(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        self.writer_gate.read()
+    }
 
     pub(crate) fn image_path(&self, id: ImageId) -> PathBuf {
         self.images_dir.join(format!("{:016x}.crimg", id.0))
@@ -269,4 +477,16 @@ impl ImageStore {
             chunk_refs: manifest.chunk_refs().count(),
         }
     }
+}
+
+/// Parses `"<32-hex>.chk"` into a content hash.
+fn chunk_hash_of(name: &str) -> Option<ContentHash> {
+    ContentHash::from_hex(name.strip_suffix(".chk")?)
+}
+
+/// Parses `"<16-hex>.crimg"` into an image id.
+fn image_id_of(name: &str) -> Option<ImageId> {
+    u64::from_str_radix(name.strip_suffix(".crimg")?, 16)
+        .ok()
+        .map(ImageId)
 }

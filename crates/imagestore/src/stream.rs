@@ -1,0 +1,149 @@
+//! The streaming seam: producers push `(region descriptor, page-run
+//! payload)` records into a [`ChunkSink`], and anything that can enumerate
+//! regions run by run is a [`RegionSource`].
+//!
+//! This is the store's producer-facing API.  The writer pipeline
+//! ([`crate::writer::StreamWriter`]) is the canonical `ChunkSink` (records
+//! flow through it straight into chunk files without the image ever being
+//! materialised), but the trait is deliberately store-agnostic — a remote
+//! or replicated backend implements the same four methods and every
+//! producer (the DMTCP coordinator, an in-memory image, a future
+//! migration source) works against it unchanged.
+//!
+//! [`SinkBridge`] adapts a `ChunkSink` to `crac_dmtcp`'s
+//! [`CheckpointSink`] so the coordinator — which cannot depend on this
+//! crate — can drive the store directly: store errors are parked in the
+//! bridge, the coordinator sees only the opaque `SinkClosed` stop marker,
+//! and the bridge's owner recovers the real [`StoreError`] afterwards.
+
+use crac_addrspace::{PageRun, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, CheckpointSink, RegionDescriptor, SinkClosed};
+
+use crate::chunk::CHUNK_PAGES;
+use crate::error::StoreError;
+
+/// Consumer of streamed checkpoint records.
+///
+/// Call order contract (the same one `crac_dmtcp::CheckpointSink` has):
+///
+/// ```text
+/// (begin_region (push_run)* end_region)* (push_payload)*
+/// ```
+///
+/// Runs within a region arrive in strictly increasing page order and
+/// `bytes.len()` is always `run.count * PAGE_SIZE`.
+pub trait ChunkSink {
+    /// Opens a region.
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), StoreError>;
+    /// One run of consecutive dirty pages belonging to the open region.
+    fn push_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Closes the open region.
+    fn end_region(&mut self) -> Result<(), StoreError>;
+    /// One named plugin payload.
+    fn push_payload(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError>;
+}
+
+/// Anything that can stream its regions into a [`ChunkSink`].
+pub trait RegionSource {
+    /// Pushes every region (run by run) and payload into `sink`.
+    fn stream_into(&self, sink: &mut dyn ChunkSink) -> Result<(), StoreError>;
+}
+
+/// The materialised image is itself a region source: this is how the
+/// legacy [`crate::ImageStore::write_image`] path rides the same pipeline
+/// as the streaming one.
+impl RegionSource for CheckpointImage {
+    fn stream_into(&self, sink: &mut dyn ChunkSink) -> Result<(), StoreError> {
+        for region in &self.regions {
+            sink.begin_region(&RegionDescriptor {
+                start: region.start,
+                len: region.len,
+                prot: region.prot,
+                label: region.label.clone(),
+            })?;
+            let by_index: std::collections::BTreeMap<u64, &[u8]> = region
+                .pages
+                .iter()
+                .map(|(idx, bytes)| (*idx, bytes.as_slice()))
+                .collect();
+            let mut buf: Vec<u8> = Vec::new();
+            for run in region.page_runs() {
+                // Split oversized runs so the staging buffer stays bounded
+                // (mirrors what the coordinator's streaming walk emits).
+                let mut first = run.first;
+                let mut remaining = run.count;
+                while remaining > 0 {
+                    let take = remaining.min(CHUNK_PAGES);
+                    buf.clear();
+                    for page in first..first + take {
+                        buf.extend_from_slice(by_index[&page]);
+                    }
+                    debug_assert_eq!(buf.len() as u64, take * PAGE_SIZE);
+                    sink.push_run(PageRun { first, count: take }, &buf)?;
+                    first += take;
+                    remaining -= take;
+                }
+            }
+            sink.end_region()?;
+        }
+        for (name, data) in &self.payloads {
+            sink.push_payload(name, data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Adapts a [`ChunkSink`] to `crac_dmtcp`'s [`CheckpointSink`].
+///
+/// The first store error is parked here and surfaced to the coordinator as
+/// the opaque [`SinkClosed`] marker; retrieve it with
+/// [`SinkBridge::into_error`] after the producer has stopped.
+pub struct SinkBridge<'a, S: ChunkSink + ?Sized> {
+    sink: &'a mut S,
+    error: Option<StoreError>,
+}
+
+impl<'a, S: ChunkSink + ?Sized> SinkBridge<'a, S> {
+    /// Wraps `sink`.
+    pub fn new(sink: &'a mut S) -> Self {
+        Self { sink, error: None }
+    }
+
+    /// The parked error, if any method failed.
+    pub fn into_error(self) -> Option<StoreError> {
+        self.error
+    }
+
+    fn park(&mut self, r: Result<(), StoreError>) -> Result<(), SinkClosed> {
+        match r {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Keep the first error: later failures are usually echoes.
+                self.error.get_or_insert(e);
+                Err(SinkClosed)
+            }
+        }
+    }
+}
+
+impl<S: ChunkSink + ?Sized> CheckpointSink for SinkBridge<'_, S> {
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed> {
+        let r = self.sink.begin_region(desc);
+        self.park(r)
+    }
+
+    fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed> {
+        let r = self.sink.push_run(run, bytes);
+        self.park(r)
+    }
+
+    fn end_region(&mut self) -> Result<(), SinkClosed> {
+        let r = self.sink.end_region();
+        self.park(r)
+    }
+
+    fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed> {
+        let r = self.sink.push_payload(name, data);
+        self.park(r)
+    }
+}

@@ -1,28 +1,71 @@
-//! The checkpoint writer pipeline: chunk → hash → dedup → encode → write.
+//! The streaming checkpoint writer: a chunk-at-a-time pipeline that
+//! overlaps hashing/encoding with file I/O.
 //!
-//! Hashing and encoding are the CPU-heavy stages, so they run on scoped
-//! worker threads over disjoint slices of the chunk-job list; deduplication
-//! needs a single view of the store's chunk set, so workers consult a shared
-//! mutex-protected reservation set (first worker to hash a given content
-//! wins and encodes it, everyone else records a dedup hit).  File writes
-//! happen on the calling thread afterwards — chunk files are content-named
-//! and written via a temp-file + rename so a crash never leaves a torn chunk
-//! under its final name.
+//! ```text
+//! producer (caller thread)          encoder threads            I/O thread
+//! ────────────────────────          ───────────────            ──────────
+//! push_run ─► chunker ─► [job q] ─► hash ─► dedup ─► encode ─► [write q] ─► chunk file
+//!                        bounded                               bounded
+//! ```
+//!
+//! The producer (a [`RegionSource`](crate::stream::RegionSource) or the
+//! DMTCP coordinator's streaming walk) feeds page runs into the
+//! [`StreamWriter`]; the chunker packs them into ≤[`CHUNK_PAGES`]-page
+//! chunks and submits each one to a **bounded** job queue.  Encoder worker
+//! threads hash, consult the store's chunk index (plus a write-local claim
+//! set) for deduplication, and encode new content; encoded chunks pass
+//! through a second bounded queue to a **dedicated I/O thread** that writes
+//! the content-addressed files — so encoding chunk *n+1* overlaps writing
+//! chunk *n* (the double-buffering the synchronous writer lacked).
+//! Durability is batched: the I/O thread lands chunks under temp names
+//! without fsync (the kernel writes back behind it), and `finish` syncs
+//! and renames the whole batch before publishing the manifest — the
+//! crash-safety invariant (a file only ever appears under its
+//! content-hash name with durable bytes) holds with the per-chunk fsync
+//! stall gone from the overlap window.
+//!
+//! Because both queues are bounded, the peak payload the pipeline ever
+//! buffers is a small multiple of the chunk size — *independent of the
+//! image size*.  [`WriteStats::peak_buffered_bytes`] reports the observed
+//! peak and [`stream_buffer_bound`] the analytic bound, which integration
+//! tests assert against.
+//!
+//! **Failure semantics**: the first error (an encoder send failing, the
+//! I/O thread hitting a disk error) is latched; later records are drained
+//! and discarded so no thread ever blocks forever, the producer's next
+//! push returns the latched error, and nothing is published — the
+//! manifest is only written and the chunk index only updated when the
+//! write finishes cleanly, so a failed write leaves at most orphaned
+//! (unreferenced, content-named) chunk files, which are harmless and
+//! reclaimed by the next [`ImageStore::delete_image`] sweep.
 
-use std::collections::HashSet;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crac_dmtcp::CheckpointImage;
+use crac_addrspace::{PageRun, PAGE_SIZE};
+use crac_dmtcp::RegionDescriptor;
 use parking_lot::Mutex;
 
-use crate::chunk::{chunk_region, ChunkJob};
+use crate::chunk::CHUNK_PAGES;
 use crate::codec::{encode, Compression, Encoding};
 use crate::error::StoreError;
 use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
 use crate::hash::ContentHash;
-use crate::store::{ImageId, ImageStore};
+use crate::store::{ImageId, ImageStore, SharedIndex};
+use crate::stream::ChunkSink;
+
+/// Chunks the job queue holds while every encoder is busy (backpressure
+/// depth between the producer and the encoders).
+pub const ENCODE_QUEUE_CHUNKS: usize = 8;
+
+/// Encoded chunks the write queue holds while the I/O thread is busy
+/// (double-buffering depth between the encoders and the disk).
+pub const WRITE_QUEUE_CHUNKS: usize = 4;
 
 /// Per-write options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,7 +75,7 @@ pub struct WriteOptions {
     /// Parent image for an incremental checkpoint.  Chunks shared with
     /// *any* stored image are deduplicated either way (the chunk store is
     /// content-addressed); the parent records lineage for bookkeeping and
-    /// future garbage collection.
+    /// garbage collection.
     pub parent: Option<ImageId>,
     /// Worker threads for hashing/encoding; 0 picks the machine default.
     pub threads: usize,
@@ -78,6 +121,15 @@ pub struct WriteStats {
     pub payload_bytes: u64,
     /// Worker threads used for hashing/encoding.
     pub threads_used: usize,
+    /// Peak *page-content* bytes the pipeline held at any instant
+    /// (chunker + queues + in-flight encoder/I/O buffers).  Bounded by
+    /// [`stream_buffer_bound`], *not* by the image size — the proof that
+    /// the streaming path never materialises the image's page data.
+    /// Plugin payloads are excluded: they are inline manifest data, held
+    /// whole until the manifest is written (their size is
+    /// [`WriteStats::payload_bytes`] — kilobytes of CUDA log, not the
+    /// gigabytes of page content the bound is about).
+    pub peak_buffered_bytes: u64,
     /// Wall-clock time of the whole write.
     pub elapsed: Duration,
 }
@@ -98,201 +150,588 @@ impl WriteStats {
     }
 }
 
-/// Outcome of hashing/encoding one chunk job.
-enum JobOutcome {
-    /// Content already in the store (or claimed by an earlier job of this
-    /// batch).
-    Dedup { hash: ContentHash },
-    /// New content: encoded and ready to write.
-    New {
-        hash: ContentHash,
-        encoding: Encoding,
-        encoded: Vec<u8>,
-    },
-}
-
-impl JobOutcome {
-    fn hash(&self) -> ContentHash {
-        match self {
-            JobOutcome::Dedup { hash } | JobOutcome::New { hash, .. } => *hash,
-        }
-    }
-}
-
-/// Writes `image` into the store, returning the written manifest and stats.
+/// Analytic upper bound on [`WriteStats::peak_buffered_bytes`] for a write
+/// that used `threads` encoder threads.
 ///
-/// Called by [`ImageStore::write_image`]; not public API.
-pub(crate) fn write_image(
-    store: &ImageStore,
-    image: &CheckpointImage,
-    opts: &WriteOptions,
-) -> Result<(Manifest, WriteStats), StoreError> {
-    let start = Instant::now();
-    if let Some(parent) = opts.parent {
-        if !store.contains_image(parent) {
-            return Err(StoreError::UnknownImage(parent));
+/// Every pipeline slot (the chunker's staging chunk, each job-queue entry,
+/// one job in each encoder's hands, each write-queue entry, one encoded
+/// chunk in the I/O thread's hands) holds at most one chunk; the factor 2
+/// covers the transient instants where raw and encoded copies of the same
+/// chunk coexist (inside `encode`, and while the I/O thread frames the
+/// chunk file).  The bound covers page content only — inline plugin
+/// payloads (manifest data, [`WriteStats::payload_bytes`]) are buffered
+/// in full on top of it.
+pub fn stream_buffer_bound(threads: usize) -> u64 {
+    let slots = 1 + ENCODE_QUEUE_CHUNKS + threads + WRITE_QUEUE_CHUNKS + 1;
+    2 * slots as u64 * CHUNK_PAGES * PAGE_SIZE
+}
+
+/// Payload-bytes-in-flight gauge shared by every pipeline stage.
+#[derive(Default)]
+struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn add(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A chunk handed from the producer to the encoders.
+struct EncodeJob {
+    region_seq: usize,
+    chunk_seq: usize,
+    raw: Vec<u8>,
+}
+
+/// An encoded chunk handed from an encoder to the I/O thread.
+struct WriteJob {
+    region_seq: usize,
+    chunk_seq: usize,
+    hash: ContentHash,
+    encoding: Encoding,
+    raw_len: u64,
+    encoded: Vec<u8>,
+}
+
+/// The hash/dedup verdict for one chunk, reported back to the producer.
+struct ChunkOutcome {
+    region_seq: usize,
+    chunk_seq: usize,
+    hash: ContentHash,
+    /// Chunk-file bytes written, or `None` for a dedup hit.
+    written_bytes: Option<u64>,
+}
+
+/// A chunk's manifest metadata, known at submit time; the hash arrives
+/// later via its [`ChunkOutcome`].
+struct PendingChunk {
+    runs: Vec<PageRun>,
+    raw_len: u64,
+    hash: Option<ContentHash>,
+}
+
+/// Shared error latch: first failure wins, everything after drains.
+type ErrorSlot = Arc<Mutex<Option<StoreError>>>;
+
+fn latch(slot: &ErrorSlot, err: StoreError) {
+    slot.lock().get_or_insert(err);
+}
+
+/// The streaming writer: the store's canonical [`ChunkSink`].
+///
+/// Obtain one through [`ImageStore::stream_image`], feed it records (or let
+/// a [`RegionSource`](crate::stream::RegionSource) / the coordinator do
+/// so), and the pipeline encodes and writes chunks behind your back; the
+/// manifest is assembled and published when the `stream_image` closure
+/// returns.
+pub struct StreamWriter<'s> {
+    store: &'s ImageStore,
+    /// Read side of the store's writer gate, held for the writer's whole
+    /// lifetime: deletion (the write side) is excluded while any stream
+    /// is in flight, with no check-then-act window.
+    _writer_guard: std::sync::RwLockReadGuard<'s, ()>,
+    opts: WriteOptions,
+    started: Instant,
+    gauge: Arc<Gauge>,
+    error: ErrorSlot,
+    /// Chunk files written to temp names, awaiting the batched
+    /// fsync + rename at finish: `(tmp path, final path)`.
+    pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>>,
+
+    // Pipeline plumbing (Options so shutdown can drop senders first).
+    job_tx: Option<SyncSender<EncodeJob>>,
+    outcome_rx: Option<Receiver<ChunkOutcome>>,
+    encoders: Vec<JoinHandle<()>>,
+    io_thread: Option<JoinHandle<()>>,
+
+    // Chunker state for the currently open region.
+    cur_region: Option<usize>,
+    cur_runs: Vec<PageRun>,
+    cur_buf: Vec<u8>,
+    cur_pages: u64,
+
+    // Manifest accumulation.
+    regions: Vec<RegionDescriptor>,
+    chunks: Vec<Vec<PendingChunk>>,
+    payloads: Vec<(String, Vec<u8>)>,
+    taken_at_ns: u64,
+    threads: usize,
+    raw_chunk_bytes: u64,
+}
+
+impl<'s> StreamWriter<'s> {
+    pub(crate) fn new(store: &'s ImageStore, opts: WriteOptions) -> Result<Self, StoreError> {
+        store.check_writable()?;
+        let writer_guard = store.writer_guard();
+        if let Some(parent) = opts.parent {
+            if !store.contains_image(parent) {
+                return Err(StoreError::UnknownImage(parent));
+            }
+        }
+        let threads = effective_threads(opts.threads);
+        let gauge = Arc::new(Gauge::default());
+        let error: ErrorSlot = Arc::new(Mutex::new(None));
+
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<EncodeJob>(ENCODE_QUEUE_CHUNKS);
+        let (write_tx, write_rx) = std::sync::mpsc::sync_channel::<WriteJob>(WRITE_QUEUE_CHUNKS);
+        let (outcome_tx, outcome_rx) = std::sync::mpsc::channel::<ChunkOutcome>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        // Batch-local claim set: the first encoder to hash unseen content
+        // wins the right to write it; the store index only learns about the
+        // new chunks at commit time.
+        let claimed = Arc::new(Mutex::new(std::collections::HashSet::new()));
+
+        let mut encoders = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            encoders.push(spawn_encoder(
+                Arc::clone(&job_rx),
+                write_tx.clone(),
+                outcome_tx.clone(),
+                store.index_handle(),
+                Arc::clone(&claimed),
+                opts.compression,
+                Arc::clone(&gauge),
+                Arc::clone(&error),
+            ));
+        }
+        // The producer holds no write/outcome sender: once `job_tx` drops,
+        // the encoders drain and exit, their sender clones drop, and the
+        // I/O thread drains and exits — clean pipeline shutdown with no
+        // explicit signalling.
+        drop(write_tx);
+        let pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>> = Arc::new(Mutex::new(Vec::new()));
+        let io_thread = spawn_io(
+            write_rx,
+            outcome_tx,
+            store.chunks_dir().to_path_buf(),
+            Arc::clone(&pending_publish),
+            Arc::clone(&gauge),
+            Arc::clone(&error),
+        );
+
+        Ok(Self {
+            store,
+            _writer_guard: writer_guard,
+            opts,
+            started: Instant::now(),
+            gauge,
+            error,
+            pending_publish,
+            job_tx: Some(job_tx),
+            outcome_rx: Some(outcome_rx),
+            encoders,
+            io_thread: Some(io_thread),
+            cur_region: None,
+            cur_runs: Vec::new(),
+            cur_buf: Vec::new(),
+            cur_pages: 0,
+            regions: Vec::new(),
+            chunks: Vec::new(),
+            payloads: Vec::new(),
+            taken_at_ns: 0,
+            threads,
+            raw_chunk_bytes: 0,
+        })
+    }
+
+    /// Stamps the manifest's `taken_at_ns` (virtual checkpoint-completion
+    /// time).  May be called at any point before the write finishes.
+    pub fn set_taken_at(&mut self, ns: u64) {
+        self.taken_at_ns = ns;
+    }
+
+    /// Fails fast if the pipeline has already latched an error.
+    fn check_failed(&self) -> Result<(), StoreError> {
+        if let Some(err) = self.error.lock().take() {
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Submits the staged chunk to the encoders (blocking while the job
+    /// queue is full — that backpressure is what bounds the producer).
+    fn flush_chunk(&mut self) -> Result<(), StoreError> {
+        if self.cur_runs.is_empty() {
+            return Ok(());
+        }
+        let region_seq = self.cur_region.expect("chunk outside a region");
+        let raw = std::mem::take(&mut self.cur_buf);
+        let runs = std::mem::take(&mut self.cur_runs);
+        self.cur_pages = 0;
+        self.raw_chunk_bytes += raw.len() as u64;
+        self.gauge.add(raw.len() as u64);
+        let chunk_seq = self.chunks[region_seq].len();
+        self.chunks[region_seq].push(PendingChunk {
+            runs,
+            raw_len: raw.len() as u64,
+            hash: None,
+        });
+        let job = EncodeJob {
+            region_seq,
+            chunk_seq,
+            raw,
+        };
+        if self
+            .job_tx
+            .as_ref()
+            .expect("pipeline already shut down")
+            .send(job)
+            .is_err()
+        {
+            // Every encoder exited early — only happens after a latched
+            // error (or a panic, which the latch check turns into Busy).
+            self.check_failed()?;
+            return Err(StoreError::busy("writer pipeline stalled"));
+        }
+        Ok(())
+    }
+
+    /// Drops the senders and joins every pipeline thread.
+    fn shutdown_pipeline(&mut self) {
+        self.job_tx.take();
+        for h in self.encoders.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.io_thread.take() {
+            let _ = h.join();
         }
     }
 
-    // Stage 1: chunk every region (cheap, sequential).
-    let mut jobs: Vec<ChunkJob> = Vec::new();
-    for (i, region) in image.regions.iter().enumerate() {
-        jobs.extend(chunk_region(i, region));
+    /// Completes the write: drains the pipeline, assembles and publishes
+    /// the manifest, and commits the new chunks to the store index.
+    pub(crate) fn finish(mut self) -> Result<(Manifest, WriteStats), StoreError> {
+        debug_assert!(
+            self.cur_runs.is_empty(),
+            "finish called with an unclosed region"
+        );
+        self.shutdown_pipeline();
+        self.check_failed()?;
+
+        // Batched durability: fsync + rename every chunk written this
+        // batch, then sync the directory once.  The data has been writing
+        // back since the I/O thread put it down, so these fsyncs mostly
+        // find clean pages — the per-chunk fsync stall the synchronous
+        // writer paid is gone from the overlap window entirely.
+        let pending = std::mem::take(&mut *self.pending_publish.lock());
+        let had_chunks = !pending.is_empty();
+        for (tmp, path) in pending {
+            publish_tmp(&tmp, &path)?;
+        }
+        if had_chunks {
+            sync_dir(self.store.chunks_dir());
+        }
+
+        let mut stats = WriteStats {
+            raw_chunk_bytes: self.raw_chunk_bytes,
+            threads_used: self.threads,
+            ..Default::default()
+        };
+        let mut newly_written: Vec<ContentHash> = Vec::new();
+        let outcome_rx = self.outcome_rx.take().expect("finish runs once");
+        for outcome in outcome_rx.iter() {
+            let slot = &mut self.chunks[outcome.region_seq][outcome.chunk_seq];
+            debug_assert!(slot.hash.is_none(), "duplicate outcome for one chunk");
+            slot.hash = Some(outcome.hash);
+            match outcome.written_bytes {
+                Some(bytes) => {
+                    stats.chunks_written += 1;
+                    stats.chunk_bytes_written += bytes;
+                    newly_written.push(outcome.hash);
+                }
+                None => stats.chunks_deduped += 1,
+            }
+        }
+        stats.chunks_total = self.chunks.iter().map(Vec::len).sum();
+        debug_assert_eq!(
+            stats.chunks_written + stats.chunks_deduped,
+            stats.chunks_total
+        );
+
+        // Deterministic manifest regardless of producer payload order.
+        self.payloads.sort_by(|(a, _), (b, _)| a.cmp(b));
+        stats.payload_bytes = self.payloads.iter().map(|(_, d)| d.len() as u64).sum();
+
+        let image_id = self.store.allocate_image_id();
+        let manifest = Manifest {
+            image_id,
+            parent: self.opts.parent,
+            taken_at_ns: self.taken_at_ns,
+            compression: self.opts.compression,
+            regions: self
+                .regions
+                .iter()
+                .zip(self.chunks.iter())
+                .map(|(desc, chunks)| RegionEntry {
+                    start: desc.start.as_u64(),
+                    len: desc.len,
+                    prot: desc.prot,
+                    label: desc.label.clone(),
+                    chunks: chunks
+                        .iter()
+                        .map(|c| ChunkEntry {
+                            runs: c.runs.clone(),
+                            hash: c.hash.expect("pipeline reported every chunk"),
+                            raw_len: c.raw_len,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            payloads: std::mem::take(&mut self.payloads),
+        };
+        let manifest_bytes = manifest.to_bytes();
+        write_atomically(&self.store.image_path(image_id), &manifest_bytes)?;
+        stats.manifest_bytes = manifest_bytes.len() as u64;
+
+        // Only now publish the new chunks into the store's index: a failure
+        // above leaves the index unchanged (orphan files are harmless —
+        // they are re-discovered, re-written or swept, never referenced).
+        self.store.commit_chunks(&newly_written);
+        stats.peak_buffered_bytes = self.gauge.peak();
+        stats.elapsed = self.started.elapsed();
+        Ok((manifest, stats))
+    }
+}
+
+impl Drop for StreamWriter<'_> {
+    fn drop(&mut self) {
+        // The abort path (producer error or panic): tear the pipeline down
+        // without publishing anything, and clear the unpublished temp
+        // files (best-effort — anything missed is `.tmp` litter the GC
+        // sweep reclaims).  Chunks a failed `finish` already renamed stay:
+        // unreferenced but valid, they are re-discovered or swept.
+        self.shutdown_pipeline();
+        for (tmp, _) in self.pending_publish.lock().drain(..) {
+            let _ = fs::remove_file(tmp);
+        }
+    }
+}
+
+impl ChunkSink for StreamWriter<'_> {
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), StoreError> {
+        self.check_failed()?;
+        debug_assert!(self.cur_region.is_none(), "begin_region while one is open");
+        self.cur_region = Some(self.regions.len());
+        self.regions.push(desc.clone());
+        self.chunks.push(Vec::new());
+        Ok(())
     }
 
-    // Stage 2: hash + dedup + encode in parallel over disjoint job slices.
-    // Workers consult the store's index directly (brief lock per chunk)
-    // plus a batch-local claim set, so the cost per write scales with the
-    // checkpoint, not with the store's lifetime chunk count.
-    let threads = effective_threads(opts.threads, jobs.len());
-    let claimed: Mutex<HashSet<ContentHash>> = Mutex::new(HashSet::new());
-    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
-    outcomes.resize_with(jobs.len(), || None);
-    let compression = opts.compression;
-
-    std::thread::scope(|scope| {
-        let mut job_tail: &[ChunkJob] = &jobs;
-        let mut out_tail: &mut [Option<JobOutcome>] = &mut outcomes;
-        let per_thread = jobs.len().div_ceil(threads.max(1));
-        for _ in 0..threads {
-            let n = per_thread.min(job_tail.len());
-            if n == 0 {
-                break;
+    fn push_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), StoreError> {
+        self.check_failed()?;
+        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
+        debug_assert!(self.cur_region.is_some(), "push_run outside a region");
+        // Pack the run into ≤CHUNK_PAGES-page chunks, splitting at chunk
+        // boundaries exactly as the legacy chunker did so content hashes —
+        // and therefore dedup against pre-streaming stores — are stable.
+        let mut first = run.first;
+        let mut offset = 0usize;
+        let mut remaining = run.count;
+        while remaining > 0 {
+            let space = CHUNK_PAGES - self.cur_pages;
+            let take = remaining.min(space);
+            let len = (take * PAGE_SIZE) as usize;
+            self.cur_runs.push(PageRun { first, count: take });
+            self.cur_buf.extend_from_slice(&bytes[offset..offset + len]);
+            self.cur_pages += take;
+            first += take;
+            offset += len;
+            remaining -= take;
+            if self.cur_pages == CHUNK_PAGES {
+                self.flush_chunk()?;
             }
-            let (job_slice, rest_jobs) = job_tail.split_at(n);
-            let (out_slice, rest_out) = out_tail.split_at_mut(n);
-            job_tail = rest_jobs;
-            out_tail = rest_out;
-            let claimed = &claimed;
-            scope.spawn(move || {
-                for (job, out) in job_slice.iter().zip(out_slice.iter_mut()) {
-                    let hash = job.content_hash();
-                    let is_new = !store.contains_chunk(hash) && claimed.lock().insert(hash);
-                    *out = Some(if is_new {
-                        let (encoding, encoded) = encode(&job.raw, compression);
-                        JobOutcome::New {
-                            hash,
-                            encoding,
-                            encoded,
-                        }
-                    } else {
-                        JobOutcome::Dedup { hash }
-                    });
-                }
+        }
+        Ok(())
+    }
+
+    fn end_region(&mut self) -> Result<(), StoreError> {
+        self.flush_chunk()?;
+        debug_assert!(self.cur_region.is_some(), "end_region without begin");
+        self.cur_region = None;
+        Ok(())
+    }
+
+    fn push_payload(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.check_failed()?;
+        self.payloads.push((name.to_string(), data.to_vec()));
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_encoder(
+    job_rx: Arc<Mutex<Receiver<EncodeJob>>>,
+    write_tx: SyncSender<WriteJob>,
+    outcome_tx: Sender<ChunkOutcome>,
+    index: SharedIndex,
+    claimed: Arc<Mutex<std::collections::HashSet<ContentHash>>>,
+    compression: Compression,
+    gauge: Arc<Gauge>,
+    error: ErrorSlot,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        // Holding the mutex across `recv` serialises wakeups but is the
+        // std-only way to share one receiver; encode/IO dominate anyway.
+        let job = match job_rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return, // producer dropped the sender: drained
+        };
+        let raw_len = job.raw.len() as u64;
+        if error.lock().is_some() {
+            gauge.sub(raw_len);
+            continue; // drain mode: keep the producer from blocking
+        }
+        let hash = ContentHash::of(&job.raw);
+        // First claimant of unseen content encodes it; everyone else is a
+        // dedup hit.  The claim set spans one write; the index spans the
+        // store's life.
+        let is_new = !index.lock().contains(hash) && claimed.lock().insert(hash);
+        if is_new {
+            let (encoding, encoded) = encode(&job.raw, compression);
+            gauge.add(encoded.len() as u64);
+            drop(job.raw);
+            gauge.sub(raw_len);
+            let send = write_tx.send(WriteJob {
+                region_seq: job.region_seq,
+                chunk_seq: job.chunk_seq,
+                hash,
+                encoding,
+                raw_len,
+                encoded,
+            });
+            if let Err(failed) = send {
+                // I/O thread gone: only after a latch (or panic).
+                gauge.sub(failed.0.encoded.len() as u64);
+                latch(&error, StoreError::busy("chunk I/O thread exited early"));
+            }
+        } else {
+            gauge.sub(raw_len);
+            let _ = outcome_tx.send(ChunkOutcome {
+                region_seq: job.region_seq,
+                chunk_seq: job.chunk_seq,
+                hash,
+                written_bytes: None,
             });
         }
-    });
-
-    // Stage 3: write new chunk files, then assemble the manifest.
-    let mut stats = WriteStats {
-        chunks_total: jobs.len(),
-        threads_used: threads,
-        ..Default::default()
-    };
-    let mut region_chunks: Vec<Vec<ChunkEntry>> = vec![Vec::new(); image.regions.len()];
-    let mut newly_written: Vec<ContentHash> = Vec::new();
-    for (job, outcome) in jobs.iter().zip(outcomes) {
-        let outcome = outcome.expect("every job slice was processed");
-        let hash = outcome.hash();
-        stats.raw_chunk_bytes += job.raw.len() as u64;
-        match outcome {
-            JobOutcome::New {
-                encoding, encoded, ..
-            } => {
-                let file = ChunkFile {
-                    encoding,
-                    raw_len: job.raw.len() as u64,
-                    encoded,
-                };
-                let bytes = file.to_bytes();
-                write_atomically(&store.chunk_path(hash), &bytes)?;
-                stats.chunks_written += 1;
-                stats.chunk_bytes_written += bytes.len() as u64;
-                newly_written.push(hash);
-            }
-            JobOutcome::Dedup { .. } => stats.chunks_deduped += 1,
-        }
-        region_chunks[job.region_index].push(ChunkEntry {
-            runs: job.runs.clone(),
-            hash,
-            raw_len: job.raw.len() as u64,
-        });
-    }
-
-    let image_id = store.allocate_image_id();
-    let manifest = Manifest {
-        image_id,
-        parent: opts.parent,
-        taken_at_ns: image.taken_at_ns,
-        compression: opts.compression,
-        regions: image
-            .regions
-            .iter()
-            .zip(region_chunks)
-            .map(|(r, chunks)| RegionEntry {
-                start: r.start.as_u64(),
-                len: r.len,
-                prot: r.prot,
-                label: r.label.clone(),
-                chunks,
-            })
-            .collect(),
-        payloads: image
-            .payloads
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect(),
-    };
-    let manifest_bytes = manifest.to_bytes();
-    write_atomically(&store.image_path(image_id), &manifest_bytes)?;
-    stats.manifest_bytes = manifest_bytes.len() as u64;
-    stats.payload_bytes = image.payloads.values().map(|p| p.len() as u64).sum();
-
-    // Only now publish the new chunks into the store's index: a failure
-    // above leaves the index unchanged (orphan files are harmless — they
-    // are re-discovered or re-written, never referenced).
-    store.commit_chunks(&newly_written);
-    stats.elapsed = start.elapsed();
-    Ok((manifest, stats))
+    })
 }
 
-fn effective_threads(requested: usize, jobs: usize) -> usize {
+fn spawn_io(
+    write_rx: Receiver<WriteJob>,
+    outcome_tx: Sender<ChunkOutcome>,
+    chunks_dir: PathBuf,
+    pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>>,
+    gauge: Arc<Gauge>,
+    error: ErrorSlot,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for job in write_rx.iter() {
+            let encoded_len = job.encoded.len() as u64;
+            if error.lock().is_some() {
+                gauge.sub(encoded_len);
+                continue; // drain mode
+            }
+            let file = ChunkFile {
+                encoding: job.encoding,
+                raw_len: job.raw_len,
+                encoded: job.encoded,
+            };
+            let bytes = file.to_bytes();
+            let path = chunks_dir.join(format!("{}.chk", job.hash.to_hex()));
+            // Deferred durability: land the bytes under a temp name now (no
+            // fsync — the kernel writes back behind us) and queue the
+            // fsync + rename for the batched publish at finish.
+            match write_tmp(&path, &bytes) {
+                Ok(tmp) => {
+                    pending_publish.lock().push((tmp, path));
+                    let _ = outcome_tx.send(ChunkOutcome {
+                        region_seq: job.region_seq,
+                        chunk_seq: job.chunk_seq,
+                        hash: job.hash,
+                        written_bytes: Some(bytes.len() as u64),
+                    });
+                }
+                Err(e) => latch(&error, e),
+            }
+            gauge.sub(encoded_len);
+        }
+    })
+}
+
+fn effective_threads(requested: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let t = if requested > 0 { requested } else { hw.min(8) };
-    t.clamp(1, jobs.max(1))
+    t.max(1)
 }
 
-/// Writes `bytes` to `path` through a temp file + rename, so the final name
-/// never holds a torn write.  The temp name is unique per process *and* per
-/// call: two concurrent writers racing on the same content-addressed chunk
-/// must not interleave into one shared `.tmp` — each renames a complete
-/// file, and whichever rename lands last wins with valid bytes.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+/// A unique temp name next to `path` — unique per process *and* per call:
+/// two concurrent writers racing on the same content-addressed chunk must
+/// not interleave into one shared `.tmp`; each renames a complete file, and
+/// whichever rename lands last wins with valid bytes.
+fn tmp_name(path: &Path) -> PathBuf {
     static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let tmp = path.with_extension(format!(
+    path.with_extension(format!(
         "tmp.{}.{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    ));
-    {
-        use std::io::Write;
-        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
-        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
-        // Flush data to stable storage *before* the rename: on journaling
-        // filesystems the rename can otherwise persist ahead of the data,
-        // leaving a truncated file under its final content-hash name after
-        // a crash — which the name-based index would then trust forever.
-        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    ))
+}
+
+/// Stage 1 of a deferred-durability write: put `bytes` under a unique temp
+/// name *without* syncing, returning the temp path.  The kernel writes the
+/// data back in the background while the pipeline keeps moving; the
+/// batched [`publish_tmp`] calls at finish then find mostly clean pages,
+/// so the fsync cost is paid once, overlapped, instead of once per chunk
+/// on the I/O thread's critical path.
+fn write_tmp(path: &Path, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+    use std::io::Write;
+    let tmp = tmp_name(path);
+    let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+    Ok(tmp)
+}
+
+/// Stage 2: flush the temp file to stable storage, *then* rename it to its
+/// final name.  The order is the crash-safety invariant: a file only ever
+/// appears under its content-hash name with its bytes durable, so the
+/// name-based index can never be tricked into trusting a truncated chunk.
+/// (A crash between the stages leaves only `.tmp` litter, which the GC
+/// sweep reclaims.)  Directory syncing is the caller's batched job.
+fn publish_tmp(tmp: &Path, path: &Path) -> Result<(), StoreError> {
+    let f = fs::File::open(tmp).map_err(|e| StoreError::io(tmp, e))?;
+    f.sync_all().map_err(|e| StoreError::io(tmp, e))?;
+    fs::rename(tmp, path).map_err(|e| StoreError::io(path, e))?;
+    Ok(())
+}
+
+/// Best-effort fsync of a directory, so renames into it survive a crash
+/// (not all platforms allow dir fsync).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
     }
-    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
-    // Persist the directory entry too, so the rename itself survives a
-    // crash (best-effort: not all platforms allow dir fsync).
+}
+
+/// Writes `bytes` to `path` through temp file + fsync + rename in one call
+/// (used for manifests, which are published the moment they are written).
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = write_tmp(path, bytes)?;
+    publish_tmp(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        sync_dir(dir);
     }
     Ok(())
 }

@@ -1,0 +1,212 @@
+//! Store administration: cross-process locking, image deletion with
+//! chunk garbage collection, and retention policies.
+
+use crac_addrspace::{Addr, Prot, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, SavedRegion};
+use crac_imagestore::testutil::TempDir;
+use crac_imagestore::{ImageStore, StoreError, WriteOptions};
+
+/// An image with `pages` dirty pages whose content is seeded by `seed` (so
+/// different seeds share no chunks).
+fn image(seed: u8, pages: u64) -> CheckpointImage {
+    let mut img = CheckpointImage {
+        taken_at_ns: seed as u64,
+        ..Default::default()
+    };
+    img.regions.push(SavedRegion {
+        start: Addr(0x4000_0000_0000),
+        len: pages * PAGE_SIZE,
+        prot: Prot::RW,
+        label: format!("admin-{seed}"),
+        pages: (0..pages)
+            .map(|i| {
+                let mut page = vec![seed; PAGE_SIZE as usize];
+                // Unique stamp per page so no intra-image dedup occurs.
+                page[..8].copy_from_slice(&((seed as u64) << 32 | (i + 1)).to_le_bytes());
+                (i, page)
+            })
+            .collect(),
+    });
+    img
+}
+
+#[test]
+fn delete_reclaims_only_unreferenced_chunks() {
+    let dir = TempDir::new("gc-basic");
+    let store = ImageStore::open(dir.path()).unwrap();
+
+    // Two images share every chunk of `base`; a third shares nothing.
+    let base = image(1, 64);
+    let mut child = base.clone();
+    child.regions[0].pages[0].1.fill(0xEE); // dirty one page
+    let other = image(2, 32);
+
+    let (base_id, base_stats) = store.write_image(&base, &WriteOptions::full()).unwrap();
+    let (child_id, _) = store
+        .write_image(&child, &WriteOptions::incremental(base_id))
+        .unwrap();
+    let (other_id, other_stats) = store.write_image(&other, &WriteOptions::full()).unwrap();
+    let before = store.stats().unwrap();
+
+    // Deleting the parent reclaims only the one chunk the child's dirtied
+    // page replaced; every other chunk is still referenced by the child
+    // (manifests are self-contained, so the child keeps restoring).
+    let del = store.delete_image(base_id).unwrap();
+    assert_eq!(del.images_deleted, 1);
+    assert_eq!(del.chunks_deleted, 1, "only the superseded chunk is free");
+    let (back, _) = store.read_image(child_id).unwrap();
+    assert_eq!(back, child, "child restores fully after parent deletion");
+
+    // Deleting the unrelated image reclaims exactly its own chunks.
+    let del = store.delete_image(other_id).unwrap();
+    assert_eq!(del.chunks_deleted, other_stats.chunks_written);
+    assert!(del.chunk_bytes_reclaimed > 0);
+
+    // Deleting the child empties the chunk store entirely.
+    let del = store.delete_image(child_id).unwrap();
+    assert!(del.chunks_deleted >= base_stats.chunks_written);
+    let after = store.stats().unwrap();
+    assert_eq!(after.images, 0);
+    assert_eq!(after.chunks, 0);
+    assert_eq!(after.chunk_bytes, 0);
+    assert!(before.chunk_bytes > 0);
+
+    // The deleted image is gone for good.
+    assert!(matches!(
+        store.read_image(child_id),
+        Err(StoreError::UnknownImage(_))
+    ));
+    assert!(matches!(
+        store.delete_image(child_id),
+        Err(StoreError::UnknownImage(_))
+    ));
+}
+
+#[test]
+fn gc_sweep_collects_orphan_chunks_of_aborted_writes() {
+    let dir = TempDir::new("gc-orphan");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let (id, _) = store
+        .write_image(&image(3, 16), &WriteOptions::full())
+        .unwrap();
+
+    // Model an aborted write: a chunk file nobody references.  (Content
+    // does not matter — the sweep judges by reference, not validity.)
+    let orphan = dir
+        .path()
+        .join("chunks")
+        .join(format!("{:032x}.chk", 0xDEAD_BEEFu64));
+    std::fs::write(&orphan, b"orphaned by a crashed writer").unwrap();
+
+    let (_, keep_all) = store
+        .write_image(&image(4, 16), &WriteOptions::full())
+        .unwrap();
+    assert!(keep_all.chunks_written > 0);
+
+    let del = store.delete_image(id).unwrap();
+    assert!(!orphan.exists(), "sweep reclaims orphans too");
+    assert!(del.chunks_deleted >= 1);
+}
+
+#[test]
+fn retain_last_keeps_the_newest_images() {
+    let dir = TempDir::new("gc-retain");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let ids: Vec<_> = (0..5)
+        .map(|i| {
+            store
+                .write_image(&image(10 + i, 24), &WriteOptions::full())
+                .unwrap()
+                .0
+        })
+        .collect();
+
+    let (deleted, stats) = store.retain_last(2).unwrap();
+    assert_eq!(deleted, ids[..3].to_vec());
+    assert_eq!(stats.images_deleted, 3);
+    assert!(stats.chunks_deleted > 0);
+
+    let left = store.list_images().unwrap();
+    assert_eq!(
+        left.iter().map(|i| i.id).collect::<Vec<_>>(),
+        ids[3..].to_vec()
+    );
+    for info in left {
+        let (_, read) = store.read_image(info.id).unwrap();
+        assert!(read.chunks_read > 0, "survivors stay fully readable");
+    }
+
+    // Retaining more than exist is a no-op, not an error.
+    let (deleted, stats) = store.retain_last(10).unwrap();
+    assert!(deleted.is_empty());
+    assert_eq!(stats, Default::default());
+}
+
+#[test]
+fn deletion_is_refused_while_a_streaming_write_is_in_flight() {
+    let dir = TempDir::new("gc-busy");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let (id, _) = store
+        .write_image(&image(20, 16), &WriteOptions::full())
+        .unwrap();
+
+    let result = store.stream_image(&WriteOptions::full(), |_writer| {
+        // Mid-write, the sweep must refuse: it could otherwise delete a
+        // chunk this very write just deduplicated against.
+        match store.delete_image(id) {
+            Err(StoreError::Busy { .. }) => Ok(()),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    });
+    result.unwrap();
+
+    // Once the write finished, deletion works again.
+    store.delete_image(id).unwrap();
+}
+
+#[test]
+fn read_only_opens_skip_the_lock_and_refuse_writes() {
+    let dir = TempDir::new("ro-open");
+    let writer = ImageStore::open(dir.path()).unwrap();
+    let (id, _) = writer
+        .write_image(&image(30, 16), &WriteOptions::full())
+        .unwrap();
+
+    // A read-only handle coexists with the live writer (it skips the
+    // lock), serves reads, and refuses every write path.
+    let ro = ImageStore::open_read_only(dir.path()).unwrap();
+    let (back, _) = ro.read_image(id).unwrap();
+    assert_eq!(back.regions[0].label, "admin-30");
+    assert!(matches!(
+        ro.write_image(&image(31, 4), &WriteOptions::full()),
+        Err(StoreError::Busy { .. })
+    ));
+    assert!(matches!(ro.delete_image(id), Err(StoreError::Busy { .. })));
+}
+
+#[test]
+fn foreign_live_writer_blocks_open() {
+    if !std::path::Path::new("/proc/1").exists() {
+        return; // liveness probing needs /proc
+    }
+    let dir = TempDir::new("lock-foreign");
+    std::fs::create_dir_all(dir.path()).unwrap();
+    // PID 1 is always alive and never us.
+    std::fs::write(dir.path().join("store.lock"), "1").unwrap();
+    match ImageStore::open(dir.path()) {
+        Err(StoreError::Locked { holder, .. }) => assert_eq!(holder, 1),
+        Err(other) => panic!("expected Locked, got {other:?}"),
+        Ok(_) => panic!("expected Locked, but the open succeeded"),
+    }
+    // Read-only access is still allowed.
+    ImageStore::open_read_only(dir.path()).unwrap();
+
+    // A dead holder's lock is stolen and the open succeeds.
+    std::fs::write(dir.path().join("store.lock"), "4194304999").unwrap();
+    let store = ImageStore::open(dir.path()).unwrap();
+    store
+        .write_image(&image(40, 4), &WriteOptions::full())
+        .unwrap();
+    let recorded = std::fs::read_to_string(dir.path().join("store.lock")).unwrap();
+    assert_eq!(recorded.trim(), std::process::id().to_string());
+}

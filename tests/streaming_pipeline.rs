@@ -1,0 +1,99 @@
+//! The streaming pipeline's headline property, asserted end to end: a
+//! `CracProcess` checkpointing to disk never materialises the checkpoint
+//! image — the payload the process buffers at peak is bounded by the
+//! writer pipeline's queue depths, not by the image size.
+
+use std::sync::Arc;
+
+use crac_repro::imagestore::stream_buffer_bound;
+use crac_repro::imagestore::testutil::TempDir;
+use crac_repro::prelude::*;
+
+fn registry() -> Arc<KernelRegistry> {
+    Arc::new(KernelRegistry::new())
+}
+
+#[test]
+fn checkpoint_to_store_buffers_a_bounded_fraction_of_the_image() {
+    let proc = CracProcess::launch(CracConfig::test("stream-bound"), registry());
+    // A deliberately large, incompressible-ish footprint: 16 MiB of host
+    // heap, fully dirtied, so the image dwarfs the pipeline's buffers.
+    const FOOTPRINT: u64 = 16 << 20;
+    let heap = proc.heap_alloc(FOOTPRINT).unwrap();
+    for mib in 0..(FOOTPRINT >> 20) {
+        proc.space()
+            .fill(heap + (mib << 20), 1 << 20, 0x40 + mib as u8)
+            .unwrap();
+    }
+
+    let dir = TempDir::new("stream-bound");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let stored = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    // The acceptance criterion: peak buffered payload is bounded by the
+    // pipeline queues (an analytic, image-size-independent constant)...
+    let bound = stream_buffer_bound(stored.write.threads_used);
+    assert!(
+        stored.peak_buffered_bytes() <= bound,
+        "pipeline buffered {} bytes, bound is {bound}",
+        stored.peak_buffered_bytes()
+    );
+    // ...and is a small fraction of what materialising the image would
+    // have held in memory at once.
+    assert!(
+        stored.peak_buffered_bytes() * 4 <= stored.write.raw_chunk_bytes,
+        "peak {} vs image payload {} — streaming is not bounding memory",
+        stored.peak_buffered_bytes(),
+        stored.write.raw_chunk_bytes
+    );
+    assert!(stored.write.raw_chunk_bytes >= FOOTPRINT);
+    assert!(stored.image_bytes >= FOOTPRINT);
+    assert!(stored.ckpt_time_s > 0.0);
+
+    // The streamed image restores byte-for-byte like any other.
+    let (restarted, _, read_stats) = CracProcess::restart_from_store(
+        &store,
+        stored.image_id,
+        CracConfig::test("stream-bound"),
+        registry(),
+    )
+    .unwrap();
+    assert!(read_stats.threads_used >= 1);
+    let mut probe = vec![0u8; 32];
+    restarted
+        .space()
+        .read_bytes(heap + (3 << 20), &mut probe)
+        .unwrap();
+    assert!(probe.iter().all(|&b| b == 0x43), "restored content intact");
+}
+
+#[test]
+fn coordinator_streaming_matches_materialised_checkpoint_stats() {
+    // The same process state, checkpointed both ways at the same virtual
+    // time, must report identical coordinator-level stats — the streaming
+    // walk and the materialising walk are one code path.
+    let proc = CracProcess::launch(CracConfig::test("stream-parity"), registry());
+    let heap = proc.heap_alloc(1 << 20).unwrap();
+    proc.space().fill(heap, 1 << 20, 0x77).unwrap();
+
+    let report = proc.checkpoint(); // materialised (in-memory users)
+    let dir = TempDir::new("stream-parity");
+    let store = ImageStore::open(dir.path()).unwrap();
+    proc.clear_stored_parent();
+    let stored = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    assert_eq!(stored.image_bytes, report.image_bytes);
+    assert_eq!(stored.regions_saved, report.regions_saved);
+    assert_eq!(stored.regions_skipped, report.regions_skipped);
+    assert_eq!(stored.parent, None);
+
+    // And the stored bytes equal what the in-memory image would store.
+    assert_eq!(stored.write.raw_chunk_bytes, {
+        let regions: u64 = report.image.regions.iter().map(|r| r.stored_bytes()).sum();
+        regions
+    });
+}
