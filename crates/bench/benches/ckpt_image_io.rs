@@ -7,10 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use crac_addrspace::{Addr, PageRun, Prot, PAGE_SIZE};
-use crac_dmtcp::{CheckpointImage, RegionDescriptor, SavedRegion};
+use crac_addrspace::{Addr, PageRun, Prot, SharedSpace, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, Coordinator, CoordinatorConfig, RegionDescriptor, SavedRegion};
 use crac_imagestore::testutil::TempDir;
-use crac_imagestore::{ChunkSink, Compression, ImageStore, WriteOptions};
+use crac_imagestore::{ChunkSink, Compression, CoordinatorStoreExt, ImageStore, WriteOptions};
 
 /// One synthetic page's content (shared by the materialised and streaming
 /// producers so both write identical bytes).
@@ -175,6 +175,50 @@ fn bench_image_io(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Streaming vs. barrier restore: identical restored bytes, two
+    // consumer shapes.  The "barrier" variant is the pre-streaming
+    // restore architecture (fetch and verify every chunk, materialise the
+    // full in-memory image, then splice it into the space); the
+    // "streaming" variant splices verified chunks into the space as they
+    // arrive — fetch/verify overlaps the splice, and it buffers
+    // O(queue-depth) instead of O(image).
+    {
+        let mut group = c.benchmark_group("ckpt_image_io_restore");
+        group.sample_size(10);
+        let dir = TempDir::new("bench-restore");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let image = build_image(8, 256);
+        let (id, _) = store.write_image(&image, &WriteOptions::full()).unwrap();
+        let coord = Coordinator::new(SharedSpace::new_no_aslr(), CoordinatorConfig::default());
+        group.bench_function("barrier_restore", |b| {
+            b.iter(|| {
+                let space = SharedSpace::new_no_aslr();
+                let (image, stats) = store.read_image(id).unwrap();
+                (coord.restart_into(&image, &space), stats)
+            })
+        });
+        group.bench_function("streaming_restore", |b| {
+            b.iter(|| {
+                let space = SharedSpace::new_no_aslr();
+                coord.restart_from_store(&store, id, &space).unwrap()
+            })
+        });
+        group.finish();
+
+        // Peak-buffering report for the same restore, both shapes: the
+        // barrier path holds the whole image's stored bytes at once by
+        // construction; the streaming path is bounded by the queues.
+        let space = SharedSpace::new_no_aslr();
+        let (_, stream) = coord.restart_from_store(&store, id, &space).unwrap();
+        println!(
+            "\nckpt_image_io restore: image stored {} KiB; streaming splice peak buffer {} KiB \
+             (bound {} KiB; barrier path holds the full image)",
+            image.stored_size() >> 10,
+            stream.peak_buffered_bytes >> 10,
+            crac_imagestore::restore_buffer_bound(stream.threads_used) >> 10,
+        );
+    }
 
     // Peak-buffering report for the same write, both shapes.
     {

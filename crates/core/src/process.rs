@@ -10,8 +10,8 @@ use crac_dmtcp::{CheckpointImage, Coordinator};
 use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
 use crac_imagestore::{
-    drive_checkpoint_streaming, ImageId, ImageStore, ReadStats, StoreError, WriteOptions,
-    WriteStats,
+    drive_checkpoint_streaming, drive_restore_streaming, ImageId, ImageStore, ReadStats,
+    StoreError, WriteOptions, WriteStats,
 };
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
@@ -707,21 +707,36 @@ impl CracProcess {
     }
 
     /// Restarts an application from image `id` of `store` in a brand-new
-    /// simulated process.  The image is integrity-checked (CRC + content
-    /// hashes) while being read; any corruption surfaces as
-    /// [`CracError::Store`] before any state is restored.
+    /// simulated process, streaming end to end: verified chunks are
+    /// spliced into the fresh address space **as they arrive** from the
+    /// store's parallel reader — no `CheckpointImage` is ever
+    /// materialised, so peak memory during the restore is bounded by the
+    /// reader pipeline's queues (`crac_imagestore::restore_buffer_bound`,
+    /// reported by [`ReadStats::peak_buffered_bytes`]) instead of the
+    /// image size.  The image is integrity-checked (CRC + content hashes)
+    /// while being read; any corruption surfaces as [`CracError::Store`].
     pub fn restart_from_store(
         store: &ImageStore,
         id: ImageId,
         config: CracConfig,
         registry: Arc<KernelRegistry>,
     ) -> Result<(Self, RestartReport, ReadStats), CracError> {
-        let (image, read_stats) = store.read_image(id)?;
-        let (proc, report) = Self::restart(&image, config, registry)?;
+        let mut reader = store.stream_restore(id)?;
+        let taken_at_ns = reader.taken_at_ns();
+        // The CRAC payload is inline manifest data — kilobytes of CUDA
+        // log, available without streaming a single chunk.
+        let crac_payload = reader.payload("crac").map(<[u8]>::to_vec);
+        let (proc, report) = Self::restart_with(
+            config,
+            registry,
+            taken_at_ns,
+            crac_payload.as_deref(),
+            |coord, space| Ok(drive_restore_streaming(coord, &mut reader, space)?),
+        )?;
         // The restored process chains its next incremental checkpoint off
         // the image it came from.
         *proc.last_stored_image.lock() = Some((store.root().to_path_buf(), id));
-        Ok((proc, report, read_stats))
+        Ok((proc, report, reader.stats()))
     }
 
     /// Restarts an application from a checkpoint image in a brand-new
@@ -735,11 +750,30 @@ impl CracProcess {
         config: CracConfig,
         registry: Arc<KernelRegistry>,
     ) -> Result<(Self, RestartReport), CracError> {
+        Self::restart_with(
+            config,
+            registry,
+            image.taken_at_ns,
+            image.payloads.get("crac").map(|v| v.as_slice()),
+            |coord, space| Ok(coord.restart_into(image, space)),
+        )
+    }
+
+    /// The restart skeleton both entry points share: fresh space, fresh
+    /// lower half, `restore` installs the upper half (materialised or
+    /// streamed), then the CRAC payload replays against the new runtime.
+    fn restart_with(
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+        taken_at_ns: u64,
+        crac_payload: Option<&[u8]>,
+        restore: impl FnOnce(&Coordinator, &SharedSpace) -> Result<crac_dmtcp::RestartStats, CracError>,
+    ) -> Result<(Self, RestartReport), CracError> {
         // A fresh process: fresh address space (ASLR off), fresh lower half,
         // virtual time continuing from the checkpoint.
         let space = SharedSpace::new_no_aslr();
         let clock = VirtualClock::new_shared();
-        clock.advance_to(image.taken_at_ns);
+        clock.advance_to(taken_at_ns);
         let restart_t0 = clock.now();
 
         // 1. Load a fresh lower half (helper + CUDA runtime).  Deterministic
@@ -754,15 +788,15 @@ impl CracProcess {
             .trampolines()
             .set_extra_crossing_cost(config.log_overhead_ns);
 
-        // 2. Restore the upper half from the image.
+        // 2. Restore the upper half.
         let restore_coord = Coordinator::new(space.clone(), config.ckpt.clone());
-        let rstats = restore_coord.restart_into(image, &space);
+        let rstats = restore(&restore_coord, &space)?;
         clock.advance(rstats.read_ns);
 
         // 3. Decode the CRAC payload and replay the log against the fresh
         //    runtime: allocations reappear at their original addresses,
         //    streams/events/fat binaries are recreated.
-        let payload_bytes = image.payloads.get("crac").ok_or(CracError::BadImage)?;
+        let payload_bytes = crac_payload.ok_or(CracError::BadImage)?;
         let payload = CracPayload::decode(payload_bytes).ok_or(CracError::BadImage)?;
         let outcome = replay_log(
             &payload.log,

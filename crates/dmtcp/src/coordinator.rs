@@ -6,7 +6,9 @@ use crac_addrspace::{page_runs, Addr, Half, MapRequest, Prot, SharedSpace, PAGE_
 
 use crate::image::CheckpointImage;
 use crate::plugin::{DmtcpPlugin, RegionDecision};
-use crate::stream::{CheckpointSink, ImageSink, RegionDescriptor, SinkClosed, MAX_RUN_PAGES};
+use crate::stream::{
+    CheckpointSink, ImageSink, RegionDescriptor, RestoreSink, SinkClosed, MAX_RUN_PAGES,
+};
 
 /// Coordinator configuration.
 #[derive(Clone, Debug)]
@@ -248,41 +250,154 @@ impl Coordinator {
 
     /// Restores `image` into `space` (a fresh process on restart) and fires
     /// the plugins' `restart` hooks.
+    ///
+    /// This is the materialising entry point for in-memory users — it is
+    /// the image driven through the streaming restore path
+    /// ([`Coordinator::restart_streaming`]), so the two cannot diverge.
     pub fn restart_into(&self, image: &CheckpointImage, space: &SharedSpace) -> RestartStats {
-        let mut stats = RestartStats::default();
-        for r in &image.regions {
-            // Map writable first so page contents can be installed, then
-            // apply the recorded protection.
-            space
-                .mmap(
-                    MapRequest::anon(r.len, Half::Upper, &r.label)
-                        .at(r.start)
-                        .prot(Prot::RW),
-                )
-                .expect("restoring a saved region must succeed");
-            for (idx, bytes) in &r.pages {
-                space
-                    .write_bytes(r.start + idx * PAGE_SIZE, bytes)
-                    .expect("page restore within freshly mapped region");
+        self.restart_streaming(space, |sink| {
+            for r in &image.regions {
+                sink.declare_region(&RegionDescriptor {
+                    start: r.start,
+                    len: r.len,
+                    prot: r.prot,
+                    label: r.label.clone(),
+                })?;
             }
-            if r.prot != Prot::RW {
-                space.with_mut(|s| s.mprotect(r.start, r.len, r.prot)).ok();
+            for (region, r) in image.regions.iter().enumerate() {
+                for (idx, bytes) in &r.pages {
+                    sink.page_run(
+                        region,
+                        crac_addrspace::PageRun {
+                            first: *idx,
+                            count: 1,
+                        },
+                        bytes,
+                    )?;
+                }
+            }
+            for (name, data) in &image.payloads {
+                sink.payload(name, data)?;
+            }
+            Ok(())
+        })
+        .expect("in-memory restore source is infallible")
+    }
+
+    /// Restores a *streamed* checkpoint into `space`: `produce` receives a
+    /// [`RestoreCursor`] (the coordinator's [`RestoreSink`]) and pushes
+    /// region declarations, page runs (in any order — chunk-arrival order
+    /// for a disk-backed reader) and payloads into it; pages land in the
+    /// address space **as they arrive**, so a disk-backed producer bounds
+    /// the restore's peak memory by its own queue depth rather than the
+    /// image size.
+    ///
+    /// When `produce` returns `Ok`, recorded protections are applied, the
+    /// plugins' `restart` hooks fire with their payloads, and the restart
+    /// stats are returned.  When it returns [`SinkClosed`] the restore is
+    /// abandoned mid-way — protections and plugin hooks are skipped (the
+    /// half-restored space must be thrown away) and the marker propagated
+    /// for the producer's owner to translate into the real error.
+    pub fn restart_streaming(
+        &self,
+        space: &SharedSpace,
+        produce: impl FnOnce(&mut RestoreCursor<'_>) -> Result<(), SinkClosed>,
+    ) -> Result<RestartStats, SinkClosed> {
+        let mut cursor = RestoreCursor {
+            space,
+            regions: Vec::new(),
+            payloads: Vec::new(),
+            logical_bytes: 0,
+        };
+        produce(&mut cursor)?;
+
+        let mut stats = RestartStats::default();
+        for (start, len, prot) in &cursor.regions {
+            // Content was installed through the RW mapping; only now does
+            // the recorded protection go on.
+            if *prot != Prot::RW {
+                space.with_mut(|s| s.mprotect(*start, *len, *prot)).ok();
             }
             stats.regions_restored += 1;
-            stats.bytes_restored += r.len;
+            stats.bytes_restored += len;
         }
         let effective_bytes = if self.config.gzip {
-            (image.logical_size() as f64 / 2.5) as u64
+            (cursor.logical_bytes as f64 / 2.5) as u64
         } else {
-            image.logical_size()
+            cursor.logical_bytes
         };
         stats.read_ns = (effective_bytes as f64 / self.config.disk_read_bw).ceil() as u64;
 
         for p in &self.plugins {
-            let payload = image.payloads.get(p.name()).cloned().unwrap_or_default();
+            let payload = cursor
+                .payloads
+                .iter()
+                .find(|(name, _)| name == p.name())
+                .map(|(_, data)| data.clone())
+                .unwrap_or_default();
             p.restart(&payload, space);
         }
-        stats
+        Ok(stats)
+    }
+}
+
+/// The coordinator's streaming-restore consumer: maps declared regions
+/// writable and installs page runs the moment they arrive.
+///
+/// Obtained through [`Coordinator::restart_streaming`].  The cursor itself
+/// never reports [`SinkClosed`] — a fresh address space accepts every
+/// well-formed record, and a malformed one (overlapping regions, a run
+/// outside its region) is a producer bug that panics exactly as the
+/// legacy materialised restore did.
+pub struct RestoreCursor<'a> {
+    space: &'a SharedSpace,
+    /// Declared regions, in declaration order: `(start, len, prot)`.
+    /// Protections are applied at finish, after all content landed.
+    regions: Vec<(Addr, u64, Prot)>,
+    /// Collected payloads, handed to the plugins' `restart` hooks.
+    payloads: Vec<(String, Vec<u8>)>,
+    /// Logical bytes restored (regions + payloads) — drives the modelled
+    /// read time.
+    logical_bytes: u64,
+}
+
+impl RestoreSink for RestoreCursor<'_> {
+    fn declare_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed> {
+        // Map writable first so page contents can be installed; the
+        // recorded protection goes on when the stream finishes.
+        self.space
+            .mmap(
+                MapRequest::anon(desc.len, Half::Upper, &desc.label)
+                    .at(desc.start)
+                    .prot(Prot::RW),
+            )
+            .expect("restoring a saved region must succeed");
+        self.regions.push((desc.start, desc.len, desc.prot));
+        self.logical_bytes += desc.len;
+        Ok(())
+    }
+
+    fn page_run(
+        &mut self,
+        region: usize,
+        run: crac_addrspace::PageRun,
+        bytes: &[u8],
+    ) -> Result<(), SinkClosed> {
+        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
+        let (start, _, _) = self
+            .regions
+            .get(region)
+            .expect("page_run targets an undeclared region");
+        self.space
+            .write_bytes(*start + run.first * PAGE_SIZE, bytes)
+            .expect("page restore within freshly mapped region");
+        Ok(())
+    }
+
+    fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed> {
+        self.logical_bytes += data.len() as u64;
+        self.payloads.push((name.to_string(), data.to_vec()));
+        Ok(())
     }
 }
 

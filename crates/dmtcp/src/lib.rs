@@ -23,8 +23,10 @@ pub mod image;
 pub mod plugin;
 pub mod stream;
 
-pub use coordinator::{CkptStats, Coordinator, CoordinatorConfig, RestartStats};
+pub use coordinator::{CkptStats, Coordinator, CoordinatorConfig, RestartStats, RestoreCursor};
 pub use cursor::ByteCursor;
 pub use image::{CheckpointImage, SavedRegion};
 pub use plugin::{DmtcpPlugin, PluginEvent, RegionDecision};
-pub use stream::{CheckpointSink, ImageSink, RegionDescriptor, SinkClosed, MAX_RUN_PAGES};
+pub use stream::{
+    CheckpointSink, ImageSink, RegionDescriptor, RestoreSink, SinkClosed, MAX_RUN_PAGES,
+};

@@ -1,4 +1,5 @@
-//! Streaming checkpoint production: region-by-region, run-by-run.
+//! Streaming checkpoint production and restore consumption: region by
+//! region, run by run.
 //!
 //! The materialising path ([`Coordinator::checkpoint`]) builds a complete
 //! in-memory [`CheckpointImage`] before anyone can write a byte — for a
@@ -75,6 +76,37 @@ pub trait CheckpointSink {
     fn end_region(&mut self) -> Result<(), SinkClosed>;
 
     /// One named plugin payload (only non-empty payloads are delivered).
+    fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed>;
+}
+
+/// Consumer of a streamed *restore* — the mirror image of
+/// [`CheckpointSink`].
+///
+/// Where a checkpoint producer walks live memory in address order, a
+/// restore producer (a disk-backed image reader) delivers page content in
+/// whatever order its chunks are fetched and verified.  The contract is
+/// therefore looser than the checkpoint one:
+///
+/// * every region is declared up front (declaration order defines the
+///   region indices later calls refer to) — regions are pure metadata, so
+///   a reader has them all before the first content byte arrives;
+/// * page runs then arrive in **arbitrary order**, across regions and
+///   within a region, each tagged with its target region's index;
+/// * payloads may arrive at any point after the declarations.
+///
+/// Any method may return `Err(SinkClosed)`; the producer stops immediately
+/// and propagates the marker, exactly as on the checkpoint side.
+pub trait RestoreSink {
+    /// Declares the next region (regions are indexed by declaration
+    /// order, starting at 0).
+    fn declare_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed>;
+
+    /// One verified run of pages for declared region `region`.
+    /// `bytes.len()` is exactly `run.count * PAGE_SIZE`; `run.first` is a
+    /// region-relative page index.
+    fn page_run(&mut self, region: usize, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed>;
+
+    /// One named plugin payload.
     fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed>;
 }
 

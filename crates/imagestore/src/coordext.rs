@@ -10,14 +10,19 @@
 //! [`SinkBridge`] — no `CheckpointImage` is ever materialised, so the
 //! checkpoint's peak memory is the pipeline's bounded buffering
 //! ([`crate::writer::stream_buffer_bound`]) instead of the image size.
+//!
+//! `restart_from_store` is its mirror: the store's reader pipeline feeds
+//! the coordinator's restore cursor **directly** through a
+//! [`RestoreBridge`] — verified chunks land in the fresh address space as
+//! they arrive, bounded by [`crate::reader::restore_buffer_bound`].
 
 use crac_addrspace::SharedSpace;
-use crac_dmtcp::{CkptStats, Coordinator, RestartStats};
+use crac_dmtcp::{CkptStats, Coordinator, RestartStats, SinkClosed};
 
 use crate::error::StoreError;
-use crate::reader::ReadStats;
+use crate::reader::{ReadStats, StreamReader};
 use crate::store::{ImageId, ImageStore};
-use crate::stream::SinkBridge;
+use crate::stream::{ChunkSource, RestoreBridge, SinkBridge};
 use crate::writer::{StreamWriter, WriteOptions, WriteStats};
 
 /// Drives the coordinator's streaming checkpoint walk into `writer`,
@@ -41,6 +46,38 @@ pub fn drive_checkpoint_streaming(
     }
 }
 
+/// Drives a streaming restore: `reader`'s fetched-and-verified chunks are
+/// spliced into `space` through the coordinator's restore cursor as they
+/// arrive — no `CheckpointImage` is ever materialised.
+///
+/// On success the coordinator applies recorded protections and fires the
+/// plugins' `restart` hooks (with the payloads the manifest carried
+/// inline); the read's cost is available from `reader`'s
+/// [`StreamReader::stats`] afterwards.  On failure the real
+/// [`StoreError`] is returned and the half-restored `space` must be
+/// discarded.
+pub fn drive_restore_streaming(
+    coordinator: &Coordinator,
+    reader: &mut StreamReader<'_>,
+    space: &SharedSpace,
+) -> Result<RestartStats, StoreError> {
+    let mut parked: Option<StoreError> = None;
+    let result = coordinator.restart_streaming(space, |cursor| {
+        let mut bridge = RestoreBridge::new(cursor);
+        reader.stream_out(&mut bridge).map_err(|e| {
+            parked = Some(e);
+            SinkClosed
+        })
+    });
+    match result {
+        Ok(stats) => Ok(stats),
+        Err(SinkClosed) => {
+            Err(parked
+                .unwrap_or_else(|| StoreError::busy("restore source closed without an error")))
+        }
+    }
+}
+
 /// Checkpoint/restart straight through an [`ImageStore`].
 pub trait CoordinatorStoreExt {
     /// Takes a checkpoint at virtual time `now_ns` and streams it into
@@ -54,8 +91,9 @@ pub trait CoordinatorStoreExt {
         opts: &WriteOptions,
     ) -> Result<(ImageId, CkptStats, WriteStats), StoreError>;
 
-    /// Reads image `id` from `store` (verifying integrity) and restores it
-    /// into `space`.
+    /// Streams image `id` out of `store` (verifying integrity) straight
+    /// into `space` — verified chunks are spliced as they arrive, never
+    /// materialising a `CheckpointImage`.
     fn restart_from_store(
         &self,
         store: &ImageStore,
@@ -85,8 +123,8 @@ impl CoordinatorStoreExt for Coordinator {
         id: ImageId,
         space: &SharedSpace,
     ) -> Result<(RestartStats, ReadStats), StoreError> {
-        let (image, read_stats) = store.read_image(id)?;
-        let restart_stats = self.restart_into(&image, space);
-        Ok((restart_stats, read_stats))
+        let mut reader = store.stream_restore(id)?;
+        let restart_stats = drive_restore_streaming(self, &mut reader, space)?;
+        Ok((restart_stats, reader.stats()))
     }
 }

@@ -45,6 +45,15 @@ pub enum StoreError {
         /// Human-readable description of the conflict.
         what: String,
     },
+    /// A batched operation (for example [`crate::ImageStore::retain_last`]
+    /// deleting several images) hit more than one failure.  The operation
+    /// was *not* abandoned at the first error — everything that could
+    /// proceed did — and every underlying failure is collected here in
+    /// occurrence order.
+    Partial {
+        /// The individual failures.
+        errors: Vec<StoreError>,
+    },
 }
 
 impl StoreError {
@@ -66,10 +75,26 @@ impl StoreError {
         StoreError::Busy { what: what.into() }
     }
 
+    /// Collapses the failures of a batched operation: one error stays
+    /// itself, several aggregate into [`StoreError::Partial`].
+    pub(crate) fn partial(mut errors: Vec<StoreError>) -> Self {
+        debug_assert!(!errors.is_empty(), "partial() needs at least one error");
+        if errors.len() == 1 {
+            errors.pop().expect("length checked")
+        } else {
+            StoreError::Partial { errors }
+        }
+    }
+
     /// Returns `true` if the error is an integrity (not availability)
-    /// failure — what a flipped bit on disk produces.
+    /// failure — what a flipped bit on disk produces.  A batched
+    /// [`StoreError::Partial`] counts if any of its failures does.
     pub fn is_corruption(&self) -> bool {
-        matches!(self, StoreError::Corrupt { .. })
+        match self {
+            StoreError::Corrupt { .. } => true,
+            StoreError::Partial { errors } => errors.iter().any(StoreError::is_corruption),
+            _ => false,
+        }
     }
 }
 
@@ -90,6 +115,16 @@ impl fmt::Display for StoreError {
                 path.display()
             ),
             StoreError::Busy { what } => write!(f, "store is busy: {what}"),
+            StoreError::Partial { errors } => {
+                write!(f, "{} failures in one batched operation: ", errors.len())?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

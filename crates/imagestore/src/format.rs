@@ -255,6 +255,23 @@ pub struct ChunkFile {
     pub encoded: Vec<u8>,
 }
 
+/// A chunk file's header plus a *borrowed* view of its encoded payload —
+/// what [`ChunkFile::parse`] yields.
+///
+/// The restore pipeline decodes straight out of the file buffer through
+/// this view, so a fetched chunk never holds file bytes and an encoded
+/// copy at once; that halves the per-worker share of
+/// [`crate::reader::restore_buffer_bound`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkView<'a> {
+    /// How the payload is encoded.
+    pub encoding: Encoding,
+    /// Length the payload decodes to.
+    pub raw_len: u64,
+    /// The encoded bytes, borrowed from the file buffer.
+    pub encoded: &'a [u8],
+}
+
 impl ChunkFile {
     /// Serialises the chunk file (header + encoded bytes).  The CRC covers
     /// the header fields *and* the payload, so any flipped byte in the file
@@ -273,8 +290,9 @@ impl ChunkFile {
         out
     }
 
-    /// Parses and integrity-checks a chunk file.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+    /// Parses and integrity-checks a chunk file without copying the
+    /// payload: the returned view borrows the encoded bytes from `data`.
+    pub fn parse(data: &[u8]) -> Result<ChunkView<'_>, String> {
         let mut c = ByteCursor::new(data);
         if c.take(8).ok_or("chunk file truncated")? != CHUNK_MAGIC {
             return Err("bad chunk magic".into());
@@ -285,23 +303,20 @@ impl ChunkFile {
         let encoded_len = c.u64().ok_or("missing encoded length")? as usize;
         let header_len = c.pos();
         let stored_crc = c.u32().ok_or("missing chunk CRC")?;
-        let encoded = c
-            .take(encoded_len)
-            .ok_or("chunk payload truncated")?
-            .to_vec();
+        let encoded = c.take(encoded_len).ok_or("chunk payload truncated")?;
         if !c.at_end() {
             return Err("trailing bytes after chunk payload".into());
         }
         let mut crc = crate::hash::Crc32::new();
         crc.update(&data[..header_len]);
-        crc.update(&encoded);
+        crc.update(encoded);
         let computed = crc.finish();
         if computed != stored_crc {
             return Err(format!(
                 "chunk CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
             ));
         }
-        Ok(Self {
+        Ok(ChunkView {
             encoding,
             raw_len,
             encoded,
@@ -369,12 +384,15 @@ mod tests {
             encoded: vec![255, 0, 255, 0, 255, 0],
         };
         let bytes = cf.to_bytes();
-        assert_eq!(ChunkFile::from_bytes(&bytes).unwrap(), cf);
+        let view = ChunkFile::parse(&bytes).unwrap();
+        assert_eq!(view.encoding, cf.encoding);
+        assert_eq!(view.raw_len, cf.raw_len);
+        assert_eq!(view.encoded, &cf.encoded[..]);
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x80;
             assert!(
-                ChunkFile::from_bytes(&bad).is_err(),
+                ChunkFile::parse(&bad).is_err(),
                 "flip at byte {i} went undetected"
             );
         }

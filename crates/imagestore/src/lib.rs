@@ -22,20 +22,28 @@
 //!   writes only the chunks covering changed pages; `WriteOptions::parent`
 //!   records the checkpoint lineage.  Manifests always describe the full
 //!   image, so restore never chains through parents.
-//! * **Verifying parallel reader** ([`reader`]): rebuilds a byte-identical
-//!   `CheckpointImage`, fetching and verifying distinct chunks (CRC +
-//!   content hash) on parallel worker threads before a single-threaded
-//!   splice.
+//! * **Streaming reader pipeline** ([`reader`], [`stream`]) — the writer's
+//!   mirror: [`StreamReader`] fetches and verifies the manifest's distinct
+//!   chunks (CRC + content hash) on parallel worker threads and splices
+//!   each chunk's page runs into a [`RegionSink`] **as it arrives** — no
+//!   barrier, no materialised image, peak buffered payload a fixed
+//!   multiple of the chunk size ([`restore_buffer_bound`]).  The legacy
+//!   materialising `read_image` is the same pipeline driven into a
+//!   [`MaterialiseSink`].
 //! * **Administration** ([`store`], [`lock`]): a PID-keyed cross-process
-//!   writer lock (`store.lock`, stale locks stolen; `open_read_only`
-//!   bypasses it), image deletion with reachability-based chunk
-//!   reclamation, and a `retain_last(n)` retention helper.
+//!   writer lock (`store.lock`; stale locks stolen via an atomic
+//!   rename-and-reverify, dead claimants' litter swept on open;
+//!   `open_read_only` bypasses it), image deletion with
+//!   reachability-based chunk reclamation that survives partial failures,
+//!   and a `retain_last(n)` retention helper.
 //!
 //! The [`CoordinatorStoreExt`] trait stitches the store into the DMTCP
 //! coordinator: `checkpoint_to_store` drives the coordinator's streaming
-//! walk straight into the pipeline (via [`SinkBridge`]) without ever
-//! materialising a `CheckpointImage`; `crac-core` builds its
-//! `CracProcess` disk paths on top of that.
+//! walk straight into the pipeline (via [`SinkBridge`]) and
+//! `restart_from_store` drives the reader pipeline straight into the
+//! coordinator's restore cursor (via [`RestoreBridge`]) — neither ever
+//! materialises a `CheckpointImage`; `crac-core` builds its
+//! `CracProcess` disk paths on top of both.
 
 pub mod chunk;
 pub mod codec;
@@ -44,6 +52,7 @@ pub mod error;
 pub mod format;
 pub mod hash;
 pub mod lock;
+pub(crate) mod pipeline;
 pub mod reader;
 pub mod store;
 pub mod stream;
@@ -52,10 +61,12 @@ pub mod testutil;
 pub mod writer;
 
 pub use codec::Compression;
-pub use coordext::{drive_checkpoint_streaming, CoordinatorStoreExt};
+pub use coordext::{drive_checkpoint_streaming, drive_restore_streaming, CoordinatorStoreExt};
 pub use error::StoreError;
 pub use hash::ContentHash;
-pub use reader::ReadStats;
+pub use reader::{restore_buffer_bound, ReadStats, StreamReader};
 pub use store::{DeleteStats, ImageId, ImageInfo, ImageStore, StoreStats};
-pub use stream::{ChunkSink, RegionSource, SinkBridge};
+pub use stream::{
+    ChunkSink, ChunkSource, MaterialiseSink, RegionSink, RegionSource, RestoreBridge, SinkBridge,
+};
 pub use writer::{stream_buffer_bound, StreamWriter, WriteOptions, WriteStats};

@@ -32,27 +32,53 @@ use crate::error::StoreError;
 /// Name of the lock file under the store root.
 pub const LOCK_FILE: &str = "store.lock";
 
+/// Name of the claim-serialisation guard file under the store root.
+pub const GUARD_FILE: &str = "store.lock.guard";
+
 /// Claims the writer lock for the calling process, per the policy above.
 ///
-/// The claim is race-free: the lock file is prepared off to the side with
-/// its PID already written and *linked* into place (`hard_link` fails if
-/// the name exists), so the lock can never be observed empty or torn.
-/// Stealing a stale lock is remove + re-claim in a loop — if two
-/// processes race for a dead holder's lock, exactly one link wins and the
-/// loser re-reads the winner's (live) PID and backs off with
-/// [`StoreError::Locked`].
+/// The claim is race-free on two levels:
+///
+/// * The whole claim sequence runs under an exclusive OS lock
+///   ([`std::fs::File::lock`]) on a sidecar guard file, serialising
+///   concurrent claimants — including stealers — across processes.  The
+///   guard can never go stale: the kernel releases it when its holder
+///   dies.  (It cannot *replace* the PID file: the OS lock evaporates
+///   with the claiming `open` call, while ownership of the store must
+///   outlive it.)
+/// * Within the guarded section the lock file is prepared off to the
+///   side with its PID already written and *linked* into place
+///   (`hard_link` fails if the name exists), so the lock can never be
+///   observed empty or torn.  Stealing a stale lock is **rename +
+///   re-verify + discard**, never a bare remove: should a claimant ever
+///   race the steal (a mixed-version writer not taking the guard), a
+///   live claimant's lock found after the rename is linked straight back
+///   and the open backs off with [`StoreError::Locked`] instead of
+///   deleting it.
 pub(crate) fn acquire(root: &Path) -> Result<(), StoreError> {
     let path = root.join(LOCK_FILE);
     let me = std::process::id();
+    // Serialise claimants: held only for the microseconds the claim
+    // takes, auto-released on process death, so it cannot wedge.
+    let guard_path = root.join(GUARD_FILE);
+    let guard = fs::File::create(&guard_path).map_err(|e| StoreError::io(&guard_path, e))?;
+    guard.lock().map_err(|e| StoreError::io(&guard_path, e))?;
     // A complete lock file of our own, staged under a per-process name.
     let staged = path.with_extension(format!("lock.claim.{me}"));
     fs::write(&staged, me.to_string()).map_err(|e| StoreError::io(&staged, e))?;
-    let result = claim_loop(&path, &staged, me);
+    let result = claim_loop(&path, &staged, me, &mut || {});
     let _ = fs::remove_file(&staged);
-    result
+    result // dropping `guard` releases the OS lock
 }
 
-fn claim_loop(path: &Path, staged: &Path, me: u32) -> Result<(), StoreError> {
+/// The claim loop.  `before_steal` is a test seam: it runs between the
+/// stale-holder read and the steal, where the TOCTOU window used to be.
+fn claim_loop(
+    path: &Path,
+    staged: &Path,
+    me: u32,
+    before_steal: &mut dyn FnMut(),
+) -> Result<(), StoreError> {
     // Two iterations suffice in the absence of an adversarial loop of
     // processes dying mid-claim; a few more cost nothing and keep this
     // total.
@@ -69,12 +95,6 @@ fn claim_loop(path: &Path, staged: &Path, me: u32) -> Result<(), StoreError> {
             .ok()
             .and_then(|s| s.trim().parse::<u32>().ok());
         match holder {
-            // Unreadable or unparseable: every real claimant links a
-            // complete PID file atomically, so this is foreign garbage (or
-            // the file vanished mid-read) — clear it and retry the claim.
-            None => {
-                let _ = fs::remove_file(path);
-            }
             Some(pid) if pid == me => return Ok(()), // re-entrant in-process
             Some(pid) if pid_alive(pid) => {
                 return Err(StoreError::Locked {
@@ -82,10 +102,12 @@ fn claim_loop(path: &Path, staged: &Path, me: u32) -> Result<(), StoreError> {
                     holder: pid,
                 })
             }
-            Some(_) => {
-                // Dead holder: remove the stale lock and loop to re-claim.
-                // Losing the re-claim race is handled by the next read.
-                let _ = fs::remove_file(path);
+            // Dead holder, or unreadable/unparseable foreign garbage:
+            // steal it — atomically, re-verifying what we actually took —
+            // and loop to re-claim.
+            _ => {
+                before_steal();
+                steal_stale(path, me)?;
             }
         }
     }
@@ -93,6 +115,83 @@ fn claim_loop(path: &Path, staged: &Path, me: u32) -> Result<(), StoreError> {
         "could not claim {} after repeated stale-lock races",
         path.display()
     )))
+}
+
+/// Steals the (believed-stale) lock at `path` without ever discarding a
+/// live claimant's lock.
+///
+/// The lock is *renamed* to a per-process name first — atomic, so we own
+/// exactly the file that was at the lock name, whatever it had become —
+/// and only discarded after its content is re-read and confirmed to name
+/// a dead holder (or garbage).  If the moved file turns out to name a
+/// live process, a concurrent claimant won the race between our read and
+/// the rename: its lock is hard-linked straight back into place and the
+/// claim fails with [`StoreError::Locked`].  (If the name was meanwhile
+/// re-claimed by yet another process, the link-back fails and the caller's
+/// loop re-reads the new holder.)
+fn steal_stale(path: &Path, me: u32) -> Result<(), StoreError> {
+    let moved = path.with_extension(format!("lock.steal.{me}"));
+    match fs::rename(path, &moved) {
+        Ok(()) => {}
+        // Someone else already removed or stole it: re-claim via the loop.
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(StoreError::io(path, e)),
+    }
+    let holder = fs::read_to_string(&moved)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok());
+    match holder {
+        Some(pid) if pid != me && pid_alive(pid) => {
+            // We moved a *live* claimant's lock aside — the interleaving
+            // the bare-remove steal used to lose.  Put it back (atomic;
+            // fails only if a third process claimed the name meanwhile,
+            // in which case the caller's loop re-reads the new holder).
+            let restored = fs::hard_link(&moved, path).is_ok();
+            let _ = fs::remove_file(&moved);
+            if restored {
+                return Err(StoreError::Locked {
+                    path: path.to_path_buf(),
+                    holder: pid,
+                });
+            }
+            Ok(())
+        }
+        // Confirmed: dead holder, our own earlier claim, or garbage no
+        // real claimant could have linked.  Discard it.
+        _ => {
+            let _ = fs::remove_file(&moved);
+            Ok(())
+        }
+    }
+}
+
+/// Removes dead processes' lock-claim litter from the store root.
+///
+/// A writer that crashes between staging `store.lock.claim.<pid>` (or a
+/// steal's `store.lock.steal.<pid>`) and removing it leaves that file
+/// behind forever — the chunk-directory `.tmp` sweep never looks at the
+/// store root.  Called on every writing open; only files whose embedded
+/// PID is provably dead are touched, so live claimants are never raced.
+pub(crate) fn sweep_stale_claims(root: &Path) {
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(rest) = name.strip_prefix("store.lock.") else {
+            continue;
+        };
+        let pid = rest
+            .strip_prefix("claim.")
+            .or_else(|| rest.strip_prefix("steal."))
+            .and_then(|p| p.parse::<u32>().ok());
+        if let Some(pid) = pid {
+            if !pid_alive(pid) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
 }
 
 /// Is the process with this PID alive?
@@ -148,5 +247,66 @@ mod tests {
 
         fs::write(dir.path().join(LOCK_FILE), "not a pid").unwrap();
         acquire(dir.path()).unwrap();
+    }
+
+    /// Regression (PR 2 bug): stealing a stale lock was a bare
+    /// `remove_file` after reading a dead PID.  In the window between the
+    /// read and the remove, another process could steal the stale lock and
+    /// link its own *live* lock — which we then deleted, letting two live
+    /// writers claim the store.  The steal must re-verify what it actually
+    /// took and hand a live claimant's lock back untouched.
+    #[test]
+    fn steal_never_discards_a_live_claimants_lock() {
+        if !Path::new("/proc/1").exists() {
+            return;
+        }
+        let dir = TempDir::new("lock-toctou");
+        let path = dir.path().join(LOCK_FILE);
+        let me = std::process::id();
+        // A stale lock from a dead writer...
+        fs::write(&path, "4194304999").unwrap();
+        let staged = path.with_extension(format!("lock.claim.{me}"));
+        fs::write(&staged, me.to_string()).unwrap();
+        // ...and an interloper that wins the steal race in the TOCTOU
+        // window: after we read the dead PID but before we act, the lock
+        // file is already a *live* process's claim (PID 1).
+        let path_for_hook = path.clone();
+        let mut interloper = move || {
+            fs::write(&path_for_hook, "1").unwrap();
+        };
+        let result = claim_loop(&path, &staged, me, &mut interloper);
+        let _ = fs::remove_file(&staged);
+
+        // The claim must back off to the live holder — with the old bare
+        // remove it deleted PID 1's lock and claimed the store itself.
+        match result {
+            Err(StoreError::Locked { holder, .. }) => assert_eq!(holder, 1),
+            other => panic!("expected Locked by PID 1, got {other:?}"),
+        }
+        // And the live claimant's lock survives, content intact.
+        let recorded = fs::read_to_string(&path).unwrap();
+        assert_eq!(recorded.trim(), "1");
+        // No steal litter left behind.
+        assert!(!path.with_extension(format!("lock.steal.{me}")).exists());
+    }
+
+    #[test]
+    fn stale_claim_litter_is_swept_but_live_claims_survive() {
+        if !Path::new("/proc/1").exists() {
+            return;
+        }
+        let dir = TempDir::new("lock-claim-sweep");
+        let dead_claim = dir.path().join("store.lock.claim.4194304999");
+        let dead_steal = dir.path().join("store.lock.steal.4194304999");
+        let live_claim = dir.path().join("store.lock.claim.1");
+        let unrelated = dir.path().join("store.lock.claim.nonsense");
+        for f in [&dead_claim, &dead_steal, &live_claim, &unrelated] {
+            fs::write(f, "x").unwrap();
+        }
+        sweep_stale_claims(dir.path());
+        assert!(!dead_claim.exists(), "dead claimant's litter is swept");
+        assert!(!dead_steal.exists(), "dead stealer's litter is swept");
+        assert!(live_claim.exists(), "a live claimant is never raced");
+        assert!(unrelated.exists(), "non-PID names are left alone");
     }
 }

@@ -1,0 +1,46 @@
+//! Plumbing shared by the streaming writer and reader pipelines: the
+//! payload-bytes-in-flight gauge behind the `peak_buffered_bytes` stats,
+//! and the first-error-wins latch that turns a multi-threaded failure into
+//! one deterministic result while the remaining stages drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::StoreError;
+
+/// Payload-bytes-in-flight gauge shared by every pipeline stage.
+///
+/// Stages `add` a buffer's bytes when they take ownership of it and `sub`
+/// when they release it; `peak` is the high-water mark the bounded-memory
+/// integration tests assert against
+/// ([`crate::writer::stream_buffer_bound`] /
+/// [`crate::reader::restore_buffer_bound`]).
+#[derive(Default)]
+pub(crate) struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn add(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared error latch: first failure wins, everything after drains.
+pub(crate) type ErrorSlot = Arc<Mutex<Option<StoreError>>>;
+
+pub(crate) fn latch(slot: &ErrorSlot, err: StoreError) {
+    slot.lock().get_or_insert(err);
+}

@@ -1,5 +1,12 @@
-//! The restore-side reader: manifest → parallel chunk fetch → verified
-//! `CheckpointImage`.
+//! The restore-side reader: manifest → parallel chunk fetch/verify →
+//! streaming splice, the mirror image of the writer pipeline.
+//!
+//! ```text
+//! fetch workers (threads)                         splice (caller thread)
+//! ───────────────────────                         ──────────────────────
+//! read ─► CRC ─► decode ─► hash-verify ─► [verified q] ─► RegionSink
+//!                                         bounded
+//! ```
 //!
 //! Every byte read is integrity-checked: the manifest is CRC-framed, each
 //! chunk file carries its own CRC over the encoded bytes, and after decoding
@@ -8,31 +15,68 @@
 //! a [`StoreError::Corrupt`] instead of silently restoring wrong memory.
 //!
 //! Fetching is the expensive part (file read + CRC + decode + re-hash per
-//! chunk), and chunks are independent, so the reader fans the manifest's
-//! *distinct* chunk list out over scoped worker threads first; the
-//! single-threaded splice that follows only moves verified bytes into
-//! place.  Any worker's failure aborts the read — the first error in
-//! manifest order wins, keeping error messages deterministic.
+//! chunk), and chunks are independent, so [`StreamReader`] fans the
+//! manifest's *distinct* chunk list out over worker threads; verified
+//! chunks flow through a **bounded** queue to the caller's thread, which
+//! splices each chunk's page runs into the [`RegionSink`] **as the chunk
+//! arrives** — no barrier, no full in-memory image.  A chunk the manifest
+//! references many times (deduped repeats) is fetched once and applied to
+//! every reference while it is in hand, then dropped.
+//!
+//! Because the queue is bounded and each worker holds at most one chunk,
+//! the peak payload the restore ever buffers is a small multiple of the
+//! chunk size — *independent of the image size*
+//! ([`ReadStats::peak_buffered_bytes`] ≤ [`restore_buffer_bound`]), the
+//! restore-side mirror of the writer's guarantee.
+//!
+//! **Failure semantics**: the first error (a worker's fetch failing, the
+//! sink rejecting a record) is latched; workers switch to draining so no
+//! thread blocks forever, and the latched error is returned once the
+//! pipeline has shut down.  A failed streaming restore leaves the sink
+//! half-fed — its owner must discard whatever it was building.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
-use crac_addrspace::{Addr, PAGE_SIZE};
-use crac_dmtcp::{CheckpointImage, SavedRegion};
+use crac_addrspace::{Addr, PageRun, PAGE_SIZE};
+use crac_dmtcp::{CheckpointImage, RegionDescriptor};
 
+use crate::chunk::CHUNK_PAGES;
 use crate::codec::decode;
 use crate::error::StoreError;
 use crate::format::{ChunkFile, Manifest};
 use crate::hash::ContentHash;
+use crate::pipeline::{latch, ErrorSlot, Gauge};
 use crate::store::{ImageId, ImageStore};
+use crate::stream::{ChunkSource, MaterialiseSink, RegionSink};
+
+/// Verified chunks the queue holds while the splice consumer is busy
+/// (backpressure depth between the fetch workers and the splice).
+pub const VERIFY_QUEUE_CHUNKS: usize = 4;
+
+/// Analytic upper bound on [`ReadStats::peak_buffered_bytes`] for a
+/// restore that used `threads` fetch workers.
+///
+/// Each worker holds at most one chunk — its file buffer (header plus
+/// encoded payload, never larger than raw + a fixed header since the
+/// encoder only keeps encodings that shrink) and its decoded bytes
+/// coexist transiently, which the factor 2 covers with slack — each
+/// verified-queue entry holds one decoded chunk, and the splice consumer
+/// holds one chunk while applying its runs.
+pub fn restore_buffer_bound(threads: usize) -> u64 {
+    let slots = threads + VERIFY_QUEUE_CHUNKS + 1;
+    2 * slots as u64 * CHUNK_PAGES * PAGE_SIZE
+}
 
 /// What one image read cost.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ReadStats {
     /// Chunk files read (each distinct chunk is read exactly once).
     pub chunks_read: usize,
-    /// Chunk references served from the already-fetched set (an image that
-    /// contains the same content many times reads it once).
+    /// Chunk references served from an already-fetched chunk (an image
+    /// that contains the same content many times reads it once).
     pub chunks_cached: usize,
     /// Encoded chunk bytes read from disk.
     pub chunk_bytes_read: u64,
@@ -40,165 +84,260 @@ pub struct ReadStats {
     pub manifest_bytes: u64,
     /// Worker threads used for fetching/verifying chunks.
     pub threads_used: usize,
+    /// Peak bytes the restore pipeline held at any instant: each worker's
+    /// in-flight chunk file plus its decoded bytes, the verified queue,
+    /// and the chunk being spliced.  Bounded by [`restore_buffer_bound`],
+    /// *not* by the image size — the proof that the streaming restore
+    /// never materialises the image.
+    pub peak_buffered_bytes: u64,
     /// Wall-clock time of the whole read.
     pub elapsed: Duration,
 }
 
+/// A streaming image reader: the store's canonical [`ChunkSource`].
+///
+/// Obtain one through [`ImageStore::stream_restore`]; the constructor
+/// loads and CRC-verifies the manifest (metadata only — no chunk is
+/// touched), so region descriptors, payloads and the checkpoint timestamp
+/// are available before any content streams.  Drive the content with
+/// [`ChunkSource::stream_out`], then collect [`StreamReader::stats`].
+pub struct StreamReader<'s> {
+    store: &'s ImageStore,
+    id: ImageId,
+    manifest: Manifest,
+    stats: ReadStats,
+}
+
+impl<'s> StreamReader<'s> {
+    pub(crate) fn new(store: &'s ImageStore, id: ImageId) -> Result<Self, StoreError> {
+        let manifest = store.load_manifest(id)?;
+        let stats = ReadStats {
+            manifest_bytes: store.manifest_size(id)?,
+            ..Default::default()
+        };
+        Ok(Self {
+            store,
+            id,
+            manifest,
+            stats,
+        })
+    }
+
+    /// Virtual time the stored checkpoint was taken.
+    pub fn taken_at_ns(&self) -> u64 {
+        self.manifest.taken_at_ns
+    }
+
+    /// A named plugin payload (inline manifest data, available without
+    /// streaming any chunk).
+    pub fn payload(&self, name: &str) -> Option<&[u8]> {
+        self.manifest
+            .payloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Number of saved regions the image describes.
+    pub fn region_count(&self) -> usize {
+        self.manifest.regions.len()
+    }
+
+    /// What the read has cost so far (complete once
+    /// [`ChunkSource::stream_out`] returned).
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+}
+
+/// One distinct chunk's fetch order: where its verified bytes go.
+struct FetchPlan {
+    hash: ContentHash,
+    raw_len: u64,
+    /// Every reference in the manifest: `(region index, page runs)`.
+    targets: Vec<(usize, Vec<PageRun>)>,
+}
+
+impl ChunkSource for StreamReader<'_> {
+    fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
+        let start = Instant::now();
+
+        // Metadata first: declarations and payloads are manifest-inline,
+        // so the sink has the full image shape before content arrives.
+        for region in &self.manifest.regions {
+            sink.declare_region(&RegionDescriptor {
+                start: Addr(region.start),
+                len: region.len,
+                prot: region.prot,
+                label: region.label.clone(),
+            })?;
+        }
+        for (name, data) in &self.manifest.payloads {
+            sink.push_payload(name, data)?;
+        }
+
+        // Validate every chunk reference up front and build the fetch
+        // plan: one entry per distinct chunk, carrying every place its
+        // pages land.  Repeats cost a plan target, never a second fetch.
+        let mut by_hash: HashMap<ContentHash, usize> = HashMap::new();
+        let mut plan: Vec<FetchPlan> = Vec::new();
+        let mut refs_total = 0usize;
+        for (region_idx, region) in self.manifest.regions.iter().enumerate() {
+            let region_pages = region.len / PAGE_SIZE;
+            for chunk in &region.chunks {
+                refs_total += 1;
+                // All arithmetic on manifest-supplied values is checked:
+                // an overflow is corruption, not a wrap-around bypass.
+                let chunk_pages = chunk
+                    .runs
+                    .iter()
+                    .try_fold(0u64, |acc, r| acc.checked_add(r.count));
+                let chunk_bytes = chunk_pages.and_then(|p| p.checked_mul(PAGE_SIZE));
+                let Some((chunk_pages, chunk_bytes)) = chunk_pages.zip(chunk_bytes) else {
+                    return Err(StoreError::corrupt(
+                        self.store.image_path(self.id),
+                        format!("chunk {} page counts overflow", chunk.hash),
+                    ));
+                };
+                if chunk_bytes != chunk.raw_len {
+                    return Err(StoreError::corrupt(
+                        self.store.image_path(self.id),
+                        format!(
+                            "chunk {} covers {chunk_pages} pages but holds {} bytes",
+                            chunk.hash, chunk.raw_len
+                        ),
+                    ));
+                }
+                for run in &chunk.runs {
+                    if run.count > region_pages || run.first > region_pages - run.count {
+                        return Err(StoreError::corrupt(
+                            self.store.image_path(self.id),
+                            format!(
+                                "chunk {} run [{}+{}) exceeds its {region_pages}-page region",
+                                chunk.hash, run.first, run.count
+                            ),
+                        ));
+                    }
+                }
+                let slot = *by_hash.entry(chunk.hash).or_insert_with(|| {
+                    plan.push(FetchPlan {
+                        hash: chunk.hash,
+                        raw_len: chunk.raw_len,
+                        targets: Vec::new(),
+                    });
+                    plan.len() - 1
+                });
+                // Identical hash across chunk refs must mean identical
+                // length; a manifest violating that is corrupt.
+                if plan[slot].raw_len != chunk.raw_len {
+                    return Err(StoreError::corrupt(
+                        self.store.image_path(self.id),
+                        format!("chunk {} referenced with conflicting lengths", chunk.hash),
+                    ));
+                }
+                plan[slot].targets.push((region_idx, chunk.runs.clone()));
+            }
+        }
+        self.stats.chunks_cached = refs_total - plan.len();
+
+        // The pipeline: workers pull tickets off the plan, fetch + verify,
+        // and push decoded chunks through the bounded queue; this thread
+        // splices each chunk into the sink the moment it arrives.
+        let store = self.store;
+        let stats = &mut self.stats;
+        let threads = effective_read_threads(plan.len());
+        stats.threads_used = threads;
+        let gauge = Gauge::default();
+        let error: ErrorSlot = Default::default();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = sync_channel::<(usize, Vec<u8>, u64)>(VERIFY_QUEUE_CHUNKS);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (plan, next, gauge, error) = (&plan, &next, &gauge, &error);
+                scope.spawn(move || loop {
+                    let ticket = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = plan.get(ticket) else {
+                        return;
+                    };
+                    if error.lock().is_some() {
+                        continue; // drain mode: burn the remaining tickets
+                    }
+                    match fetch_chunk(store, entry.hash, entry.raw_len, gauge) {
+                        Ok((raw, file_bytes)) => {
+                            let len = raw.len() as u64;
+                            if tx.send((ticket, raw, file_bytes)).is_err() {
+                                // Splice consumer gone: only after a latch.
+                                gauge.sub(len);
+                                return;
+                            }
+                        }
+                        Err(e) => latch(error, e),
+                    }
+                });
+            }
+            // The workers hold the only remaining senders: once they all
+            // exit, the iterator below ends — clean shutdown, no explicit
+            // signalling (the mirror of the writer's teardown).
+            drop(tx);
+
+            for (ticket, raw, file_bytes) in rx.iter() {
+                let len = raw.len() as u64;
+                if error.lock().is_none() {
+                    let entry = &plan[ticket];
+                    if let Err(e) = splice_chunk(sink, entry, &raw) {
+                        latch(&error, e);
+                    } else {
+                        stats.chunks_read += 1;
+                        stats.chunk_bytes_read += file_bytes;
+                    }
+                }
+                gauge.sub(len);
+            }
+        });
+
+        stats.peak_buffered_bytes = gauge.peak();
+        stats.elapsed = start.elapsed();
+        let first_error = error.lock().take();
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Applies one verified chunk's page runs to every target region.
+fn splice_chunk(
+    sink: &mut dyn RegionSink,
+    entry: &FetchPlan,
+    raw: &[u8],
+) -> Result<(), StoreError> {
+    for (region, runs) in &entry.targets {
+        let mut offset = 0usize;
+        for run in runs {
+            let len = (run.count * PAGE_SIZE) as usize;
+            sink.push_run(*region, *run, &raw[offset..offset + len])?;
+            offset += len;
+        }
+    }
+    Ok(())
+}
+
 /// Reads and fully verifies image `id`, reconstructing the checkpoint.
 ///
-/// Called by [`ImageStore::read_image`]; not public API.
+/// This is the legacy materialising path ([`ImageStore::read_image`]): the
+/// streaming reader driven into a [`MaterialiseSink`], so the two paths
+/// cannot diverge.
 pub(crate) fn read_image(
     store: &ImageStore,
     id: ImageId,
 ) -> Result<(CheckpointImage, ReadStats), StoreError> {
-    let start = Instant::now();
-    let manifest = store.load_manifest(id)?;
-    let mut stats = ReadStats {
-        manifest_bytes: store.manifest_size(id)?,
-        ..Default::default()
-    };
-
-    // The manifest may reference the same content many times (deduped
-    // repeats); fetch each distinct chunk once, in parallel.
-    let mut refs_total: HashMap<ContentHash, usize> = HashMap::new();
-    let mut distinct: Vec<(ContentHash, u64)> = Vec::new();
-    for chunk in manifest.chunk_refs() {
-        let refs = refs_total.entry(chunk.hash).or_insert(0);
-        if *refs == 0 {
-            distinct.push((chunk.hash, chunk.raw_len));
-        }
-        *refs += 1;
-    }
-    let (mut fetched, fetch_stats) = fetch_chunks_parallel(store, &distinct)?;
-    stats.chunks_read = fetch_stats.chunks_read;
-    stats.chunk_bytes_read = fetch_stats.chunk_bytes_read;
-    stats.threads_used = fetch_stats.threads_used;
-    stats.chunks_cached = manifest.chunk_refs().count() - distinct.len();
-
-    // Single-threaded splice: distribute each chunk's pages to their
-    // region-relative indices.  Verified bytes are *moved* out of the
-    // fetched set on a chunk's last reference, so the transient double
-    // copy lives only as long as later references remain.
-    let mut refs_left = refs_total;
-    let mut image = CheckpointImage {
-        taken_at_ns: manifest.taken_at_ns,
-        ..Default::default()
-    };
-    for region in &manifest.regions {
-        let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
-        for chunk in &region.chunks {
-            let left = refs_left.get_mut(&chunk.hash).expect("counted above");
-            *left -= 1;
-            let raw = if *left > 0 {
-                fetched
-                    .get(&chunk.hash)
-                    .expect("every distinct chunk was fetched")
-                    .clone()
-            } else {
-                fetched
-                    .remove(&chunk.hash)
-                    .expect("every distinct chunk was fetched")
-            };
-            // Identical hash across chunk refs must mean identical length;
-            // a manifest violating that is corrupt.
-            if raw.len() as u64 != chunk.raw_len {
-                return Err(StoreError::corrupt(
-                    store.image_path(id),
-                    format!("chunk {} referenced with conflicting lengths", chunk.hash),
-                ));
-            }
-            let expected_pages: u64 = chunk.runs.iter().map(|r| r.count).sum();
-            if expected_pages * PAGE_SIZE != chunk.raw_len {
-                return Err(StoreError::corrupt(
-                    store.image_path(id),
-                    format!(
-                        "chunk {} covers {expected_pages} pages but holds {} bytes",
-                        chunk.hash, chunk.raw_len
-                    ),
-                ));
-            }
-            let mut offset = 0usize;
-            for run in &chunk.runs {
-                for page in run.pages() {
-                    pages.push((page, raw[offset..offset + PAGE_SIZE as usize].to_vec()));
-                    offset += PAGE_SIZE as usize;
-                }
-            }
-        }
-        pages.sort_by_key(|(idx, _)| *idx);
-        image.regions.push(SavedRegion {
-            start: Addr(region.start),
-            len: region.len,
-            prot: region.prot,
-            label: region.label.clone(),
-            pages,
-        });
-    }
-
-    for (name, data) in &manifest.payloads {
-        image.payloads.insert(name.clone(), data.clone());
-    }
-    stats.elapsed = start.elapsed();
-    Ok((image, stats))
-}
-
-/// Per-fetch accounting each worker accumulates locally.
-#[derive(Default)]
-struct FetchStats {
-    chunks_read: usize,
-    chunk_bytes_read: u64,
-    threads_used: usize,
-}
-
-/// One worker's verdict on one chunk: `(raw bytes, file size)` or the
-/// error that aborts the read.
-type FetchSlot = Option<Result<(Vec<u8>, u64), StoreError>>;
-
-/// Fetches, CRC-checks, decodes and hash-verifies every distinct chunk on
-/// parallel worker threads.  Workers own disjoint slices of the chunk
-/// list, so no locking guards the result slots; the first failure (in
-/// manifest order) aborts the read.
-fn fetch_chunks_parallel(
-    store: &ImageStore,
-    distinct: &[(ContentHash, u64)],
-) -> Result<(HashMap<ContentHash, Vec<u8>>, FetchStats), StoreError> {
-    let threads = effective_read_threads(distinct.len());
-    let mut slots: Vec<FetchSlot> = Vec::new();
-    slots.resize_with(distinct.len(), || None);
-
-    std::thread::scope(|scope| {
-        let mut chunk_tail: &[(ContentHash, u64)] = distinct;
-        let mut slot_tail: &mut [FetchSlot] = &mut slots;
-        let per_thread = distinct.len().div_ceil(threads.max(1));
-        for _ in 0..threads {
-            let n = per_thread.min(chunk_tail.len());
-            if n == 0 {
-                break;
-            }
-            let (chunk_slice, rest_chunks) = chunk_tail.split_at(n);
-            let (slot_slice, rest_slots) = slot_tail.split_at_mut(n);
-            chunk_tail = rest_chunks;
-            slot_tail = rest_slots;
-            scope.spawn(move || {
-                for (&(hash, raw_len), slot) in chunk_slice.iter().zip(slot_slice.iter_mut()) {
-                    *slot = Some(fetch_chunk(store, hash, raw_len));
-                }
-            });
-        }
-    });
-
-    let mut fetched = HashMap::with_capacity(distinct.len());
-    let mut stats = FetchStats {
-        threads_used: threads,
-        ..Default::default()
-    };
-    for (&(hash, _), slot) in distinct.iter().zip(slots) {
-        let (raw, file_bytes) = slot.expect("every slot slice was processed")?;
-        stats.chunks_read += 1;
-        stats.chunk_bytes_read += file_bytes;
-        fetched.insert(hash, raw);
-    }
-    Ok((fetched, stats))
+    let mut reader = StreamReader::new(store, id)?;
+    let mut sink = MaterialiseSink::default();
+    reader.stream_out(&mut sink)?;
+    let image = sink.into_image(reader.taken_at_ns());
+    Ok((image, reader.stats()))
 }
 
 fn effective_read_threads(chunks: usize) -> usize {
@@ -209,11 +348,14 @@ fn effective_read_threads(chunks: usize) -> usize {
 }
 
 /// Loads, CRC-checks, decodes and hash-verifies one chunk, returning its
-/// raw bytes and the on-disk file size.
+/// raw bytes and the on-disk file size.  Decoding borrows straight from
+/// the file buffer, so the worker's transient footprint is file + raw, not
+/// file + encoded copy + raw.
 fn fetch_chunk(
     store: &ImageStore,
     hash: ContentHash,
     raw_len: u64,
+    gauge: &Gauge,
 ) -> Result<(Vec<u8>, u64), StoreError> {
     let path = store.chunk_path(hash);
     let bytes = match std::fs::read(&path) {
@@ -226,26 +368,34 @@ fn fetch_chunk(
         Err(e) => return Err(StoreError::io(&path, e)),
     };
     let file_bytes = bytes.len() as u64;
-    let file = ChunkFile::from_bytes(&bytes).map_err(|what| StoreError::corrupt(&path, what))?;
-    if file.raw_len != raw_len {
-        return Err(StoreError::corrupt(
-            &path,
-            format!(
-                "chunk raw length {} does not match manifest ({raw_len})",
-                file.raw_len
-            ),
-        ));
-    }
-    let raw = decode(file.encoding, &file.encoded, file.raw_len as usize)
-        .ok_or_else(|| StoreError::corrupt(&path, "chunk payload failed to decode"))?;
-    let actual = ContentHash::of(&raw);
-    if actual != hash {
-        return Err(StoreError::corrupt(
-            &path,
-            format!("chunk content hashes to {actual}, expected {hash}"),
-        ));
-    }
-    Ok((raw, file_bytes))
+    gauge.add(file_bytes);
+    let result = (|| {
+        let view = ChunkFile::parse(&bytes).map_err(|what| StoreError::corrupt(&path, what))?;
+        if view.raw_len != raw_len {
+            return Err(StoreError::corrupt(
+                &path,
+                format!(
+                    "chunk raw length {} does not match manifest ({raw_len})",
+                    view.raw_len
+                ),
+            ));
+        }
+        let raw = decode(view.encoding, view.encoded, view.raw_len as usize)
+            .ok_or_else(|| StoreError::corrupt(&path, "chunk payload failed to decode"))?;
+        gauge.add(raw.len() as u64);
+        let actual = ContentHash::of(&raw);
+        if actual != hash {
+            gauge.sub(raw.len() as u64);
+            return Err(StoreError::corrupt(
+                &path,
+                format!("chunk content hashes to {actual}, expected {hash}"),
+            ));
+        }
+        Ok(raw)
+    })();
+    drop(bytes);
+    gauge.sub(file_bytes);
+    result.map(|raw| (raw, file_bytes))
 }
 
 /// Re-exported manifest loader used by [`ImageStore::image_info`].

@@ -139,6 +139,11 @@ impl ImageStore {
     /// store open for writing.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
         let store = Self::open_unlocked(root.as_ref(), false)?;
+        // A writer that crashed between staging its lock-claim file and
+        // removing it leaves that file behind forever (the chunk-dir
+        // `.tmp` sweep does not cover the store root); clear dead
+        // claimants' litter before claiming ourselves.
+        lock::sweep_stale_claims(&store.root);
         lock::acquire(&store.root)?;
         Ok(store)
     }
@@ -242,10 +247,24 @@ impl ImageStore {
     }
 
     /// Reads and fully verifies image `id`, reconstructing the checkpoint
-    /// byte for byte.  Chunk fetch + verification is parallelised across
-    /// worker threads; see [`crate::reader`].
+    /// byte for byte.  This is the streaming reader
+    /// ([`ImageStore::stream_restore`]) driven into a materialising sink;
+    /// disk-bound consumers should stream and skip the materialisation
+    /// entirely.
     pub fn read_image(&self, id: ImageId) -> Result<(CheckpointImage, ReadStats), StoreError> {
         reader::read_image(self, id)
+    }
+
+    /// Opens image `id` for a streaming restore: loads and CRC-verifies
+    /// the manifest (metadata only), returning a
+    /// [`StreamReader`](crate::reader::StreamReader) whose
+    /// [`ChunkSource::stream_out`](crate::stream::ChunkSource::stream_out)
+    /// fetches and verifies chunks on parallel workers and splices their
+    /// page runs into a [`RegionSink`](crate::stream::RegionSink) as they
+    /// arrive — peak buffered payload is bounded by
+    /// [`crate::reader::restore_buffer_bound`], never the image size.
+    pub fn stream_restore(&self, id: ImageId) -> Result<reader::StreamReader<'_>, StoreError> {
+        reader::StreamReader::new(self, id)
     }
 
     /// Deletes image `id` and reclaims every chunk no surviving manifest
@@ -272,6 +291,22 @@ impl ImageStore {
     }
 
     fn delete_images(&self, ids: &[ImageId]) -> Result<DeleteStats, StoreError> {
+        self.delete_images_with(ids, |path| fs::remove_file(path))
+    }
+
+    /// [`ImageStore::delete_images`] with an injectable manifest remover,
+    /// so tests can simulate a removal failing halfway through a batch.
+    ///
+    /// Failures do **not** abandon the batch: every removable manifest is
+    /// removed, the reachability sweep runs whenever anything was deleted
+    /// (otherwise the deleted manifests' now-unreferenced chunks would
+    /// leak until the *next* successful delete), and all failures are
+    /// aggregated into the returned error.
+    fn delete_images_with(
+        &self,
+        ids: &[ImageId],
+        mut remove: impl FnMut(&Path) -> std::io::Result<()>,
+    ) -> Result<DeleteStats, StoreError> {
         self.check_writable()?;
         // Exclude every in-flight streaming write for the whole deletion,
         // sweep included: a concurrent write could otherwise dedup against
@@ -285,15 +320,28 @@ impl ImageStore {
             }
         }
         let mut stats = DeleteStats::default();
+        let mut errors: Vec<StoreError> = Vec::new();
         for &id in ids {
             let path = self.image_path(id);
-            fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
-            stats.images_deleted += 1;
+            match remove(&path) {
+                Ok(()) => stats.images_deleted += 1,
+                // Unknown ids were rejected above, so NotFound here means
+                // the manifest vanished mid-batch (an external actor): the
+                // goal state — count it so the sweep still runs.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => stats.images_deleted += 1,
+                Err(e) => errors.push(StoreError::io(&path, e)),
+            }
         }
         if stats.images_deleted > 0 {
-            self.sweep_unreferenced(&mut stats)?;
+            if let Err(e) = self.sweep_unreferenced(&mut stats) {
+                errors.push(e);
+            }
         }
-        Ok(stats)
+        if errors.is_empty() {
+            Ok(stats)
+        } else {
+            Err(StoreError::partial(errors))
+        }
     }
 
     /// Removes every chunk file no surviving manifest references and
@@ -489,4 +537,106 @@ fn image_id_of(name: &str) -> Option<ImageId> {
     u64::from_str_radix(name.strip_suffix(".crimg")?, 16)
         .ok()
         .map(ImageId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use crac_addrspace::{Addr, Prot, PAGE_SIZE};
+    use crac_dmtcp::SavedRegion;
+
+    /// An image whose chunks are unique to `seed`.
+    fn image(seed: u8) -> CheckpointImage {
+        let mut img = CheckpointImage {
+            taken_at_ns: seed as u64,
+            ..Default::default()
+        };
+        img.regions.push(SavedRegion {
+            start: Addr(0x4000_0000_0000),
+            len: 8 * PAGE_SIZE,
+            prot: Prot::RW,
+            label: format!("del-{seed}"),
+            pages: (0..8)
+                .map(|i| {
+                    let mut page = vec![seed; PAGE_SIZE as usize];
+                    page[..8].copy_from_slice(&(((seed as u64) << 32) | i).to_le_bytes());
+                    (i, page)
+                })
+                .collect(),
+        });
+        img
+    }
+
+    /// Regression (PR 2 bug): a `remove_file` failure mid-batch used to
+    /// abort the deletion, skipping the sweep — the already-deleted
+    /// manifests' chunks leaked until the next successful delete.  The
+    /// batch must now finish, run the sweep, and aggregate the errors.
+    #[test]
+    fn partial_delete_failure_still_sweeps_what_was_deleted() {
+        let dir = TempDir::new("gc-partial");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let (a, _) = store.write_image(&image(1), &WriteOptions::full()).unwrap();
+        let (b, _) = store.write_image(&image(2), &WriteOptions::full()).unwrap();
+        let (c, _) = store.write_image(&image(3), &WriteOptions::full()).unwrap();
+        let before = store.stats().unwrap();
+        assert_eq!(before.images, 3);
+
+        // Removal of `b` fails; `a` and `c` must still go, and the sweep
+        // must reclaim their chunks immediately.
+        let blocked = store.image_path(b);
+        let err = store
+            .delete_images_with(&[a, b, c], |path| {
+                if path == blocked {
+                    Err(std::io::Error::other("injected removal failure"))
+                } else {
+                    fs::remove_file(path)
+                }
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("injected removal failure"),
+            "got: {err}"
+        );
+
+        let after = store.stats().unwrap();
+        assert_eq!(after.images, 1, "the two removable manifests are gone");
+        assert!(
+            after.chunks < before.chunks,
+            "sweep must reclaim the deleted images' chunks despite the failure"
+        );
+        // The survivor is intact and fully readable.
+        let (back, _) = store.read_image(b).unwrap();
+        assert_eq!(back.regions[0].label, "del-2");
+        assert!(!store.contains_image(a));
+        assert!(!store.contains_image(c));
+    }
+
+    /// Several failures in one batch aggregate into `Partial` (a single
+    /// failure stays itself — asserted above).
+    #[test]
+    fn multiple_delete_failures_aggregate() {
+        let dir = TempDir::new("gc-partial-many");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let (a, _) = store.write_image(&image(4), &WriteOptions::full()).unwrap();
+        let (b, _) = store.write_image(&image(5), &WriteOptions::full()).unwrap();
+        let (c, _) = store.write_image(&image(6), &WriteOptions::full()).unwrap();
+
+        let err = store
+            .delete_images_with(&[a, b, c], |path| {
+                if path == store.image_path(c) {
+                    fs::remove_file(path)
+                } else {
+                    Err(std::io::Error::other("injected"))
+                }
+            })
+            .unwrap_err();
+        match err {
+            StoreError::Partial { errors } => assert_eq!(errors.len(), 2),
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        // `c` was deleted and swept regardless.
+        assert!(!store.contains_image(c));
+        assert_eq!(store.stats().unwrap().images, 2);
+    }
 }

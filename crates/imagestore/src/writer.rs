@@ -41,7 +41,6 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -56,6 +55,7 @@ use crate::codec::{encode, Compression, Encoding};
 use crate::error::StoreError;
 use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
 use crate::hash::ContentHash;
+use crate::pipeline::{latch, ErrorSlot, Gauge};
 use crate::store::{ImageId, ImageStore, SharedIndex};
 use crate::stream::ChunkSink;
 
@@ -166,28 +166,6 @@ pub fn stream_buffer_bound(threads: usize) -> u64 {
     2 * slots as u64 * CHUNK_PAGES * PAGE_SIZE
 }
 
-/// Payload-bytes-in-flight gauge shared by every pipeline stage.
-#[derive(Default)]
-struct Gauge {
-    current: AtomicU64,
-    peak: AtomicU64,
-}
-
-impl Gauge {
-    fn add(&self, bytes: u64) {
-        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.peak.fetch_max(now, Ordering::Relaxed);
-    }
-
-    fn sub(&self, bytes: u64) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
-    }
-
-    fn peak(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed)
-    }
-}
-
 /// A chunk handed from the producer to the encoders.
 struct EncodeJob {
     region_seq: usize,
@@ -220,13 +198,6 @@ struct PendingChunk {
     runs: Vec<PageRun>,
     raw_len: u64,
     hash: Option<ContentHash>,
-}
-
-/// Shared error latch: first failure wins, everything after drains.
-type ErrorSlot = Arc<Mutex<Option<StoreError>>>;
-
-fn latch(slot: &ErrorSlot, err: StoreError) {
-    slot.lock().get_or_insert(err);
 }
 
 /// The streaming writer: the store's canonical [`ChunkSink`].

@@ -1,12 +1,13 @@
-//! The streaming pipeline's headline property, asserted end to end: a
-//! `CracProcess` checkpointing to disk never materialises the checkpoint
-//! image — the payload the process buffers at peak is bounded by the
-//! writer pipeline's queue depths, not by the image size.
+//! The streaming pipeline's headline property, asserted end to end in
+//! both directions: a `CracProcess` checkpointing to disk never
+//! materialises the checkpoint image, and a `CracProcess` restarting from
+//! disk never materialises it either — the payload the process buffers at
+//! peak is bounded by the pipelines' queue depths, not by the image size.
 
 use std::sync::Arc;
 
-use crac_repro::imagestore::stream_buffer_bound;
 use crac_repro::imagestore::testutil::TempDir;
+use crac_repro::imagestore::{restore_buffer_bound, stream_buffer_bound};
 use crac_repro::prelude::*;
 
 fn registry() -> Arc<KernelRegistry> {
@@ -67,6 +68,71 @@ fn checkpoint_to_store_buffers_a_bounded_fraction_of_the_image() {
         .read_bytes(heap + (3 << 20), &mut probe)
         .unwrap();
     assert!(probe.iter().all(|&b| b == 0x43), "restored content intact");
+}
+
+#[test]
+fn restart_from_store_buffers_a_bounded_fraction_of_the_image() {
+    let proc = CracProcess::launch(CracConfig::test("restore-bound"), registry());
+    // 16 MiB of host heap, every megabyte distinct and largely
+    // incompressible, so the stored image is a multi-hundred-chunk read.
+    const FOOTPRINT: u64 = 16 << 20;
+    let heap = proc.heap_alloc(FOOTPRINT).unwrap();
+    for mib in 0..(FOOTPRINT >> 20) {
+        let base = heap + (mib << 20);
+        proc.space().fill(base, 1 << 20, 0x40 + mib as u8).unwrap();
+        // A distinct stamp every 4 KiB defeats both RLE and chunk dedup,
+        // so restore really has to move ~FOOTPRINT bytes of content.
+        for page in 0..(1u64 << 20) / 4096 {
+            proc.space()
+                .write_bytes(base + page * 4096, &(mib << 32 | page).to_le_bytes())
+                .unwrap();
+        }
+    }
+
+    let dir = TempDir::new("restore-bound");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let stored = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+    assert!(stored.write.chunks_written > 200, "a multi-chunk image");
+
+    let (restarted, _, read_stats) = CracProcess::restart_from_store(
+        &store,
+        stored.image_id,
+        CracConfig::test("restore-bound"),
+        registry(),
+    )
+    .unwrap();
+
+    // The acceptance criterion: the restore splices verified chunks as
+    // they arrive, so peak buffered payload is bounded by the reader
+    // pipeline's queues (an analytic, image-size-independent constant)...
+    let bound = restore_buffer_bound(read_stats.threads_used);
+    assert!(
+        read_stats.peak_buffered_bytes <= bound,
+        "restore buffered {} bytes, bound is {bound}",
+        read_stats.peak_buffered_bytes
+    );
+    assert!(read_stats.peak_buffered_bytes > 0, "the gauge is live");
+    // ...and is a small fraction of what materialising the image would
+    // have held in memory at once.
+    assert!(
+        read_stats.peak_buffered_bytes * 4 <= FOOTPRINT,
+        "peak {} vs image {} — streaming restore is not bounding memory",
+        read_stats.peak_buffered_bytes,
+        FOOTPRINT
+    );
+    assert!(read_stats.chunk_bytes_read >= FOOTPRINT, "content all read");
+
+    // And the restored memory is byte-identical.
+    let mut probe = vec![0u8; 4096];
+    restarted
+        .space()
+        .read_bytes(heap + (5 << 20) + 7 * 4096, &mut probe)
+        .unwrap();
+    let mut expect = vec![0x45u8; 4096];
+    expect[..8].copy_from_slice(&(5u64 << 32 | 7).to_le_bytes());
+    assert_eq!(probe, expect, "restored content intact");
 }
 
 #[test]
