@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use crac_addrspace::{Addr, PageRun, Prot, SharedSpace, PAGE_SIZE};
 use crac_dmtcp::{CheckpointImage, Coordinator, CoordinatorConfig, RegionDescriptor, SavedRegion};
 use crac_imagestore::testutil::TempDir;
-use crac_imagestore::{ChunkSink, Compression, CoordinatorStoreExt, ImageStore, WriteOptions};
+use crac_imagestore::{
+    ChunkSink, Compression, CoordinatorStoreExt, ImageStore, LoopbackTransport, WriteOptions,
+};
 
 /// One synthetic page's content (shared by the materialised and streaming
 /// producers so both write identical bytes).
@@ -238,6 +240,59 @@ fn bench_image_io(c: &mut Criterion) {
             mat.peak_buffered_bytes >> 10,
             stream.peak_buffered_bytes >> 10,
             crac_imagestore::stream_buffer_bound(stream.threads_used) >> 10,
+        );
+    }
+
+    // Remote replication over the loopback transport: cold (empty peer —
+    // every chunk travels) vs. warm incremental (the peer already holds
+    // the parent — only the dirty delta travels).  The dedup negotiation
+    // is what a real network deployment lives on.
+    {
+        let mut group = c.benchmark_group("ckpt_image_io_replicate");
+        group.sample_size(10);
+        let src_dir = TempDir::new("bench-repl-src");
+        let src = ImageStore::open(src_dir.path()).unwrap();
+        let (parent, _) = src.write_image(&image, &WriteOptions::full()).unwrap();
+        let (child, _) = src
+            .write_image(&incremental, &WriteOptions::incremental(parent))
+            .unwrap();
+        group.bench_function("replicate_cold", |b| {
+            b.iter(|| {
+                let dst_dir = TempDir::new("bench-repl-cold");
+                let dst = ImageStore::open(dst_dir.path()).unwrap();
+                let transport = LoopbackTransport::new(&dst);
+                src.replicate_to(parent, &transport).unwrap()
+            })
+        });
+        group.bench_function("replicate_incremental_5pct", |b| {
+            b.iter(|| {
+                let dst_dir = TempDir::new("bench-repl-warm");
+                let dst = ImageStore::open(dst_dir.path()).unwrap();
+                let transport = LoopbackTransport::new(&dst);
+                src.replicate_to(parent, &transport).unwrap();
+                src.replicate_to(child, &transport).unwrap()
+            })
+        });
+        group.finish();
+
+        // Shipping-volume report: how much the negotiation saves.
+        let dst_dir = TempDir::new("bench-repl-report");
+        let dst = ImageStore::open(dst_dir.path()).unwrap();
+        let transport = LoopbackTransport::new(&dst);
+        let (_, cold) = src.replicate_to(parent, &transport).unwrap();
+        let (_, warm) = src.replicate_to(child, &transport).unwrap();
+        let (_, resync) = src.replicate_to(child, &transport).unwrap();
+        println!(
+            "\nckpt_image_io replicate: cold shipped {}/{} chunks ({} KiB); \
+             incremental shipped {}/{} ({} KiB, {:.1}% dedup); re-sync shipped {} chunks",
+            cold.chunks_shipped,
+            cold.chunks_total,
+            cold.bytes_shipped >> 10,
+            warm.chunks_shipped,
+            warm.chunks_total,
+            warm.bytes_shipped >> 10,
+            100.0 * warm.dedup_ratio(),
+            resync.chunks_shipped,
         );
     }
 

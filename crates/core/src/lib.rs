@@ -56,4 +56,6 @@ pub use config::CracConfig;
 pub use interpose::{CracEvent, CracFatBinary, CracKernel, CracStream, KernelRegistry};
 pub use log::{CudaCallLog, LoggedCall};
 pub use mallocs::{ActiveMallocs, AllocKind};
-pub use process::{CkptReport, CracError, CracProcess, RestartReport, StoredCkptReport};
+pub use process::{
+    CkptReport, CracError, CracProcess, RemoteCkptReport, RestartReport, StoredCkptReport,
+};

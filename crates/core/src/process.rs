@@ -10,8 +10,9 @@ use crac_dmtcp::{CheckpointImage, Coordinator};
 use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
 use crac_imagestore::{
-    drive_checkpoint_streaming, drive_restore_streaming, ImageId, ImageStore, ReadStats,
-    StoreError, WriteOptions, WriteStats,
+    drive_checkpoint_streaming, drive_restore_streaming, Compression, ImageId, ImageStore,
+    ReadStats, RemoteChunkSink, RemoteChunkSource, ReplicateStats, StoreError, Transport,
+    WriteOptions, WriteStats,
 };
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
@@ -147,6 +148,33 @@ impl StoredCkptReport {
     pub fn peak_buffered_bytes(&self) -> u64 {
         self.write.peak_buffered_bytes
     }
+}
+
+/// Result of [`CracProcess::checkpoint_to_remote`]: how the checkpoint
+/// went and what crossed the transport.
+///
+/// Like [`StoredCkptReport`] there is no `image` field — the checkpoint
+/// streamed straight to the peer without ever materialising; and unlike
+/// it there is no local store at all: [`RemoteCkptReport::replicate`]
+/// accounts what actually travelled (the dedup negotiation's savings
+/// included).
+#[derive(Clone, Debug)]
+pub struct RemoteCkptReport {
+    /// Id the *peer* assigned to the stored image (peer ids and local
+    /// store ids are unrelated namespaces).
+    pub image_id: ImageId,
+    /// Checkpoint time in seconds of virtual time (drain + image write).
+    pub ckpt_time_s: f64,
+    /// Logical image size in bytes.
+    pub image_bytes: u64,
+    /// Bytes of device/managed allocations drained into the image.
+    pub drained_bytes: u64,
+    /// Merged maps entries saved.
+    pub regions_saved: usize,
+    /// Merged maps entries excluded (lower half).
+    pub regions_skipped: usize,
+    /// Transport-side shipping statistics (dedup, bytes shipped, retries).
+    pub replicate: ReplicateStats,
 }
 
 /// Result of [`CracProcess::restart`].
@@ -704,6 +732,73 @@ impl CracProcess {
     /// parent (chunk-level dedup against the store still applies).
     pub fn clear_stored_parent(&self) {
         *self.last_stored_image.lock() = None;
+    }
+
+    /// Takes a checkpoint and streams it straight to the remote peer
+    /// behind `transport` — no local store involved.  Chunks are hashed
+    /// locally and negotiated in batches (`has_chunks`), so only content
+    /// the peer is missing crosses the transport; the manifest is
+    /// published last, under an id the peer assigns.  `parent` is the
+    /// peer-side lineage to record, if any (dedup applies either way).
+    ///
+    /// This is the live-migration write path: checkpoint on node A,
+    /// restart on node B via [`CracProcess::restart_from_remote`], with
+    /// nothing but the transport between them.
+    pub fn checkpoint_to_remote(
+        &self,
+        transport: &dyn Transport,
+        compression: Compression,
+        parent: Option<ImageId>,
+    ) -> Result<RemoteCkptReport, CracError> {
+        let clock = Arc::clone(self.clock());
+        let t0 = clock.now();
+        let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        let mut sink = RemoteChunkSink::new(transport, compression, parent);
+        let stats = drive_checkpoint_streaming(&self.coordinator, &mut sink)?;
+        // Model the image-write time and stamp the manifest with the time
+        // the checkpoint *completed*, exactly like the local store path.
+        clock.advance(stats.write_ns);
+        sink.set_taken_at(clock.now());
+        let (image_id, replicate) = sink.finish()?;
+        Ok(RemoteCkptReport {
+            image_id,
+            ckpt_time_s: ns_to_s(clock.now() - t0),
+            image_bytes: stats.image_bytes,
+            drained_bytes,
+            regions_saved: stats.regions_saved,
+            regions_skipped: stats.regions_skipped,
+            replicate,
+        })
+    }
+
+    /// Restarts an application from remote image `id` served by
+    /// `transport`, in a brand-new simulated process — the cross-node
+    /// mirror of [`CracProcess::restart_from_store`]: verified chunks are
+    /// fetched in parallel (with bounded retry on transient transport
+    /// faults) and spliced into the fresh address space as they arrive,
+    /// never materialising a `CheckpointImage`; peak memory stays bounded
+    /// by the reader pipeline's queues
+    /// (`crac_imagestore::restore_buffer_bound`).  Corruption anywhere —
+    /// a torn chunk, a lying peer — surfaces as [`CracError::Store`].
+    pub fn restart_from_remote(
+        transport: &dyn Transport,
+        id: ImageId,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+    ) -> Result<(Self, RestartReport, ReadStats), CracError> {
+        let mut source = RemoteChunkSource::open(transport, id)?;
+        let taken_at_ns = source.taken_at_ns();
+        // The CRAC payload is inline manifest data — kilobytes of CUDA
+        // log, available without fetching a single chunk.
+        let crac_payload = source.payload("crac").map(<[u8]>::to_vec);
+        let (proc, report) = Self::restart_with(
+            config,
+            registry,
+            taken_at_ns,
+            crac_payload.as_deref(),
+            |coord, space| Ok(drive_restore_streaming(coord, &mut source, space)?),
+        )?;
+        Ok((proc, report, source.stats()))
     }
 
     /// Restarts an application from image `id` of `store` in a brand-new

@@ -17,6 +17,12 @@
 //! say) is recovered from the sink by whoever owns it.  This keeps
 //! `crac-dmtcp` free of any dependency on the consumer's error type — the
 //! image store depends on this crate, not the other way around.
+//!
+//! The seam is deliberately location-agnostic: the coordinator drives the
+//! same [`CheckpointSink`] whether the records land in a local chunk store
+//! or ship straight to a remote peer over a replication transport (and the
+//! restore walk likewise consumes a [`RestoreSink`] fed from either) — the
+//! checkpoint/restart walks never learn where the bytes live.
 
 use crac_addrspace::{Addr, PageRun, Prot, PAGE_SIZE};
 

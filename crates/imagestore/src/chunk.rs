@@ -10,11 +10,81 @@
 use crac_addrspace::{PageRun, PAGE_SIZE};
 use crac_dmtcp::SavedRegion;
 
+use crate::error::StoreError;
 use crate::hash::ContentHash;
 
 /// Maximum pages per chunk (16 × 4 KiB = 64 KiB raw), balancing dedup
 /// granularity against per-chunk metadata and file-count overhead.
 pub const CHUNK_PAGES: u64 = 16;
+
+/// Incremental run-to-chunk packer: the *one* place the chunk-boundary
+/// rules live for streaming sinks.
+///
+/// Every `ChunkSink` that accepts page runs — the local
+/// [`crate::writer::StreamWriter`], the remote
+/// [`crate::remote::RemoteChunkSink`] — must split identically, because
+/// identical boundaries are what make content hashes (and therefore
+/// dedup, local *and* cross-node) line up.  Both push runs through this
+/// type: it packs them into ≤[`CHUNK_PAGES`]-page chunks, calling `emit`
+/// with each filled chunk's `(runs, raw bytes)`; [`RunChunker::flush`]
+/// emits the partial trailing chunk at region end.
+#[derive(Debug, Default)]
+pub struct RunChunker {
+    runs: Vec<PageRun>,
+    buf: Vec<u8>,
+    pages: u64,
+}
+
+impl RunChunker {
+    /// Packs `run` (whose payload is `bytes`) into the staged chunk,
+    /// emitting every chunk that fills up along the way.
+    pub fn push(
+        &mut self,
+        run: PageRun,
+        bytes: &[u8],
+        emit: &mut dyn FnMut(Vec<PageRun>, Vec<u8>) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
+        let mut first = run.first;
+        let mut offset = 0usize;
+        let mut remaining = run.count;
+        while remaining > 0 {
+            let space = CHUNK_PAGES - self.pages;
+            let take = remaining.min(space);
+            let len = (take * PAGE_SIZE) as usize;
+            self.runs.push(PageRun { first, count: take });
+            self.buf.extend_from_slice(&bytes[offset..offset + len]);
+            self.pages += take;
+            first += take;
+            offset += len;
+            remaining -= take;
+            if self.pages == CHUNK_PAGES {
+                self.flush(emit)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the partial staged chunk, if any (call at region end).
+    pub fn flush(
+        &mut self,
+        emit: &mut dyn FnMut(Vec<PageRun>, Vec<u8>) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        if self.runs.is_empty() {
+            return Ok(());
+        }
+        self.pages = 0;
+        emit(
+            std::mem::take(&mut self.runs),
+            std::mem::take(&mut self.buf),
+        )
+    }
+
+    /// `true` when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
 
 /// A chunk not yet hashed or encoded: which pages of which region it covers,
 /// and their raw bytes.

@@ -19,25 +19,30 @@
 use crac_addrspace::SharedSpace;
 use crac_dmtcp::{CkptStats, Coordinator, RestartStats, SinkClosed};
 
+use crate::codec::Compression;
 use crate::error::StoreError;
-use crate::reader::{ReadStats, StreamReader};
+use crate::reader::ReadStats;
+use crate::remote::{RemoteChunkSink, RemoteChunkSource, ReplicateStats};
 use crate::store::{ImageId, ImageStore};
-use crate::stream::{ChunkSource, RestoreBridge, SinkBridge};
-use crate::writer::{StreamWriter, WriteOptions, WriteStats};
+use crate::stream::{ChunkSink, ChunkSource, RestoreBridge, SinkBridge};
+use crate::transport::Transport;
+use crate::writer::{WriteOptions, WriteStats};
 
-/// Drives the coordinator's streaming checkpoint walk into `writer`,
-/// translating the opaque `SinkClosed` stop marker back into the store
-/// error the bridge parked.
+/// Drives the coordinator's streaming checkpoint walk into any
+/// [`ChunkSink`] — the store's [`crate::writer::StreamWriter`] or a
+/// [`RemoteChunkSink`] shipping straight to a peer — translating the
+/// opaque `SinkClosed` stop marker back into the store error the bridge
+/// parked.
 ///
 /// Deliberately does **not** stamp the manifest's `taken_at` — the caller
 /// owns completion-time semantics (`crac-core` advances its virtual clock
-/// by the modelled write time first); call
-/// [`StreamWriter::set_taken_at`] after this returns.
-pub fn drive_checkpoint_streaming(
+/// by the modelled write time first); call the sink's `set_taken_at`
+/// after this returns.
+pub fn drive_checkpoint_streaming<S: ChunkSink + ?Sized>(
     coordinator: &Coordinator,
-    writer: &mut StreamWriter<'_>,
+    sink: &mut S,
 ) -> Result<CkptStats, StoreError> {
-    let mut bridge = SinkBridge::new(&mut *writer);
+    let mut bridge = SinkBridge::new(sink);
     match coordinator.checkpoint_streaming(&mut bridge) {
         Ok(stats) => Ok(stats),
         Err(_closed) => Err(bridge
@@ -46,25 +51,27 @@ pub fn drive_checkpoint_streaming(
     }
 }
 
-/// Drives a streaming restore: `reader`'s fetched-and-verified chunks are
-/// spliced into `space` through the coordinator's restore cursor as they
-/// arrive — no `CheckpointImage` is ever materialised.
+/// Drives a streaming restore from any [`ChunkSource`] — the store's
+/// [`crate::reader::StreamReader`] or a [`RemoteChunkSource`] fetching
+/// over a transport:
+/// the source's fetched-and-verified chunks are spliced into `space`
+/// through the coordinator's restore cursor as they arrive — no
+/// `CheckpointImage` is ever materialised.
 ///
 /// On success the coordinator applies recorded protections and fires the
 /// plugins' `restart` hooks (with the payloads the manifest carried
-/// inline); the read's cost is available from `reader`'s
-/// [`StreamReader::stats`] afterwards.  On failure the real
-/// [`StoreError`] is returned and the half-restored `space` must be
-/// discarded.
-pub fn drive_restore_streaming(
+/// inline); the read's cost is available from the source's `stats()`
+/// afterwards.  On failure the real [`StoreError`] is returned and the
+/// half-restored `space` must be discarded.
+pub fn drive_restore_streaming<R: ChunkSource + ?Sized>(
     coordinator: &Coordinator,
-    reader: &mut StreamReader<'_>,
+    source: &mut R,
     space: &SharedSpace,
 ) -> Result<RestartStats, StoreError> {
     let mut parked: Option<StoreError> = None;
     let result = coordinator.restart_streaming(space, |cursor| {
         let mut bridge = RestoreBridge::new(cursor);
-        reader.stream_out(&mut bridge).map_err(|e| {
+        source.stream_out(&mut bridge).map_err(|e| {
             parked = Some(e);
             SinkClosed
         })
@@ -100,6 +107,29 @@ pub trait CoordinatorStoreExt {
         id: ImageId,
         space: &SharedSpace,
     ) -> Result<(RestartStats, ReadStats), StoreError>;
+
+    /// Takes a checkpoint at virtual time `now_ns` and streams it straight
+    /// to the peer behind `transport` — no local store involved: chunks
+    /// are negotiated (batched `has_chunks`) and only missing content
+    /// ships.  Returns the peer-assigned image id, the coordinator's
+    /// checkpoint stats and the shipping stats.
+    fn checkpoint_to_remote(
+        &self,
+        transport: &dyn Transport,
+        now_ns: u64,
+        compression: Compression,
+        parent: Option<ImageId>,
+    ) -> Result<(ImageId, CkptStats, ReplicateStats), StoreError>;
+
+    /// Streams remote image `id` from the peer behind `transport` straight
+    /// into `space`: parallel verified fetches with bounded transient
+    /// retry, spliced as they arrive — the cross-node restart path.
+    fn restart_from_remote(
+        &self,
+        transport: &dyn Transport,
+        id: ImageId,
+        space: &SharedSpace,
+    ) -> Result<(RestartStats, ReadStats), StoreError>;
 }
 
 impl CoordinatorStoreExt for Coordinator {
@@ -126,5 +156,30 @@ impl CoordinatorStoreExt for Coordinator {
         let mut reader = store.stream_restore(id)?;
         let restart_stats = drive_restore_streaming(self, &mut reader, space)?;
         Ok((restart_stats, reader.stats()))
+    }
+
+    fn checkpoint_to_remote(
+        &self,
+        transport: &dyn Transport,
+        now_ns: u64,
+        compression: Compression,
+        parent: Option<ImageId>,
+    ) -> Result<(ImageId, CkptStats, ReplicateStats), StoreError> {
+        let mut sink = RemoteChunkSink::new(transport, compression, parent);
+        let ckpt_stats = drive_checkpoint_streaming(self, &mut sink)?;
+        sink.set_taken_at(now_ns);
+        let (id, replicate_stats) = sink.finish()?;
+        Ok((id, ckpt_stats, replicate_stats))
+    }
+
+    fn restart_from_remote(
+        &self,
+        transport: &dyn Transport,
+        id: ImageId,
+        space: &SharedSpace,
+    ) -> Result<(RestartStats, ReadStats), StoreError> {
+        let mut source = RemoteChunkSource::open(transport, id)?;
+        let restart_stats = drive_restore_streaming(self, &mut source, space)?;
+        Ok((restart_stats, source.stats()))
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 use std::io;
 use std::path::PathBuf;
 
-use crate::store::ImageId;
+use crate::store::{DeleteStats, ImageId};
 
 /// Everything that can go wrong while writing to or reading from a store.
 #[derive(Debug)]
@@ -45,14 +45,29 @@ pub enum StoreError {
         /// Human-readable description of the conflict.
         what: String,
     },
-    /// A batched operation (for example [`crate::ImageStore::retain_last`]
-    /// deleting several images) hit more than one failure.  The operation
-    /// was *not* abandoned at the first error — everything that could
-    /// proceed did — and every underlying failure is collected here in
-    /// occurrence order.
+    /// A transient transport/availability failure (injected fault, dropped
+    /// connection, timeout) — the operation is safe to retry and remote
+    /// pipelines do so a bounded number of times
+    /// ([`crate::transport::MAX_TRANSIENT_RETRIES`]).  Never produced by
+    /// integrity checks: corruption is always fail-fast.
+    Transient {
+        /// Human-readable description of the failure.
+        what: String,
+    },
+    /// A batched deletion ([`crate::ImageStore::delete_image`] /
+    /// [`crate::ImageStore::retain_last`]) hit one or more failures.  The
+    /// operation was *not* abandoned at the first error — everything that
+    /// could proceed did — so alongside the failures (in occurrence order)
+    /// the variant carries what the batch *did* accomplish: without it a
+    /// caller could never tell how much was actually reclaimed.
     Partial {
         /// The individual failures.
         errors: Vec<StoreError>,
+        /// What the batch reclaimed despite the failures (manifests
+        /// removed, chunks swept, bytes freed).
+        stats: DeleteStats,
+        /// Image ids that *were* deleted before/around the failures.
+        deleted: Vec<ImageId>,
     },
 }
 
@@ -75,14 +90,24 @@ impl StoreError {
         StoreError::Busy { what: what.into() }
     }
 
-    /// Collapses the failures of a batched operation: one error stays
-    /// itself, several aggregate into [`StoreError::Partial`].
-    pub(crate) fn partial(mut errors: Vec<StoreError>) -> Self {
+    pub(crate) fn transient(what: impl Into<String>) -> Self {
+        StoreError::Transient { what: what.into() }
+    }
+
+    /// Wraps the failures of a batched deletion together with what the
+    /// batch nevertheless accomplished.  Always [`StoreError::Partial`] —
+    /// even a single failure needs the stats carried alongside it, or the
+    /// caller loses sight of what *was* reclaimed.
+    pub(crate) fn partial(
+        errors: Vec<StoreError>,
+        stats: DeleteStats,
+        deleted: Vec<ImageId>,
+    ) -> Self {
         debug_assert!(!errors.is_empty(), "partial() needs at least one error");
-        if errors.len() == 1 {
-            errors.pop().expect("length checked")
-        } else {
-            StoreError::Partial { errors }
+        StoreError::Partial {
+            errors,
+            stats,
+            deleted,
         }
     }
 
@@ -92,7 +117,24 @@ impl StoreError {
     pub fn is_corruption(&self) -> bool {
         match self {
             StoreError::Corrupt { .. } => true,
-            StoreError::Partial { errors } => errors.iter().any(StoreError::is_corruption),
+            StoreError::Partial { errors, .. } => errors.iter().any(StoreError::is_corruption),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the failure is transient (a retry may succeed):
+    /// an explicit [`StoreError::Transient`], or an OS-level I/O error of a
+    /// kind the OS itself declares retryable.  Corruption and every other
+    /// variant are permanent — retrying a flipped bit cannot unflip it.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Transient { .. } => true,
+            StoreError::Io { source, .. } => matches!(
+                source.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
             _ => false,
         }
     }
@@ -115,8 +157,21 @@ impl fmt::Display for StoreError {
                 path.display()
             ),
             StoreError::Busy { what } => write!(f, "store is busy: {what}"),
-            StoreError::Partial { errors } => {
-                write!(f, "{} failures in one batched operation: ", errors.len())?;
+            StoreError::Transient { what } => write!(f, "transient transport failure: {what}"),
+            StoreError::Partial {
+                errors,
+                stats,
+                deleted,
+            } => {
+                write!(
+                    f,
+                    "{} failures in one batched operation ({} of the images still deleted, \
+                     {} chunks / {} bytes reclaimed): ",
+                    errors.len(),
+                    deleted.len(),
+                    stats.chunks_deleted,
+                    stats.chunk_bytes_reclaimed
+                )?;
                 for (i, e) in errors.iter().enumerate() {
                     if i > 0 {
                         write!(f, "; ")?;

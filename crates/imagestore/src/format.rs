@@ -290,6 +290,27 @@ impl ChunkFile {
         out
     }
 
+    /// Byte length of the fixed header prefix [`ChunkFile::parse_header`]
+    /// needs: magic (8) + encoding tag (1) + raw_len (8).
+    pub const HEADER_PREFIX_LEN: usize = 17;
+
+    /// Parses just the fixed header prefix of a chunk file — magic,
+    /// encoding and `raw_len` — without requiring (or verifying) the
+    /// payload.  This is the cheap "what does this chunk decode to"
+    /// probe manifest adoption uses to cross-check a peer's declared
+    /// lengths against the chunks actually stored; full integrity is
+    /// still [`ChunkFile::parse`]'s job at read time.
+    pub fn parse_header(prefix: &[u8]) -> Result<(Encoding, u64), String> {
+        let mut c = ByteCursor::new(prefix);
+        if c.take(8).ok_or("chunk file truncated")? != CHUNK_MAGIC {
+            return Err("bad chunk magic".into());
+        }
+        let encoding =
+            Encoding::from_tag(c.u8().ok_or("missing encoding")?).ok_or("unknown encoding tag")?;
+        let raw_len = c.u64().ok_or("missing raw length")?;
+        Ok((encoding, raw_len))
+    }
+
     /// Parses and integrity-checks a chunk file without copying the
     /// payload: the returned view borrows the encoded bytes from `data`.
     pub fn parse(data: &[u8]) -> Result<ChunkView<'_>, String> {

@@ -30,6 +30,17 @@
 //!   multiple of the chunk size ([`restore_buffer_bound`]).  The legacy
 //!   materialising `read_image` is the same pipeline driven into a
 //!   [`MaterialiseSink`].
+//! * **Remote replication** ([`transport`], [`remote`]): a [`Transport`]
+//!   trait (batched `has_chunks`, `put_chunk`/`get_chunk`,
+//!   `list/get/put_manifest`) is the wire seam a TCP or object-store
+//!   backend plugs into; [`LoopbackTransport`] (backed by a second store)
+//!   and the fault-injecting [`FaultyTransport`] serve the networkless
+//!   build environment.  `ImageStore::replicate_to`/`replicate_from`
+//!   ship only missing chunks (restic/borg-style negotiation, resumable
+//!   after interruption), [`RemoteChunkSink`] streams a live checkpoint
+//!   straight to a peer, and [`RemoteChunkSource`] restores from one
+//!   through the same bounded parallel fetch pipeline as a local read —
+//!   with bounded retry on transient transport faults.
 //! * **Administration** ([`store`], [`lock`]): a PID-keyed cross-process
 //!   writer lock (`store.lock`; stale locks stolen via an atomic
 //!   rename-and-reverify, dead claimants' litter swept on open;
@@ -54,10 +65,12 @@ pub mod hash;
 pub mod lock;
 pub(crate) mod pipeline;
 pub mod reader;
+pub mod remote;
 pub mod store;
 pub mod stream;
 #[doc(hidden)]
 pub mod testutil;
+pub mod transport;
 pub mod writer;
 
 pub use codec::Compression;
@@ -65,8 +78,13 @@ pub use coordext::{drive_checkpoint_streaming, drive_restore_streaming, Coordina
 pub use error::StoreError;
 pub use hash::ContentHash;
 pub use reader::{restore_buffer_bound, ReadStats, StreamReader};
+pub use remote::{RemoteChunkSink, RemoteChunkSource, ReplicateStats};
 pub use store::{DeleteStats, ImageId, ImageInfo, ImageStore, StoreStats};
 pub use stream::{
     ChunkSink, ChunkSource, MaterialiseSink, RegionSink, RegionSource, RestoreBridge, SinkBridge,
+};
+pub use transport::{
+    FaultConfig, FaultyTransport, LoopbackTransport, Transport, TransportStats,
+    MAX_TRANSIENT_RETRIES,
 };
 pub use writer::{stream_buffer_bound, StreamWriter, WriteOptions, WriteStats};

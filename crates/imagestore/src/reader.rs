@@ -23,19 +23,33 @@
 //! references many times (deduped repeats) is fetched once and applied to
 //! every reference while it is in hand, then dropped.
 //!
+//! The pipeline itself is source-agnostic: the plan building
+//! ([`build_fetch_plan`]) and the worker/splice machinery
+//! ([`run_fetch_pipeline`]) are parameterised over a [`ChunkFetch`], so the
+//! local store reader and the remote-transport reader
+//! ([`crate::remote::RemoteChunkSource`]) are the *same* pipeline with a
+//! different fetch callable — one verification path, one bounded-memory
+//! proof, two byte sources.
+//!
 //! Because the queue is bounded and each worker holds at most one chunk,
 //! the peak payload the restore ever buffers is a small multiple of the
 //! chunk size — *independent of the image size*
 //! ([`ReadStats::peak_buffered_bytes`] ≤ [`restore_buffer_bound`]), the
 //! restore-side mirror of the writer's guarantee.
 //!
-//! **Failure semantics**: the first error (a worker's fetch failing, the
-//! sink rejecting a record) is latched; workers switch to draining so no
+//! **Failure semantics**: a worker whose fetch fails *transiently* (a
+//! remote timeout, an injected fault — [`StoreError::is_transient`])
+//! retries the same chunk a bounded number of times
+//! ([`crate::transport::MAX_TRANSIENT_RETRIES`]) before giving up; a
+//! permanent failure — corruption above all — is never retried.  The first
+//! unrecovered error (a worker's fetch failing for good, the sink
+//! rejecting a record) is latched; workers switch to draining so no
 //! thread blocks forever, and the latched error is returned once the
 //! pipeline has shut down.  A failed streaming restore leaves the sink
 //! half-fed — its owner must discard whatever it was building.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
@@ -51,6 +65,7 @@ use crate::hash::ContentHash;
 use crate::pipeline::{latch, ErrorSlot, Gauge};
 use crate::store::{ImageId, ImageStore};
 use crate::stream::{ChunkSource, MaterialiseSink, RegionSink};
+use crate::transport::with_transient_retry_until;
 
 /// Verified chunks the queue holds while the splice consumer is busy
 /// (backpressure depth between the fetch workers and the splice).
@@ -78,12 +93,17 @@ pub struct ReadStats {
     /// Chunk references served from an already-fetched chunk (an image
     /// that contains the same content many times reads it once).
     pub chunks_cached: usize,
-    /// Encoded chunk bytes read from disk.
+    /// Encoded chunk bytes read from disk (or received over the
+    /// transport, for a remote restore).
     pub chunk_bytes_read: u64,
     /// Manifest file size.
     pub manifest_bytes: u64,
     /// Worker threads used for fetching/verifying chunks.
     pub threads_used: usize,
+    /// Transient fetch failures that were absorbed by the bounded retry
+    /// (zero on a healthy local restore; the fault-injection tests prove
+    /// the recovery path with it).
+    pub transient_retries: usize,
     /// Peak bytes the restore pipeline held at any instant: each worker's
     /// in-flight chunk file plus its decoded bytes, the verified queue,
     /// and the chunk being spliced.  Bounded by [`restore_buffer_bound`],
@@ -151,11 +171,222 @@ impl<'s> StreamReader<'s> {
 }
 
 /// One distinct chunk's fetch order: where its verified bytes go.
-struct FetchPlan {
-    hash: ContentHash,
-    raw_len: u64,
+pub(crate) struct FetchPlan {
+    pub(crate) hash: ContentHash,
+    pub(crate) raw_len: u64,
     /// Every reference in the manifest: `(region index, page runs)`.
-    targets: Vec<(usize, Vec<PageRun>)>,
+    pub(crate) targets: Vec<(usize, Vec<PageRun>)>,
+}
+
+/// How the fetch pipeline obtains one chunk's raw (decoded, verified)
+/// bytes.  The local store reads a file; the remote reader asks a
+/// [`crate::transport::Transport`].  Implementations must fully verify
+/// the chunk (CRC + decode + content hash) before returning.
+pub(crate) trait ChunkFetch: Sync {
+    /// Fetches chunk `hash`, returning its raw bytes plus the encoded
+    /// (file/wire) byte count moved.  Must `gauge.add` the raw bytes
+    /// before returning them (the pipeline `sub`s when they are dropped).
+    fn fetch(
+        &self,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+    ) -> Result<(Vec<u8>, u64), StoreError>;
+}
+
+/// [`ChunkFetch`] over the local chunk directory.
+struct LocalFetch<'s> {
+    store: &'s ImageStore,
+}
+
+impl ChunkFetch for LocalFetch<'_> {
+    fn fetch(
+        &self,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        fetch_chunk(self.store, hash, raw_len, gauge)
+    }
+}
+
+/// Declares every region and payload of `manifest` into `sink` — the
+/// metadata prologue both the local and remote streams send before any
+/// content, so the sink knows the full image shape up front.
+pub(crate) fn declare_manifest(
+    manifest: &Manifest,
+    sink: &mut dyn RegionSink,
+) -> Result<(), StoreError> {
+    for region in &manifest.regions {
+        sink.declare_region(&RegionDescriptor {
+            start: Addr(region.start),
+            len: region.len,
+            prot: region.prot,
+            label: region.label.clone(),
+        })?;
+    }
+    for (name, data) in &manifest.payloads {
+        sink.push_payload(name, data)?;
+    }
+    Ok(())
+}
+
+/// Validates every chunk reference of `manifest` and builds the fetch
+/// plan: one entry per *distinct* chunk, carrying every place its pages
+/// land (repeats cost a plan target, never a second fetch).  `label`
+/// names the manifest's origin in corruption errors — a file path for a
+/// local image, a synthetic `remote:` path for a transported one.
+///
+/// Returns the plan plus the total reference count (for the
+/// [`ReadStats::chunks_cached`] accounting).
+pub(crate) fn build_fetch_plan(
+    manifest: &Manifest,
+    label: &Path,
+) -> Result<(Vec<FetchPlan>, usize), StoreError> {
+    let mut by_hash: HashMap<ContentHash, usize> = HashMap::new();
+    let mut plan: Vec<FetchPlan> = Vec::new();
+    let mut refs_total = 0usize;
+    for (region_idx, region) in manifest.regions.iter().enumerate() {
+        let region_pages = region.len / PAGE_SIZE;
+        for chunk in &region.chunks {
+            refs_total += 1;
+            // All arithmetic on manifest-supplied values is checked:
+            // an overflow is corruption, not a wrap-around bypass.
+            let chunk_pages = chunk
+                .runs
+                .iter()
+                .try_fold(0u64, |acc, r| acc.checked_add(r.count));
+            let chunk_bytes = chunk_pages.and_then(|p| p.checked_mul(PAGE_SIZE));
+            let Some((chunk_pages, chunk_bytes)) = chunk_pages.zip(chunk_bytes) else {
+                return Err(StoreError::corrupt(
+                    label,
+                    format!("chunk {} page counts overflow", chunk.hash),
+                ));
+            };
+            if chunk_bytes != chunk.raw_len {
+                return Err(StoreError::corrupt(
+                    label,
+                    format!(
+                        "chunk {} covers {chunk_pages} pages but holds {} bytes",
+                        chunk.hash, chunk.raw_len
+                    ),
+                ));
+            }
+            for run in &chunk.runs {
+                if run.count > region_pages || run.first > region_pages - run.count {
+                    return Err(StoreError::corrupt(
+                        label,
+                        format!(
+                            "chunk {} run [{}+{}) exceeds its {region_pages}-page region",
+                            chunk.hash, run.first, run.count
+                        ),
+                    ));
+                }
+            }
+            let slot = *by_hash.entry(chunk.hash).or_insert_with(|| {
+                plan.push(FetchPlan {
+                    hash: chunk.hash,
+                    raw_len: chunk.raw_len,
+                    targets: Vec::new(),
+                });
+                plan.len() - 1
+            });
+            // Identical hash across chunk refs must mean identical
+            // length; a manifest violating that is corrupt.
+            if plan[slot].raw_len != chunk.raw_len {
+                return Err(StoreError::corrupt(
+                    label,
+                    format!("chunk {} referenced with conflicting lengths", chunk.hash),
+                ));
+            }
+            plan[slot].targets.push((region_idx, chunk.runs.clone()));
+        }
+    }
+    Ok((plan, refs_total))
+}
+
+/// The fetch/verify/splice pipeline both restore paths share: workers
+/// pull tickets off `plan`, fetch + verify through `fetcher` (with
+/// bounded retry on transient failures), and push decoded chunks through
+/// the bounded queue; the calling thread splices each chunk into `sink`
+/// the moment it arrives.  Accounts everything into `stats`.
+pub(crate) fn run_fetch_pipeline(
+    plan: &[FetchPlan],
+    sink: &mut dyn RegionSink,
+    fetcher: &dyn ChunkFetch,
+    stats: &mut ReadStats,
+) -> Result<(), StoreError> {
+    let threads = effective_read_threads(plan.len());
+    stats.threads_used = threads;
+    let gauge = Gauge::default();
+    let error: ErrorSlot = Default::default();
+    let next = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let (tx, rx) = sync_channel::<(usize, Vec<u8>, u64)>(VERIFY_QUEUE_CHUNKS);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, gauge, error, retries) = (&next, &gauge, &error, &retries);
+            scope.spawn(move || loop {
+                let ticket = next.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = plan.get(ticket) else {
+                    return;
+                };
+                if error.lock().is_some() {
+                    continue; // drain mode: burn the remaining tickets
+                }
+                // Transient fetch failures (a remote hiccup, an injected
+                // fault) are retried here, bounded; one flaky chunk no
+                // longer fails the whole restore.  Corruption and other
+                // permanent failures still fail fast, and once any worker
+                // has latched an error the cancellation probe stops the
+                // others' retry loops mid-budget.
+                let fetched = with_transient_retry_until(
+                    retries,
+                    || error.lock().is_some(),
+                    || fetcher.fetch(entry.hash, entry.raw_len, gauge),
+                );
+                match fetched {
+                    Ok((raw, wire_bytes)) => {
+                        let len = raw.len() as u64;
+                        if tx.send((ticket, raw, wire_bytes)).is_err() {
+                            // Splice consumer gone: only after a latch.
+                            gauge.sub(len);
+                            return;
+                        }
+                    }
+                    Err(e) => latch(error, e),
+                }
+            });
+        }
+        // The workers hold the only remaining senders: once they all
+        // exit, the iterator below ends — clean shutdown, no explicit
+        // signalling (the mirror of the writer's teardown).
+        drop(tx);
+
+        for (ticket, raw, wire_bytes) in rx.iter() {
+            let len = raw.len() as u64;
+            if error.lock().is_none() {
+                let entry = &plan[ticket];
+                if let Err(e) = splice_chunk(sink, entry, &raw) {
+                    latch(&error, e);
+                } else {
+                    stats.chunks_read += 1;
+                    stats.chunk_bytes_read += wire_bytes;
+                }
+            }
+            gauge.sub(len);
+        }
+    });
+
+    stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(gauge.peak());
+    stats.transient_retries += retries.load(Ordering::Relaxed);
+    let first_error = error.lock().take();
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 impl ChunkSource for StreamReader<'_> {
@@ -164,146 +395,16 @@ impl ChunkSource for StreamReader<'_> {
 
         // Metadata first: declarations and payloads are manifest-inline,
         // so the sink has the full image shape before content arrives.
-        for region in &self.manifest.regions {
-            sink.declare_region(&RegionDescriptor {
-                start: Addr(region.start),
-                len: region.len,
-                prot: region.prot,
-                label: region.label.clone(),
-            })?;
-        }
-        for (name, data) in &self.manifest.payloads {
-            sink.push_payload(name, data)?;
-        }
+        declare_manifest(&self.manifest, sink)?;
 
-        // Validate every chunk reference up front and build the fetch
-        // plan: one entry per distinct chunk, carrying every place its
-        // pages land.  Repeats cost a plan target, never a second fetch.
-        let mut by_hash: HashMap<ContentHash, usize> = HashMap::new();
-        let mut plan: Vec<FetchPlan> = Vec::new();
-        let mut refs_total = 0usize;
-        for (region_idx, region) in self.manifest.regions.iter().enumerate() {
-            let region_pages = region.len / PAGE_SIZE;
-            for chunk in &region.chunks {
-                refs_total += 1;
-                // All arithmetic on manifest-supplied values is checked:
-                // an overflow is corruption, not a wrap-around bypass.
-                let chunk_pages = chunk
-                    .runs
-                    .iter()
-                    .try_fold(0u64, |acc, r| acc.checked_add(r.count));
-                let chunk_bytes = chunk_pages.and_then(|p| p.checked_mul(PAGE_SIZE));
-                let Some((chunk_pages, chunk_bytes)) = chunk_pages.zip(chunk_bytes) else {
-                    return Err(StoreError::corrupt(
-                        self.store.image_path(self.id),
-                        format!("chunk {} page counts overflow", chunk.hash),
-                    ));
-                };
-                if chunk_bytes != chunk.raw_len {
-                    return Err(StoreError::corrupt(
-                        self.store.image_path(self.id),
-                        format!(
-                            "chunk {} covers {chunk_pages} pages but holds {} bytes",
-                            chunk.hash, chunk.raw_len
-                        ),
-                    ));
-                }
-                for run in &chunk.runs {
-                    if run.count > region_pages || run.first > region_pages - run.count {
-                        return Err(StoreError::corrupt(
-                            self.store.image_path(self.id),
-                            format!(
-                                "chunk {} run [{}+{}) exceeds its {region_pages}-page region",
-                                chunk.hash, run.first, run.count
-                            ),
-                        ));
-                    }
-                }
-                let slot = *by_hash.entry(chunk.hash).or_insert_with(|| {
-                    plan.push(FetchPlan {
-                        hash: chunk.hash,
-                        raw_len: chunk.raw_len,
-                        targets: Vec::new(),
-                    });
-                    plan.len() - 1
-                });
-                // Identical hash across chunk refs must mean identical
-                // length; a manifest violating that is corrupt.
-                if plan[slot].raw_len != chunk.raw_len {
-                    return Err(StoreError::corrupt(
-                        self.store.image_path(self.id),
-                        format!("chunk {} referenced with conflicting lengths", chunk.hash),
-                    ));
-                }
-                plan[slot].targets.push((region_idx, chunk.runs.clone()));
-            }
-        }
+        let label = self.store.image_path(self.id);
+        let (plan, refs_total) = build_fetch_plan(&self.manifest, &label)?;
         self.stats.chunks_cached = refs_total - plan.len();
 
-        // The pipeline: workers pull tickets off the plan, fetch + verify,
-        // and push decoded chunks through the bounded queue; this thread
-        // splices each chunk into the sink the moment it arrives.
-        let store = self.store;
-        let stats = &mut self.stats;
-        let threads = effective_read_threads(plan.len());
-        stats.threads_used = threads;
-        let gauge = Gauge::default();
-        let error: ErrorSlot = Default::default();
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = sync_channel::<(usize, Vec<u8>, u64)>(VERIFY_QUEUE_CHUNKS);
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let (plan, next, gauge, error) = (&plan, &next, &gauge, &error);
-                scope.spawn(move || loop {
-                    let ticket = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(entry) = plan.get(ticket) else {
-                        return;
-                    };
-                    if error.lock().is_some() {
-                        continue; // drain mode: burn the remaining tickets
-                    }
-                    match fetch_chunk(store, entry.hash, entry.raw_len, gauge) {
-                        Ok((raw, file_bytes)) => {
-                            let len = raw.len() as u64;
-                            if tx.send((ticket, raw, file_bytes)).is_err() {
-                                // Splice consumer gone: only after a latch.
-                                gauge.sub(len);
-                                return;
-                            }
-                        }
-                        Err(e) => latch(error, e),
-                    }
-                });
-            }
-            // The workers hold the only remaining senders: once they all
-            // exit, the iterator below ends — clean shutdown, no explicit
-            // signalling (the mirror of the writer's teardown).
-            drop(tx);
-
-            for (ticket, raw, file_bytes) in rx.iter() {
-                let len = raw.len() as u64;
-                if error.lock().is_none() {
-                    let entry = &plan[ticket];
-                    if let Err(e) = splice_chunk(sink, entry, &raw) {
-                        latch(&error, e);
-                    } else {
-                        stats.chunks_read += 1;
-                        stats.chunk_bytes_read += file_bytes;
-                    }
-                }
-                gauge.sub(len);
-            }
-        });
-
-        stats.peak_buffered_bytes = gauge.peak();
-        stats.elapsed = start.elapsed();
-        let first_error = error.lock().take();
-        match first_error {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        let fetcher = LocalFetch { store: self.store };
+        let result = run_fetch_pipeline(&plan, sink, &fetcher, &mut self.stats);
+        self.stats.elapsed = start.elapsed();
+        result
     }
 }
 
@@ -347,10 +448,43 @@ fn effective_read_threads(chunks: usize) -> usize {
     hw.min(8).clamp(1, chunks.max(1))
 }
 
-/// Loads, CRC-checks, decodes and hash-verifies one chunk, returning its
-/// raw bytes and the on-disk file size.  Decoding borrows straight from
-/// the file buffer, so the worker's transient footprint is file + raw, not
-/// file + encoded copy + raw.
+/// CRC-checks, decodes and hash-verifies one chunk's *file bytes* (from
+/// disk or the wire), returning its raw bytes.  Decoding borrows straight
+/// from `bytes`, so the caller's transient footprint is file + raw, not
+/// file + encoded copy + raw.  `label` names the source in errors.
+pub(crate) fn verify_chunk_file_bytes(
+    label: &Path,
+    bytes: &[u8],
+    hash: ContentHash,
+    raw_len: u64,
+    gauge: &Gauge,
+) -> Result<Vec<u8>, StoreError> {
+    let view = ChunkFile::parse(bytes).map_err(|what| StoreError::corrupt(label, what))?;
+    if view.raw_len != raw_len {
+        return Err(StoreError::corrupt(
+            label,
+            format!(
+                "chunk raw length {} does not match manifest ({raw_len})",
+                view.raw_len
+            ),
+        ));
+    }
+    let raw = decode(view.encoding, view.encoded, view.raw_len as usize)
+        .ok_or_else(|| StoreError::corrupt(label, "chunk payload failed to decode"))?;
+    gauge.add(raw.len() as u64);
+    let actual = ContentHash::of(&raw);
+    if actual != hash {
+        gauge.sub(raw.len() as u64);
+        return Err(StoreError::corrupt(
+            label,
+            format!("chunk content hashes to {actual}, expected {hash}"),
+        ));
+    }
+    Ok(raw)
+}
+
+/// Loads, CRC-checks, decodes and hash-verifies one chunk from the local
+/// store, returning its raw bytes and the on-disk file size.
 fn fetch_chunk(
     store: &ImageStore,
     hash: ContentHash,
@@ -369,30 +503,7 @@ fn fetch_chunk(
     };
     let file_bytes = bytes.len() as u64;
     gauge.add(file_bytes);
-    let result = (|| {
-        let view = ChunkFile::parse(&bytes).map_err(|what| StoreError::corrupt(&path, what))?;
-        if view.raw_len != raw_len {
-            return Err(StoreError::corrupt(
-                &path,
-                format!(
-                    "chunk raw length {} does not match manifest ({raw_len})",
-                    view.raw_len
-                ),
-            ));
-        }
-        let raw = decode(view.encoding, view.encoded, view.raw_len as usize)
-            .ok_or_else(|| StoreError::corrupt(&path, "chunk payload failed to decode"))?;
-        gauge.add(raw.len() as u64);
-        let actual = ContentHash::of(&raw);
-        if actual != hash {
-            gauge.sub(raw.len() as u64);
-            return Err(StoreError::corrupt(
-                &path,
-                format!("chunk content hashes to {actual}, expected {hash}"),
-            ));
-        }
-        Ok(raw)
-    })();
+    let result = verify_chunk_file_bytes(&path, &bytes, hash, raw_len, gauge);
     drop(bytes);
     gauge.sub(file_bytes);
     result.map(|raw| (raw, file_bytes))

@@ -1,0 +1,570 @@
+//! Remote replication over a [`Transport`]: dedup-aware shipping on the
+//! write side, verified parallel fetching on the restore side.
+//!
+//! Four entry points, all transport-agnostic:
+//!
+//! * [`ImageStore::replicate_to`] — push one stored image to a peer,
+//!   restic/borg-style: batched `has_chunks` negotiation first, then only
+//!   the chunks the peer is missing travel (as verbatim encoded chunk
+//!   files — no decode/re-encode on the hot path), and the manifest is
+//!   published strictly last.  Safe to re-run after any interruption: the
+//!   negotiation re-skips everything that already landed, so a resumed
+//!   replication ships exactly the remainder.
+//! * [`ImageStore::replicate_from`] — the pull mirror: fetch a peer's
+//!   manifest, fetch + verify the chunks missing locally, adopt the
+//!   manifest under a fresh local id.
+//! * [`RemoteChunkSink`] — a [`ChunkSink`] whose backing store is a peer:
+//!   a live checkpoint streams *directly* to the remote node without ever
+//!   touching a local store (the coordinator cannot tell the difference —
+//!   same trait the local writer pipeline implements).  Content is
+//!   chunked and hashed exactly like [`crate::writer::StreamWriter`]
+//!   (same boundaries ⇒ same hashes ⇒ dedup against anything the peer
+//!   already holds, local- or remote-written).
+//! * [`RemoteChunkSource`] — a [`ChunkSource`] whose chunks arrive via
+//!   `get_chunk`: the *same* parallel fetch/verify/splice pipeline as the
+//!   local [`crate::reader::StreamReader`] (one code path —
+//!   [`crate::reader::run_fetch_pipeline`]), so remote restores get the
+//!   bounded-memory guarantee and full integrity checking for free, plus
+//!   bounded retry on transient transport faults.
+//!
+//! Everything that crosses the wire is verified on arrival — the
+//! receiving side never trusts the sender (chunk CRC, decode, content
+//! hash; manifest CRC; chunks-before-manifest ordering) — so a crashed or
+//! faulty replication can never leave a torn image visible.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crac_addrspace::{PageRun, PAGE_SIZE};
+use crac_dmtcp::RegionDescriptor;
+
+use crate::chunk::RunChunker;
+use crate::codec::{encode, Compression};
+use crate::error::StoreError;
+use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
+use crate::hash::ContentHash;
+use crate::pipeline::Gauge;
+use crate::reader::{
+    build_fetch_plan, declare_manifest, run_fetch_pipeline, verify_chunk_file_bytes, ChunkFetch,
+    ReadStats,
+};
+use crate::store::{ImageId, ImageStore};
+use crate::stream::{ChunkSink, ChunkSource, RegionSink};
+use crate::transport::{with_transient_retry, Transport, HAS_CHUNKS_BATCH};
+
+/// What one replication (or remote-streamed checkpoint) cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicateStats {
+    /// *Distinct* chunks the image references (repeated content counts
+    /// once, on every path — `chunks_shipped + chunks_deduped` always
+    /// equals this).
+    pub chunks_total: usize,
+    /// Chunks actually shipped across the transport.
+    pub chunks_shipped: usize,
+    /// Chunks skipped because the peer already held their content — the
+    /// dedup negotiation's savings.
+    pub chunks_deduped: usize,
+    /// Raw (decoded) bytes across the image's chunk *references*
+    /// (repeats included: the image's logical chunk payload).
+    pub raw_chunk_bytes: u64,
+    /// Encoded chunk-file bytes that actually crossed the transport.
+    pub bytes_shipped: u64,
+    /// Manifest bytes that crossed the transport.
+    pub manifest_bytes: u64,
+    /// `has_chunks` negotiation batches sent.
+    pub has_batches: usize,
+    /// Transient transport failures absorbed by the bounded retry.
+    pub transient_retries: usize,
+    /// Wall-clock time of the whole operation.
+    pub elapsed: Duration,
+}
+
+impl ReplicateStats {
+    /// Fraction of the image's chunks the negotiation avoided shipping
+    /// (1.0 = the peer already had everything).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.chunks_total == 0 {
+            return 0.0;
+        }
+        self.chunks_deduped as f64 / self.chunks_total as f64
+    }
+}
+
+/// A chunk staged in the sink, waiting for its `has_chunks` batch (its
+/// manifest entry was already recorded at staging time).
+struct StagedChunk {
+    hash: ContentHash,
+    raw: Vec<u8>,
+}
+
+/// A `has_chunks` reply of the wrong length is a *protocol* defect in the
+/// peer, not weather: it will fail identically on every retry, so it is
+/// classified as permanent (corruption-class), never transient.
+fn protocol_violation(asked: usize, answered: usize) -> StoreError {
+    StoreError::corrupt(
+        PathBuf::from("transport:has_chunks"),
+        format!("peer protocol violation: answered {answered} flags for {asked} hashes"),
+    )
+}
+
+/// A [`ChunkSink`] that ships a streaming checkpoint straight to a remote
+/// peer: chunks are hashed locally, negotiated in [`HAS_CHUNKS_BATCH`]
+/// batches, and only missing content is encoded and shipped; the manifest
+/// is published last, under an id the *peer* assigns.
+///
+/// Chunk boundaries replicate [`crate::writer::StreamWriter`]'s exactly,
+/// so a checkpoint streamed remotely dedups against images the peer
+/// received from any source.  Resumable by construction: a failed stream
+/// publishes no manifest, and a retried checkpoint re-negotiates — chunks
+/// that already landed are skipped, not re-sent.
+pub struct RemoteChunkSink<'t> {
+    transport: &'t dyn Transport,
+    compression: Compression,
+    /// Peer-side parent for the published manifest's lineage.
+    parent: Option<ImageId>,
+    taken_at_ns: u64,
+    started: Instant,
+    retries: AtomicUsize,
+
+    // Chunker for the currently open region: the same shared
+    // [`RunChunker`] the local writer uses, so content hashes line up.
+    cur_region: Option<usize>,
+    chunker: RunChunker,
+
+    /// Chunks awaiting their negotiation batch (bounded:
+    /// [`HAS_CHUNKS_BATCH`] chunks of ≤[`crate::chunk::CHUNK_PAGES`] pages
+    /// each).
+    staged: Vec<StagedChunk>,
+    /// Every distinct hash this stream has seen: the `chunks_total`
+    /// accounting, and the in-stream dedup — a hash is staged (and so
+    /// negotiated/shipped) at most once per stream.
+    seen: HashSet<ContentHash>,
+
+    // Manifest accumulation.
+    regions: Vec<RegionDescriptor>,
+    chunks: Vec<Vec<ChunkEntry>>,
+    payloads: Vec<(String, Vec<u8>)>,
+    stats: ReplicateStats,
+}
+
+impl<'t> RemoteChunkSink<'t> {
+    /// Opens a remote checkpoint stream over `transport`.  `parent` is the
+    /// *peer-side* id recorded as the published manifest's lineage (or
+    /// `None` for a fresh chain — chunk-level dedup applies either way).
+    pub fn new(
+        transport: &'t dyn Transport,
+        compression: Compression,
+        parent: Option<ImageId>,
+    ) -> Self {
+        Self {
+            transport,
+            compression,
+            parent,
+            taken_at_ns: 0,
+            started: Instant::now(),
+            retries: AtomicUsize::new(0),
+            cur_region: None,
+            chunker: RunChunker::default(),
+            staged: Vec::new(),
+            seen: HashSet::new(),
+            regions: Vec::new(),
+            chunks: Vec::new(),
+            payloads: Vec::new(),
+            stats: ReplicateStats::default(),
+        }
+    }
+
+    /// Stamps the manifest's `taken_at_ns` (virtual checkpoint-completion
+    /// time).  May be called at any point before [`RemoteChunkSink::finish`].
+    pub fn set_taken_at(&mut self, ns: u64) {
+        self.taken_at_ns = ns;
+    }
+
+    /// Records one packed chunk into the manifest and, if its content is
+    /// new to this stream, stages it for negotiation.
+    fn stage_chunk(&mut self, runs: Vec<PageRun>, raw: Vec<u8>) -> Result<(), StoreError> {
+        let region_seq = self.cur_region.expect("chunk outside a region");
+        let hash = ContentHash::of(&raw);
+        self.stats.raw_chunk_bytes += raw.len() as u64;
+        self.chunks[region_seq].push(ChunkEntry {
+            runs,
+            hash,
+            raw_len: raw.len() as u64,
+        });
+        // An in-stream twin references content already staged (or shipped
+        // or confirmed present): the manifest entry above is all it
+        // costs.  `chunks_total` counts distinct content, matching
+        // [`ImageStore::replicate_to`]'s accounting.
+        if !self.seen.insert(hash) {
+            return Ok(());
+        }
+        self.stats.chunks_total += 1;
+        self.staged.push(StagedChunk { hash, raw });
+        if self.staged.len() >= HAS_CHUNKS_BATCH {
+            self.negotiate_and_ship()?;
+        }
+        Ok(())
+    }
+
+    /// One round of the dedup negotiation: ask the peer which staged
+    /// hashes it is missing, ship exactly those, drop the rest.
+    fn negotiate_and_ship(&mut self) -> Result<(), StoreError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let staged = std::mem::take(&mut self.staged);
+        // Staged hashes are distinct by construction (`seen`), so the
+        // whole batch is the query.
+        let to_query: Vec<ContentHash> = staged.iter().map(|c| c.hash).collect();
+        self.stats.has_batches += 1;
+        let present = with_transient_retry(&self.retries, || self.transport.has_chunks(&to_query))?;
+        if present.len() != to_query.len() {
+            return Err(protocol_violation(to_query.len(), present.len()));
+        }
+        for (chunk, is_present) in staged.into_iter().zip(present) {
+            if is_present {
+                // The peer already had this content.
+                self.stats.chunks_deduped += 1;
+                continue;
+            }
+            let raw_len = chunk.raw.len() as u64;
+            let (encoding, encoded) = encode(&chunk.raw, self.compression);
+            drop(chunk.raw);
+            let file_bytes = ChunkFile {
+                encoding,
+                raw_len,
+                encoded,
+            }
+            .to_bytes();
+            with_transient_retry(&self.retries, || {
+                self.transport.put_chunk(chunk.hash, &file_bytes)
+            })?;
+            self.stats.chunks_shipped += 1;
+            self.stats.bytes_shipped += file_bytes.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Completes the stream: ships the final batch, publishes the
+    /// manifest on the peer (strictly after every chunk landed) and
+    /// returns the peer-assigned image id plus the shipping stats.
+    pub fn finish(mut self) -> Result<(ImageId, ReplicateStats), StoreError> {
+        debug_assert!(
+            self.chunker.is_empty(),
+            "finish called with an unclosed region"
+        );
+        self.negotiate_and_ship()?;
+
+        // Deterministic manifest regardless of producer payload order
+        // (mirrors the local writer).
+        self.payloads.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let manifest = Manifest {
+            // The peer owns id allocation; 0 is the "unassigned" sentinel
+            // it rewrites on adoption.
+            image_id: ImageId(0),
+            parent: None,
+            taken_at_ns: self.taken_at_ns,
+            compression: self.compression,
+            regions: self
+                .regions
+                .iter()
+                .zip(self.chunks.iter())
+                .map(|(desc, chunks)| RegionEntry {
+                    start: desc.start.as_u64(),
+                    len: desc.len,
+                    prot: desc.prot,
+                    label: desc.label.clone(),
+                    chunks: chunks.clone(),
+                })
+                .collect(),
+            payloads: std::mem::take(&mut self.payloads),
+        };
+        let bytes = manifest.to_bytes();
+        let parent = self.parent;
+        let id = with_transient_retry(&self.retries, || {
+            self.transport.put_manifest(&bytes, parent)
+        })?;
+        self.stats.manifest_bytes = bytes.len() as u64;
+        self.stats.transient_retries = self.retries.load(Ordering::Relaxed);
+        self.stats.elapsed = self.started.elapsed();
+        Ok((id, self.stats))
+    }
+}
+
+impl ChunkSink for RemoteChunkSink<'_> {
+    fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), StoreError> {
+        debug_assert!(self.cur_region.is_none(), "begin_region while one is open");
+        self.cur_region = Some(self.regions.len());
+        self.regions.push(desc.clone());
+        self.chunks.push(Vec::new());
+        Ok(())
+    }
+
+    fn push_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), StoreError> {
+        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
+        debug_assert!(self.cur_region.is_some(), "push_run outside a region");
+        // The shared RunChunker guarantees writer-identical boundaries,
+        // so content hashes — and therefore cross-node dedup — are
+        // stable by construction.
+        let mut chunker = std::mem::take(&mut self.chunker);
+        let result = chunker.push(run, bytes, &mut |runs, raw| self.stage_chunk(runs, raw));
+        self.chunker = chunker;
+        result
+    }
+
+    fn end_region(&mut self) -> Result<(), StoreError> {
+        let mut chunker = std::mem::take(&mut self.chunker);
+        let result = chunker.flush(&mut |runs, raw| self.stage_chunk(runs, raw));
+        self.chunker = chunker;
+        result?;
+        debug_assert!(self.cur_region.is_some(), "end_region without begin");
+        self.cur_region = None;
+        Ok(())
+    }
+
+    fn push_payload(&mut self, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        self.payloads.push((name.to_string(), data.to_vec()));
+        Ok(())
+    }
+}
+
+/// [`ChunkFetch`] over a transport: `get_chunk`, then the same
+/// verification ladder the local fetch runs (CRC → decode → content
+/// hash) — a faulty peer surfaces as corruption, never as wrong memory.
+struct RemoteFetch<'t> {
+    transport: &'t dyn Transport,
+    label: PathBuf,
+}
+
+impl ChunkFetch for RemoteFetch<'_> {
+    fn fetch(
+        &self,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        let bytes = self.transport.get_chunk(hash)?;
+        let wire_bytes = bytes.len() as u64;
+        gauge.add(wire_bytes);
+        let result = verify_chunk_file_bytes(&self.label, &bytes, hash, raw_len, gauge);
+        drop(bytes);
+        gauge.sub(wire_bytes);
+        result.map(|raw| (raw, wire_bytes))
+    }
+}
+
+/// A [`ChunkSource`] streaming a remote image: the restore-side mirror of
+/// [`RemoteChunkSink`].  Construction fetches and CRC-verifies the
+/// manifest only (descriptors, payloads and the timestamp are available
+/// before any content moves); [`ChunkSource::stream_out`] then runs the
+/// shared parallel fetch pipeline against the transport — with bounded
+/// retry on transient faults — and splices verified chunks into the sink
+/// as they arrive, under the same
+/// [`crate::reader::restore_buffer_bound`] memory bound as a local
+/// restore.
+pub struct RemoteChunkSource<'t> {
+    transport: &'t dyn Transport,
+    manifest: Manifest,
+    label: PathBuf,
+    stats: ReadStats,
+}
+
+impl<'t> RemoteChunkSource<'t> {
+    /// Fetches and verifies the manifest of remote image `id`.
+    pub fn open(transport: &'t dyn Transport, id: ImageId) -> Result<Self, StoreError> {
+        let retries = AtomicUsize::new(0);
+        let bytes = with_transient_retry(&retries, || transport.get_manifest(id))?;
+        let label = PathBuf::from(format!("remote:{id}"));
+        let manifest =
+            Manifest::from_bytes(&bytes).map_err(|what| StoreError::corrupt(&label, what))?;
+        let stats = ReadStats {
+            manifest_bytes: bytes.len() as u64,
+            transient_retries: retries.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        Ok(Self {
+            transport,
+            manifest,
+            label,
+            stats,
+        })
+    }
+
+    /// Virtual time the stored checkpoint was taken.
+    pub fn taken_at_ns(&self) -> u64 {
+        self.manifest.taken_at_ns
+    }
+
+    /// A named plugin payload (inline manifest data, available without
+    /// fetching a single chunk).
+    pub fn payload(&self, name: &str) -> Option<&[u8]> {
+        self.manifest
+            .payloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Number of saved regions the image describes.
+    pub fn region_count(&self) -> usize {
+        self.manifest.regions.len()
+    }
+
+    /// What the read has cost so far (complete once
+    /// [`ChunkSource::stream_out`] returned).
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+}
+
+impl ChunkSource for RemoteChunkSource<'_> {
+    fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
+        let start = Instant::now();
+        declare_manifest(&self.manifest, sink)?;
+        let (plan, refs_total) = build_fetch_plan(&self.manifest, &self.label)?;
+        self.stats.chunks_cached = refs_total - plan.len();
+        let fetcher = RemoteFetch {
+            transport: self.transport,
+            label: self.label.clone(),
+        };
+        let result = run_fetch_pipeline(&plan, sink, &fetcher, &mut self.stats);
+        self.stats.elapsed = start.elapsed();
+        result
+    }
+}
+
+impl ImageStore {
+    /// Pushes image `id` to the peer behind `transport`, shipping only the
+    /// chunks the peer is missing (batched `has_chunks` negotiation) as
+    /// verbatim encoded chunk files, then publishing the manifest —
+    /// strictly last, so a crashed replication leaves at most orphan
+    /// chunks on the peer, never a visible torn image.  Returns the
+    /// peer-assigned id of the replica.
+    ///
+    /// Resumable: re-running after any interruption re-negotiates and
+    /// ships exactly the chunks that have not landed yet (a completed
+    /// replica re-replicates for the cost of the negotiation alone —
+    /// zero chunks travel).  Works on read-only stores: replication out
+    /// of a store a live writer holds is a reader-side operation.
+    pub fn replicate_to(
+        &self,
+        id: ImageId,
+        transport: &dyn Transport,
+    ) -> Result<(ImageId, ReplicateStats), StoreError> {
+        let started = Instant::now();
+        // One read serves both the chunk walk and the final publication —
+        // the manifest cannot vanish (or change) between the two.
+        let manifest_path = self.image_path(id);
+        let manifest_bytes = match std::fs::read(&manifest_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::UnknownImage(id))
+            }
+            Err(e) => return Err(StoreError::io(&manifest_path, e)),
+        };
+        let manifest = Manifest::from_bytes(&manifest_bytes)
+            .map_err(|what| StoreError::corrupt(&manifest_path, what))?;
+        let mut stats = ReplicateStats::default();
+        let retries = AtomicUsize::new(0);
+
+        // Distinct hashes in first-reference order.
+        let mut hashes: Vec<(ContentHash, u64)> = Vec::new();
+        let mut seen: HashSet<ContentHash> = HashSet::new();
+        for chunk in manifest.chunk_refs() {
+            stats.raw_chunk_bytes += chunk.raw_len;
+            if seen.insert(chunk.hash) {
+                hashes.push((chunk.hash, chunk.raw_len));
+            }
+        }
+        stats.chunks_total = hashes.len();
+
+        for batch in hashes.chunks(HAS_CHUNKS_BATCH) {
+            let query: Vec<ContentHash> = batch.iter().map(|(h, _)| *h).collect();
+            stats.has_batches += 1;
+            let present = with_transient_retry(&retries, || transport.has_chunks(&query))?;
+            if present.len() != query.len() {
+                return Err(protocol_violation(query.len(), present.len()));
+            }
+            for (&(hash, raw_len), is_present) in batch.iter().zip(present) {
+                if is_present {
+                    stats.chunks_deduped += 1;
+                    continue;
+                }
+                let path = self.chunk_path(hash);
+                let file_bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+                // Never ship bytes we would not accept ourselves: verify
+                // the local chunk before it crosses the wire, so a locally
+                // corrupted store fails the replication loudly instead of
+                // poisoning the peer.
+                let gauge = Gauge::default();
+                verify_chunk_file_bytes(&path, &file_bytes, hash, raw_len, &gauge)?;
+                with_transient_retry(&retries, || transport.put_chunk(hash, &file_bytes))?;
+                stats.chunks_shipped += 1;
+                stats.bytes_shipped += file_bytes.len() as u64;
+            }
+        }
+
+        // Chunks all landed: publish the manifest (its verbatim file
+        // bytes — the peer re-verifies the CRC and rewrites the identity).
+        let remote_id =
+            with_transient_retry(&retries, || transport.put_manifest(&manifest_bytes, None))?;
+        stats.manifest_bytes = manifest_bytes.len() as u64;
+        stats.transient_retries = retries.load(Ordering::Relaxed);
+        stats.elapsed = started.elapsed();
+        Ok((remote_id, stats))
+    }
+
+    /// Pulls remote image `remote_id` from the peer behind `transport`
+    /// into this store: fetches the manifest, fetches and fully verifies
+    /// the chunks missing locally (each made visible only via atomic
+    /// rename), then adopts the manifest under a fresh local id — the
+    /// pull mirror of [`ImageStore::replicate_to`], equally resumable.
+    pub fn replicate_from(
+        &self,
+        transport: &dyn Transport,
+        remote_id: ImageId,
+    ) -> Result<(ImageId, ReplicateStats), StoreError> {
+        self.check_writable()?;
+        // Hold the writer gate for the *whole* pull, exactly like a local
+        // streaming write: a concurrent deletion sweep must not reclaim
+        // the just-ingested (still manifest-less) chunks mid-replication
+        // and fail the final manifest adoption spuriously.
+        let _writing = self.writer_guard();
+        let started = Instant::now();
+        let mut stats = ReplicateStats::default();
+        let retries = AtomicUsize::new(0);
+        let manifest_bytes = with_transient_retry(&retries, || transport.get_manifest(remote_id))?;
+        let label = PathBuf::from(format!("remote:{remote_id}"));
+        let manifest = Manifest::from_bytes(&manifest_bytes)
+            .map_err(|what| StoreError::corrupt(&label, what))?;
+
+        let mut seen: HashSet<ContentHash> = HashSet::new();
+        for chunk in manifest.chunk_refs() {
+            stats.raw_chunk_bytes += chunk.raw_len;
+            if !seen.insert(chunk.hash) {
+                continue;
+            }
+            stats.chunks_total += 1;
+            if self.contains_chunk(chunk.hash) {
+                stats.chunks_deduped += 1;
+                continue;
+            }
+            let file_bytes = with_transient_retry(&retries, || transport.get_chunk(chunk.hash))?;
+            // The locked ingest re-verifies (CRC, decode, content hash)
+            // before the atomic rename publishes the chunk; we already
+            // hold the writer gate, so the `_locked` variant avoids a
+            // recursive read-lock.
+            self.ingest_chunk_file_locked(chunk.hash, &file_bytes)?;
+            stats.chunks_shipped += 1;
+            stats.bytes_shipped += file_bytes.len() as u64;
+        }
+
+        let id = self.adopt_manifest_locked(&manifest_bytes, None)?;
+        stats.manifest_bytes = manifest_bytes.len() as u64;
+        stats.transient_retries = retries.load(Ordering::Relaxed);
+        stats.elapsed = started.elapsed();
+        Ok((id, stats))
+    }
+}

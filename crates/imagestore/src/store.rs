@@ -41,7 +41,7 @@ use crac_dmtcp::CheckpointImage;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::StoreError;
-use crate::format::Manifest;
+use crate::format::{ChunkFile, Manifest};
 use crate::hash::ContentHash;
 use crate::lock;
 use crate::reader::{self, ReadStats};
@@ -282,6 +282,10 @@ impl ImageStore {
     /// Retention policy: keeps the newest `keep` images (by id) and
     /// deletes the rest, returning the deleted ids and what the sweep
     /// reclaimed.
+    ///
+    /// A half-failed batch does not lose its progress: the
+    /// [`StoreError::Partial`] it returns carries the ids that *were*
+    /// deleted and the [`DeleteStats`] of everything the sweep reclaimed.
     pub fn retain_last(&self, keep: usize) -> Result<(Vec<ImageId>, DeleteStats), StoreError> {
         let mut ids = self.image_ids()?;
         let cut = ids.len().saturating_sub(keep);
@@ -301,7 +305,9 @@ impl ImageStore {
     /// removed, the reachability sweep runs whenever anything was deleted
     /// (otherwise the deleted manifests' now-unreferenced chunks would
     /// leak until the *next* successful delete), and all failures are
-    /// aggregated into the returned error.
+    /// aggregated into a [`StoreError::Partial`] that carries the deleted
+    /// ids and the [`DeleteStats`] — the progress is reported, not
+    /// discarded.
     fn delete_images_with(
         &self,
         ids: &[ImageId],
@@ -320,15 +326,22 @@ impl ImageStore {
             }
         }
         let mut stats = DeleteStats::default();
+        let mut deleted: Vec<ImageId> = Vec::new();
         let mut errors: Vec<StoreError> = Vec::new();
         for &id in ids {
             let path = self.image_path(id);
             match remove(&path) {
-                Ok(()) => stats.images_deleted += 1,
+                Ok(()) => {
+                    stats.images_deleted += 1;
+                    deleted.push(id);
+                }
                 // Unknown ids were rejected above, so NotFound here means
                 // the manifest vanished mid-batch (an external actor): the
                 // goal state — count it so the sweep still runs.
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => stats.images_deleted += 1,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    stats.images_deleted += 1;
+                    deleted.push(id);
+                }
                 Err(e) => errors.push(StoreError::io(&path, e)),
             }
         }
@@ -340,7 +353,7 @@ impl ImageStore {
         if errors.is_empty() {
             Ok(stats)
         } else {
-            Err(StoreError::partial(errors))
+            Err(StoreError::partial(errors, stats, deleted))
         }
     }
 
@@ -441,6 +454,145 @@ impl ImageStore {
     /// Returns `true` if a chunk with this content is stored.
     pub fn contains_chunk(&self, hash: ContentHash) -> bool {
         self.index.lock().contains(hash)
+    }
+
+    /// Ingests one chunk delivered as verbatim chunk-*file* bytes (header,
+    /// CRC, encoded payload), verifying it end to end — CRC, decode, and
+    /// content hash against `hash` — before anything lands on disk.
+    /// Returns `false` (and writes nothing) if the chunk is already
+    /// present.
+    ///
+    /// This is how replicated chunks enter a store: the bytes appear under
+    /// their content-hash name only after full verification and an atomic
+    /// rename, so a crashed or lying sender can never leave a torn chunk
+    /// visible.
+    pub(crate) fn ingest_chunk_file(
+        &self,
+        hash: ContentHash,
+        file_bytes: &[u8],
+    ) -> Result<bool, StoreError> {
+        self.check_writable()?;
+        // Hold the writer gate like any other write: a concurrent deletion
+        // sweep must not race the index commit below.  (The gate is not
+        // re-entrant — callers already holding it use the `_locked`
+        // variant directly.)
+        let _writing = self.writer_guard();
+        self.ingest_chunk_file_locked(hash, file_bytes)
+    }
+
+    /// [`ImageStore::ingest_chunk_file`] for callers that already hold the
+    /// writer gate for a larger operation (a whole `replicate_from` pull).
+    pub(crate) fn ingest_chunk_file_locked(
+        &self,
+        hash: ContentHash,
+        file_bytes: &[u8],
+    ) -> Result<bool, StoreError> {
+        self.check_writable()?;
+        if self.contains_chunk(hash) {
+            return Ok(false);
+        }
+        let path = self.chunk_path(hash);
+        let view = ChunkFile::parse(file_bytes).map_err(|what| StoreError::corrupt(&path, what))?;
+        let raw = crate::codec::decode(view.encoding, view.encoded, view.raw_len as usize)
+            .ok_or_else(|| StoreError::corrupt(&path, "replicated chunk failed to decode"))?;
+        let actual = ContentHash::of(&raw);
+        if actual != hash {
+            return Err(StoreError::corrupt(
+                &path,
+                format!("replicated chunk hashes to {actual}, expected {hash}"),
+            ));
+        }
+        crate::writer::write_atomically(&path, file_bytes)?;
+        self.commit_chunks(&[hash]);
+        Ok(true)
+    }
+
+    /// Adopts a manifest replicated from another store: allocates a fresh
+    /// local id, rewrites the manifest's identity (`image_id` becomes the
+    /// local id, `parent` becomes `parent` — source-store lineage means
+    /// nothing here), and publishes it atomically.
+    ///
+    /// Refuses (without writing) unless every chunk the manifest
+    /// references is already present locally — the ship-chunks-first
+    /// ordering that keeps a half-replicated image invisible: a manifest
+    /// can never appear before the content it names.  The manifest's run
+    /// geometry is fully validated first (the same checks a restore
+    /// performs), so a lying peer cannot plant a visible-but-unrestorable
+    /// image.
+    pub(crate) fn adopt_manifest(
+        &self,
+        manifest_bytes: &[u8],
+        parent: Option<ImageId>,
+    ) -> Result<ImageId, StoreError> {
+        self.check_writable()?;
+        let _writing = self.writer_guard();
+        self.adopt_manifest_locked(manifest_bytes, parent)
+    }
+
+    /// [`ImageStore::adopt_manifest`] for callers that already hold the
+    /// writer gate.
+    pub(crate) fn adopt_manifest_locked(
+        &self,
+        manifest_bytes: &[u8],
+        parent: Option<ImageId>,
+    ) -> Result<ImageId, StoreError> {
+        self.check_writable()?;
+        let incoming = self.images_dir.join("incoming");
+        let mut manifest = Manifest::from_bytes(manifest_bytes)
+            .map_err(|what| StoreError::corrupt(&incoming, what))?;
+        // Validate run geometry exactly as a restore would (page-count
+        // overflows, runs exceeding their region, conflicting lengths):
+        // reject the image *before* publication instead of letting every
+        // later restore fail on it.
+        reader::build_fetch_plan(&manifest, &incoming)?;
+        let mut checked: HashSet<ContentHash> = HashSet::new();
+        for chunk in manifest.chunk_refs() {
+            if !self.contains_chunk(chunk.hash) {
+                return Err(StoreError::MissingChunk {
+                    hash: chunk.hash.to_hex(),
+                });
+            }
+            // The manifest's declared length must match what the stored
+            // chunk actually decodes to (header peek — cheap), or the
+            // image would be visible yet unrestorable.  build_fetch_plan
+            // pinned per-hash consistency, so once per distinct hash.
+            if checked.insert(chunk.hash) {
+                let actual = self.stored_chunk_raw_len(chunk.hash)?;
+                if actual != chunk.raw_len {
+                    return Err(StoreError::corrupt(
+                        &incoming,
+                        format!(
+                            "manifest declares chunk {} as {} bytes but the stored chunk holds {actual}",
+                            chunk.hash, chunk.raw_len
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(p) = parent {
+            if !self.contains_image(p) {
+                return Err(StoreError::UnknownImage(p));
+            }
+        }
+        let id = self.allocate_image_id();
+        manifest.image_id = id;
+        manifest.parent = parent;
+        crate::writer::write_atomically(&self.image_path(id), &manifest.to_bytes())?;
+        Ok(id)
+    }
+
+    /// Raw (decoded) length the stored chunk `hash` declares, read from
+    /// its fixed file header without touching the payload.
+    fn stored_chunk_raw_len(&self, hash: ContentHash) -> Result<u64, StoreError> {
+        use std::io::Read;
+        let path = self.chunk_path(hash);
+        let mut prefix = [0u8; ChunkFile::HEADER_PREFIX_LEN];
+        let mut file = fs::File::open(&path).map_err(|e| StoreError::io(&path, e))?;
+        file.read_exact(&mut prefix)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let (_, raw_len) =
+            ChunkFile::parse_header(&prefix).map_err(|what| StoreError::corrupt(&path, what))?;
+        Ok(raw_len)
     }
 
     // -- crate-internal plumbing used by the writer/reader --------------
@@ -598,6 +750,25 @@ mod tests {
             err.to_string().contains("injected removal failure"),
             "got: {err}"
         );
+        // Regression (PR 4 bug): the error used to discard the batch's
+        // progress — callers could not tell what *was* reclaimed.  The
+        // `Partial` variant now carries the delete stats and the ids.
+        match &err {
+            StoreError::Partial {
+                errors,
+                stats,
+                deleted,
+            } => {
+                assert_eq!(errors.len(), 1);
+                assert_eq!(stats.images_deleted, 2, "a and c were still deleted");
+                assert_eq!(deleted, &vec![a, c]);
+                assert!(
+                    stats.chunks_deleted > 0 && stats.chunk_bytes_reclaimed > 0,
+                    "the sweep's progress is reported too: {stats:?}"
+                );
+            }
+            other => panic!("expected Partial carrying progress, got {other:?}"),
+        }
 
         let after = store.stats().unwrap();
         assert_eq!(after.images, 1, "the two removable manifests are gone");
@@ -612,8 +783,8 @@ mod tests {
         assert!(!store.contains_image(c));
     }
 
-    /// Several failures in one batch aggregate into `Partial` (a single
-    /// failure stays itself — asserted above).
+    /// Several failures in one batch aggregate into `Partial`, which still
+    /// reports the one deletion that went through.
     #[test]
     fn multiple_delete_failures_aggregate() {
         let dir = TempDir::new("gc-partial-many");
@@ -632,7 +803,15 @@ mod tests {
             })
             .unwrap_err();
         match err {
-            StoreError::Partial { errors } => assert_eq!(errors.len(), 2),
+            StoreError::Partial {
+                errors,
+                stats,
+                deleted,
+            } => {
+                assert_eq!(errors.len(), 2);
+                assert_eq!(stats.images_deleted, 1);
+                assert_eq!(deleted, vec![c]);
+            }
             other => panic!("expected Partial, got {other:?}"),
         }
         // `c` was deleted and swept regardless.

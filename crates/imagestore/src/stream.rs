@@ -7,8 +7,10 @@
 //! flow through it straight into chunk files without the image ever being
 //! materialised), but the trait is deliberately store-agnostic — a remote
 //! or replicated backend implements the same four methods and every
-//! producer (the DMTCP coordinator, an in-memory image, a future
-//! migration source) works against it unchanged.
+//! producer (the DMTCP coordinator, an in-memory image, a migration
+//! source) works against it unchanged —
+//! [`crate::remote::RemoteChunkSink`] is exactly that: the same records,
+//! shipped to a peer over a [`crate::transport::Transport`].
 //!
 //! **Restore (read)** — the mirror image: anything that can deliver a
 //! stored image's content chunk by chunk is a [`ChunkSource`], and
@@ -19,7 +21,9 @@
 //! order, `RegionSink` declares every region up front and then accepts
 //! page runs in *arbitrary* order, each tagged with its target region —
 //! the contract that lets the splice overlap fetch/verify with no
-//! barrier.  A remote chunk backend slots in as another `ChunkSource`.
+//! barrier.  [`crate::remote::RemoteChunkSource`] slots in as exactly
+//! such another `ChunkSource`, fetching over a transport instead of from
+//! the chunk directory.
 //!
 //! [`SinkBridge`] adapts a `ChunkSink` to `crac_dmtcp`'s
 //! [`CheckpointSink`] so the coordinator — which cannot depend on this

@@ -50,7 +50,7 @@ use crac_addrspace::{PageRun, PAGE_SIZE};
 use crac_dmtcp::RegionDescriptor;
 use parking_lot::Mutex;
 
-use crate::chunk::CHUNK_PAGES;
+use crate::chunk::{RunChunker, CHUNK_PAGES};
 use crate::codec::{encode, Compression, Encoding};
 use crate::error::StoreError;
 use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
@@ -229,9 +229,7 @@ pub struct StreamWriter<'s> {
 
     // Chunker state for the currently open region.
     cur_region: Option<usize>,
-    cur_runs: Vec<PageRun>,
-    cur_buf: Vec<u8>,
-    cur_pages: u64,
+    chunker: RunChunker,
 
     // Manifest accumulation.
     regions: Vec<RegionDescriptor>,
@@ -305,9 +303,7 @@ impl<'s> StreamWriter<'s> {
             encoders,
             io_thread: Some(io_thread),
             cur_region: None,
-            cur_runs: Vec::new(),
-            cur_buf: Vec::new(),
-            cur_pages: 0,
+            chunker: RunChunker::default(),
             regions: Vec::new(),
             chunks: Vec::new(),
             payloads: Vec::new(),
@@ -331,16 +327,10 @@ impl<'s> StreamWriter<'s> {
         Ok(())
     }
 
-    /// Submits the staged chunk to the encoders (blocking while the job
+    /// Submits one packed chunk to the encoders (blocking while the job
     /// queue is full — that backpressure is what bounds the producer).
-    fn flush_chunk(&mut self) -> Result<(), StoreError> {
-        if self.cur_runs.is_empty() {
-            return Ok(());
-        }
+    fn submit_chunk(&mut self, runs: Vec<PageRun>, raw: Vec<u8>) -> Result<(), StoreError> {
         let region_seq = self.cur_region.expect("chunk outside a region");
-        let raw = std::mem::take(&mut self.cur_buf);
-        let runs = std::mem::take(&mut self.cur_runs);
-        self.cur_pages = 0;
         self.raw_chunk_bytes += raw.len() as u64;
         self.gauge.add(raw.len() as u64);
         let chunk_seq = self.chunks[region_seq].len();
@@ -384,7 +374,7 @@ impl<'s> StreamWriter<'s> {
     /// the manifest, and commits the new chunks to the store index.
     pub(crate) fn finish(mut self) -> Result<(Manifest, WriteStats), StoreError> {
         debug_assert!(
-            self.cur_runs.is_empty(),
+            self.chunker.is_empty(),
             "finish called with an unclosed region"
         );
         self.shutdown_pipeline();
@@ -503,31 +493,20 @@ impl ChunkSink for StreamWriter<'_> {
         self.check_failed()?;
         debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
         debug_assert!(self.cur_region.is_some(), "push_run outside a region");
-        // Pack the run into ≤CHUNK_PAGES-page chunks, splitting at chunk
-        // boundaries exactly as the legacy chunker did so content hashes —
-        // and therefore dedup against pre-streaming stores — are stable.
-        let mut first = run.first;
-        let mut offset = 0usize;
-        let mut remaining = run.count;
-        while remaining > 0 {
-            let space = CHUNK_PAGES - self.cur_pages;
-            let take = remaining.min(space);
-            let len = (take * PAGE_SIZE) as usize;
-            self.cur_runs.push(PageRun { first, count: take });
-            self.cur_buf.extend_from_slice(&bytes[offset..offset + len]);
-            self.cur_pages += take;
-            first += take;
-            offset += len;
-            remaining -= take;
-            if self.cur_pages == CHUNK_PAGES {
-                self.flush_chunk()?;
-            }
-        }
-        Ok(())
+        // The shared RunChunker splits at the same boundaries for every
+        // sink, so content hashes — and therefore dedup against other
+        // stores and nodes — are stable by construction.
+        let mut chunker = std::mem::take(&mut self.chunker);
+        let result = chunker.push(run, bytes, &mut |runs, raw| self.submit_chunk(runs, raw));
+        self.chunker = chunker;
+        result
     }
 
     fn end_region(&mut self) -> Result<(), StoreError> {
-        self.flush_chunk()?;
+        let mut chunker = std::mem::take(&mut self.chunker);
+        let result = chunker.flush(&mut |runs, raw| self.submit_chunk(runs, raw));
+        self.chunker = chunker;
+        result?;
         debug_assert!(self.cur_region.is_some(), "end_region without begin");
         self.cur_region = None;
         Ok(())

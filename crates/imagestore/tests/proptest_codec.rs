@@ -1,0 +1,92 @@
+//! Property tests pinning the codec's size invariant: the encoder may
+//! never store more bytes than raw.
+//!
+//! `rle_encode`'s worst case is pathological — alternating bytes cost two
+//! output bytes per input byte, a 2× blow-up — so the write path *must*
+//! fall back to `Raw` whenever RLE does not strictly shrink.  These
+//! properties make the invariant `encoded.len() <= raw.len()` impossible
+//! to regress silently, across compressible, incompressible and
+//! adversarial inputs, and check the round trip while at it.
+
+use crac_imagestore::codec::{decode, encode, Compression, Encoding};
+use proptest::prelude::*;
+
+/// Buffers biased toward the shapes that matter: long runs (RLE's best
+/// case), alternating bytes (its provable worst case), random noise
+/// (incompressible), and mixtures of all three.
+fn buffer_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Pure run: `len` copies of one byte.
+        (0usize..4096, any::<u8>()).prop_map(|(len, b)| vec![b; len]),
+        // Alternating pair — the adversarial 2× blow-up input.
+        (0usize..4096, any::<u8>(), any::<u8>())
+            .prop_map(|(len, a, b)| (0..len).map(|i| if i % 2 == 0 { a } else { b }).collect()),
+        // Random noise.
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        // Runs of random lengths stitched together.
+        proptest::collection::vec((1usize..300, any::<u8>()), 0..24).prop_map(|runs| {
+            let mut out = Vec::new();
+            for (len, b) in runs {
+                out.extend(std::iter::repeat_n(b, len));
+            }
+            out
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The invariant the write path relies on: under every policy, the
+    /// stored bytes never exceed the raw bytes — the encoder falls back
+    /// to `Raw` whenever RLE fails to strictly shrink.
+    #[test]
+    fn encoded_never_exceeds_raw(raw in buffer_strategy()) {
+        for policy in [Compression::None, Compression::Rle] {
+            let (encoding, data) = encode(&raw, policy);
+            prop_assert!(
+                data.len() <= raw.len(),
+                "{policy:?}/{encoding:?} stored {} bytes for {} raw",
+                data.len(),
+                raw.len()
+            );
+            // And when RLE *is* chosen it strictly shrank.
+            if encoding == Encoding::Rle {
+                prop_assert!(data.len() < raw.len());
+            }
+        }
+    }
+
+    /// Whatever the encoder chose decodes back byte-identically.
+    #[test]
+    fn encode_decode_round_trips(raw in buffer_strategy()) {
+        let (encoding, data) = encode(&raw, Compression::Rle);
+        let back = decode(encoding, &data, raw.len());
+        prop_assert_eq!(back.as_deref(), Some(&raw[..]));
+    }
+}
+
+/// The deterministic pin of the worst case itself: alternating bytes make
+/// `rle_encode` produce exactly 2× raw, so `encode` must choose `Raw`.
+#[test]
+fn alternating_bytes_fall_back_to_raw() {
+    let raw: Vec<u8> = (0..4096)
+        .map(|i| if i % 2 == 0 { 0xAA } else { 0x55 })
+        .collect();
+    let (encoding, data) = encode(&raw, Compression::Rle);
+    assert_eq!(
+        encoding,
+        Encoding::Raw,
+        "worst case must not be stored as RLE"
+    );
+    assert_eq!(data, raw);
+}
+
+/// Boundary: the empty buffer encodes to the empty buffer, as `Raw`
+/// (zero is not strictly smaller than zero).
+#[test]
+fn empty_buffer_is_raw() {
+    let (encoding, data) = encode(&[], Compression::Rle);
+    assert_eq!(encoding, Encoding::Raw);
+    assert!(data.is_empty());
+}

@@ -38,11 +38,14 @@ pub mod prelude {
     pub use crac_addrspace::{Addr, SharedSpace};
     pub use crac_core::{
         CkptReport, CracConfig, CracError, CracEvent, CracFatBinary, CracKernel, CracProcess,
-        CracStream, KernelRegistry, RestartReport, StoredCkptReport,
+        CracStream, KernelRegistry, RemoteCkptReport, RestartReport, StoredCkptReport,
     };
     pub use crac_cudart::{CudaRuntime, MemcpyKind, RuntimeConfig};
     pub use crac_gpu::{DeviceProfile, KernelCost, LaunchDims};
-    pub use crac_imagestore::{Compression, ImageId, ImageStore, WriteOptions};
+    pub use crac_imagestore::{
+        Compression, FaultConfig, FaultyTransport, ImageId, ImageStore, LoopbackTransport,
+        Transport, WriteOptions,
+    };
     pub use crac_workloads::{run_crac, run_crac_with_checkpoint, run_native, Session};
 }
 

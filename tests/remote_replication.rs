@@ -1,0 +1,237 @@
+//! Simulated live migration, end to end: a `CracProcess` checkpoints on
+//! "node A", the image replicates over the transport seam to "node B",
+//! and a fresh process restarts from B — byte-identical memory, dedup
+//! proven at the transport level, and the bounded-memory guarantee intact
+//! across the network hop.  The fault-injecting transport then proves the
+//! restore survives transient faults via bounded retry.
+
+use std::sync::Arc;
+
+use crac_repro::imagestore::testutil::TempDir;
+use crac_repro::imagestore::{restore_buffer_bound, MAX_TRANSIENT_RETRIES};
+use crac_repro::prelude::*;
+
+fn registry() -> Arc<KernelRegistry> {
+    Arc::new(KernelRegistry::new())
+}
+
+/// 4 MiB of heap with a distinct stamp on every page, so the image is a
+/// multi-chunk, dedup-resistant payload.
+fn dirty_heap(proc: &CracProcess, footprint: u64) -> Addr {
+    let heap = proc.heap_alloc(footprint).unwrap();
+    for mib in 0..(footprint >> 20) {
+        let base = heap + (mib << 20);
+        proc.space().fill(base, 1 << 20, 0x40 + mib as u8).unwrap();
+        for page in 0..(1u64 << 20) / 4096 {
+            proc.space()
+                .write_bytes(base + page * 4096, &((mib << 32) | page).to_le_bytes())
+                .unwrap();
+        }
+    }
+    heap
+}
+
+#[test]
+fn live_migration_checkpoint_replicate_restart() {
+    const FOOTPRINT: u64 = 4 << 20;
+    let proc = CracProcess::launch(CracConfig::test("migrate"), registry());
+    let heap = dirty_heap(&proc, FOOTPRINT);
+
+    // Checkpoint on node A.
+    let dir_a = TempDir::new("migrate-a");
+    let store_a = ImageStore::open(dir_a.path()).unwrap();
+    let stored = proc
+        .checkpoint_to_store(&store_a, WriteOptions::full())
+        .unwrap();
+
+    // Replicate A → B over the loopback transport.
+    let dir_b = TempDir::new("migrate-b");
+    let store_b = ImageStore::open(dir_b.path()).unwrap();
+    let to_b = LoopbackTransport::new(&store_b);
+    let (remote_id, rep) = store_a.replicate_to(stored.image_id, &to_b).unwrap();
+    assert!(rep.chunks_shipped > 50, "a real multi-chunk image: {rep:?}");
+    assert_eq!(rep.chunks_shipped + rep.chunks_deduped, rep.chunks_total);
+
+    // Restart from node B, straight over the transport.
+    let (restarted, report, read_stats) =
+        CracProcess::restart_from_remote(&to_b, remote_id, CracConfig::test("migrate"), registry())
+            .unwrap();
+    assert!(report.restart_time_s > 0.0);
+
+    // Byte-identical memory: probe a stamped page deep in the heap.
+    let mut probe = vec![0u8; 4096];
+    restarted
+        .space()
+        .read_bytes(heap + (2 << 20) + 9 * 4096, &mut probe)
+        .unwrap();
+    let mut expect = vec![0x42u8; 4096];
+    expect[..8].copy_from_slice(&((2u64 << 32) | 9).to_le_bytes());
+    assert_eq!(probe, expect, "migrated memory restored byte-identically");
+
+    // The bounded-buffer guarantee holds across the network hop too.
+    let bound = restore_buffer_bound(read_stats.threads_used);
+    assert!(
+        read_stats.peak_buffered_bytes <= bound,
+        "remote restore buffered {} bytes, bound is {bound}",
+        read_stats.peak_buffered_bytes
+    );
+    assert!(
+        read_stats.peak_buffered_bytes * 4 <= FOOTPRINT,
+        "streaming, not materialising"
+    );
+
+    // An incremental child checkpoint replicates by shipping only the
+    // chunks the destination is missing.
+    proc.space().fill(heap + 5 * 4096, 3 * 4096, 0xEE).unwrap();
+    let child = proc
+        .checkpoint_to_store(&store_a, WriteOptions::full())
+        .unwrap();
+    assert_eq!(child.parent, Some(stored.image_id), "automatic lineage");
+    let puts_before = to_b.stats().chunks_put;
+    let (child_remote, child_rep) = store_a.replicate_to(child.image_id, &to_b).unwrap();
+    assert!(
+        child_rep.chunks_shipped < child_rep.chunks_total / 4,
+        "small dirty delta ships a small fraction: {child_rep:?}"
+    );
+    assert_eq!(
+        to_b.stats().chunks_put - puts_before,
+        child_rep.chunks_shipped,
+        "transport-level put count agrees"
+    );
+
+    // Replicating the same child again ships zero chunks.
+    let puts_before = to_b.stats().chunks_put;
+    let (_, again) = store_a.replicate_to(child.image_id, &to_b).unwrap();
+    assert_eq!(
+        again.chunks_shipped, 0,
+        "second replication is metadata-only"
+    );
+    assert_eq!(to_b.stats().chunks_put, puts_before);
+
+    // And the child restores from B, with the mutation visible.
+    let (restarted2, _, _) = CracProcess::restart_from_remote(
+        &to_b,
+        child_remote,
+        CracConfig::test("migrate"),
+        registry(),
+    )
+    .unwrap();
+    let mut probe = vec![0u8; 4096];
+    restarted2
+        .space()
+        .read_bytes(heap + 6 * 4096, &mut probe)
+        .unwrap();
+    assert!(probe.iter().all(|&b| b == 0xEE), "child delta restored");
+}
+
+#[test]
+fn restore_survives_transient_transport_faults() {
+    const FOOTPRINT: u64 = 2 << 20;
+    let proc = CracProcess::launch(CracConfig::test("flaky-restore"), registry());
+    let heap = dirty_heap(&proc, FOOTPRINT);
+
+    let dir = TempDir::new("flaky-node");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let stored = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    // Every chunk's first two fetches fail; bounded retry absorbs it.
+    let loopback = LoopbackTransport::new(&store);
+    let flaky = FaultyTransport::new(
+        &loopback,
+        FaultConfig {
+            transient_get_attempts: 2,
+            jitter: std::time::Duration::from_micros(200),
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let (restarted, _, read_stats) = CracProcess::restart_from_remote(
+        &flaky,
+        stored.image_id,
+        CracConfig::test("flaky-restore"),
+        registry(),
+    )
+    .unwrap();
+    assert!(
+        read_stats.transient_retries >= read_stats.chunks_read * 2,
+        "every chunk needed its retries: {read_stats:?}"
+    );
+    assert!(flaky.faults_injected() > 0);
+
+    let mut probe = vec![0u8; 8];
+    restarted
+        .space()
+        .read_bytes(heap + (1 << 20) + 3 * 4096, &mut probe)
+        .unwrap();
+    assert_eq!(probe, ((1u64 << 32) | 3).to_le_bytes());
+
+    // A permanently dead link fails cleanly (transient, not corruption).
+    let dead = FaultyTransport::new(
+        &loopback,
+        FaultConfig {
+            transient_get_attempts: MAX_TRANSIENT_RETRIES + 1,
+            ..Default::default()
+        },
+    );
+    let dead_result = CracProcess::restart_from_remote(
+        &dead,
+        stored.image_id,
+        CracConfig::test("flaky-restore"),
+        registry(),
+    );
+    match dead_result {
+        Err(CracError::Store(what)) => {
+            assert!(what.contains("transient"), "got: {what}")
+        }
+        Err(other) => panic!("expected a store error, got {other}"),
+        Ok(_) => panic!("a dead link must not restore"),
+    }
+}
+
+#[test]
+fn checkpoint_streams_directly_to_a_remote_peer() {
+    const FOOTPRINT: u64 = 2 << 20;
+    let proc = CracProcess::launch(CracConfig::test("remote-ckpt"), registry());
+    let heap = dirty_heap(&proc, FOOTPRINT);
+
+    // No local store at all: the checkpoint walk ships straight to B.
+    let dir_b = TempDir::new("remote-ckpt-b");
+    let store_b = ImageStore::open(dir_b.path()).unwrap();
+    let to_b = LoopbackTransport::new(&store_b);
+    let report = proc
+        .checkpoint_to_remote(&to_b, Compression::None, None)
+        .unwrap();
+    assert!(report.replicate.chunks_shipped > 0);
+    assert!(report.image_bytes >= FOOTPRINT);
+    assert!(report.ckpt_time_s > 0.0);
+
+    // A second remote checkpoint of the unchanged process dedups almost
+    // everything (only freshly-dirtied bookkeeping pages ship).
+    let report2 = proc
+        .checkpoint_to_remote(&to_b, Compression::None, Some(report.image_id))
+        .unwrap();
+    assert!(
+        report2.replicate.chunks_deduped * 2 >= report2.replicate.chunks_total,
+        "unchanged content dedups: {:?}",
+        report2.replicate
+    );
+    let info = store_b.image_info(report2.image_id).unwrap();
+    assert_eq!(info.parent, Some(report.image_id), "peer-side lineage kept");
+
+    // The remotely-written image restores like any other.
+    let (restarted, _, _) = CracProcess::restart_from_remote(
+        &to_b,
+        report.image_id,
+        CracConfig::test("remote-ckpt"),
+        registry(),
+    )
+    .unwrap();
+    let mut probe = vec![0u8; 8];
+    restarted
+        .space()
+        .read_bytes(heap + 7 * 4096, &mut probe)
+        .unwrap();
+    assert_eq!(probe, 7u64.to_le_bytes());
+}
