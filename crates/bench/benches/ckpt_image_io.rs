@@ -296,6 +296,68 @@ fn bench_image_io(c: &mut Criterion) {
         );
     }
 
+    // The same replication over real localhost TCP — the pooled,
+    // authenticated client against the thread-per-connection server —
+    // measuring what the socket, framing and auth handshake add on top
+    // of the in-process loopback numbers above.
+    {
+        use crac_imagestore::net::{serve_on, TcpTransport};
+        use std::sync::Arc;
+        const SECRET: &[u8] = b"bench-secret";
+        let mut group = c.benchmark_group("ckpt_image_io_replicate_tcp");
+        group.sample_size(10);
+        let src_dir = TempDir::new("bench-tcp-src");
+        let src = ImageStore::open(src_dir.path()).unwrap();
+        let (parent, _) = src.write_image(&image, &WriteOptions::full()).unwrap();
+        let (child, _) = src
+            .write_image(&incremental, &WriteOptions::incremental(parent))
+            .unwrap();
+        group.bench_function("tcp_replicate_cold", |b| {
+            b.iter(|| {
+                let dst_dir = TempDir::new("bench-tcp-cold");
+                let dst = Arc::new(ImageStore::open(dst_dir.path()).unwrap());
+                let server = serve_on("127.0.0.1:0", Arc::clone(&dst), SECRET).unwrap();
+                let tcp = TcpTransport::connect(server.local_addr(), SECRET).unwrap();
+                let out = src.replicate_to(parent, &tcp).unwrap();
+                server.shutdown();
+                out
+            })
+        });
+        group.bench_function("tcp_replicate_incremental_5pct", |b| {
+            b.iter(|| {
+                let dst_dir = TempDir::new("bench-tcp-warm");
+                let dst = Arc::new(ImageStore::open(dst_dir.path()).unwrap());
+                let server = serve_on("127.0.0.1:0", Arc::clone(&dst), SECRET).unwrap();
+                let tcp = TcpTransport::connect(server.local_addr(), SECRET).unwrap();
+                src.replicate_to(parent, &tcp).unwrap();
+                let out = src.replicate_to(child, &tcp).unwrap();
+                server.shutdown();
+                out
+            })
+        });
+        group.finish();
+
+        // Wire-volume report straight off the server's frame counters.
+        let dst_dir = TempDir::new("bench-tcp-report");
+        let dst = Arc::new(ImageStore::open(dst_dir.path()).unwrap());
+        let server = serve_on("127.0.0.1:0", Arc::clone(&dst), SECRET).unwrap();
+        let tcp = TcpTransport::connect(server.local_addr(), SECRET).unwrap();
+        let (_, cold) = src.replicate_to(parent, &tcp).unwrap();
+        let (_, warm) = src.replicate_to(child, &tcp).unwrap();
+        let stats = server.stats();
+        println!(
+            "\nckpt_image_io replicate_tcp: server received {} chunk frames / {} KiB \
+             (cold {} + incremental {}); pool opened {} connection(s), peak in use {}",
+            stats.chunk_frames_received,
+            stats.chunk_bytes_received >> 10,
+            cold.chunks_shipped,
+            warm.chunks_shipped,
+            tcp.stats().connections_opened,
+            tcp.stats().peak_connections_in_use,
+        );
+        server.shutdown();
+    }
+
     // Storage-volume report (the store's reason to exist).
     let dir = TempDir::new("bench-report");
     let store = ImageStore::open(dir.path()).unwrap();

@@ -743,7 +743,10 @@ impl CracProcess {
     ///
     /// This is the live-migration write path: checkpoint on node A,
     /// restart on node B via [`CracProcess::restart_from_remote`], with
-    /// nothing but the transport between them.
+    /// nothing but the transport between them — over a real socket with
+    /// `crac_imagestore::net::TcpTransport` (pooled, authenticated
+    /// localhost/TCP connections), or in-process with
+    /// `LoopbackTransport`; this method cannot tell the difference.
     pub fn checkpoint_to_remote(
         &self,
         transport: &dyn Transport,

@@ -54,6 +54,17 @@ pub enum StoreError {
         /// Human-readable description of the failure.
         what: String,
     },
+    /// The other side of a streaming or wire protocol broke its contract —
+    /// a producer pushing a run outside any region, a peer answering the
+    /// wrong number of `has_chunks` flags, an unauthenticated client
+    /// issuing store requests.  Permanent (the same exchange fails the
+    /// same way on every retry) but *not* corruption: no stored bytes are
+    /// implicated, only the conversation.  A misbehaving peer surfaces as
+    /// this error on the wire; it must never abort the process.
+    Protocol {
+        /// Which contract was broken, and how.
+        what: String,
+    },
     /// A batched deletion ([`crate::ImageStore::delete_image`] /
     /// [`crate::ImageStore::retain_last`]) hit one or more failures.  The
     /// operation was *not* abandoned at the first error — everything that
@@ -92,6 +103,10 @@ impl StoreError {
 
     pub(crate) fn transient(what: impl Into<String>) -> Self {
         StoreError::Transient { what: what.into() }
+    }
+
+    pub(crate) fn protocol(what: impl Into<String>) -> Self {
+        StoreError::Protocol { what: what.into() }
     }
 
     /// Wraps the failures of a batched deletion together with what the
@@ -158,6 +173,7 @@ impl fmt::Display for StoreError {
             ),
             StoreError::Busy { what } => write!(f, "store is busy: {what}"),
             StoreError::Transient { what } => write!(f, "transient transport failure: {what}"),
+            StoreError::Protocol { what } => write!(f, "protocol violation: {what}"),
             StoreError::Partial {
                 errors,
                 stats,

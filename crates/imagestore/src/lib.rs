@@ -32,15 +32,23 @@
 //!   [`MaterialiseSink`].
 //! * **Remote replication** ([`transport`], [`remote`]): a [`Transport`]
 //!   trait (batched `has_chunks`, `put_chunk`/`get_chunk`,
-//!   `list/get/put_manifest`) is the wire seam a TCP or object-store
-//!   backend plugs into; [`LoopbackTransport`] (backed by a second store)
-//!   and the fault-injecting [`FaultyTransport`] serve the networkless
-//!   build environment.  `ImageStore::replicate_to`/`replicate_from`
-//!   ship only missing chunks (restic/borg-style negotiation, resumable
-//!   after interruption), [`RemoteChunkSink`] streams a live checkpoint
-//!   straight to a peer, and [`RemoteChunkSource`] restores from one
-//!   through the same bounded parallel fetch pipeline as a local read —
-//!   with bounded retry on transient transport faults.
+//!   `list/get/put_manifest`) is the wire seam transport backends plug
+//!   into; [`LoopbackTransport`] (backed by a second store) and the
+//!   fault-injecting [`FaultyTransport`] serve in-process testing.
+//!   `ImageStore::replicate_to`/`replicate_from` ship only missing chunks
+//!   (restic/borg-style negotiation, resumable after interruption),
+//!   [`RemoteChunkSink`] streams a live checkpoint straight to a peer,
+//!   and [`RemoteChunkSource`] restores from one through the same bounded
+//!   parallel fetch pipeline as a local read — with bounded,
+//!   backoff-spaced retry on transient transport faults.
+//! * **TCP network transport** ([`net`]): the trait over a real wire —
+//!   length-prefixed, CRC-trailed frames on `std::net::TcpStream`
+//!   ([`net::frame`]), a thread-per-connection server dispatching into
+//!   the store ([`net::server`]), a pooled-connection client
+//!   ([`TcpTransport`]) so parallel restores ride N sockets, and a
+//!   mutual shared-secret auth handshake gating every connection
+//!   ([`net::auth`]).  Everything above the trait runs over it
+//!   unchanged.
 //! * **Administration** ([`store`], [`lock`]): a PID-keyed cross-process
 //!   writer lock (`store.lock`; stale locks stolen via an atomic
 //!   rename-and-reverify, dead claimants' litter swept on open;
@@ -63,6 +71,7 @@ pub mod error;
 pub mod format;
 pub mod hash;
 pub mod lock;
+pub mod net;
 pub(crate) mod pipeline;
 pub mod reader;
 pub mod remote;
@@ -77,6 +86,7 @@ pub use codec::Compression;
 pub use coordext::{drive_checkpoint_streaming, drive_restore_streaming, CoordinatorStoreExt};
 pub use error::StoreError;
 pub use hash::ContentHash;
+pub use net::{NetServerStats, ServerHandle, TcpTransport, TcpTransportStats};
 pub use reader::{restore_buffer_bound, ReadStats, StreamReader};
 pub use remote::{RemoteChunkSink, RemoteChunkSource, ReplicateStats};
 pub use store::{DeleteStats, ImageId, ImageInfo, ImageStore, StoreStats};

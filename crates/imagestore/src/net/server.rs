@@ -1,0 +1,439 @@
+//! The TCP serving side: an accept loop exposing one [`ImageStore`] to
+//! authenticated peers over the frame protocol.
+//!
+//! Thread-per-connection — checkpoint replication is a small number of
+//! high-throughput streams, not ten thousand idle sockets, so the simplest
+//! concurrency model is also the right one.  Each connection runs the
+//! [`crate::net::auth`] handshake first; every request before `AuthOk`
+//! is refused with a [`ErrClass::Protocol`](crate::net::frame::ErrClass)
+//! error and the connection dropped, so an unauthenticated client can
+//! never reach a store operation.  After auth, requests dispatch into the
+//! same store surface [`crate::transport::LoopbackTransport`] uses
+//! (`ingest_chunk_file`, `adopt_manifest`, `read_chunk_file_bytes`, …),
+//! which is what makes the error classification identical across
+//! transports — including `MissingChunk` for a `get_chunk` racing GC.
+//!
+//! Server-side failures answer as classified [`Frame::Err`] frames and
+//! the connection lives on: a misbehaving producer surfaces as an error
+//! on the wire, never a process abort.  Only a *framing* violation (bad
+//! CRC, oversized length) closes the connection — after garbage the
+//! stream position can no longer be trusted.
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop, severs every live
+//! connection and joins all threads; dropping the handle does the same.
+//! Tests use the same mechanism as a deterministic "node died
+//! mid-transfer" switch.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::StoreError;
+use crate::net::auth;
+use crate::net::frame::{read_frame, write_frame, Frame, FrameError, WireError};
+use crate::store::ImageStore;
+
+/// How long the server waits for each handshake frame before giving up on
+/// the connection — a client that dials and goes silent must not pin a
+/// thread forever.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Snapshot of a server's operation counters — the observable the TCP
+/// replication tests pin dedup down with (second replication of the same
+/// image ⇒ zero `chunk_frames_received`) and pooled-connection fan-out
+/// with (`get_connections` ≥ 2 under a parallel restore).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted (authenticated or not).
+    pub connections_accepted: usize,
+    /// Connections refused during the auth handshake.
+    pub auth_failures: usize,
+    /// Requests served after auth (all kinds).
+    pub frames_served: usize,
+    /// `has_chunks` negotiation batches answered.
+    pub has_batches: usize,
+    /// `put_chunk` frames received (including rejected ones — this counts
+    /// what crossed the wire, dedup is proven by it staying flat).
+    pub chunk_frames_received: usize,
+    /// Chunk-file bytes received in those frames.
+    pub chunk_bytes_received: u64,
+    /// Chunks served via `get_chunk`.
+    pub chunks_served: usize,
+    /// Chunk-file bytes served.
+    pub chunk_bytes_served: u64,
+    /// Distinct connections that served at least one `get_chunk` — the
+    /// proof that a parallel restore actually fanned out over the client's
+    /// connection pool instead of serialising on one socket.
+    pub get_connections: usize,
+    /// Manifests received via `put_manifest` (accepted or not).
+    pub manifest_frames_received: usize,
+    /// Manifests served via `get_manifest`.
+    pub manifests_served: usize,
+    /// Error frames sent back to clients.
+    pub errors_sent: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicUsize,
+    auth_failures: AtomicUsize,
+    frames_served: AtomicUsize,
+    has_batches: AtomicUsize,
+    chunk_frames_received: AtomicUsize,
+    chunk_bytes_received: AtomicU64,
+    chunks_served: AtomicUsize,
+    chunk_bytes_served: AtomicU64,
+    get_connections: AtomicUsize,
+    manifest_frames_received: AtomicUsize,
+    manifests_served: AtomicUsize,
+    errors_sent: AtomicUsize,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetServerStats {
+        NetServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
+            frames_served: self.frames_served.load(Ordering::Relaxed),
+            has_batches: self.has_batches.load(Ordering::Relaxed),
+            chunk_frames_received: self.chunk_frames_received.load(Ordering::Relaxed),
+            chunk_bytes_received: self.chunk_bytes_received.load(Ordering::Relaxed),
+            chunks_served: self.chunks_served.load(Ordering::Relaxed),
+            chunk_bytes_served: self.chunk_bytes_served.load(Ordering::Relaxed),
+            get_connections: self.get_connections.load(Ordering::Relaxed),
+            manifest_frames_received: self.manifest_frames_received.load(Ordering::Relaxed),
+            manifests_served: self.manifests_served.load(Ordering::Relaxed),
+            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop, the connection threads and the
+/// handle: counters, the shutdown flag, and the live-connection registry
+/// the shutdown path severs.
+struct Shared {
+    store: Arc<ImageStore>,
+    secret: Vec<u8>,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    /// One cloned stream handle per live connection, keyed by a serial so
+    /// finished connections deregister themselves.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// Handle to a running [`serve`] loop: address, counters, shutdown.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> NetServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops accepting, severs every live connection (in-flight requests
+    /// fail on their sockets — clients see a transient error and their
+    /// bounded retry takes over) and joins all server threads.  The store
+    /// is left exactly as the last *completed* operation left it: chunk
+    /// ingest is verify-then-rename, so a severed connection can never
+    /// leave a torn chunk visible.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop polls a nonblocking listener, so it observes
+        // the flag within one poll interval — no wake-up connection
+        // needed (a dial-back could itself fail under fd exhaustion and
+        // leave the join below hanging).
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Sever live connections so blocked reads return.
+        for (_, stream) in self.shared.live.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let threads = std::mem::take(&mut *self.conn_threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts serving `store` on `listener` under shared-secret `secret`:
+/// spawns the accept loop and returns immediately with the handle.
+/// Bind to `127.0.0.1:0` and read [`ServerHandle::local_addr`] for an
+/// ephemeral test server.
+pub fn serve(
+    listener: TcpListener,
+    store: Arc<ImageStore>,
+    secret: impl Into<Vec<u8>>,
+) -> std::io::Result<ServerHandle> {
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        store,
+        secret: secret.into(),
+        counters: Counters::default(),
+        shutting_down: AtomicBool::new(false),
+        live: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+    });
+    let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+
+    // Nonblocking accept + poll: the loop observes the shutdown flag
+    // deterministically (no wake-up dial that could itself fail), and a
+    // persistent accept error (fd exhaustion, say) costs one short sleep
+    // per attempt instead of a hot spin.
+    listener.set_nonblocking(true)?;
+    const ACCEPT_POLL: Duration = Duration::from_millis(10);
+    let accept_shared = Arc::clone(&shared);
+    let accept_threads = Arc::clone(&conn_threads);
+    let accept_thread = std::thread::Builder::new()
+        .name("crac-net-accept".into())
+        .spawn(move || loop {
+            if accept_shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(_) => {
+                    // WouldBlock (nothing pending) and real errors alike:
+                    // sleep one poll interval and re-check the flag.
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+            };
+            // Some platforms have accepted sockets inherit the
+            // listener's nonblocking mode; the per-connection threads
+            // want blocking reads.
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let conn_shared = Arc::clone(&accept_shared);
+            let handle = std::thread::Builder::new()
+                .name("crac-net-conn".into())
+                .spawn(move || serve_connection(stream, &conn_shared));
+            if let Ok(handle) = handle {
+                // Reap finished connection threads as we go: a
+                // long-lived server must not accumulate one JoinHandle
+                // per connection ever served.
+                let mut threads = accept_threads.lock();
+                let mut live = Vec::with_capacity(threads.len() + 1);
+                for t in threads.drain(..) {
+                    if t.is_finished() {
+                        let _ = t.join();
+                    } else {
+                        live.push(t);
+                    }
+                }
+                live.push(handle);
+                *threads = live;
+            }
+        })?;
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+    })
+}
+
+/// Convenience: bind `addr` and [`serve`] on it.
+pub fn serve_on(
+    addr: impl std::net::ToSocketAddrs,
+    store: Arc<ImageStore>,
+    secret: impl Into<Vec<u8>>,
+) -> std::io::Result<ServerHandle> {
+    serve(TcpListener::bind(addr)?, store, secret)
+}
+
+/// One connection: register, handshake, request loop, deregister.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    shared
+        .counters
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared.live.lock().insert(conn_id, clone);
+    }
+    // stop() may have drained the registry between our accept and the
+    // insert above; re-check so a straggler severs itself — otherwise its
+    // blocking read would never return and shutdown's join would hang.
+    // (stop() sets the flag before draining, so whichever of insert/drain
+    // lost the race, this load observes the flag.)
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        shared.live.lock().remove(&conn_id);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    let outcome = drive_connection(&mut stream, shared);
+    if matches!(outcome, ConnOutcome::AuthFailed) {
+        shared
+            .counters
+            .auth_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.live.lock().remove(&conn_id);
+}
+
+enum ConnOutcome {
+    /// Clean close (EOF, severed socket, framing violation after auth).
+    Closed,
+    /// The handshake never completed: bad proof, wrong first frame, or a
+    /// request issued before authentication.
+    AuthFailed,
+}
+
+fn drive_connection(stream: &mut TcpStream, shared: &Shared) -> ConnOutcome {
+    // -- handshake: nothing dispatches before AuthOk ---------------------
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let server_nonce = auth::fresh_nonce();
+    if write_frame(
+        stream,
+        &Frame::ServerHello {
+            nonce: server_nonce,
+        },
+    )
+    .is_err()
+    {
+        return ConnOutcome::Closed;
+    }
+    let proof = match read_frame(stream) {
+        Ok(Frame::AuthProof { nonce, mac }) => (nonce, mac),
+        Ok(_) => {
+            // A request (or nonsense) before authentication: refuse before
+            // any store operation can run.
+            refuse(stream, shared, "request before authentication");
+            return ConnOutcome::AuthFailed;
+        }
+        Err(_) => return ConnOutcome::AuthFailed,
+    };
+    let (client_nonce, client_mac) = proof;
+    if client_mac != auth::client_proof(&shared.secret, &server_nonce, &client_nonce) {
+        refuse(stream, shared, "auth proof rejected");
+        return ConnOutcome::AuthFailed;
+    }
+    let server_mac = auth::server_proof(&shared.secret, &server_nonce, &client_nonce);
+    if write_frame(stream, &Frame::AuthOk { mac: server_mac }).is_err() {
+        return ConnOutcome::Closed;
+    }
+
+    // -- request loop ----------------------------------------------------
+    let _ = stream.set_read_timeout(None);
+    let mut served_get = false;
+    loop {
+        let request = match read_frame(stream) {
+            Ok(f) => f,
+            Err(FrameError::Io(_)) => return ConnOutcome::Closed,
+            Err(FrameError::Malformed(what)) => {
+                // After garbage the stream position is untrustworthy:
+                // answer once, then drop the connection.
+                refuse(stream, shared, &format!("unreadable frame: {what}"));
+                return ConnOutcome::Closed;
+            }
+        };
+        shared
+            .counters
+            .frames_served
+            .fetch_add(1, Ordering::Relaxed);
+        let response = dispatch(request, shared, &mut served_get);
+        if matches!(response, Frame::Err(_)) {
+            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(stream, &response).is_err() {
+            return ConnOutcome::Closed;
+        }
+    }
+}
+
+/// Sends one protocol-violation error frame, best-effort.
+fn refuse(stream: &mut TcpStream, shared: &Shared, what: &str) {
+    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+    let err = WireError::of(&StoreError::protocol(what.to_string()));
+    let _ = write_frame(stream, &Frame::Err(err));
+}
+
+/// Maps one authenticated request onto the store surface, classifying
+/// failures for the wire.  `served_get` tracks whether this connection
+/// already counted toward [`NetServerStats::get_connections`].
+fn dispatch(request: Frame, shared: &Shared, served_get: &mut bool) -> Frame {
+    let counters = &shared.counters;
+    let store = &shared.store;
+    let result: Result<Frame, StoreError> = match request {
+        Frame::HasChunks(hashes) => {
+            counters.has_batches.fetch_add(1, Ordering::Relaxed);
+            Ok(Frame::Flags(
+                hashes.iter().map(|&h| store.contains_chunk(h)).collect(),
+            ))
+        }
+        Frame::PutChunk { hash, bytes } => {
+            counters
+                .chunk_frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            counters
+                .chunk_bytes_received
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            store.ingest_chunk_file(hash, &bytes).map(|_| Frame::Done)
+        }
+        Frame::GetChunk(hash) => store.read_chunk_file_bytes(hash).map(|bytes| {
+            counters.chunks_served.fetch_add(1, Ordering::Relaxed);
+            counters
+                .chunk_bytes_served
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            if !*served_get {
+                *served_get = true;
+                counters.get_connections.fetch_add(1, Ordering::Relaxed);
+            }
+            Frame::Bytes(bytes)
+        }),
+        Frame::ListManifests => store.manifest_ids().map(Frame::Ids),
+        Frame::GetManifest(id) => store.read_manifest_bytes(id).map(|bytes| {
+            counters.manifests_served.fetch_add(1, Ordering::Relaxed);
+            Frame::Bytes(bytes)
+        }),
+        Frame::PutManifest { parent, bytes } => {
+            counters
+                .manifest_frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            store.adopt_manifest(&bytes, parent).map(Frame::Id)
+        }
+        // A handshake or response frame arriving as a request: protocol
+        // misuse, answered (not a process abort), connection lives on.
+        other => Err(StoreError::protocol(format!(
+            "unexpected frame kind {other:?} as a request"
+        ))),
+    };
+    match result {
+        Ok(frame) => frame,
+        Err(e) => Frame::Err(WireError::of(&e)),
+    }
+}

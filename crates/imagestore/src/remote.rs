@@ -101,12 +101,11 @@ struct StagedChunk {
 
 /// A `has_chunks` reply of the wrong length is a *protocol* defect in the
 /// peer, not weather: it will fail identically on every retry, so it is
-/// classified as permanent (corruption-class), never transient.
+/// classified as permanent ([`StoreError::Protocol`]), never transient.
 fn protocol_violation(asked: usize, answered: usize) -> StoreError {
-    StoreError::corrupt(
-        PathBuf::from("transport:has_chunks"),
-        format!("peer protocol violation: answered {answered} flags for {asked} hashes"),
-    )
+    StoreError::protocol(format!(
+        "peer answered {answered} has_chunks flags for {asked} hashes"
+    ))
 }
 
 /// A [`ChunkSink`] that ships a streaming checkpoint straight to a remote
@@ -184,8 +183,16 @@ impl<'t> RemoteChunkSink<'t> {
 
     /// Records one packed chunk into the manifest and, if its content is
     /// new to this stream, stages it for negotiation.
+    ///
+    /// A chunk emitted outside any region is a producer protocol
+    /// violation: it surfaces as [`StoreError::Protocol`] — an error on
+    /// the wire, never a process abort (this sink sits behind network
+    /// servers, where a misbehaving remote producer must not be able to
+    /// take the serving process down).
     fn stage_chunk(&mut self, runs: Vec<PageRun>, raw: Vec<u8>) -> Result<(), StoreError> {
-        let region_seq = self.cur_region.expect("chunk outside a region");
+        let region_seq = self
+            .cur_region
+            .ok_or_else(|| StoreError::protocol("chunk emitted outside any open region"))?;
         let hash = ContentHash::of(&raw);
         self.stats.raw_chunk_bytes += raw.len() as u64;
         self.chunks[region_seq].push(ChunkEntry {
@@ -251,10 +258,11 @@ impl<'t> RemoteChunkSink<'t> {
     /// manifest on the peer (strictly after every chunk landed) and
     /// returns the peer-assigned image id plus the shipping stats.
     pub fn finish(mut self) -> Result<(ImageId, ReplicateStats), StoreError> {
-        debug_assert!(
-            self.chunker.is_empty(),
-            "finish called with an unclosed region"
-        );
+        if self.cur_region.is_some() || !self.chunker.is_empty() {
+            return Err(StoreError::protocol(
+                "finish called with a region still open",
+            ));
+        }
         self.negotiate_and_ship()?;
 
         // Deterministic manifest regardless of producer payload order
@@ -294,8 +302,17 @@ impl<'t> RemoteChunkSink<'t> {
 }
 
 impl ChunkSink for RemoteChunkSink<'_> {
+    // Ordering violations are real errors, not debug assertions: this
+    // sink is driven by remote producers (a checkpoint streaming in over
+    // a socket), and a misbehaving producer must surface as an error on
+    // the wire — release builds used to compile the checks out and then
+    // panic (or corrupt the manifest) further down.
     fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), StoreError> {
-        debug_assert!(self.cur_region.is_none(), "begin_region while one is open");
+        if self.cur_region.is_some() {
+            return Err(StoreError::protocol(
+                "begin_region while a region is already open",
+            ));
+        }
         self.cur_region = Some(self.regions.len());
         self.regions.push(desc.clone());
         self.chunks.push(Vec::new());
@@ -303,8 +320,16 @@ impl ChunkSink for RemoteChunkSink<'_> {
     }
 
     fn push_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), StoreError> {
-        debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
-        debug_assert!(self.cur_region.is_some(), "push_run outside a region");
+        if self.cur_region.is_none() {
+            return Err(StoreError::protocol("push_run outside any open region"));
+        }
+        if bytes.len() as u64 != run.count * PAGE_SIZE {
+            return Err(StoreError::protocol(format!(
+                "push_run payload is {} bytes but the run declares {} pages",
+                bytes.len(),
+                run.count
+            )));
+        }
         // The shared RunChunker guarantees writer-identical boundaries,
         // so content hashes — and therefore cross-node dedup — are
         // stable by construction.
@@ -315,11 +340,13 @@ impl ChunkSink for RemoteChunkSink<'_> {
     }
 
     fn end_region(&mut self) -> Result<(), StoreError> {
+        if self.cur_region.is_none() {
+            return Err(StoreError::protocol("end_region without begin_region"));
+        }
         let mut chunker = std::mem::take(&mut self.chunker);
         let result = chunker.flush(&mut |runs, raw| self.stage_chunk(runs, raw));
         self.chunker = chunker;
         result?;
-        debug_assert!(self.cur_region.is_some(), "end_region without begin");
         self.cur_region = None;
         Ok(())
     }
@@ -566,5 +593,92 @@ impl ImageStore {
         stats.transient_retries = retries.load(Ordering::Relaxed);
         stats.elapsed = started.elapsed();
         Ok((id, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use crate::transport::LoopbackTransport;
+    use crac_addrspace::Addr;
+
+    fn descriptor() -> RegionDescriptor {
+        RegionDescriptor {
+            start: Addr(0x4000_0000_0000),
+            len: 4 * PAGE_SIZE,
+            prot: crac_addrspace::Prot::RW,
+            label: "misuse".into(),
+        }
+    }
+
+    /// Regression (PR 5 bug): sink misuse used to `expect`-panic (or pass
+    /// silently in release, where the `debug_assert!` ordering checks
+    /// compiled out).  Every violation must now surface as a
+    /// [`StoreError::Protocol`] error — never abort the process.
+    #[test]
+    fn sink_misuse_is_an_error_not_a_panic() {
+        let dir = TempDir::new("sink-misuse");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let transport = LoopbackTransport::new(&store);
+        let page = vec![0u8; PAGE_SIZE as usize];
+
+        // push_run before any begin_region.
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        let err = sink
+            .push_run(PageRun { first: 0, count: 1 }, &page)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Protocol { .. }), "got: {err}");
+        assert!(!err.is_transient() && !err.is_corruption());
+
+        // begin_region while one is already open.
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        sink.begin_region(&descriptor()).unwrap();
+        let err = sink.begin_region(&descriptor()).unwrap_err();
+        assert!(matches!(err, StoreError::Protocol { .. }), "got: {err}");
+
+        // end_region without begin.
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        let err = sink.end_region().unwrap_err();
+        assert!(matches!(err, StoreError::Protocol { .. }), "got: {err}");
+
+        // A run whose payload disagrees with its declared page count.
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        sink.begin_region(&descriptor()).unwrap();
+        let err = sink
+            .push_run(PageRun { first: 0, count: 2 }, &page)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Protocol { .. }), "got: {err}");
+
+        // finish with a region still open.
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        sink.begin_region(&descriptor()).unwrap();
+        sink.push_run(PageRun { first: 0, count: 1 }, &page)
+            .unwrap();
+        let err = sink.finish().unwrap_err();
+        assert!(matches!(err, StoreError::Protocol { .. }), "got: {err}");
+
+        // Nothing landed on the peer from any of the broken streams.
+        assert_eq!(store.stats().unwrap().images, 0);
+        assert_eq!(transport.stats().manifests_put, 0);
+    }
+
+    /// A well-formed stream still publishes after the misuse checks.
+    #[test]
+    fn well_formed_stream_still_finishes() {
+        let dir = TempDir::new("sink-ok");
+        let store = ImageStore::open(dir.path()).unwrap();
+        let transport = LoopbackTransport::new(&store);
+        let mut sink = RemoteChunkSink::new(&transport, Compression::None, None);
+        sink.begin_region(&descriptor()).unwrap();
+        let mut page = vec![7u8; PAGE_SIZE as usize];
+        page[0] = 1;
+        sink.push_run(PageRun { first: 0, count: 1 }, &page)
+            .unwrap();
+        sink.end_region().unwrap();
+        sink.push_payload("crac", b"payload").unwrap();
+        let (id, stats) = sink.finish().unwrap();
+        assert_eq!(stats.chunks_shipped, 1);
+        assert!(store.contains_image(id));
     }
 }

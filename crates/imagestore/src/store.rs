@@ -581,6 +581,41 @@ impl ImageStore {
         Ok(id)
     }
 
+    /// Reads chunk `hash`'s verbatim file bytes, classifying a vanished
+    /// file as [`StoreError::MissingChunk`] — the shared serving path of
+    /// [`crate::transport::LoopbackTransport`] and the TCP server
+    /// ([`crate::net::server`]), so a `get_chunk` racing chunk GC yields
+    /// the *same* error class no matter which transport served it.
+    pub(crate) fn read_chunk_file_bytes(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
+        let path = self.chunk_path(hash);
+        match fs::read(&path) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StoreError::MissingChunk {
+                hash: hash.to_hex(),
+            }),
+            Err(e) => Err(StoreError::io(&path, e)),
+        }
+    }
+
+    /// Reads image `id`'s verbatim manifest bytes, classifying a missing
+    /// manifest as [`StoreError::UnknownImage`] (see
+    /// [`ImageStore::read_chunk_file_bytes`] for why the classification is
+    /// centralised).
+    pub(crate) fn read_manifest_bytes(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
+        let path = self.image_path(id);
+        match fs::read(&path) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StoreError::UnknownImage(id)),
+            Err(e) => Err(StoreError::io(&path, e)),
+        }
+    }
+
+    /// Lists the store's image ids, ascending — the `list_manifests`
+    /// serving path.
+    pub(crate) fn manifest_ids(&self) -> Result<Vec<ImageId>, StoreError> {
+        self.image_ids()
+    }
+
     /// Raw (decoded) length the stored chunk `hash` declares, read from
     /// its fixed file header without touching the payload.
     fn stored_chunk_raw_len(&self, hash: ContentHash) -> Result<u64, StoreError> {

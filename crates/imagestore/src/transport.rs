@@ -52,6 +52,40 @@ pub const MAX_TRANSIENT_RETRIES: usize = 3;
 /// covers many chunks instead of one RPC per chunk.
 pub const HAS_CHUNKS_BATCH: usize = 64;
 
+/// Delay before the *first* transient retry.  Subsequent retries double
+/// the delay up to [`RETRY_BACKOFF_CAP`] — capped exponential backoff, so
+/// a struggling peer sees a thinning request stream instead of a hot loop
+/// that burns the whole retry budget in microseconds.
+pub const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Ceiling on the per-retry backoff delay.
+pub const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(64);
+
+/// Backoff before retry number `attempt` (1-based): `BASE << (attempt-1)`,
+/// capped at [`RETRY_BACKOFF_CAP`].
+fn backoff_delay(attempt: usize, base: Duration, cap: Duration) -> Duration {
+    let factor = 1u32 << (attempt.saturating_sub(1)).min(16) as u32;
+    base.saturating_mul(factor).min(cap)
+}
+
+/// Sleeps `total`, probing `cancelled` roughly every millisecond; returns
+/// `false` (without finishing the sleep) as soon as the probe fires, so a
+/// latched pipeline failure stops a backing-off worker promptly instead
+/// of letting it doze through the whole delay.
+fn sleep_unless_cancelled(total: Duration, cancelled: &impl Fn() -> bool) -> bool {
+    const SLICE: Duration = Duration::from_millis(1);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if cancelled() {
+            return false;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+    !cancelled()
+}
+
 /// A peer that can receive and serve checkpoint chunks and manifests.
 ///
 /// Chunk payloads cross the transport as verbatim chunk-*file* bytes
@@ -104,14 +138,38 @@ pub(crate) fn with_transient_retry<T>(
 }
 
 /// [`with_transient_retry`] with a cancellation probe, consulted between
-/// attempts: once `cancelled` reports true the current error is returned
-/// without further retries.  The parallel restore workers pass the
-/// pipeline's error latch here, so a failure in one worker stops every
-/// other worker's retry loop promptly instead of each ticket burning its
-/// full retry budget against a dead peer.
+/// attempts *and* during the backoff sleeps: once `cancelled` reports
+/// true the current error is returned without further retries.  The
+/// parallel restore workers pass the pipeline's error latch here, so a
+/// failure in one worker stops every other worker's retry loop promptly
+/// instead of each ticket burning its full retry budget against a dead
+/// peer.
+///
+/// Retries are spaced by capped exponential backoff
+/// ([`RETRY_BACKOFF_BASE`] doubling up to [`RETRY_BACKOFF_CAP`]): against
+/// a real TCP peer an immediate retry would hot-loop, hammering a
+/// struggling server and exhausting the budget in microseconds.
 pub(crate) fn with_transient_retry_until<T>(
     retries: &AtomicUsize,
     cancelled: impl Fn() -> bool,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    with_transient_retry_backoff(
+        retries,
+        cancelled,
+        RETRY_BACKOFF_BASE,
+        RETRY_BACKOFF_CAP,
+        op,
+    )
+}
+
+/// [`with_transient_retry_until`] with injectable backoff parameters, so
+/// tests can pin the timing behaviour without multi-second runtimes.
+pub(crate) fn with_transient_retry_backoff<T>(
+    retries: &AtomicUsize,
+    cancelled: impl Fn() -> bool,
+    base: Duration,
+    cap: Duration,
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
     let mut attempt = 0;
@@ -121,6 +179,11 @@ pub(crate) fn with_transient_retry_until<T>(
             Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES && !cancelled() => {
                 attempt += 1;
                 retries.fetch_add(1, Ordering::Relaxed);
+                if !sleep_unless_cancelled(backoff_delay(attempt, base, cap), &cancelled) {
+                    // Cancelled mid-backoff: a latched failure elsewhere
+                    // made this ticket moot — stop waiting immediately.
+                    return Err(e);
+                }
             }
             Err(e) => return Err(e),
         }
@@ -234,16 +297,7 @@ impl Transport for LoopbackTransport<'_> {
     }
 
     fn get_chunk(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
-        let path = self.store.chunk_path(hash);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(StoreError::MissingChunk {
-                    hash: hash.to_hex(),
-                })
-            }
-            Err(e) => return Err(StoreError::io(&path, e)),
-        };
+        let bytes = self.store.read_chunk_file_bytes(hash)?;
         self.counters.chunks_got.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_got
@@ -252,23 +306,11 @@ impl Transport for LoopbackTransport<'_> {
     }
 
     fn list_manifests(&self) -> Result<Vec<ImageId>, StoreError> {
-        Ok(self
-            .store
-            .list_images()?
-            .into_iter()
-            .map(|i| i.id)
-            .collect())
+        self.store.manifest_ids()
     }
 
     fn get_manifest(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
-        let path = self.store.image_path(id);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(StoreError::UnknownImage(id))
-            }
-            Err(e) => return Err(StoreError::io(&path, e)),
-        };
+        let bytes = self.store.read_manifest_bytes(id)?;
         self.counters.manifests_got.fetch_add(1, Ordering::Relaxed);
         Ok(bytes)
     }
@@ -466,6 +508,80 @@ mod tests {
             with_transient_retry(&retries, || Err(StoreError::transient("always down")));
         assert!(matches!(out, Err(StoreError::Transient { .. })));
         assert_eq!(retries.load(Ordering::Relaxed), MAX_TRANSIENT_RETRIES);
+    }
+
+    /// Regression (PR 5 bug): retries used to fire back-to-back with zero
+    /// delay — against a real TCP peer that hot-loops, burning the whole
+    /// budget in microseconds.  The attempts must now be spaced by the
+    /// exponential backoff.
+    #[test]
+    fn retries_are_spaced_by_exponential_backoff() {
+        let retries = AtomicUsize::new(0);
+        let base = Duration::from_millis(5);
+        let started = std::time::Instant::now();
+        let out: Result<(), _> = with_transient_retry_backoff(
+            &retries,
+            || false,
+            base,
+            Duration::from_secs(1),
+            || Err(StoreError::transient("always down")),
+        );
+        assert!(out.is_err());
+        assert_eq!(retries.load(Ordering::Relaxed), MAX_TRANSIENT_RETRIES);
+        // Sleeps of 5 + 10 + 20 ms precede the three retries; `sleep` never
+        // returns early, so the lower bound is exact (minus nothing).
+        let floor: Duration = (0..MAX_TRANSIENT_RETRIES).map(|i| base * (1u32 << i)).sum();
+        assert!(
+            started.elapsed() >= floor,
+            "retries fired hot: {:?} < {floor:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn backoff_delay_is_capped() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(4);
+        assert_eq!(backoff_delay(1, base, cap), Duration::from_millis(1));
+        assert_eq!(backoff_delay(2, base, cap), Duration::from_millis(2));
+        assert_eq!(backoff_delay(3, base, cap), cap);
+        assert_eq!(backoff_delay(60, base, cap), cap, "shift is clamped too");
+    }
+
+    /// The cancellation probe interrupts a backoff sleep mid-delay: a
+    /// latched pipeline failure stops waiting workers promptly instead of
+    /// letting each doze through its full (long) backoff.
+    #[test]
+    fn cancellation_interrupts_the_backoff_sleep() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let retries = AtomicUsize::new(0);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancel);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let started = std::time::Instant::now();
+        let out: Result<(), _> = with_transient_retry_backoff(
+            &retries,
+            || cancel.load(Ordering::Relaxed),
+            Duration::from_millis(400),
+            Duration::from_secs(2),
+            || Err(StoreError::transient("always down")),
+        );
+        killer.join().unwrap();
+        assert!(matches!(out, Err(StoreError::Transient { .. })));
+        assert!(
+            started.elapsed() < Duration::from_millis(380),
+            "cancellation must cut the 400 ms backoff short, took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(
+            retries.load(Ordering::Relaxed),
+            1,
+            "one retry was charged before the cancelled sleep"
+        );
     }
 
     #[test]
