@@ -295,6 +295,15 @@ impl CracProcess {
         self.lower.trampolines().crossings()
     }
 
+    /// The process-wide observability registry (the coordinator's): every
+    /// checkpoint, restore and replication this process performs records
+    /// its metrics and events here, so one
+    /// [`render_text`](crac_obs::ObsRegistry::render_text) scrape covers
+    /// the whole flow.
+    pub fn obs(&self) -> crac_obs::ObsRegistry {
+        self.coordinator.obs()
+    }
+
     /// `nvprof`-style CUDA API call counters of the current lower half.
     pub fn counters(&self) -> crac_cudart::CallCounters {
         self.lower.runtime().counters()
@@ -705,6 +714,9 @@ impl CracProcess {
         let clock = Arc::clone(self.clock());
         let t0 = clock.now();
         let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        // The writer pipeline records into the store's registry — hand the
+        // process's own down so this checkpoint shows up in `self.obs()`.
+        store.adopt_obs(self.obs());
         let (image_id, stats, write) = store.stream_image(&opts, |writer| {
             let stats = drive_checkpoint_streaming(&self.coordinator, writer)?;
             // Model the image-write time and stamp the manifest with the
@@ -756,7 +768,7 @@ impl CracProcess {
         let clock = Arc::clone(self.clock());
         let t0 = clock.now();
         let drained_bytes = self.state.lock().mallocs.drain_bytes();
-        let mut sink = RemoteChunkSink::new(transport, compression, parent);
+        let mut sink = RemoteChunkSink::with_obs(transport, compression, parent, self.obs());
         let stats = drive_checkpoint_streaming(&self.coordinator, &mut sink)?;
         // Model the image-write time and stamp the manifest with the time
         // the checkpoint *completed*, exactly like the local store path.
@@ -789,7 +801,11 @@ impl CracProcess {
         config: CracConfig,
         registry: Arc<KernelRegistry>,
     ) -> Result<(Self, RestartReport, ReadStats), CracError> {
-        let mut source = RemoteChunkSource::open(transport, id)?;
+        // Created before the process exists, so the registry comes first:
+        // the source records fetches/retries into it, and `restart_with`
+        // hands it to the rebuilt process's coordinator.
+        let obs = crac_obs::ObsRegistry::new();
+        let mut source = RemoteChunkSource::open_with_obs(transport, id, obs.clone())?;
         let taken_at_ns = source.taken_at_ns();
         // The CRAC payload is inline manifest data — kilobytes of CUDA
         // log, available without fetching a single chunk.
@@ -799,6 +815,7 @@ impl CracProcess {
             registry,
             taken_at_ns,
             crac_payload.as_deref(),
+            obs,
             |coord, space| Ok(drive_restore_streaming(coord, &mut source, space)?),
         )?;
         Ok((proc, report, source.stats()))
@@ -819,6 +836,11 @@ impl CracProcess {
         config: CracConfig,
         registry: Arc<KernelRegistry>,
     ) -> Result<(Self, RestartReport, ReadStats), CracError> {
+        // The reader captures the store's registry when the stream opens,
+        // so adopt a fresh one first; `restart_with` then hands the same
+        // registry to the rebuilt process's coordinator.
+        let obs = crac_obs::ObsRegistry::new();
+        store.adopt_obs(obs.clone());
         let mut reader = store.stream_restore(id)?;
         let taken_at_ns = reader.taken_at_ns();
         // The CRAC payload is inline manifest data — kilobytes of CUDA
@@ -829,6 +851,7 @@ impl CracProcess {
             registry,
             taken_at_ns,
             crac_payload.as_deref(),
+            obs,
             |coord, space| Ok(drive_restore_streaming(coord, &mut reader, space)?),
         )?;
         // The restored process chains its next incremental checkpoint off
@@ -853,6 +876,7 @@ impl CracProcess {
             registry,
             image.taken_at_ns,
             image.payloads.get("crac").map(|v| v.as_slice()),
+            crac_obs::ObsRegistry::new(),
             |coord, space| Ok(coord.restart_into(image, space)),
         )
     }
@@ -865,6 +889,7 @@ impl CracProcess {
         registry: Arc<KernelRegistry>,
         taken_at_ns: u64,
         crac_payload: Option<&[u8]>,
+        obs: crac_obs::ObsRegistry,
         restore: impl FnOnce(&Coordinator, &SharedSpace) -> Result<crac_dmtcp::RestartStats, CracError>,
     ) -> Result<(Self, RestartReport), CracError> {
         // A fresh process: fresh address space (ASLR off), fresh lower half,
@@ -886,8 +911,12 @@ impl CracProcess {
             .trampolines()
             .set_extra_crossing_cost(config.log_overhead_ns);
 
-        // 2. Restore the upper half.
-        let restore_coord = Coordinator::new(space.clone(), config.ckpt.clone());
+        // 2. Restore the upper half.  The restore coordinator adopts the
+        //    caller's registry — the one the streaming reader/source is
+        //    already recording into — so the whole restart lands in one
+        //    place.
+        let mut restore_coord = Coordinator::new(space.clone(), config.ckpt.clone());
+        restore_coord.adopt_obs(obs);
         let rstats = restore(&restore_coord, &space)?;
         clock.advance(rstats.read_ns);
 
@@ -930,6 +959,10 @@ impl CracProcess {
 
         let heap = HostHeap::new(space.clone(), 4 << 20);
         let mut coordinator = Coordinator::new(space.clone(), config.ckpt.clone());
+        // The restore's metrics (reader stages, retries, events) live in
+        // the restore coordinator's registry; carry it over so the
+        // rebuilt process's scrape includes its own restart.
+        coordinator.adopt_obs(restore_coord.obs());
         coordinator.register_plugin(Arc::new(CracPlugin::new(
             Arc::clone(lower.runtime()),
             space.clone(),

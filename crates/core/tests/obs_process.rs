@@ -1,0 +1,116 @@
+//! Regression tests for the process-level observability wiring: the
+//! store/remote checkpoint and restart entry points on `CracProcess`
+//! must hand the registry down exactly like `CoordinatorStoreExt` does,
+//! so `proc.obs()` tells the story of everything the process did — and,
+//! after a restart, of the restart itself.  (An external consumer drive
+//! first caught these paths silently recording into throwaway
+//! registries.)
+
+use std::sync::Arc;
+
+use crac_core::{CracConfig, CracProcess, KernelRegistry};
+use crac_gpu::{KernelCost, LaunchDims};
+use crac_imagestore::testutil::TempDir;
+use crac_imagestore::{Compression, ImageStore, LoopbackTransport, WriteOptions};
+
+const N: usize = 512;
+
+fn registry() -> Arc<KernelRegistry> {
+    let mut reg = KernelRegistry::new();
+    reg.insert("iota", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.write_f32_arg(0, &v)
+    });
+    Arc::new(reg)
+}
+
+fn build_app() -> CracProcess {
+    let proc = CracProcess::launch(CracConfig::test("obs-proc"), registry());
+    let fatbin = proc.register_fat_binary();
+    let iota = proc.register_function(fatbin, "iota").unwrap();
+    let dev = proc.malloc((N * 4) as u64).unwrap();
+    let stream = proc.stream_create().unwrap();
+    proc.launch_kernel(
+        iota,
+        LaunchDims::linear(2, 256),
+        KernelCost::new(N as u64, (N * 4) as u64),
+        vec![dev.as_u64(), N as u64],
+        stream,
+    )
+    .unwrap();
+    proc.stream_synchronize(stream).unwrap();
+    proc.device_synchronize().unwrap();
+    proc
+}
+
+#[test]
+fn stored_checkpoint_and_restart_record_into_the_process_registry() {
+    let dir = TempDir::new("obs-proc-store");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let proc = build_app();
+    let report = proc
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+
+    let snap = proc.obs().snapshot();
+    assert_eq!(
+        snap.counter("crac_writer_chunks_written"),
+        report.write.chunks_written as u64,
+        "checkpoint_to_store must record into proc.obs()"
+    );
+    assert!(snap.histogram("crac_writer_stage_io_us").unwrap().count > 0);
+
+    let (proc2, _rreport, rstats) = CracProcess::restart_from_store(
+        &store,
+        report.image_id,
+        CracConfig::test("obs-proc"),
+        registry(),
+    )
+    .unwrap();
+    let snap2 = proc2.obs().snapshot();
+    assert_eq!(
+        snap2.counter("crac_reader_chunks_read"),
+        rstats.chunks_read as u64,
+        "the restored process's registry must carry its own restore"
+    );
+    assert!(
+        snap2
+            .histogram("crac_reader_stage_splice_us")
+            .unwrap()
+            .count
+            > 0
+    );
+}
+
+#[test]
+fn remote_checkpoint_and_restart_record_into_the_process_registry() {
+    let peer_dir = TempDir::new("obs-proc-peer");
+    let peer = ImageStore::open(peer_dir.path()).unwrap();
+    let transport = LoopbackTransport::new(&peer);
+    let proc = build_app();
+    let report = proc
+        .checkpoint_to_remote(&transport, Compression::None, None)
+        .unwrap();
+
+    let snap = proc.obs().snapshot();
+    assert_eq!(
+        snap.counter("crac_remote_chunks_shipped"),
+        report.replicate.chunks_shipped as u64,
+        "checkpoint_to_remote must record into proc.obs()"
+    );
+
+    let (proc2, _rreport, rstats) = CracProcess::restart_from_remote(
+        &transport,
+        report.image_id,
+        CracConfig::test("obs-proc"),
+        registry(),
+    )
+    .unwrap();
+    let snap2 = proc2.obs().snapshot();
+    assert_eq!(
+        snap2.counter("crac_reader_chunks_read"),
+        rstats.chunks_read as u64
+    );
+    assert!(snap2.histogram("crac_reader_stage_fetch_us").unwrap().count > 0);
+}

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crac_addrspace::{page_runs, Addr, Half, MapRequest, Prot, SharedSpace, PAGE_SIZE};
+use crac_obs::ObsRegistry;
 
 use crate::image::CheckpointImage;
 use crate::plugin::{DmtcpPlugin, RegionDecision};
@@ -65,6 +66,12 @@ pub struct Coordinator {
     config: CoordinatorConfig,
     space: SharedSpace,
     plugins: Vec<Arc<dyn DmtcpPlugin>>,
+    /// The process-wide observability registry.  The coordinator owns
+    /// the root handle; the store-aware entry points (`crac-imagestore`'s
+    /// `CoordinatorStoreExt`) hand it down so every layer — writer,
+    /// reader, replication, transport — records into the same registry
+    /// and one scrape covers the whole checkpoint/restore flow.
+    obs: ObsRegistry,
 }
 
 impl Coordinator {
@@ -74,7 +81,20 @@ impl Coordinator {
             config,
             space,
             plugins: Vec::new(),
+            obs: ObsRegistry::new(),
         }
+    }
+
+    /// The coordinator's observability registry (a shared handle — clones
+    /// observe the same metrics and events).
+    pub fn obs(&self) -> ObsRegistry {
+        self.obs.clone()
+    }
+
+    /// Replaces the coordinator's registry, e.g. to aggregate several
+    /// coordinators into one scrape endpoint.
+    pub fn adopt_obs(&mut self, obs: ObsRegistry) {
+        self.obs = obs;
     }
 
     /// Registers a plugin.  Plugins are consulted in registration order.

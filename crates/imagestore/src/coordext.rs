@@ -139,6 +139,9 @@ impl CoordinatorStoreExt for Coordinator {
         now_ns: u64,
         opts: &WriteOptions,
     ) -> Result<(ImageId, CkptStats, WriteStats), StoreError> {
+        // The coordinator's registry becomes the store's: every layer of
+        // this flow (and later store operations) records into it.
+        store.adopt_obs(self.obs());
         let (id, ckpt_stats, write_stats) = store.stream_image(opts, |writer| {
             let stats = drive_checkpoint_streaming(self, writer)?;
             writer.set_taken_at(now_ns);
@@ -153,6 +156,7 @@ impl CoordinatorStoreExt for Coordinator {
         id: ImageId,
         space: &SharedSpace,
     ) -> Result<(RestartStats, ReadStats), StoreError> {
+        store.adopt_obs(self.obs());
         let mut reader = store.stream_restore(id)?;
         let restart_stats = drive_restore_streaming(self, &mut reader, space)?;
         Ok((restart_stats, reader.stats()))
@@ -165,7 +169,7 @@ impl CoordinatorStoreExt for Coordinator {
         compression: Compression,
         parent: Option<ImageId>,
     ) -> Result<(ImageId, CkptStats, ReplicateStats), StoreError> {
-        let mut sink = RemoteChunkSink::new(transport, compression, parent);
+        let mut sink = RemoteChunkSink::with_obs(transport, compression, parent, self.obs());
         let ckpt_stats = drive_checkpoint_streaming(self, &mut sink)?;
         sink.set_taken_at(now_ns);
         let (id, replicate_stats) = sink.finish()?;
@@ -178,7 +182,7 @@ impl CoordinatorStoreExt for Coordinator {
         id: ImageId,
         space: &SharedSpace,
     ) -> Result<(RestartStats, ReadStats), StoreError> {
-        let mut source = RemoteChunkSource::open(transport, id)?;
+        let mut source = RemoteChunkSource::open_with_obs(transport, id, self.obs())?;
         let restart_stats = drive_restore_streaming(self, &mut source, space)?;
         Ok((restart_stats, source.stats()))
     }

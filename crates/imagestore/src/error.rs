@@ -137,6 +137,24 @@ impl StoreError {
         }
     }
 
+    /// Stable machine-readable class of the error, for retry-cause
+    /// bookkeeping and event records (`transient_retry` events carry it
+    /// as `class=…`).  Classes name the *variant*, not the instance — two
+    /// different timeouts share `"transient"`.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            StoreError::Io { .. } => "io",
+            StoreError::Corrupt { .. } => "corrupt",
+            StoreError::MissingChunk { .. } => "missing_chunk",
+            StoreError::UnknownImage(_) => "unknown_image",
+            StoreError::Locked { .. } => "locked",
+            StoreError::Busy { .. } => "busy",
+            StoreError::Transient { .. } => "transient",
+            StoreError::Protocol { .. } => "protocol",
+            StoreError::Partial { .. } => "partial",
+        }
+    }
+
     /// Returns `true` if the failure is transient (a retry may succeed):
     /// an explicit [`StoreError::Transient`], or an OS-level I/O error of a
     /// kind the OS itself declares retryable.  Corruption and every other

@@ -63,6 +63,16 @@
 //! coordinator's restore cursor (via [`RestoreBridge`]) — neither ever
 //! materialises a `CheckpointImage`; `crac-core` builds its
 //! `CracProcess` disk paths on top of both.
+//!
+//! **Observability** (`crac-obs`, re-exported here): every layer above
+//! records into an [`ObsRegistry`] — counters, peak-tracking gauges,
+//! fixed-bucket latency/size histograms and a bounded structured event
+//! ring.  The coordinator owns the root registry and the
+//! [`CoordinatorStoreExt`] entry points hand it down, so a single
+//! [`ObsRegistry::render_text`] scrape (or the TCP server's `Stats` wire
+//! op) exposes the whole checkpoint → replicate → restore flow in
+//! Prometheus text format.  The `*Stats` structs are views computed from
+//! registry snapshots — there is no double bookkeeping.
 
 pub mod chunk;
 pub mod codec;
@@ -81,6 +91,10 @@ pub mod stream;
 pub mod testutil;
 pub mod transport;
 pub mod writer;
+
+pub use crac_obs::{
+    Buckets, Counter, Event, EventKind, Gauge, Histogram, ObsRegistry, Snapshot, Span,
+};
 
 pub use codec::Compression;
 pub use coordext::{drive_checkpoint_streaming, drive_restore_streaming, CoordinatorStoreExt};

@@ -55,7 +55,11 @@ pub const GUARD_FILE: &str = "store.lock.guard";
 ///   live claimant's lock found after the rename is linked straight back
 ///   and the open backs off with [`StoreError::Locked`] instead of
 ///   deleting it.
-pub(crate) fn acquire(root: &Path) -> Result<(), StoreError> {
+///
+/// On success, returns how many stale locks were stolen along the way —
+/// zero on the common uncontended path — so the caller can surface each
+/// steal in its observability stream.
+pub(crate) fn acquire(root: &Path) -> Result<u32, StoreError> {
     let path = root.join(LOCK_FILE);
     let me = std::process::id();
     // Serialise claimants: held only for the microseconds the claim
@@ -78,13 +82,14 @@ fn claim_loop(
     staged: &Path,
     me: u32,
     before_steal: &mut dyn FnMut(),
-) -> Result<(), StoreError> {
+) -> Result<u32, StoreError> {
+    let mut steals = 0u32;
     // Two iterations suffice in the absence of an adversarial loop of
     // processes dying mid-claim; a few more cost nothing and keep this
     // total.
     for _ in 0..8 {
         match fs::hard_link(staged, path) {
-            Ok(()) => return Ok(()), // atomically claimed, content complete
+            Ok(()) => return Ok(steals), // atomically claimed, content complete
             Err(e) if e.kind() == ErrorKind::AlreadyExists => {}
             Err(e) => return Err(StoreError::io(path, e)),
         }
@@ -95,7 +100,7 @@ fn claim_loop(
             .ok()
             .and_then(|s| s.trim().parse::<u32>().ok());
         match holder {
-            Some(pid) if pid == me => return Ok(()), // re-entrant in-process
+            Some(pid) if pid == me => return Ok(steals), // re-entrant in-process
             Some(pid) if pid_alive(pid) => {
                 return Err(StoreError::Locked {
                     path: path.to_path_buf(),
@@ -108,6 +113,7 @@ fn claim_loop(
             _ => {
                 before_steal();
                 steal_stale(path, me)?;
+                steals += 1;
             }
         }
     }

@@ -24,9 +24,9 @@
 //! to a peer that cannot prove the shared secret.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
+use crac_obs::{Buckets, Counter, Gauge, Histogram, ObsRegistry, Span};
 use parking_lot::Mutex;
 
 use crate::error::StoreError;
@@ -36,7 +36,9 @@ use crate::net::frame::{read_frame, write_wire, Frame, FrameError};
 use crate::store::ImageId;
 use crate::transport::Transport;
 
-/// Counters a [`TcpTransport`] keeps about its pool.
+/// Counters a [`TcpTransport`] keeps about its pool — a view over the
+/// transport's [`ObsRegistry`] (`crac_net_client_*` families), plus the
+/// live idle-pool depth.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TcpTransportStats {
     /// Connections dialled (and authenticated) over the transport's life.
@@ -49,6 +51,55 @@ pub struct TcpTransportStats {
     pub connections_broken: usize,
     /// Idle connections currently parked in the pool.
     pub pooled_idle: usize,
+    /// Requests issued through the pool ([`TcpTransport::call_wire`]
+    /// entries, not attempts).
+    pub requests: usize,
+    /// Silent moves to the next socket after a parked connection turned
+    /// out stale.  Deliberately *not* the same thing as the caller's
+    /// bounded retries (`crac_retry_attempts`): a redial never charges
+    /// the retry budget.
+    pub redials: usize,
+}
+
+/// Registry handles for the client-side `crac_net_client_*` families.
+///
+/// The stage histograms carve one request into the phases that matter
+/// when a replication is slow: `connect_us`/`auth_us` say whether dials
+/// are the problem, `frame_encode_us` isolates serialisation, and
+/// `rtt_us` is the on-the-wire round trip (write through reply) per
+/// attempt — failed attempts included, since a hung socket's timeout is
+/// precisely the latency the caller suffered.
+#[derive(Clone)]
+struct ClientObs {
+    reg: ObsRegistry,
+    connections_opened: Counter,
+    connections_broken: Counter,
+    redials: Counter,
+    requests: Counter,
+    connections_in_use: Gauge,
+    connect_us: Histogram,
+    auth_us: Histogram,
+    frame_encode_us: Histogram,
+    rtt_us: Histogram,
+}
+
+impl ClientObs {
+    fn new(reg: ObsRegistry) -> Self {
+        let c = |name: &str| reg.counter(name);
+        let h = |name: &str| reg.histogram(name, Buckets::LATENCY_US);
+        Self {
+            connections_opened: c("crac_net_client_connections_opened"),
+            connections_broken: c("crac_net_client_connections_broken"),
+            redials: c("crac_net_client_redials"),
+            requests: c("crac_net_client_requests"),
+            connections_in_use: reg.gauge("crac_net_client_connections_in_use"),
+            connect_us: h("crac_net_client_connect_us"),
+            auth_us: h("crac_net_client_auth_us"),
+            frame_encode_us: h("crac_net_client_frame_encode_us"),
+            rtt_us: h("crac_net_client_rtt_us"),
+            reg,
+        }
+    }
 }
 
 /// One authenticated connection.
@@ -71,10 +122,7 @@ pub struct TcpTransport {
     connect_timeout: Duration,
     io_timeout: Option<Duration>,
     idle: Mutex<Vec<Conn>>,
-    opened: AtomicUsize,
-    in_use: AtomicUsize,
-    peak_in_use: AtomicUsize,
-    broken: AtomicUsize,
+    obs: ClientObs,
 }
 
 impl TcpTransport {
@@ -102,6 +150,18 @@ impl TcpTransport {
         addr: impl ToSocketAddrs,
         secret: impl Into<Vec<u8>>,
     ) -> Result<Self, StoreError> {
+        Self::connect_with_obs(addr, secret, ObsRegistry::new())
+    }
+
+    /// [`TcpTransport::connect`] recording into a caller-supplied
+    /// registry — hand it the coordinator's so one scrape covers the
+    /// whole checkpoint/restore flow.  Failed candidate dials are
+    /// recorded too (they are latency the caller paid).
+    pub fn connect_with_obs(
+        addr: impl ToSocketAddrs,
+        secret: impl Into<Vec<u8>>,
+        reg: ObsRegistry,
+    ) -> Result<Self, StoreError> {
         let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| StoreError::transient(format!("address resolution failed: {e}")))?
@@ -110,6 +170,7 @@ impl TcpTransport {
             return Err(StoreError::transient("address resolved to nothing"));
         }
         let secret = secret.into();
+        let obs = ClientObs::new(reg);
         let mut last_err = None;
         for candidate in addrs {
             let transport = Self {
@@ -119,10 +180,7 @@ impl TcpTransport {
                 connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
                 io_timeout: Some(Self::DEFAULT_IO_TIMEOUT),
                 idle: Mutex::new(Vec::new()),
-                opened: AtomicUsize::new(0),
-                in_use: AtomicUsize::new(0),
-                peak_in_use: AtomicUsize::new(0),
-                broken: AtomicUsize::new(0),
+                obs: obs.clone(),
             };
             match transport.dial() {
                 Ok(probe) => {
@@ -155,26 +213,56 @@ impl TcpTransport {
         self.addr
     }
 
-    /// Snapshot of the pool counters.
+    /// Snapshot of the pool counters — a view over the transport's
+    /// registry plus the live idle-pool depth.
     pub fn stats(&self) -> TcpTransportStats {
+        let snap = self.obs.reg.snapshot();
         TcpTransportStats {
-            connections_opened: self.opened.load(Ordering::Relaxed),
-            peak_connections_in_use: self.peak_in_use.load(Ordering::Relaxed),
-            connections_broken: self.broken.load(Ordering::Relaxed),
+            connections_opened: snap.counter("crac_net_client_connections_opened") as usize,
+            peak_connections_in_use: snap
+                .gauge("crac_net_client_connections_in_use")
+                .map(|g| g.peak as usize)
+                .unwrap_or(0),
+            connections_broken: snap.counter("crac_net_client_connections_broken") as usize,
             pooled_idle: self.idle.lock().len(),
+            requests: snap.counter("crac_net_client_requests") as usize,
+            redials: snap.counter("crac_net_client_redials") as usize,
         }
     }
 
-    /// Dials and authenticates one fresh connection.
+    /// The registry this transport records into.
+    pub fn obs(&self) -> ObsRegistry {
+        self.obs.reg.clone()
+    }
+
+    /// Scrapes the *peer's* metrics: sends [`Frame::Stats`] and returns
+    /// the server's Prometheus-style text exposition.
+    pub fn scrape_peer_metrics(&self) -> Result<String, StoreError> {
+        match self.call(&Frame::Stats)? {
+            Frame::Bytes(bytes) => String::from_utf8(bytes).map_err(|_| {
+                StoreError::protocol(format!("peer {} sent a non-UTF-8 exposition", self.addr))
+            }),
+            other => Err(self.unexpected("stats", other)),
+        }
+    }
+
+    /// Dials and authenticates one fresh connection.  The TCP connect
+    /// and the auth handshake are timed separately: a slow `connect_us`
+    /// points at the network (or a dead peer timing out), a slow
+    /// `auth_us` at a loaded server.  Failed phases record too — the
+    /// span's drop covers every early return.
     fn dial(&self) -> Result<Conn, StoreError> {
+        let connect_stage = Span::enter(&self.obs.connect_us);
         let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)
             .map_err(|e| self.transient_io("dial", &e))?;
+        connect_stage.finish();
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(self.io_timeout);
         let _ = stream.set_write_timeout(self.io_timeout);
         let mut conn = Conn { stream };
 
         // Handshake: hello, proof, counter-proof (mutual).
+        let auth_stage = Span::enter(&self.obs.auth_us);
         let server_nonce = match read_frame(&mut conn.stream).map_err(|e| self.handshake_err(e))? {
             Frame::ServerHello { nonce } => nonce,
             Frame::Err(we) => return Err(we.into_store_error(&self.addr.to_string())),
@@ -213,7 +301,8 @@ impl TcpTransport {
                 )))
             }
         }
-        self.opened.fetch_add(1, Ordering::Relaxed);
+        auth_stage.finish();
+        self.obs.connections_opened.inc();
         Ok(conn)
     }
 
@@ -246,7 +335,17 @@ impl TcpTransport {
     /// `put_manifest` — chunk ingest is content-addressed, queries are
     /// pure).
     fn call(&self, request: &Frame) -> Result<Frame, StoreError> {
-        self.call_wire(&request.to_wire(), true)
+        let wire = self.encode_timed(|| request.to_wire());
+        self.call_wire(&wire, true)
+    }
+
+    /// Builds a request's wire bytes under the frame-encode histogram —
+    /// the serialisation share of a request, separate from its RTT.
+    fn encode_timed(&self, build: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+        let stage = Span::enter(&self.obs.frame_encode_us);
+        let wire = build();
+        stage.finish();
+        wire
     }
 
     /// [`TcpTransport::call`] on pre-encoded wire bytes.
@@ -267,22 +366,36 @@ impl TcpTransport {
     /// id per execution) surfaces the failure as transient and leaves
     /// the replay decision to the caller.
     fn call_wire(&self, wire: &[u8], idempotent: bool) -> Result<Frame, StoreError> {
+        self.obs.requests.inc();
+        let mut attempts = 0usize;
         loop {
+            // Every loop iteration past the first is a redial: a parked
+            // socket turned out stale and the request silently moved on.
+            // Counted apart from `crac_retry_attempts` — the caller's
+            // bounded retry budget is never charged for these.
+            attempts += 1;
+            if attempts > 1 {
+                self.obs.redials.inc();
+            }
             let pooled = self.idle.lock().pop();
             let fresh = pooled.is_none();
             let mut conn = match pooled {
                 Some(c) => c,
                 None => self.dial()?,
             };
-            let now = self.in_use.fetch_add(1, Ordering::Relaxed) + 1;
-            self.peak_in_use.fetch_max(now, Ordering::Relaxed);
+            self.obs.connections_in_use.add(1);
             // The two phases fail differently (see the doc comment), so
             // keep them apart instead of folding both into one result.
+            // The RTT span covers write-through-reply and records on
+            // every exit path, failures included: a timeout on a hung
+            // socket *is* the latency this attempt cost.
+            let rtt_stage = Span::enter(&self.obs.rtt_us);
             let outcome = match write_wire(&mut conn.stream, wire) {
                 Ok(()) => Ok(read_frame(&mut conn.stream)),
                 Err(e) => Err(e),
             };
-            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            rtt_stage.finish();
+            self.obs.connections_in_use.sub(1);
             let result = match outcome {
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
                     // The frame itself is oversized — nothing went out
@@ -298,7 +411,7 @@ impl TcpTransport {
                     // The send failed: no complete frame was delivered,
                     // so moving to the next socket cannot double-execute
                     // anything — any request may retry here.
-                    self.broken.fetch_add(1, Ordering::Relaxed);
+                    self.obs.connections_broken.inc();
                     if fresh {
                         return Err(self.transient_io("request", &e));
                     }
@@ -323,13 +436,13 @@ impl TcpTransport {
                     // stale pooled connection means "try the next one" —
                     // but only for idempotent requests, since the server
                     // may have executed this one before the socket died.
-                    self.broken.fetch_add(1, Ordering::Relaxed);
+                    self.obs.connections_broken.inc();
                     if fresh || !idempotent {
                         return Err(self.transient_io("request", &e));
                     }
                 }
                 Err(FrameError::Malformed(what)) => {
-                    self.broken.fetch_add(1, Ordering::Relaxed);
+                    self.obs.connections_broken.inc();
                     return Err(StoreError::protocol(format!(
                         "peer {} sent an unreadable frame: {what}",
                         self.addr

@@ -68,6 +68,7 @@ const K_GET_CHUNK: u8 = 0x12;
 const K_LIST_MANIFESTS: u8 = 0x13;
 const K_GET_MANIFEST: u8 = 0x14;
 const K_PUT_MANIFEST: u8 = 0x15;
+const K_STATS: u8 = 0x16;
 const K_FLAGS: u8 = 0x20;
 const K_DONE: u8 = 0x21;
 const K_BYTES: u8 = 0x22;
@@ -121,6 +122,10 @@ pub enum Frame {
         /// Verbatim manifest file bytes.
         bytes: Vec<u8>,
     },
+    /// Observability scrape request: the server answers with
+    /// [`Frame::Bytes`] carrying its registry's Prometheus-style text
+    /// exposition (`ObsRegistry::render_text`).  No payload.
+    Stats,
 
     /// Response to [`Frame::HasChunks`]: one flag per queried hash.
     Flags(Vec<bool>),
@@ -295,6 +300,7 @@ impl Frame {
             Frame::ListManifests => K_LIST_MANIFESTS,
             Frame::GetManifest(_) => K_GET_MANIFEST,
             Frame::PutManifest { .. } => K_PUT_MANIFEST,
+            Frame::Stats => K_STATS,
             Frame::Flags(_) => K_FLAGS,
             Frame::Done => K_DONE,
             Frame::Bytes(_) => K_BYTES,
@@ -332,7 +338,7 @@ impl Frame {
                 out.extend_from_slice(bytes);
             }
             Frame::GetChunk(hash) => out.extend_from_slice(&hash.0.to_le_bytes()),
-            Frame::ListManifests | Frame::Done => {}
+            Frame::ListManifests | Frame::Stats | Frame::Done => {}
             Frame::GetManifest(id) => out.extend_from_slice(&id.0.to_le_bytes()),
             Frame::PutManifest { parent, bytes } => {
                 out.extend_from_slice(&parent.map_or(0, |p| p.0).to_le_bytes());
@@ -438,6 +444,7 @@ impl Frame {
                     bytes: rest(&mut c, body),
                 }
             }
+            K_STATS => Frame::Stats,
             K_FLAGS => {
                 let n = c.u32().ok_or("missing flag count")? as usize;
                 if remaining != 4 + n {
@@ -604,6 +611,7 @@ mod tests {
             parent: Some(ImageId(17)),
             bytes: vec![],
         });
+        roundtrip(Frame::Stats);
         roundtrip(Frame::Flags(vec![true, false, true]));
         roundtrip(Frame::Done);
         roundtrip(Frame::Bytes(vec![1, 2, 3]));

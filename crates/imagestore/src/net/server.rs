@@ -26,10 +26,11 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crac_obs::{Buckets, Counter, EventKind, Gauge, Histogram, ObsRegistry, Span};
 use parking_lot::Mutex;
 
 use crate::error::StoreError;
@@ -46,6 +47,10 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 /// replication tests pin dedup down with (second replication of the same
 /// image ⇒ zero `chunk_frames_received`) and pooled-connection fan-out
 /// with (`get_connections` ≥ 2 under a parallel restore).
+///
+/// A *view*: the authoritative values live in the server's
+/// [`ObsRegistry`] as `crac_net_server_*` metrics ([`ServerHandle::stats`]
+/// reads a registry snapshot — there is no second set of counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetServerStats {
     /// Connections accepted (authenticated or not).
@@ -77,37 +82,94 @@ pub struct NetServerStats {
     pub errors_sent: usize,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections_accepted: AtomicUsize,
-    auth_failures: AtomicUsize,
-    frames_served: AtomicUsize,
-    has_batches: AtomicUsize,
-    chunk_frames_received: AtomicUsize,
-    chunk_bytes_received: AtomicU64,
-    chunks_served: AtomicUsize,
-    chunk_bytes_served: AtomicU64,
-    get_connections: AtomicUsize,
-    manifest_frames_received: AtomicUsize,
-    manifests_served: AtomicUsize,
-    errors_sent: AtomicUsize,
+/// Registry-backed server instrumentation: lifetime counters, a live
+/// connection gauge, and one service-time histogram per request kind.
+/// Handles are resolved once at [`serve`] time (against the store's
+/// registry of that moment) so the per-frame hot path is pure atomics.
+struct NetObs {
+    reg: ObsRegistry,
+    connections_accepted: Counter,
+    auth_failures: Counter,
+    frames_served: Counter,
+    errors_sent: Counter,
+    connections_open: Gauge,
+    has_batches: Counter,
+    chunk_frames_received: Counter,
+    chunk_bytes_received: Counter,
+    chunks_served: Counter,
+    chunk_bytes_served: Counter,
+    get_connections: Counter,
+    manifest_frames_received: Counter,
+    manifests_served: Counter,
+    op_has_chunks: Histogram,
+    op_put_chunk: Histogram,
+    op_get_chunk: Histogram,
+    op_list_manifests: Histogram,
+    op_get_manifest: Histogram,
+    op_put_manifest: Histogram,
+    op_stats: Histogram,
 }
 
-impl Counters {
-    fn snapshot(&self) -> NetServerStats {
+impl NetObs {
+    fn new(reg: ObsRegistry) -> Self {
+        let c = |name: &str| reg.counter(name);
+        let h = |name: &str| reg.histogram(name, Buckets::LATENCY_US);
+        Self {
+            connections_accepted: c("crac_net_server_connections_accepted"),
+            auth_failures: c("crac_net_server_auth_failures"),
+            frames_served: c("crac_net_server_frames_served"),
+            errors_sent: c("crac_net_server_errors_sent"),
+            connections_open: reg.gauge("crac_net_server_connections_open"),
+            has_batches: c("crac_net_server_has_batches"),
+            chunk_frames_received: c("crac_net_server_chunk_frames_received"),
+            chunk_bytes_received: c("crac_net_server_chunk_bytes_received"),
+            chunks_served: c("crac_net_server_chunks_served"),
+            chunk_bytes_served: c("crac_net_server_chunk_bytes_served"),
+            get_connections: c("crac_net_server_get_connections"),
+            manifest_frames_received: c("crac_net_server_manifest_frames_received"),
+            manifests_served: c("crac_net_server_manifests_served"),
+            op_has_chunks: h("crac_net_server_op_has_chunks_us"),
+            op_put_chunk: h("crac_net_server_op_put_chunk_us"),
+            op_get_chunk: h("crac_net_server_op_get_chunk_us"),
+            op_list_manifests: h("crac_net_server_op_list_manifests_us"),
+            op_get_manifest: h("crac_net_server_op_get_manifest_us"),
+            op_put_manifest: h("crac_net_server_op_put_manifest_us"),
+            op_stats: h("crac_net_server_op_stats_us"),
+            reg,
+        }
+    }
+
+    /// The service-time histogram for one request kind (`None` for frames
+    /// that are protocol misuse as requests — they get no timing series).
+    fn op_histogram(&self, request: &Frame) -> Option<&Histogram> {
+        Some(match request {
+            Frame::HasChunks(_) => &self.op_has_chunks,
+            Frame::PutChunk { .. } => &self.op_put_chunk,
+            Frame::GetChunk(_) => &self.op_get_chunk,
+            Frame::ListManifests => &self.op_list_manifests,
+            Frame::GetManifest(_) => &self.op_get_manifest,
+            Frame::PutManifest { .. } => &self.op_put_manifest,
+            Frame::Stats => &self.op_stats,
+            _ => return None,
+        })
+    }
+
+    fn stats(&self) -> NetServerStats {
+        let snap = self.reg.snapshot();
         NetServerStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            auth_failures: self.auth_failures.load(Ordering::Relaxed),
-            frames_served: self.frames_served.load(Ordering::Relaxed),
-            has_batches: self.has_batches.load(Ordering::Relaxed),
-            chunk_frames_received: self.chunk_frames_received.load(Ordering::Relaxed),
-            chunk_bytes_received: self.chunk_bytes_received.load(Ordering::Relaxed),
-            chunks_served: self.chunks_served.load(Ordering::Relaxed),
-            chunk_bytes_served: self.chunk_bytes_served.load(Ordering::Relaxed),
-            get_connections: self.get_connections.load(Ordering::Relaxed),
-            manifest_frames_received: self.manifest_frames_received.load(Ordering::Relaxed),
-            manifests_served: self.manifests_served.load(Ordering::Relaxed),
-            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            connections_accepted: snap.counter("crac_net_server_connections_accepted") as usize,
+            auth_failures: snap.counter("crac_net_server_auth_failures") as usize,
+            frames_served: snap.counter("crac_net_server_frames_served") as usize,
+            has_batches: snap.counter("crac_net_server_has_batches") as usize,
+            chunk_frames_received: snap.counter("crac_net_server_chunk_frames_received") as usize,
+            chunk_bytes_received: snap.counter("crac_net_server_chunk_bytes_received"),
+            chunks_served: snap.counter("crac_net_server_chunks_served") as usize,
+            chunk_bytes_served: snap.counter("crac_net_server_chunk_bytes_served"),
+            get_connections: snap.counter("crac_net_server_get_connections") as usize,
+            manifest_frames_received: snap.counter("crac_net_server_manifest_frames_received")
+                as usize,
+            manifests_served: snap.counter("crac_net_server_manifests_served") as usize,
+            errors_sent: snap.counter("crac_net_server_errors_sent") as usize,
         }
     }
 }
@@ -118,7 +180,7 @@ impl Counters {
 struct Shared {
     store: Arc<ImageStore>,
     secret: Vec<u8>,
-    counters: Counters,
+    obs: NetObs,
     shutting_down: AtomicBool,
     /// One cloned stream handle per live connection, keyed by a serial so
     /// finished connections deregister themselves.
@@ -140,9 +202,18 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Snapshot of the operation counters.
+    /// Snapshot of the operation counters (a view over the server's
+    /// metrics registry).
     pub fn stats(&self) -> NetServerStats {
-        self.shared.counters.snapshot()
+        self.shared.obs.stats()
+    }
+
+    /// The registry this server records into — `crac_net_server_*`
+    /// counters and per-op service-time histograms, plus whatever else
+    /// shares the store's registry.  [`Frame::Stats`] renders the same
+    /// registry over the wire.
+    pub fn obs(&self) -> ObsRegistry {
+        self.shared.obs.reg.clone()
     }
 
     /// Stops accepting, severs every live connection (in-flight requests
@@ -193,10 +264,11 @@ pub fn serve(
     secret: impl Into<Vec<u8>>,
 ) -> std::io::Result<ServerHandle> {
     let local_addr = listener.local_addr()?;
+    let obs = NetObs::new(store.obs());
     let shared = Arc::new(Shared {
         store,
         secret: secret.into(),
-        counters: Counters::default(),
+        obs,
         shutting_down: AtomicBool::new(false),
         live: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
@@ -274,11 +346,16 @@ pub fn serve_on(
 
 /// One connection: register, handshake, request loop, deregister.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    shared
-        .counters
-        .connections_accepted
-        .fetch_add(1, Ordering::Relaxed);
+    let obs = &shared.obs;
+    obs.connections_accepted.inc();
+    obs.connections_open.add(1);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    obs.reg
+        .event(EventKind::ConnOpen, format!("conn={conn_id} peer={peer}"));
     if let Ok(clone) = stream.try_clone() {
         shared.live.lock().insert(conn_id, clone);
     }
@@ -290,19 +367,32 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     if shared.shutting_down.load(Ordering::SeqCst) {
         let _ = stream.shutdown(std::net::Shutdown::Both);
         shared.live.lock().remove(&conn_id);
+        obs.connections_open.sub(1);
+        obs.reg.event(
+            EventKind::ConnClose,
+            format!("conn={conn_id} outcome=shutdown"),
+        );
         return;
     }
     let _ = stream.set_nodelay(true);
 
     let outcome = drive_connection(&mut stream, shared);
-    if matches!(outcome, ConnOutcome::AuthFailed) {
-        shared
-            .counters
-            .auth_failures
-            .fetch_add(1, Ordering::Relaxed);
-    }
+    let outcome_name = match outcome {
+        ConnOutcome::Closed => "closed",
+        ConnOutcome::AuthFailed => {
+            obs.auth_failures.inc();
+            obs.reg
+                .event(EventKind::AuthFail, format!("conn={conn_id} peer={peer}"));
+            "auth_failed"
+        }
+    };
     let _ = stream.shutdown(std::net::Shutdown::Both);
     shared.live.lock().remove(&conn_id);
+    obs.connections_open.sub(1);
+    obs.reg.event(
+        EventKind::ConnClose,
+        format!("conn={conn_id} outcome={outcome_name}"),
+    );
 }
 
 enum ConnOutcome {
@@ -361,13 +451,14 @@ fn drive_connection(stream: &mut TcpStream, shared: &Shared) -> ConnOutcome {
                 return ConnOutcome::Closed;
             }
         };
-        shared
-            .counters
-            .frames_served
-            .fetch_add(1, Ordering::Relaxed);
+        shared.obs.frames_served.inc();
+        let span = shared.obs.op_histogram(&request).map(Span::enter);
         let response = dispatch(request, shared, &mut served_get);
+        if let Some(span) = span {
+            span.finish();
+        }
         if matches!(response, Frame::Err(_)) {
-            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            shared.obs.errors_sent.inc();
         }
         if write_frame(stream, &response).is_err() {
             return ConnOutcome::Closed;
@@ -377,7 +468,7 @@ fn drive_connection(stream: &mut TcpStream, shared: &Shared) -> ConnOutcome {
 
 /// Sends one protocol-violation error frame, best-effort.
 fn refuse(stream: &mut TcpStream, shared: &Shared, what: &str) {
-    shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+    shared.obs.errors_sent.inc();
     let err = WireError::of(&StoreError::protocol(what.to_string()));
     let _ = write_frame(stream, &Frame::Err(err));
 }
@@ -386,46 +477,42 @@ fn refuse(stream: &mut TcpStream, shared: &Shared, what: &str) {
 /// failures for the wire.  `served_get` tracks whether this connection
 /// already counted toward [`NetServerStats::get_connections`].
 fn dispatch(request: Frame, shared: &Shared, served_get: &mut bool) -> Frame {
-    let counters = &shared.counters;
+    let obs = &shared.obs;
     let store = &shared.store;
     let result: Result<Frame, StoreError> = match request {
         Frame::HasChunks(hashes) => {
-            counters.has_batches.fetch_add(1, Ordering::Relaxed);
+            obs.has_batches.inc();
             Ok(Frame::Flags(
                 hashes.iter().map(|&h| store.contains_chunk(h)).collect(),
             ))
         }
         Frame::PutChunk { hash, bytes } => {
-            counters
-                .chunk_frames_received
-                .fetch_add(1, Ordering::Relaxed);
-            counters
-                .chunk_bytes_received
-                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            obs.chunk_frames_received.inc();
+            obs.chunk_bytes_received.add(bytes.len() as u64);
             store.ingest_chunk_file(hash, &bytes).map(|_| Frame::Done)
         }
         Frame::GetChunk(hash) => store.read_chunk_file_bytes(hash).map(|bytes| {
-            counters.chunks_served.fetch_add(1, Ordering::Relaxed);
-            counters
-                .chunk_bytes_served
-                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            obs.chunks_served.inc();
+            obs.chunk_bytes_served.add(bytes.len() as u64);
             if !*served_get {
                 *served_get = true;
-                counters.get_connections.fetch_add(1, Ordering::Relaxed);
+                obs.get_connections.inc();
             }
             Frame::Bytes(bytes)
         }),
         Frame::ListManifests => store.manifest_ids().map(Frame::Ids),
         Frame::GetManifest(id) => store.read_manifest_bytes(id).map(|bytes| {
-            counters.manifests_served.fetch_add(1, Ordering::Relaxed);
+            obs.manifests_served.inc();
             Frame::Bytes(bytes)
         }),
         Frame::PutManifest { parent, bytes } => {
-            counters
-                .manifest_frames_received
-                .fetch_add(1, Ordering::Relaxed);
+            obs.manifest_frames_received.inc();
             store.adopt_manifest(&bytes, parent).map(Frame::Id)
         }
+        // Observability scrape: the server's whole registry (its own
+        // crac_net_server_* series plus whatever the store recorded) as
+        // Prometheus-style text.
+        Frame::Stats => Ok(Frame::Bytes(obs.reg.render_text().into_bytes())),
         // A handshake or response frame arriving as a request: protocol
         // misuse, answered (not a process abort), connection lives on.
         other => Err(StoreError::protocol(format!(

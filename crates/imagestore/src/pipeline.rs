@@ -29,8 +29,22 @@ impl Gauge {
         self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
+    /// Releases bytes, saturating at zero: a mismatched add/sub pair is
+    /// a stage-accounting bug (asserted in debug builds), but it must
+    /// not wrap `current` to ~`u64::MAX` — one wrap would poison `peak`
+    /// for the rest of the run and fail every buffer-bound assertion
+    /// after it.
     pub(crate) fn sub(&self, bytes: u64) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            })
+            .expect("fetch_update closure always returns Some");
+        debug_assert!(
+            prev >= bytes,
+            "gauge sub({bytes}) underflows current {prev}: add/sub mismatch"
+        );
     }
 
     pub(crate) fn peak(&self) -> u64 {
@@ -43,4 +57,30 @@ pub(crate) type ErrorSlot = Arc<Mutex<Option<StoreError>>>;
 
 pub(crate) fn latch(slot: &ErrorSlot, err: StoreError) {
     slot.lock().get_or_insert(err);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a mismatched add/sub pair must saturate at zero, not
+    /// wrap `current` to ~`u64::MAX` and poison `peak` forever.  (The
+    /// debug assertion still flags the mismatch in debug builds — the
+    /// point here is the release-mode arithmetic.)
+    #[test]
+    fn gauge_sub_saturates_instead_of_wrapping() {
+        let g = Gauge::default();
+        g.add(8);
+        let over = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.sub(32)));
+        if cfg!(debug_assertions) {
+            over.expect_err("debug builds assert on the mismatch");
+        } else {
+            over.expect("release builds saturate silently");
+        }
+        // current pinned at zero, peak untouched by the bad sub…
+        assert_eq!(g.peak(), 8);
+        // …and the next add sees a sane baseline, not ~u64::MAX.
+        g.add(3);
+        assert_eq!(g.peak(), 8, "peak must not jump after a lopsided sub");
+    }
 }

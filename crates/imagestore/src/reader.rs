@@ -56,6 +56,7 @@ use std::time::{Duration, Instant};
 
 use crac_addrspace::{Addr, PageRun, PAGE_SIZE};
 use crac_dmtcp::{CheckpointImage, RegionDescriptor};
+use crac_obs::{Buckets, Counter, EventKind, Histogram, ObsRegistry, Span};
 
 use crate::chunk::CHUNK_PAGES;
 use crate::codec::decode;
@@ -65,7 +66,7 @@ use crate::hash::ContentHash;
 use crate::pipeline::{latch, ErrorSlot, Gauge};
 use crate::store::{ImageId, ImageStore};
 use crate::stream::{ChunkSource, MaterialiseSink, RegionSink};
-use crate::transport::with_transient_retry_until;
+use crate::transport::{with_transient_retry_observed, RetryObs};
 
 /// Verified chunks the queue holds while the splice consumer is busy
 /// (backpressure depth between the fetch workers and the splice).
@@ -114,6 +115,73 @@ pub struct ReadStats {
     pub elapsed: Duration,
 }
 
+/// Per-restore observability bundle shared by both restore paths (local
+/// [`StreamReader`] and [`crate::remote::RemoteChunkSource`]): a fresh
+/// per-run registry whose counters/histograms *are* the authoritative
+/// accounting — [`ReadStats`] is built as a view over its final snapshot,
+/// so there is no double bookkeeping — plus the long-lived registry that
+/// receives events and retry metrics immediately (mid-run visibility).
+pub(crate) struct ReaderObs {
+    /// Per-run metric namespace; folded into `events` when the run ends.
+    pub(crate) run: ObsRegistry,
+    /// The long-lived registry (the store's, or one attached via
+    /// `open_with_obs`): structured events and retry accounting land here
+    /// directly, visible while the restore is still in flight.
+    pub(crate) events: ObsRegistry,
+    pub(crate) stage_fetch: Histogram,
+    pub(crate) stage_verify: Histogram,
+    pub(crate) stage_splice: Histogram,
+    chunks_read: Counter,
+    chunk_bytes_read: Counter,
+}
+
+impl ReaderObs {
+    pub(crate) fn new(events: ObsRegistry) -> Self {
+        let run = ObsRegistry::new();
+        Self {
+            stage_fetch: run.histogram("crac_reader_stage_fetch_us", Buckets::LATENCY_US),
+            stage_verify: run.histogram("crac_reader_stage_verify_us", Buckets::LATENCY_US),
+            stage_splice: run.histogram("crac_reader_stage_splice_us", Buckets::LATENCY_US),
+            chunks_read: run.counter("crac_reader_chunks_read"),
+            chunk_bytes_read: run.counter("crac_reader_chunk_bytes_read"),
+            run,
+            events,
+        }
+    }
+
+    /// Retry observation for one transport/store operation: cause and
+    /// backoff land on the long-lived registry as they happen.
+    pub(crate) fn retry(&self, op: &'static str) -> RetryObs {
+        RetryObs {
+            reg: self.events.clone(),
+            op,
+        }
+    }
+
+    /// Ends the run: folds the run registry into the long-lived one and
+    /// returns [`ReadStats`] as a view over the run's final snapshot.
+    pub(crate) fn finish_stats(&self, elapsed: Duration) -> ReadStats {
+        let snap = self.run.snapshot();
+        self.events.absorb(&snap);
+        ReadStats {
+            chunks_read: snap.counter("crac_reader_chunks_read") as usize,
+            chunks_cached: snap.counter("crac_reader_chunks_cached") as usize,
+            chunk_bytes_read: snap.counter("crac_reader_chunk_bytes_read"),
+            manifest_bytes: snap.counter("crac_reader_manifest_bytes"),
+            threads_used: snap
+                .gauge("crac_reader_threads")
+                .map(|g| g.value as usize)
+                .unwrap_or(0),
+            transient_retries: snap.counter("crac_reader_transient_retries") as usize,
+            peak_buffered_bytes: snap
+                .gauge("crac_reader_buffered_bytes")
+                .map(|g| g.peak)
+                .unwrap_or(0),
+            elapsed,
+        }
+    }
+}
+
 /// A streaming image reader: the store's canonical [`ChunkSource`].
 ///
 /// Obtain one through [`ImageStore::stream_restore`]; the constructor
@@ -125,20 +193,27 @@ pub struct StreamReader<'s> {
     store: &'s ImageStore,
     id: ImageId,
     manifest: Manifest,
+    obs: ReaderObs,
     stats: ReadStats,
 }
 
 impl<'s> StreamReader<'s> {
     pub(crate) fn new(store: &'s ImageStore, id: ImageId) -> Result<Self, StoreError> {
         let manifest = store.load_manifest(id)?;
+        let obs = ReaderObs::new(store.obs());
+        let manifest_bytes = store.manifest_size(id)?;
+        obs.run
+            .counter("crac_reader_manifest_bytes")
+            .add(manifest_bytes);
         let stats = ReadStats {
-            manifest_bytes: store.manifest_size(id)?,
+            manifest_bytes,
             ..Default::default()
         };
         Ok(Self {
             store,
             id,
             manifest,
+            obs,
             stats,
         })
     }
@@ -185,12 +260,15 @@ pub(crate) struct FetchPlan {
 pub(crate) trait ChunkFetch: Sync {
     /// Fetches chunk `hash`, returning its raw bytes plus the encoded
     /// (file/wire) byte count moved.  Must `gauge.add` the raw bytes
-    /// before returning them (the pipeline `sub`s when they are dropped).
+    /// before returning them (the pipeline `sub`s when they are dropped),
+    /// and should record its acquisition under `obs.stage_fetch` and the
+    /// verification ladder under `obs.stage_verify`.
     fn fetch(
         &self,
         hash: ContentHash,
         raw_len: u64,
         gauge: &Gauge,
+        obs: &ReaderObs,
     ) -> Result<(Vec<u8>, u64), StoreError>;
 }
 
@@ -205,8 +283,9 @@ impl ChunkFetch for LocalFetch<'_> {
         hash: ContentHash,
         raw_len: u64,
         gauge: &Gauge,
+        obs: &ReaderObs,
     ) -> Result<(Vec<u8>, u64), StoreError> {
-        fetch_chunk(self.store, hash, raw_len, gauge)
+        fetch_chunk(self.store, hash, raw_len, gauge, obs)
     }
 }
 
@@ -309,25 +388,28 @@ pub(crate) fn build_fetch_plan(
 /// pull tickets off `plan`, fetch + verify through `fetcher` (with
 /// bounded retry on transient failures), and push decoded chunks through
 /// the bounded queue; the calling thread splices each chunk into `sink`
-/// the moment it arrives.  Accounts everything into `stats`.
+/// the moment it arrives.  Accounts everything into `obs`'s run registry
+/// — the caller builds its [`ReadStats`] view from the final snapshot.
 pub(crate) fn run_fetch_pipeline(
     plan: &[FetchPlan],
     sink: &mut dyn RegionSink,
     fetcher: &dyn ChunkFetch,
-    stats: &mut ReadStats,
+    obs: &ReaderObs,
 ) -> Result<(), StoreError> {
     let threads = effective_read_threads(plan.len());
-    stats.threads_used = threads;
+    obs.run.gauge("crac_reader_threads").set(threads as u64);
     let gauge = Gauge::default();
     let error: ErrorSlot = Default::default();
     let next = AtomicUsize::new(0);
     let retries = AtomicUsize::new(0);
+    let retry_obs = obs.retry("fetch_chunk");
     let (tx, rx) = sync_channel::<(usize, Vec<u8>, u64)>(VERIFY_QUEUE_CHUNKS);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let (next, gauge, error, retries) = (&next, &gauge, &error, &retries);
+            let retry_obs = &retry_obs;
             scope.spawn(move || loop {
                 let ticket = next.fetch_add(1, Ordering::Relaxed);
                 let Some(entry) = plan.get(ticket) else {
@@ -342,10 +424,11 @@ pub(crate) fn run_fetch_pipeline(
                 // permanent failures still fail fast, and once any worker
                 // has latched an error the cancellation probe stops the
                 // others' retry loops mid-budget.
-                let fetched = with_transient_retry_until(
+                let fetched = with_transient_retry_observed(
                     retries,
                     || error.lock().is_some(),
-                    || fetcher.fetch(entry.hash, entry.raw_len, gauge),
+                    Some(retry_obs),
+                    || fetcher.fetch(entry.hash, entry.raw_len, gauge, obs),
                 );
                 match fetched {
                     Ok((raw, wire_bytes)) => {
@@ -369,19 +452,26 @@ pub(crate) fn run_fetch_pipeline(
             let len = raw.len() as u64;
             if error.lock().is_none() {
                 let entry = &plan[ticket];
-                if let Err(e) = splice_chunk(sink, entry, &raw) {
+                let stage = Span::enter(&obs.stage_splice);
+                let spliced = splice_chunk(sink, entry, &raw);
+                stage.finish();
+                if let Err(e) = spliced {
                     latch(&error, e);
                 } else {
-                    stats.chunks_read += 1;
-                    stats.chunk_bytes_read += wire_bytes;
+                    obs.chunks_read.inc();
+                    obs.chunk_bytes_read.add(wire_bytes);
                 }
             }
             gauge.sub(len);
         }
     });
 
-    stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(gauge.peak());
-    stats.transient_retries += retries.load(Ordering::Relaxed);
+    obs.run
+        .gauge("crac_reader_buffered_bytes")
+        .raise_peak(gauge.peak());
+    obs.run
+        .counter("crac_reader_transient_retries")
+        .add(retries.load(Ordering::Relaxed) as u64);
     let first_error = error.lock().take();
     match first_error {
         Some(e) => Err(e),
@@ -392,6 +482,10 @@ pub(crate) fn run_fetch_pipeline(
 impl ChunkSource for StreamReader<'_> {
     fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
         let start = Instant::now();
+        self.obs.events.event(
+            EventKind::RestoreBegun,
+            format!("image={} regions={}", self.id, self.manifest.regions.len()),
+        );
 
         // Metadata first: declarations and payloads are manifest-inline,
         // so the sink has the full image shape before content arrives.
@@ -399,11 +493,24 @@ impl ChunkSource for StreamReader<'_> {
 
         let label = self.store.image_path(self.id);
         let (plan, refs_total) = build_fetch_plan(&self.manifest, &label)?;
-        self.stats.chunks_cached = refs_total - plan.len();
+        self.obs
+            .run
+            .counter("crac_reader_chunks_cached")
+            .add((refs_total - plan.len()) as u64);
 
         let fetcher = LocalFetch { store: self.store };
-        let result = run_fetch_pipeline(&plan, sink, &fetcher, &mut self.stats);
-        self.stats.elapsed = start.elapsed();
+        let result = run_fetch_pipeline(&plan, sink, &fetcher, &self.obs);
+        self.stats = self.obs.finish_stats(start.elapsed());
+        self.obs.events.event(
+            EventKind::RestoreFinished,
+            format!(
+                "image={} ok={} chunks_read={} bytes_read={}",
+                self.id,
+                result.is_ok(),
+                self.stats.chunks_read,
+                self.stats.chunk_bytes_read
+            ),
+        );
         result
     }
 }
@@ -490,8 +597,10 @@ fn fetch_chunk(
     hash: ContentHash,
     raw_len: u64,
     gauge: &Gauge,
+    obs: &ReaderObs,
 ) -> Result<(Vec<u8>, u64), StoreError> {
     let path = store.chunk_path(hash);
+    let stage = Span::enter(&obs.stage_fetch);
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -501,9 +610,12 @@ fn fetch_chunk(
         }
         Err(e) => return Err(StoreError::io(&path, e)),
     };
+    stage.finish();
     let file_bytes = bytes.len() as u64;
     gauge.add(file_bytes);
+    let stage = Span::enter(&obs.stage_verify);
     let result = verify_chunk_file_bytes(&path, &bytes, hash, raw_len, gauge);
+    stage.finish();
     drop(bytes);
     gauge.sub(file_bytes);
     result.map(|raw| (raw, file_bytes))

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use crac_addrspace::{PageRun, PAGE_SIZE};
 use crac_dmtcp::RegionDescriptor;
+use crac_obs::{Counter, EventKind, ObsRegistry, Span};
 
 use crate::chunk::RunChunker;
 use crate::codec::{encode, Compression};
@@ -48,11 +49,11 @@ use crate::hash::ContentHash;
 use crate::pipeline::Gauge;
 use crate::reader::{
     build_fetch_plan, declare_manifest, run_fetch_pipeline, verify_chunk_file_bytes, ChunkFetch,
-    ReadStats,
+    ReadStats, ReaderObs,
 };
 use crate::store::{ImageId, ImageStore};
 use crate::stream::{ChunkSink, ChunkSource, RegionSink};
-use crate::transport::{with_transient_retry, Transport, HAS_CHUNKS_BATCH};
+use crate::transport::{with_transient_retry_observed, RetryObs, Transport, HAS_CHUNKS_BATCH};
 
 /// What one replication (or remote-streamed checkpoint) cost.
 #[derive(Clone, Copy, Debug, Default)]
@@ -97,6 +98,89 @@ impl ReplicateStats {
 struct StagedChunk {
     hash: ContentHash,
     raw: Vec<u8>,
+}
+
+/// Per-operation observability bundle for the ship side (sink and both
+/// `replicate_*` paths): a fresh run registry whose counters are the
+/// authoritative accounting — [`ReplicateStats`] is a view over its final
+/// snapshot — plus the long-lived registry events and retry metrics go
+/// to directly.
+struct ShipObs {
+    /// Per-run metric namespace; folded into `events` when the run ends.
+    run: ObsRegistry,
+    /// Long-lived registry (the store's, or one attached via
+    /// [`RemoteChunkSink::with_obs`]).
+    events: ObsRegistry,
+    chunks_total: Counter,
+    chunks_shipped: Counter,
+    chunks_deduped: Counter,
+    raw_chunk_bytes: Counter,
+    bytes_shipped: Counter,
+    has_batches: Counter,
+}
+
+impl ShipObs {
+    fn new(events: ObsRegistry) -> Self {
+        let run = ObsRegistry::new();
+        Self {
+            chunks_total: run.counter("crac_remote_chunks_total"),
+            chunks_shipped: run.counter("crac_remote_chunks_shipped"),
+            chunks_deduped: run.counter("crac_remote_chunks_deduped"),
+            raw_chunk_bytes: run.counter("crac_remote_raw_chunk_bytes"),
+            bytes_shipped: run.counter("crac_remote_bytes_shipped"),
+            has_batches: run.counter("crac_remote_has_batches"),
+            run,
+            events,
+        }
+    }
+
+    /// Retry observation for one transport operation.
+    fn retry(&self, op: &'static str) -> RetryObs {
+        RetryObs {
+            reg: self.events.clone(),
+            op,
+        }
+    }
+
+    /// One negotiation batch settled: count it and surface non-empty
+    /// ship/dedup outcomes as events (per batch, not per chunk, so a
+    /// large image cannot flood the bounded ring).
+    fn batch_settled(&self, shipped: usize, shipped_bytes: u64, deduped: usize) {
+        let batch = self.has_batches.get();
+        if shipped > 0 {
+            self.events.event(
+                EventKind::ChunkShipped,
+                format!("batch={batch} chunks={shipped} bytes={shipped_bytes}"),
+            );
+        }
+        if deduped > 0 {
+            self.events.event(
+                EventKind::ChunkDeduped,
+                format!("batch={batch} chunks={deduped}"),
+            );
+        }
+    }
+
+    /// Ends the run: folds the run registry into the long-lived one and
+    /// returns [`ReplicateStats`] as a view over the final snapshot.
+    fn finish_stats(&self, retries: &AtomicUsize, elapsed: Duration) -> ReplicateStats {
+        self.run
+            .counter("crac_remote_transient_retries")
+            .add(retries.load(Ordering::Relaxed) as u64);
+        let snap = self.run.snapshot();
+        self.events.absorb(&snap);
+        ReplicateStats {
+            chunks_total: snap.counter("crac_remote_chunks_total") as usize,
+            chunks_shipped: snap.counter("crac_remote_chunks_shipped") as usize,
+            chunks_deduped: snap.counter("crac_remote_chunks_deduped") as usize,
+            raw_chunk_bytes: snap.counter("crac_remote_raw_chunk_bytes"),
+            bytes_shipped: snap.counter("crac_remote_bytes_shipped"),
+            manifest_bytes: snap.counter("crac_remote_manifest_bytes"),
+            has_batches: snap.counter("crac_remote_has_batches") as usize,
+            transient_retries: retries.load(Ordering::Relaxed),
+            elapsed,
+        }
+    }
 }
 
 /// A `has_chunks` reply of the wrong length is a *protocol* defect in the
@@ -145,7 +229,7 @@ pub struct RemoteChunkSink<'t> {
     regions: Vec<RegionDescriptor>,
     chunks: Vec<Vec<ChunkEntry>>,
     payloads: Vec<(String, Vec<u8>)>,
-    stats: ReplicateStats,
+    obs: ShipObs,
 }
 
 impl<'t> RemoteChunkSink<'t> {
@@ -156,6 +240,19 @@ impl<'t> RemoteChunkSink<'t> {
         transport: &'t dyn Transport,
         compression: Compression,
         parent: Option<ImageId>,
+    ) -> Self {
+        Self::with_obs(transport, compression, parent, ObsRegistry::new())
+    }
+
+    /// Like [`RemoteChunkSink::new`], but recording into `obs`: shipping
+    /// metrics are folded into it when the stream finishes, and
+    /// ship/dedup/retry events land on it live, so a coordinator-held
+    /// registry observes the remote checkpoint while it streams.
+    pub fn with_obs(
+        transport: &'t dyn Transport,
+        compression: Compression,
+        parent: Option<ImageId>,
+        obs: ObsRegistry,
     ) -> Self {
         Self {
             transport,
@@ -171,7 +268,7 @@ impl<'t> RemoteChunkSink<'t> {
             regions: Vec::new(),
             chunks: Vec::new(),
             payloads: Vec::new(),
-            stats: ReplicateStats::default(),
+            obs: ShipObs::new(obs),
         }
     }
 
@@ -194,7 +291,7 @@ impl<'t> RemoteChunkSink<'t> {
             .cur_region
             .ok_or_else(|| StoreError::protocol("chunk emitted outside any open region"))?;
         let hash = ContentHash::of(&raw);
-        self.stats.raw_chunk_bytes += raw.len() as u64;
+        self.obs.raw_chunk_bytes.add(raw.len() as u64);
         self.chunks[region_seq].push(ChunkEntry {
             runs,
             hash,
@@ -207,7 +304,7 @@ impl<'t> RemoteChunkSink<'t> {
         if !self.seen.insert(hash) {
             return Ok(());
         }
-        self.stats.chunks_total += 1;
+        self.obs.chunks_total.inc();
         self.staged.push(StagedChunk { hash, raw });
         if self.staged.len() >= HAS_CHUNKS_BATCH {
             self.negotiate_and_ship()?;
@@ -225,15 +322,25 @@ impl<'t> RemoteChunkSink<'t> {
         // Staged hashes are distinct by construction (`seen`), so the
         // whole batch is the query.
         let to_query: Vec<ContentHash> = staged.iter().map(|c| c.hash).collect();
-        self.stats.has_batches += 1;
-        let present = with_transient_retry(&self.retries, || self.transport.has_chunks(&to_query))?;
+        self.obs.has_batches.inc();
+        let transport = self.transport;
+        let retry = self.obs.retry("has_chunks");
+        let present = with_transient_retry_observed(
+            &self.retries,
+            || false,
+            Some(&retry),
+            || transport.has_chunks(&to_query),
+        )?;
         if present.len() != to_query.len() {
             return Err(protocol_violation(to_query.len(), present.len()));
         }
+        let retry = self.obs.retry("put_chunk");
+        let (mut shipped, mut shipped_bytes, mut deduped) = (0usize, 0u64, 0usize);
         for (chunk, is_present) in staged.into_iter().zip(present) {
             if is_present {
                 // The peer already had this content.
-                self.stats.chunks_deduped += 1;
+                self.obs.chunks_deduped.inc();
+                deduped += 1;
                 continue;
             }
             let raw_len = chunk.raw.len() as u64;
@@ -245,12 +352,18 @@ impl<'t> RemoteChunkSink<'t> {
                 encoded,
             }
             .to_bytes();
-            with_transient_retry(&self.retries, || {
-                self.transport.put_chunk(chunk.hash, &file_bytes)
-            })?;
-            self.stats.chunks_shipped += 1;
-            self.stats.bytes_shipped += file_bytes.len() as u64;
+            with_transient_retry_observed(
+                &self.retries,
+                || false,
+                Some(&retry),
+                || transport.put_chunk(chunk.hash, &file_bytes),
+            )?;
+            self.obs.chunks_shipped.inc();
+            self.obs.bytes_shipped.add(file_bytes.len() as u64);
+            shipped += 1;
+            shipped_bytes += file_bytes.len() as u64;
         }
+        self.obs.batch_settled(shipped, shipped_bytes, deduped);
         Ok(())
     }
 
@@ -291,13 +404,27 @@ impl<'t> RemoteChunkSink<'t> {
         };
         let bytes = manifest.to_bytes();
         let parent = self.parent;
-        let id = with_transient_retry(&self.retries, || {
-            self.transport.put_manifest(&bytes, parent)
-        })?;
-        self.stats.manifest_bytes = bytes.len() as u64;
-        self.stats.transient_retries = self.retries.load(Ordering::Relaxed);
-        self.stats.elapsed = self.started.elapsed();
-        Ok((id, self.stats))
+        let transport = self.transport;
+        let retry = self.obs.retry("put_manifest");
+        let id = with_transient_retry_observed(
+            &self.retries,
+            || false,
+            Some(&retry),
+            || transport.put_manifest(&bytes, parent),
+        )?;
+        self.obs
+            .run
+            .counter("crac_remote_manifest_bytes")
+            .add(bytes.len() as u64);
+        let stats = self.obs.finish_stats(&self.retries, self.started.elapsed());
+        self.obs.events.event(
+            EventKind::CheckpointFinished,
+            format!(
+                "remote image={id} chunks={} shipped={} deduped={} bytes_shipped={}",
+                stats.chunks_total, stats.chunks_shipped, stats.chunks_deduped, stats.bytes_shipped
+            ),
+        );
+        Ok((id, stats))
     }
 }
 
@@ -371,11 +498,16 @@ impl ChunkFetch for RemoteFetch<'_> {
         hash: ContentHash,
         raw_len: u64,
         gauge: &Gauge,
+        obs: &ReaderObs,
     ) -> Result<(Vec<u8>, u64), StoreError> {
+        let stage = Span::enter(&obs.stage_fetch);
         let bytes = self.transport.get_chunk(hash)?;
+        stage.finish();
         let wire_bytes = bytes.len() as u64;
         gauge.add(wire_bytes);
+        let stage = Span::enter(&obs.stage_verify);
         let result = verify_chunk_file_bytes(&self.label, &bytes, hash, raw_len, gauge);
+        stage.finish();
         drop(bytes);
         gauge.sub(wire_bytes);
         result.map(|raw| (raw, wire_bytes))
@@ -395,17 +527,42 @@ pub struct RemoteChunkSource<'t> {
     transport: &'t dyn Transport,
     manifest: Manifest,
     label: PathBuf,
+    obs: ReaderObs,
     stats: ReadStats,
 }
 
 impl<'t> RemoteChunkSource<'t> {
     /// Fetches and verifies the manifest of remote image `id`.
     pub fn open(transport: &'t dyn Transport, id: ImageId) -> Result<Self, StoreError> {
+        Self::open_with_obs(transport, id, ObsRegistry::new())
+    }
+
+    /// Like [`RemoteChunkSource::open`], but recording into `obs`: the
+    /// restore's metrics are folded into it when the stream completes,
+    /// and restore/retry events land on it live.
+    pub fn open_with_obs(
+        transport: &'t dyn Transport,
+        id: ImageId,
+        obs: ObsRegistry,
+    ) -> Result<Self, StoreError> {
+        let obs = ReaderObs::new(obs);
         let retries = AtomicUsize::new(0);
-        let bytes = with_transient_retry(&retries, || transport.get_manifest(id))?;
+        let retry = obs.retry("get_manifest");
+        let bytes = with_transient_retry_observed(
+            &retries,
+            || false,
+            Some(&retry),
+            || transport.get_manifest(id),
+        )?;
         let label = PathBuf::from(format!("remote:{id}"));
         let manifest =
             Manifest::from_bytes(&bytes).map_err(|what| StoreError::corrupt(&label, what))?;
+        obs.run
+            .counter("crac_reader_manifest_bytes")
+            .add(bytes.len() as u64);
+        obs.run
+            .counter("crac_reader_transient_retries")
+            .add(retries.load(Ordering::Relaxed) as u64);
         let stats = ReadStats {
             manifest_bytes: bytes.len() as u64,
             transient_retries: retries.load(Ordering::Relaxed),
@@ -415,6 +572,7 @@ impl<'t> RemoteChunkSource<'t> {
             transport,
             manifest,
             label,
+            obs,
             stats,
         })
     }
@@ -449,15 +607,36 @@ impl<'t> RemoteChunkSource<'t> {
 impl ChunkSource for RemoteChunkSource<'_> {
     fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
         let start = Instant::now();
+        self.obs.events.event(
+            EventKind::RestoreBegun,
+            format!(
+                "source={} regions={}",
+                self.label.display(),
+                self.manifest.regions.len()
+            ),
+        );
         declare_manifest(&self.manifest, sink)?;
         let (plan, refs_total) = build_fetch_plan(&self.manifest, &self.label)?;
-        self.stats.chunks_cached = refs_total - plan.len();
+        self.obs
+            .run
+            .counter("crac_reader_chunks_cached")
+            .add((refs_total - plan.len()) as u64);
         let fetcher = RemoteFetch {
             transport: self.transport,
             label: self.label.clone(),
         };
-        let result = run_fetch_pipeline(&plan, sink, &fetcher, &mut self.stats);
-        self.stats.elapsed = start.elapsed();
+        let result = run_fetch_pipeline(&plan, sink, &fetcher, &self.obs);
+        self.stats = self.obs.finish_stats(start.elapsed());
+        self.obs.events.event(
+            EventKind::RestoreFinished,
+            format!(
+                "source={} ok={} chunks_read={} bytes_read={}",
+                self.label.display(),
+                result.is_ok(),
+                self.stats.chunks_read,
+                self.stats.chunk_bytes_read
+            ),
+        );
         result
     }
 }
@@ -493,30 +672,39 @@ impl ImageStore {
         };
         let manifest = Manifest::from_bytes(&manifest_bytes)
             .map_err(|what| StoreError::corrupt(&manifest_path, what))?;
-        let mut stats = ReplicateStats::default();
+        let obs = ShipObs::new(self.obs());
         let retries = AtomicUsize::new(0);
 
         // Distinct hashes in first-reference order.
         let mut hashes: Vec<(ContentHash, u64)> = Vec::new();
         let mut seen: HashSet<ContentHash> = HashSet::new();
         for chunk in manifest.chunk_refs() {
-            stats.raw_chunk_bytes += chunk.raw_len;
+            obs.raw_chunk_bytes.add(chunk.raw_len);
             if seen.insert(chunk.hash) {
                 hashes.push((chunk.hash, chunk.raw_len));
             }
         }
-        stats.chunks_total = hashes.len();
+        obs.chunks_total.add(hashes.len() as u64);
 
         for batch in hashes.chunks(HAS_CHUNKS_BATCH) {
             let query: Vec<ContentHash> = batch.iter().map(|(h, _)| *h).collect();
-            stats.has_batches += 1;
-            let present = with_transient_retry(&retries, || transport.has_chunks(&query))?;
+            obs.has_batches.inc();
+            let retry = obs.retry("has_chunks");
+            let present = with_transient_retry_observed(
+                &retries,
+                || false,
+                Some(&retry),
+                || transport.has_chunks(&query),
+            )?;
             if present.len() != query.len() {
                 return Err(protocol_violation(query.len(), present.len()));
             }
+            let retry = obs.retry("put_chunk");
+            let (mut shipped, mut shipped_bytes, mut deduped) = (0usize, 0u64, 0usize);
             for (&(hash, raw_len), is_present) in batch.iter().zip(present) {
                 if is_present {
-                    stats.chunks_deduped += 1;
+                    obs.chunks_deduped.inc();
+                    deduped += 1;
                     continue;
                 }
                 let path = self.chunk_path(hash);
@@ -527,19 +715,33 @@ impl ImageStore {
                 // poisoning the peer.
                 let gauge = Gauge::default();
                 verify_chunk_file_bytes(&path, &file_bytes, hash, raw_len, &gauge)?;
-                with_transient_retry(&retries, || transport.put_chunk(hash, &file_bytes))?;
-                stats.chunks_shipped += 1;
-                stats.bytes_shipped += file_bytes.len() as u64;
+                with_transient_retry_observed(
+                    &retries,
+                    || false,
+                    Some(&retry),
+                    || transport.put_chunk(hash, &file_bytes),
+                )?;
+                obs.chunks_shipped.inc();
+                obs.bytes_shipped.add(file_bytes.len() as u64);
+                shipped += 1;
+                shipped_bytes += file_bytes.len() as u64;
             }
+            obs.batch_settled(shipped, shipped_bytes, deduped);
         }
 
         // Chunks all landed: publish the manifest (its verbatim file
         // bytes — the peer re-verifies the CRC and rewrites the identity).
-        let remote_id =
-            with_transient_retry(&retries, || transport.put_manifest(&manifest_bytes, None))?;
-        stats.manifest_bytes = manifest_bytes.len() as u64;
-        stats.transient_retries = retries.load(Ordering::Relaxed);
-        stats.elapsed = started.elapsed();
+        let retry = obs.retry("put_manifest");
+        let remote_id = with_transient_retry_observed(
+            &retries,
+            || false,
+            Some(&retry),
+            || transport.put_manifest(&manifest_bytes, None),
+        )?;
+        obs.run
+            .counter("crac_remote_manifest_bytes")
+            .add(manifest_bytes.len() as u64);
+        let stats = obs.finish_stats(&retries, started.elapsed());
         Ok((remote_id, stats))
     }
 
@@ -560,38 +762,58 @@ impl ImageStore {
         // and fail the final manifest adoption spuriously.
         let _writing = self.writer_guard();
         let started = Instant::now();
-        let mut stats = ReplicateStats::default();
+        let obs = ShipObs::new(self.obs());
         let retries = AtomicUsize::new(0);
-        let manifest_bytes = with_transient_retry(&retries, || transport.get_manifest(remote_id))?;
+        let retry = obs.retry("get_manifest");
+        let manifest_bytes = with_transient_retry_observed(
+            &retries,
+            || false,
+            Some(&retry),
+            || transport.get_manifest(remote_id),
+        )?;
         let label = PathBuf::from(format!("remote:{remote_id}"));
         let manifest = Manifest::from_bytes(&manifest_bytes)
             .map_err(|what| StoreError::corrupt(&label, what))?;
 
+        let retry = obs.retry("get_chunk");
         let mut seen: HashSet<ContentHash> = HashSet::new();
         for chunk in manifest.chunk_refs() {
-            stats.raw_chunk_bytes += chunk.raw_len;
+            obs.raw_chunk_bytes.add(chunk.raw_len);
             if !seen.insert(chunk.hash) {
                 continue;
             }
-            stats.chunks_total += 1;
+            obs.chunks_total.inc();
             if self.contains_chunk(chunk.hash) {
-                stats.chunks_deduped += 1;
+                obs.chunks_deduped.inc();
                 continue;
             }
-            let file_bytes = with_transient_retry(&retries, || transport.get_chunk(chunk.hash))?;
+            let file_bytes = with_transient_retry_observed(
+                &retries,
+                || false,
+                Some(&retry),
+                || transport.get_chunk(chunk.hash),
+            )?;
             // The locked ingest re-verifies (CRC, decode, content hash)
             // before the atomic rename publishes the chunk; we already
             // hold the writer gate, so the `_locked` variant avoids a
             // recursive read-lock.
             self.ingest_chunk_file_locked(chunk.hash, &file_bytes)?;
-            stats.chunks_shipped += 1;
-            stats.bytes_shipped += file_bytes.len() as u64;
+            obs.chunks_shipped.inc();
+            obs.bytes_shipped.add(file_bytes.len() as u64);
         }
 
         let id = self.adopt_manifest_locked(&manifest_bytes, None)?;
-        stats.manifest_bytes = manifest_bytes.len() as u64;
-        stats.transient_retries = retries.load(Ordering::Relaxed);
-        stats.elapsed = started.elapsed();
+        obs.run
+            .counter("crac_remote_manifest_bytes")
+            .add(manifest_bytes.len() as u64);
+        let stats = obs.finish_stats(&retries, started.elapsed());
+        obs.events.event(
+            EventKind::ChunkShipped,
+            format!(
+                "pull remote={remote_id} local={id} chunks={} pulled={} deduped={} bytes={}",
+                stats.chunks_total, stats.chunks_shipped, stats.chunks_deduped, stats.bytes_shipped
+            ),
+        );
         Ok((id, stats))
     }
 }

@@ -38,6 +38,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crac_dmtcp::CheckpointImage;
+use crac_obs::{EventKind, ObsRegistry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::StoreError;
@@ -128,6 +129,13 @@ pub struct ImageStore {
     /// sweep (delete returns `Busy`) or after it (and sees the post-sweep
     /// index), never in between.
     writer_gate: RwLock<()>,
+    /// The store's observability registry: every write/read pipeline run
+    /// folds its metrics in here, GC sweeps and lock steals record events,
+    /// and the TCP server's `Stats` op renders it.  Swappable
+    /// ([`ImageStore::adopt_obs`]) so a coordinator-owned registry can
+    /// observe the whole checkpoint→replicate→restore flow through one
+    /// handle.
+    obs: Mutex<ObsRegistry>,
 }
 
 impl ImageStore {
@@ -144,7 +152,15 @@ impl ImageStore {
         // `.tmp` sweep does not cover the store root); clear dead
         // claimants' litter before claiming ourselves.
         lock::sweep_stale_claims(&store.root);
-        lock::acquire(&store.root)?;
+        let steals = lock::acquire(&store.root)?;
+        if steals > 0 {
+            let obs = store.obs();
+            obs.counter("crac_store_lock_steals").add(steals as u64);
+            obs.event(
+                EventKind::LockSteal,
+                format!("root={} stolen={steals}", store.root.display()),
+            );
+        }
         Ok(store)
     }
 
@@ -190,12 +206,28 @@ impl ImageStore {
             })),
             read_only,
             writer_gate: RwLock::new(()),
+            obs: Mutex::new(ObsRegistry::new()),
         })
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The store's observability registry (a cheap shared handle): write
+    /// and read pipeline totals, GC/lock events, everything
+    /// [`ObsRegistry::render_text`] exposes.
+    pub fn obs(&self) -> ObsRegistry {
+        self.obs.lock().clone()
+    }
+
+    /// Replaces the store's registry with `reg`, so an externally owned
+    /// registry — typically the coordinator's — observes every operation
+    /// this store performs from here on.  Metrics already recorded stay
+    /// with the old registry.
+    pub fn adopt_obs(&self, reg: ObsRegistry) {
+        *self.obs.lock() = reg;
     }
 
     /// Streams one checkpoint image into the store through the writer
@@ -366,6 +398,7 @@ impl ImageStore {
     /// surviving manifest is unreadable the sweep aborts without deleting
     /// anything — never trade a corrupt manifest for missing chunks.
     fn sweep_unreferenced(&self, stats: &mut DeleteStats) -> Result<(), StoreError> {
+        let (chunks_before, bytes_before) = (stats.chunks_deleted, stats.chunk_bytes_reclaimed);
         let mut live: HashSet<ContentHash> = HashSet::new();
         for id in self.image_ids()? {
             let manifest = self.load_manifest(id)?;
@@ -396,6 +429,19 @@ impl ImageStore {
             }
         }
         self.index.lock().known_chunks = kept;
+        let (chunks, bytes) = (
+            stats.chunks_deleted - chunks_before,
+            stats.chunk_bytes_reclaimed - bytes_before,
+        );
+        let obs = self.obs();
+        obs.counter("crac_store_gc_sweeps").inc();
+        obs.counter("crac_store_gc_chunks_deleted")
+            .add(chunks as u64);
+        obs.counter("crac_store_gc_bytes_reclaimed").add(bytes);
+        obs.event(
+            EventKind::GcSweep,
+            format!("chunks_deleted={chunks} bytes_reclaimed={bytes}"),
+        );
         Ok(())
     }
 

@@ -33,8 +33,9 @@
 //! corruption is never retried.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crac_obs::{EventKind, ObsRegistry};
 use parking_lot::Mutex;
 
 use crate::error::StoreError;
@@ -129,7 +130,10 @@ pub trait Transport: Sync {
 
 /// Runs `op`, retrying bounded times while it fails transiently.  Each
 /// retry is counted into `retries` (surfaced through replication/read
-/// stats so tests can prove the retry path actually ran).
+/// stats so tests can prove the retry path actually ran).  Production
+/// call sites all use [`with_transient_retry_observed`]; these thinner
+/// flavours survive as test harnesses for the same loop.
+#[cfg(test)]
 pub(crate) fn with_transient_retry<T>(
     retries: &AtomicUsize,
     op: impl FnMut() -> Result<T, StoreError>,
@@ -149,27 +153,74 @@ pub(crate) fn with_transient_retry<T>(
 /// ([`RETRY_BACKOFF_BASE`] doubling up to [`RETRY_BACKOFF_CAP`]): against
 /// a real TCP peer an immediate retry would hot-loop, hammering a
 /// struggling server and exhausting the budget in microseconds.
+#[cfg(test)]
 pub(crate) fn with_transient_retry_until<T>(
     retries: &AtomicUsize,
     cancelled: impl Fn() -> bool,
     op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
-    with_transient_retry_backoff(
+    retry_loop(
         retries,
         cancelled,
         RETRY_BACKOFF_BASE,
         RETRY_BACKOFF_CAP,
+        None,
+        op,
+    )
+}
+
+/// Where retry attempts are reported: the registry records one
+/// `crac_retry_attempts` increment, the backoff actually slept
+/// (`crac_retry_backoff_us`), and a `transient_retry` event carrying the
+/// operation name, the error *class* that triggered the retry, the
+/// attempt number and the backoff duration — enough to reconstruct why a
+/// slow replication was slow.
+pub(crate) struct RetryObs {
+    /// Registry the attempts are recorded into.
+    pub(crate) reg: ObsRegistry,
+    /// Which operation is being retried (`"get_chunk"`, `"dial"`, …).
+    pub(crate) op: &'static str,
+}
+
+/// [`with_transient_retry_until`] with retry-cause observation: every
+/// transient retry is recorded into `obs` (see [`RetryObs`]) in addition
+/// to the `retries` tally.
+pub(crate) fn with_transient_retry_observed<T>(
+    retries: &AtomicUsize,
+    cancelled: impl Fn() -> bool,
+    obs: Option<&RetryObs>,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    retry_loop(
+        retries,
+        cancelled,
+        RETRY_BACKOFF_BASE,
+        RETRY_BACKOFF_CAP,
+        obs,
         op,
     )
 }
 
 /// [`with_transient_retry_until`] with injectable backoff parameters, so
 /// tests can pin the timing behaviour without multi-second runtimes.
+#[cfg(test)]
 pub(crate) fn with_transient_retry_backoff<T>(
     retries: &AtomicUsize,
     cancelled: impl Fn() -> bool,
     base: Duration,
     cap: Duration,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    retry_loop(retries, cancelled, base, cap, None, op)
+}
+
+/// The shared retry loop behind every `with_transient_retry*` flavour.
+fn retry_loop<T>(
+    retries: &AtomicUsize,
+    cancelled: impl Fn() -> bool,
+    base: Duration,
+    cap: Duration,
+    obs: Option<&RetryObs>,
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
     let mut attempt = 0;
@@ -179,7 +230,25 @@ pub(crate) fn with_transient_retry_backoff<T>(
             Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES && !cancelled() => {
                 attempt += 1;
                 retries.fetch_add(1, Ordering::Relaxed);
-                if !sleep_unless_cancelled(backoff_delay(attempt, base, cap), &cancelled) {
+                let slept_from = Instant::now();
+                let finished =
+                    sleep_unless_cancelled(backoff_delay(attempt, base, cap), &cancelled);
+                if let Some(o) = obs {
+                    // Record the backoff actually slept, not the planned
+                    // delay — a cancelled sleep cost what it cost.
+                    let slept_us = slept_from.elapsed().as_micros() as u64;
+                    o.reg.counter("crac_retry_attempts").inc();
+                    o.reg.counter("crac_retry_backoff_us").add(slept_us);
+                    o.reg.event(
+                        EventKind::TransientRetry,
+                        format!(
+                            "op={} class={} attempt={attempt} backoff_us={slept_us}",
+                            o.op,
+                            e.class_name()
+                        ),
+                    );
+                }
+                if !finished {
                     // Cancelled mid-backoff: a latched failure elsewhere
                     // made this ticket moot — stop waiting immediately.
                     return Err(e);
@@ -508,6 +577,47 @@ mod tests {
             with_transient_retry(&retries, || Err(StoreError::transient("always down")));
         assert!(matches!(out, Err(StoreError::Transient { .. })));
         assert_eq!(retries.load(Ordering::Relaxed), MAX_TRANSIENT_RETRIES);
+    }
+
+    /// Satellite of the observability PR: an observed retry records the
+    /// *cause* (error class), the attempt number and the backoff actually
+    /// slept — both as counters and as `transient_retry` events.
+    #[test]
+    fn observed_retries_record_cause_and_backoff() {
+        let retries = AtomicUsize::new(0);
+        let reg = ObsRegistry::new();
+        let obs = RetryObs {
+            reg: reg.clone(),
+            op: "get_chunk",
+        };
+        let mut left = 2;
+        let out = with_transient_retry_observed(
+            &retries,
+            || false,
+            Some(&obs),
+            || {
+                if left > 0 {
+                    left -= 1;
+                    Err(StoreError::transient("flaky"))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("crac_retry_attempts"), 2);
+        assert!(
+            snap.counter("crac_retry_backoff_us") > 0,
+            "backoff sleep time must be totalled"
+        );
+        let events = reg.drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::TransientRetry);
+        assert!(events[0].detail.contains("op=get_chunk"));
+        assert!(events[0].detail.contains("class=transient"));
+        assert!(events[0].detail.contains("attempt=1"));
+        assert!(events[1].detail.contains("attempt=2"));
     }
 
     /// Regression (PR 5 bug): retries used to fire back-to-back with zero

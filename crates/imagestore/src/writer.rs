@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use crac_addrspace::{PageRun, PAGE_SIZE};
 use crac_dmtcp::RegionDescriptor;
+use crac_obs::{Buckets, Counter, EventKind, Histogram, ObsRegistry, Span};
 use parking_lot::Mutex;
 
 use crate::chunk::{RunChunker, CHUNK_PAGES};
@@ -183,6 +184,22 @@ struct WriteJob {
     encoded: Vec<u8>,
 }
 
+/// Run-registry handles the encoder stages record into (one bundle shared
+/// by every encoder thread; all handles are cheap atomics).
+struct EncoderObs {
+    stage_hash: Histogram,
+    stage_dedup: Histogram,
+    stage_encode: Histogram,
+    chunks_deduped: Counter,
+}
+
+/// Run-registry handles the I/O thread records into.
+struct IoObs {
+    stage_io: Histogram,
+    chunks_written: Counter,
+    chunk_bytes_written: Counter,
+}
+
 /// The hash/dedup verdict for one chunk, reported back to the producer.
 struct ChunkOutcome {
     region_seq: usize,
@@ -237,7 +254,14 @@ pub struct StreamWriter<'s> {
     payloads: Vec<(String, Vec<u8>)>,
     taken_at_ns: u64,
     threads: usize,
-    raw_chunk_bytes: u64,
+
+    /// Per-run registry: the pipeline's single source of truth for write
+    /// bookkeeping.  [`WriteStats`] is built *from* its snapshot at finish
+    /// (a view, not parallel tallies) and the snapshot is folded into the
+    /// store's long-lived registry.
+    run: ObsRegistry,
+    chunks_total_c: Counter,
+    raw_bytes_c: Counter,
 }
 
 impl<'s> StreamWriter<'s> {
@@ -252,6 +276,23 @@ impl<'s> StreamWriter<'s> {
         let threads = effective_threads(opts.threads);
         let gauge = Arc::new(Gauge::default());
         let error: ErrorSlot = Arc::new(Mutex::new(None));
+        let run = ObsRegistry::new();
+        run.gauge("crac_writer_threads").set(threads as u64);
+        let encoder_obs = Arc::new(EncoderObs {
+            stage_hash: run.histogram("crac_writer_stage_hash_us", Buckets::LATENCY_US),
+            stage_dedup: run.histogram("crac_writer_stage_dedup_us", Buckets::LATENCY_US),
+            stage_encode: run.histogram("crac_writer_stage_encode_us", Buckets::LATENCY_US),
+            chunks_deduped: run.counter("crac_writer_chunks_deduped"),
+        });
+        let io_obs = IoObs {
+            stage_io: run.histogram("crac_writer_stage_io_us", Buckets::LATENCY_US),
+            chunks_written: run.counter("crac_writer_chunks_written"),
+            chunk_bytes_written: run.counter("crac_writer_chunk_bytes_written"),
+        };
+        store.obs().event(
+            EventKind::CheckpointBegun,
+            format!("threads={threads} compression={:?}", opts.compression),
+        );
 
         let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<EncodeJob>(ENCODE_QUEUE_CHUNKS);
         let (write_tx, write_rx) = std::sync::mpsc::sync_channel::<WriteJob>(WRITE_QUEUE_CHUNKS);
@@ -273,6 +314,7 @@ impl<'s> StreamWriter<'s> {
                 opts.compression,
                 Arc::clone(&gauge),
                 Arc::clone(&error),
+                Arc::clone(&encoder_obs),
             ));
         }
         // The producer holds no write/outcome sender: once `job_tx` drops,
@@ -288,8 +330,11 @@ impl<'s> StreamWriter<'s> {
             Arc::clone(&pending_publish),
             Arc::clone(&gauge),
             Arc::clone(&error),
+            io_obs,
         );
 
+        let chunks_total_c = run.counter("crac_writer_chunks_total");
+        let raw_bytes_c = run.counter("crac_writer_raw_chunk_bytes");
         Ok(Self {
             store,
             _writer_guard: writer_guard,
@@ -309,7 +354,9 @@ impl<'s> StreamWriter<'s> {
             payloads: Vec::new(),
             taken_at_ns: 0,
             threads,
-            raw_chunk_bytes: 0,
+            run,
+            chunks_total_c,
+            raw_bytes_c,
         })
     }
 
@@ -331,7 +378,8 @@ impl<'s> StreamWriter<'s> {
     /// queue is full — that backpressure is what bounds the producer).
     fn submit_chunk(&mut self, runs: Vec<PageRun>, raw: Vec<u8>) -> Result<(), StoreError> {
         let region_seq = self.cur_region.expect("chunk outside a region");
-        self.raw_chunk_bytes += raw.len() as u64;
+        self.chunks_total_c.inc();
+        self.raw_bytes_c.add(raw.len() as u64);
         self.gauge.add(raw.len() as u64);
         let chunk_seq = self.chunks[region_seq].len();
         self.chunks[region_seq].push(PendingChunk {
@@ -394,35 +442,25 @@ impl<'s> StreamWriter<'s> {
             sync_dir(self.store.chunks_dir());
         }
 
-        let mut stats = WriteStats {
-            raw_chunk_bytes: self.raw_chunk_bytes,
-            threads_used: self.threads,
-            ..Default::default()
-        };
+        // The encoder and I/O threads already tallied written/dedup counts
+        // into the run registry; the outcome loop only has to collect the
+        // hashes the manifest needs and the set of chunks to commit.
         let mut newly_written: Vec<ContentHash> = Vec::new();
         let outcome_rx = self.outcome_rx.take().expect("finish runs once");
         for outcome in outcome_rx.iter() {
             let slot = &mut self.chunks[outcome.region_seq][outcome.chunk_seq];
             debug_assert!(slot.hash.is_none(), "duplicate outcome for one chunk");
             slot.hash = Some(outcome.hash);
-            match outcome.written_bytes {
-                Some(bytes) => {
-                    stats.chunks_written += 1;
-                    stats.chunk_bytes_written += bytes;
-                    newly_written.push(outcome.hash);
-                }
-                None => stats.chunks_deduped += 1,
+            if outcome.written_bytes.is_some() {
+                newly_written.push(outcome.hash);
             }
         }
-        stats.chunks_total = self.chunks.iter().map(Vec::len).sum();
-        debug_assert_eq!(
-            stats.chunks_written + stats.chunks_deduped,
-            stats.chunks_total
-        );
 
         // Deterministic manifest regardless of producer payload order.
         self.payloads.sort_by(|(a, _), (b, _)| a.cmp(b));
-        stats.payload_bytes = self.payloads.iter().map(|(_, d)| d.len() as u64).sum();
+        self.run
+            .counter("crac_writer_payload_bytes")
+            .add(self.payloads.iter().map(|(_, d)| d.len() as u64).sum());
 
         let image_id = self.store.allocate_image_id();
         let manifest = Manifest {
@@ -453,14 +491,55 @@ impl<'s> StreamWriter<'s> {
         };
         let manifest_bytes = manifest.to_bytes();
         write_atomically(&self.store.image_path(image_id), &manifest_bytes)?;
-        stats.manifest_bytes = manifest_bytes.len() as u64;
+        self.run
+            .counter("crac_writer_manifest_bytes")
+            .add(manifest_bytes.len() as u64);
 
         // Only now publish the new chunks into the store's index: a failure
         // above leaves the index unchanged (orphan files are harmless —
         // they are re-discovered, re-written or swept, never referenced).
         self.store.commit_chunks(&newly_written);
-        stats.peak_buffered_bytes = self.gauge.peak();
-        stats.elapsed = self.started.elapsed();
+
+        // The pipeline gauge's high-water mark lands in the registry too,
+        // so `render_text` exposes the bounded-memory evidence.
+        self.run
+            .gauge("crac_writer_buffered_bytes")
+            .raise_peak(self.gauge.peak());
+
+        // WriteStats is a *view* over the run registry — one bookkeeping
+        // substrate, two presentations.
+        let snap = self.run.snapshot();
+        let stats = WriteStats {
+            chunks_total: snap.counter("crac_writer_chunks_total") as usize,
+            chunks_written: snap.counter("crac_writer_chunks_written") as usize,
+            chunks_deduped: snap.counter("crac_writer_chunks_deduped") as usize,
+            raw_chunk_bytes: snap.counter("crac_writer_raw_chunk_bytes"),
+            chunk_bytes_written: snap.counter("crac_writer_chunk_bytes_written"),
+            manifest_bytes: snap.counter("crac_writer_manifest_bytes"),
+            payload_bytes: snap.counter("crac_writer_payload_bytes"),
+            threads_used: self.threads,
+            peak_buffered_bytes: self.gauge.peak(),
+            elapsed: self.started.elapsed(),
+        };
+        debug_assert_eq!(
+            stats.chunks_written + stats.chunks_deduped,
+            stats.chunks_total
+        );
+
+        // Fold the run's totals into the store's long-lived registry and
+        // close the narrative.
+        let store_obs = self.store.obs();
+        store_obs.absorb(&snap);
+        store_obs.event(
+            EventKind::CheckpointFinished,
+            format!(
+                "image={image_id} chunks={} written={} deduped={} bytes_written={}",
+                stats.chunks_total,
+                stats.chunks_written,
+                stats.chunks_deduped,
+                stats.bytes_written()
+            ),
+        );
         Ok((manifest, stats))
     }
 }
@@ -507,7 +586,17 @@ impl ChunkSink for StreamWriter<'_> {
         let result = chunker.flush(&mut |runs, raw| self.submit_chunk(runs, raw));
         self.chunker = chunker;
         result?;
-        debug_assert!(self.cur_region.is_some(), "end_region without begin");
+        let region = self.cur_region.expect("end_region without begin");
+        let desc = &self.regions[region];
+        self.store.obs().event(
+            EventKind::RegionStreamed,
+            format!(
+                "label={} len={} chunks={}",
+                desc.label,
+                desc.len,
+                self.chunks[region].len()
+            ),
+        );
         self.cur_region = None;
         Ok(())
     }
@@ -529,6 +618,7 @@ fn spawn_encoder(
     compression: Compression,
     gauge: Arc<Gauge>,
     error: ErrorSlot,
+    obs: Arc<EncoderObs>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || loop {
         // Holding the mutex across `recv` serialises wakeups but is the
@@ -542,13 +632,21 @@ fn spawn_encoder(
             gauge.sub(raw_len);
             continue; // drain mode: keep the producer from blocking
         }
-        let hash = ContentHash::of(&job.raw);
+        let hash = {
+            let _stage = Span::enter(&obs.stage_hash);
+            ContentHash::of(&job.raw)
+        };
         // First claimant of unseen content encodes it; everyone else is a
         // dedup hit.  The claim set spans one write; the index spans the
         // store's life.
-        let is_new = !index.lock().contains(hash) && claimed.lock().insert(hash);
+        let is_new = {
+            let _stage = Span::enter(&obs.stage_dedup);
+            !index.lock().contains(hash) && claimed.lock().insert(hash)
+        };
         if is_new {
+            let stage = Span::enter(&obs.stage_encode);
             let (encoding, encoded) = encode(&job.raw, compression);
+            stage.finish();
             gauge.add(encoded.len() as u64);
             drop(job.raw);
             gauge.sub(raw_len);
@@ -566,6 +664,7 @@ fn spawn_encoder(
                 latch(&error, StoreError::busy("chunk I/O thread exited early"));
             }
         } else {
+            obs.chunks_deduped.inc();
             gauge.sub(raw_len);
             let _ = outcome_tx.send(ChunkOutcome {
                 region_seq: job.region_seq,
@@ -584,6 +683,7 @@ fn spawn_io(
     pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>>,
     gauge: Arc<Gauge>,
     error: ErrorSlot,
+    obs: IoObs,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         for job in write_rx.iter() {
@@ -602,9 +702,14 @@ fn spawn_io(
             // Deferred durability: land the bytes under a temp name now (no
             // fsync — the kernel writes back behind us) and queue the
             // fsync + rename for the batched publish at finish.
-            match write_tmp(&path, &bytes) {
+            let stage = Span::enter(&obs.stage_io);
+            let written = write_tmp(&path, &bytes);
+            stage.finish();
+            match written {
                 Ok(tmp) => {
                     pending_publish.lock().push((tmp, path));
+                    obs.chunks_written.inc();
+                    obs.chunk_bytes_written.add(bytes.len() as u64);
                     let _ = outcome_tx.send(ChunkOutcome {
                         region_seq: job.region_seq,
                         chunk_seq: job.chunk_seq,

@@ -545,3 +545,54 @@ fn server_killed_mid_transfer_surfaces_transient_and_replication_resumes() {
     assert_same_content(&dst_store, remote_id, &img);
     server2.shutdown();
 }
+
+#[test]
+fn stats_wire_op_scrapes_the_servers_registry() {
+    let (src_dir, dst_dir) = (
+        TempDir::new("tcp-scrape-src"),
+        TempDir::new("tcp-scrape-dst"),
+    );
+    let src = ImageStore::open(src_dir.path()).unwrap();
+    let img = image(31, 4);
+    let (id, _) = src.write_image(&img, &WriteOptions::full()).unwrap();
+
+    let (_dst_store, server) = server_over(&dst_dir);
+    let tcp = TcpTransport::connect(server.local_addr(), SECRET).unwrap();
+    src.replicate_to(id, &tcp).unwrap();
+
+    // The scrape is an ordinary request frame: the server answers with
+    // its registry rendered as Prometheus text exposition.
+    let text = tcp.scrape_peer_metrics().unwrap();
+    for family in [
+        "crac_net_server_connections_accepted",
+        "crac_net_server_frames_served",
+        "crac_net_server_chunk_frames_received",
+        "crac_net_server_op_put_chunk_us_bucket",
+        "crac_net_server_op_put_chunk_us_count",
+    ] {
+        assert!(text.contains(family), "scrape lacks {family}:\n{text}");
+    }
+    // The replication demonstrably happened before the scrape: the
+    // chunk-ingest counter it reports is the image's chunk count.
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("crac_net_server_chunk_frames_received "))
+        .expect("counter sample line");
+    assert_eq!(line.split_whitespace().nth(1), Some("4"));
+
+    // The client side of the same conversation landed in the client's
+    // registry, stage timings included.
+    let client_text = tcp.obs().render_text();
+    for family in [
+        "crac_net_client_connections_opened",
+        "crac_net_client_requests",
+        "crac_net_client_connect_us_count",
+        "crac_net_client_auth_us_count",
+        "crac_net_client_rtt_us_count",
+        "crac_net_client_frame_encode_us_count",
+    ] {
+        assert!(client_text.contains(family), "client lacks {family}");
+    }
+    assert!(tcp.stats().requests > 0);
+    server.shutdown();
+}

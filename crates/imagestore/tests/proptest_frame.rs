@@ -40,6 +40,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         }),
         hash.prop_map(Frame::GetChunk),
         Just(Frame::ListManifests),
+        Just(Frame::Stats),
         (1u64..1 << 48).prop_map(|id| Frame::GetManifest(ImageId(id))),
         (
             0u64..1 << 48,

@@ -1,0 +1,165 @@
+//! Property tests for the observability layer's algebra (via the
+//! `crac-obs` re-exports): histogram bucket assignment follows
+//! Prometheus `le` semantics for every value, and snapshot merge is
+//! associative, commutative and lossless — the properties that make
+//! per-run registries foldable into a long-lived one in any order
+//! without ever misplacing a count.
+
+use crac_imagestore::{Buckets, ObsRegistry, Snapshot};
+use proptest::prelude::*;
+
+/// One randomly chosen metric operation against a registry.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add to one of a few named counters.
+    Count(u8, u64),
+    /// Raise one of a few named gauges (and sometimes lower it again).
+    GaugeAdd(u8, u64, bool),
+    /// Observe a value in one of a few named histograms.
+    Observe(u8, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u64..1_000_000).prop_map(|(n, v)| Op::Count(n, v)),
+        (0u8..2, 0u64..10_000, any::<bool>()).prop_map(|(n, v, back)| Op::GaugeAdd(n, v, back)),
+        (0u8..3, 0u64..8_000_000).prop_map(|(n, v)| Op::Observe(n, v)),
+    ]
+}
+
+/// Applies `ops` to a fresh registry and returns its snapshot.
+fn run(ops: &[Op]) -> Snapshot {
+    let reg = ObsRegistry::new();
+    for op in ops {
+        match op {
+            Op::Count(n, v) => reg.counter(&format!("p_counter_{n}")).add(*v),
+            Op::GaugeAdd(n, v, back) => {
+                let g = reg.gauge(&format!("p_gauge_{n}"));
+                g.add(*v);
+                if *back {
+                    g.sub(*v);
+                }
+            }
+            Op::Observe(n, v) => reg
+                .histogram(&format!("p_hist_{n}"), Buckets::LATENCY_US)
+                .observe(*v),
+        }
+    }
+    reg.snapshot()
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `index_of` puts every value in the first bucket whose upper bound
+    /// is `>= value` — exactly Prometheus `le` — and never out of range.
+    #[test]
+    fn bucket_assignment_follows_le_semantics(value in any::<u64>()) {
+        for buckets in [Buckets::LATENCY_US, Buckets::SIZE_BYTES] {
+            let idx = buckets.index_of(value);
+            prop_assert!(idx <= buckets.0.len());
+            if idx < buckets.0.len() {
+                prop_assert!(value <= buckets.0[idx], "landed above its bound");
+            } else {
+                prop_assert!(value > *buckets.0.last().unwrap(), "+Inf holds only overflow");
+            }
+            if idx > 0 {
+                prop_assert!(value > buckets.0[idx - 1], "should have landed lower");
+            }
+        }
+    }
+
+    /// One observation through a live histogram lands in exactly the
+    /// bucket `index_of` names, and in no other.
+    #[test]
+    fn observe_and_index_of_agree(value in any::<u64>()) {
+        let reg = ObsRegistry::new();
+        reg.histogram("solo", Buckets::SIZE_BYTES).observe(value);
+        let snap = reg.snapshot();
+        let h = snap.histogram("solo").unwrap();
+        let expect = Buckets::SIZE_BYTES.index_of(value);
+        for (i, n) in h.buckets.iter().enumerate() {
+            prop_assert_eq!(*n, u64::from(i == expect), "bucket {} off", i);
+        }
+        prop_assert_eq!(h.count, 1);
+        prop_assert_eq!(h.sum, value);
+    }
+
+    /// Merge is associative and commutative: folding per-run snapshots
+    /// in any order or grouping yields the identical aggregate.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(op_strategy(), 0..40),
+        b in proptest::collection::vec(op_strategy(), 0..40),
+        c in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (sa, sb, sc) = (run(&a), run(&b), run(&c));
+        prop_assert_eq!(merged(&merged(&sa, &sb), &sc), merged(&sa, &merged(&sb, &sc)));
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+        // The empty snapshot is the identity.
+        prop_assert_eq!(merged(&sa, &Snapshot::default()), sa);
+    }
+
+    /// Merge is lossless: counter totals and histogram counts/sums in
+    /// the aggregate equal the arithmetic over the runs that produced
+    /// them — no operation is dropped or double-counted.
+    #[test]
+    fn merge_is_lossless(
+        a in proptest::collection::vec(op_strategy(), 0..60),
+        b in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let all = merged(&run(&a), &run(&b));
+        let ops: Vec<&Op> = a.iter().chain(b.iter()).collect();
+        for n in 0u8..3 {
+            let expect: u64 = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Count(m, v) if *m == n => Some(*v),
+                    _ => None,
+                })
+                .sum();
+            prop_assert_eq!(all.counter(&format!("p_counter_{n}")), expect);
+        }
+        for n in 0u8..3 {
+            let observed: Vec<u64> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Observe(m, v) if *m == n => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            match all.histogram(&format!("p_hist_{n}")) {
+                None => prop_assert!(observed.is_empty()),
+                Some(h) => {
+                    prop_assert_eq!(h.count, observed.len() as u64);
+                    prop_assert_eq!(h.sum, observed.iter().sum::<u64>());
+                    prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+                }
+            }
+        }
+        // Gauge peaks never exceed the largest single raise, and values
+        // are the sum of the un-reverted raises.
+        for n in 0u8..2 {
+            let raises: Vec<(u64, bool)> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::GaugeAdd(m, v, back) if *m == n => Some((*v, *back)),
+                    _ => None,
+                })
+                .collect();
+            if let Some(g) = all.gauge(&format!("p_gauge_{n}")) {
+                let residue: u64 = raises.iter().filter(|(_, back)| !back).map(|(v, _)| v).sum();
+                prop_assert_eq!(g.value, residue);
+                prop_assert!(g.peak >= raises.iter().map(|(v, _)| *v).max().unwrap_or(0));
+            } else {
+                prop_assert!(raises.is_empty());
+            }
+        }
+    }
+}

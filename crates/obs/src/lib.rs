@@ -1,0 +1,44 @@
+//! Unified observability for the checkpoint/restore/replication stack:
+//! one registry of named metrics, span-style stage timers, and a bounded
+//! structured event ring.
+//!
+//! The paper's evaluation is metrics-driven (per-phase checkpoint times,
+//! sizes, call counts), and so is every debugging session against the
+//! streaming pipelines — yet counters had grown ad hoc per subsystem
+//! (`WriteStats`, `ReadStats`, `NetServerStats`, …).  This crate is the
+//! single substrate those surfaces are now views over:
+//!
+//! * [`ObsRegistry`] — a thread-safe registry of named [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s.  The hot path (an
+//!   increment, an observation) is one or two relaxed atomic RMWs on a
+//!   pre-resolved handle; the registry lock is only taken to *register*
+//!   a name or take a [`Snapshot`].
+//! * [`Snapshot`] — a point-in-time copy of every metric, cheap to take,
+//!   with a lossless, associative [`Snapshot::merge`] so per-run
+//!   registries can be folded into a long-lived one (this is how
+//!   per-operation stats structs are produced without double
+//!   bookkeeping), and a Prometheus-style text exposition
+//!   ([`Snapshot::render_text`] / [`ObsRegistry::render_text`]).
+//! * [`Span`] — a monotonic-clock stage timer: `Span::enter(&hist)`
+//!   returns a guard that records elapsed microseconds into a latency
+//!   histogram when dropped, giving per-pipeline stage breakdowns
+//!   (encode/hash/dedup/io, fetch/verify/splice, connect/auth/rtt, …).
+//! * [`Event`] / [`EventKind`] — a bounded ring of structured events
+//!   (checkpoint begun/finished, chunk deduped/shipped, transient retry
+//!   with cause and backoff, lock steal, GC sweep, connection lifecycle)
+//!   drainable as human-readable lines or `key=value` records.
+//!
+//! Everything is std-only and allocation-free on the metric hot path.
+
+#![warn(missing_docs)]
+
+mod event;
+mod registry;
+mod span;
+
+pub use event::{Event, EventKind, EVENT_RING_CAPACITY};
+pub use registry::{
+    Buckets, Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricSnapshot,
+    ObsRegistry, Snapshot,
+};
+pub use span::Span;

@@ -1,0 +1,72 @@
+//! Span-style stage timers: monotonic-clock guards that record elapsed
+//! microseconds into a latency histogram on drop.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// A stage timing guard.  `Span::enter(&hist)` starts the clock; when
+/// the span drops (or [`Span::finish`] is called) the elapsed time in
+/// microseconds is recorded into the histogram.  Entering costs one
+/// `Instant::now()` and an `Arc` clone — cheap enough to wrap per-chunk
+/// pipeline stages.
+///
+/// ```
+/// use crac_obs::{Buckets, ObsRegistry, Span};
+/// let reg = ObsRegistry::new();
+/// let hist = reg.histogram("crac_writer_stage_io_us", Buckets::LATENCY_US);
+/// {
+///     let _io = Span::enter(&hist);
+///     // ... write the chunk ...
+/// } // drop records the elapsed µs
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing a stage recorded into `hist`.
+    pub fn enter(hist: &Histogram) -> Span {
+        Span {
+            hist: hist.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the span now and returns the elapsed microseconds (also
+    /// recorded into the histogram, exactly once).
+    pub fn finish(self) -> u64 {
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        self.hist.observe(elapsed);
+        std::mem::forget(self); // the drop handler must not record again
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Buckets, ObsRegistry};
+
+    #[test]
+    fn drop_and_finish_each_record_exactly_once() {
+        let reg = ObsRegistry::new();
+        let hist = reg.histogram("stage_us", Buckets::LATENCY_US);
+        {
+            let _span = Span::enter(&hist);
+        }
+        assert_eq!(hist.count(), 1);
+        let span = Span::enter(&hist);
+        let _elapsed = span.finish();
+        assert_eq!(hist.count(), 2);
+    }
+}

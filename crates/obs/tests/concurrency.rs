@@ -1,0 +1,133 @@
+//! The registry under fire: N threads hammering one `ObsRegistry`
+//! through every metric type at once must lose nothing — the totals
+//! afterwards are exact, not approximate.  This is the contract the
+//! whole instrumentation layer leans on (lock-free relaxed atomics are
+//! only acceptable because *counts* never race away, whatever the
+//! interleaving).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use crac_obs::{Buckets, EventKind, ObsRegistry};
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn n_threads_one_registry_exact_totals() {
+    let reg = ObsRegistry::new();
+    // Resolve the shared handles up front — and a per-thread counter
+    // inside each thread, proving create-on-first-use races to the same
+    // cell rather than to N private ones.
+    let shared = reg.counter("hammer_shared_total");
+    let hist = reg.histogram("hammer_values", Buckets::LATENCY_US);
+    let gauge = reg.gauge("hammer_in_flight");
+    let expected_sum = AtomicU64::new(0);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = reg.clone();
+            let shared = shared.clone();
+            let hist = hist.clone();
+            let gauge = gauge.clone();
+            let expected_sum = &expected_sum;
+            s.spawn(move || {
+                // Every thread resolves the same named counter again —
+                // the handle must alias the one resolved above.
+                let also_shared = reg.counter("hammer_shared_total");
+                let mine = reg.counter(&format!("hammer_thread_{t}"));
+                for i in 0..OPS {
+                    if i % 2 == 0 {
+                        shared.inc();
+                    } else {
+                        also_shared.inc();
+                    }
+                    mine.inc();
+                    // Values spread across several buckets, sum tracked
+                    // exactly on the side.
+                    let v = (i % 7) * 100;
+                    hist.observe(v);
+                    expected_sum.fetch_add(v, Ordering::Relaxed);
+                    gauge.add(2);
+                    gauge.sub(2);
+                }
+            });
+        }
+    });
+
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("hammer_shared_total"),
+        THREADS as u64 * OPS,
+        "shared counter dropped increments under contention"
+    );
+    for t in 0..THREADS {
+        assert_eq!(snap.counter(&format!("hammer_thread_{t}")), OPS);
+    }
+    let h = snap.histogram("hammer_values").unwrap();
+    assert_eq!(h.count, THREADS as u64 * OPS);
+    assert_eq!(h.sum, expected_sum.load(Ordering::Relaxed));
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        h.count,
+        "every observation landed in exactly one bucket"
+    );
+    let g = snap.gauge("hammer_in_flight").unwrap();
+    assert_eq!(g.value, 0, "adds and subs balanced out");
+    assert!(g.peak >= 2, "the gauge was demonstrably raised");
+}
+
+#[test]
+fn event_ring_under_contention_is_gap_free_and_counts_drops() {
+    let reg = ObsRegistry::new();
+    let per_thread = 600u64; // 8 × 600 comfortably overflows the ring
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = reg.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    reg.event(EventKind::ChunkShipped, format!("t={t} i={i}"));
+                }
+            });
+        }
+    });
+    let events = reg.drain_events();
+    let emitted = THREADS as u64 * per_thread;
+    assert_eq!(
+        events.len() as u64 + reg.events_dropped(),
+        emitted,
+        "retained + dropped must account for every emission"
+    );
+    // Sequence numbers are strictly increasing with no duplicates: the
+    // ring truncates from the front, it never scrambles.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "ring order broke");
+    }
+}
+
+#[test]
+fn concurrent_absorb_loses_nothing() {
+    // Per-run registries folding into one long-lived registry from
+    // several threads at once — the stats-as-views pattern's hot path.
+    let root = ObsRegistry::new();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let root = root.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let run = ObsRegistry::new();
+                    run.counter("absorbed_total").add(3);
+                    run.histogram("absorbed_us", Buckets::LATENCY_US)
+                        .observe(75);
+                    root.absorb(&run.snapshot());
+                }
+            });
+        }
+    });
+    let snap = root.snapshot();
+    assert_eq!(snap.counter("absorbed_total"), THREADS as u64 * 50 * 3);
+    assert_eq!(
+        snap.histogram("absorbed_us").unwrap().count,
+        THREADS as u64 * 50
+    );
+}
