@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::addr::{Addr, Prot, PAGE_SIZE};
 
@@ -34,15 +35,59 @@ impl fmt::Display for Half {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct RegionId(pub u64);
 
+/// A materialised page: its content, shareable without copying, plus the
+/// write-epoch stamp of the last mutation that touched it.
+///
+/// Content lives behind an `Arc` so a checkpointer can capture a consistent
+/// snapshot of a page ([`Page::share`]) while the process keeps running:
+/// the next write to a shared page copies it first (copy-on-write), leaving
+/// every outstanding snapshot untouched.
+#[derive(Clone, Debug)]
+pub struct Page {
+    epoch: u64,
+    bytes: Arc<[u8]>,
+}
+
+impl Page {
+    /// Write epoch of the last mutation that touched this page.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The page's bytes (always exactly [`PAGE_SIZE`] long).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// A zero-copy snapshot of the page content.  Later writes to the page
+    /// copy-on-write, so the returned `Arc` stays frozen at capture time.
+    #[inline]
+    pub fn share(&self) -> Arc<[u8]> {
+        Arc::clone(&self.bytes)
+    }
+}
+
 /// Sparse page store: only pages that have been written are materialised.
 ///
 /// Logical sizes can be multiple gigabytes (the HYPRE workload maps ~2.3 GB of
 /// UVM), but tests and benchmarks only touch a small fraction of those pages,
 /// so storage is a `BTreeMap` keyed by page index relative to the region
 /// start.
+///
+/// Every mutation stamps the touched pages with the store's current *write
+/// epoch* ([`PageStore::set_write_epoch`], advanced space-wide by
+/// `AddressSpace::snapshot_epoch`), so a checkpointer can ask for exactly the
+/// pages dirtied since a snapshot point ([`PageStore::pages_since`]).
 #[derive(Clone, Default)]
 pub struct PageStore {
-    pages: BTreeMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, Page>,
+    epoch: u64,
+}
+
+fn zero_page() -> Arc<[u8]> {
+    vec![0u8; PAGE_SIZE as usize].into()
 }
 
 impl PageStore {
@@ -50,12 +95,39 @@ impl PageStore {
     pub fn new() -> Self {
         Self {
             pages: BTreeMap::new(),
+            epoch: 0,
         }
     }
 
     /// Number of materialised (dirty) pages.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// The epoch new mutations are stamped with.
+    pub fn write_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the stamping epoch.  Epochs only move forward; a lower value
+    /// is ignored so adopted/merged stores can't roll a space backwards.
+    pub fn set_write_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Mutable access to a page's bytes, materialising and copy-on-writing
+    /// as needed, and stamping it with the current write epoch.
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        let p = self.pages.entry(page).or_insert_with(|| Page {
+            epoch: self.epoch,
+            bytes: zero_page(),
+        });
+        p.epoch = self.epoch;
+        if Arc::get_mut(&mut p.bytes).is_none() {
+            // Shared with an outstanding snapshot: copy before writing.
+            p.bytes = p.bytes.to_vec().into();
+        }
+        Arc::get_mut(&mut p.bytes).expect("freshly copied page is unshared")
     }
 
     /// Reads `buf.len()` bytes starting at byte offset `off`.
@@ -68,7 +140,7 @@ impl PageStore {
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - done);
             match self.pages.get(&page) {
-                Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                Some(p) => buf[done..done + n].copy_from_slice(&p.bytes[in_page..in_page + n]),
                 None => buf[done..done + n].fill(0),
             }
             done += n;
@@ -84,10 +156,7 @@ impl PageStore {
             let page = cur / PAGE_SIZE;
             let in_page = (cur % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(data.len() - done);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            let p = self.page_mut(page);
             p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             done += n;
         }
@@ -107,28 +176,50 @@ impl PageStore {
 
     /// Iterates over the materialised pages as `(page_index, bytes)` pairs.
     pub fn dirty_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.pages.iter().map(|(k, v)| (*k, v.as_ref()))
+        self.pages.iter().map(|(k, v)| (*k, v.bytes()))
+    }
+
+    /// Iterates over the materialised pages stamped at or after `epoch` —
+    /// i.e. dirtied since the `snapshot_epoch` call that returned `epoch`.
+    pub fn pages_since(&self, epoch: u64) -> impl Iterator<Item = (u64, &Page)> {
+        self.pages
+            .iter()
+            .filter(move |(_, p)| p.epoch >= epoch)
+            .map(|(k, v)| (*k, v))
+    }
+
+    /// The materialised page at `page`, if any.
+    pub fn page(&self, page: u64) -> Option<&Page> {
+        self.pages.get(&page)
     }
 
     /// Installs a page's content wholesale (used when restoring from a
     /// checkpoint image).
     pub fn install_page(&mut self, page: u64, bytes: &[u8]) {
         assert_eq!(bytes.len(), PAGE_SIZE as usize, "page must be PAGE_SIZE");
-        self.pages.insert(page, bytes.to_vec().into_boxed_slice());
+        self.pages.insert(
+            page,
+            Page {
+                epoch: self.epoch,
+                bytes: bytes.to_vec().into(),
+            },
+        );
     }
 
     /// Discards pages at or beyond `first_page` (used when a region is split
     /// or truncated).
-    pub fn truncate_pages(&mut self, first_page: u64) -> BTreeMap<u64, Box<[u8]>> {
+    pub fn truncate_pages(&mut self, first_page: u64) -> BTreeMap<u64, Page> {
         self.pages.split_off(&first_page)
     }
 
     /// Inserts pre-existing pages, with their keys shifted by `shift` pages
     /// (negative shifts move pages toward lower indices; used when a region is
-    /// split or merged).
-    pub fn adopt_pages(&mut self, pages: BTreeMap<u64, Box<[u8]>>, shift: i64) {
+    /// split or merged).  Page epochs are preserved, so dirty-since queries
+    /// survive region splits and merges.
+    pub fn adopt_pages(&mut self, pages: BTreeMap<u64, Page>, shift: i64) {
         for (k, v) in pages {
             let new_key = (k as i64 + shift) as u64;
+            self.epoch = self.epoch.max(v.epoch);
             self.pages.insert(new_key, v);
         }
     }
@@ -163,21 +254,32 @@ impl PageRun {
 /// sorted dirty-page lists both guarantee); out-of-order input panics in
 /// debug builds and starts a fresh run in release builds.
 pub fn page_runs(indices: impl IntoIterator<Item = u64>) -> Vec<PageRun> {
+    page_runs_coalesced(indices, 0)
+}
+
+/// Like [`page_runs`], but bridges gaps of at most `max_gap` clean pages
+/// between dirty runs, producing fewer, longer runs.
+///
+/// Bridged pages are *clean* — a consumer that emits run contents must be
+/// willing to re-emit their unchanged bytes.  For fragmented dirty sets this
+/// trades a little redundant page copying for far less per-run framing and
+/// hashing overhead downstream.  `max_gap == 0` degenerates to exact runs.
+pub fn page_runs_coalesced(indices: impl IntoIterator<Item = u64>, max_gap: u64) -> Vec<PageRun> {
     let mut runs: Vec<PageRun> = Vec::new();
     for idx in indices {
         match runs.last_mut() {
-            Some(run) if idx == run.first + run.count => run.count += 1,
-            Some(run) => {
-                debug_assert!(
-                    idx > run.first + run.count,
-                    "page indices must be increasing"
-                );
+            Some(run) if idx < run.first + run.count => {
+                debug_assert!(false, "page indices must be increasing");
                 runs.push(PageRun {
                     first: idx,
                     count: 1,
                 });
             }
-            None => runs.push(PageRun {
+            Some(run) if idx - (run.first + run.count) <= max_gap => {
+                // Extends the run, bridging any clean pages in between.
+                run.count = idx - run.first + 1;
+            }
+            _ => runs.push(PageRun {
                 first: idx,
                 count: 1,
             }),
@@ -335,5 +437,60 @@ mod tests {
         let mut buf = [0u8; 4];
         other.read(PAGE_SIZE, &mut buf);
         assert_eq!(buf, [3u8; 4]);
+    }
+
+    #[test]
+    fn shared_snapshot_survives_later_writes() {
+        let mut store = PageStore::new();
+        store.write(0, &[7u8; PAGE_SIZE as usize]);
+        let snap = store.page(0).unwrap().share();
+        store.write(16, &[9u8; 8]);
+        // Snapshot still sees the pre-write content; store sees the new.
+        assert!(snap.iter().all(|&b| b == 7));
+        let mut now = [0u8; 8];
+        store.read(16, &mut now);
+        assert_eq!(now, [9u8; 8]);
+    }
+
+    #[test]
+    fn pages_since_tracks_write_epochs() {
+        let mut store = PageStore::new();
+        store.write(0, &[1u8; 4]);
+        store.write(PAGE_SIZE * 5, &[5u8; 4]);
+        store.set_write_epoch(1);
+        store.write(PAGE_SIZE * 5, &[6u8; 4]);
+        store.write(PAGE_SIZE * 9, &[9u8; 4]);
+        let dirty: Vec<u64> = store.pages_since(1).map(|(k, _)| k).collect();
+        assert_eq!(dirty, vec![5, 9]);
+        // Epoch survives a split/adopt round trip.
+        let tail = store.truncate_pages(6);
+        let mut other = PageStore::new();
+        other.adopt_pages(tail, -6);
+        let dirty: Vec<u64> = other.pages_since(1).map(|(k, _)| k).collect();
+        assert_eq!(dirty, vec![3]);
+    }
+
+    #[test]
+    fn coalesced_runs_bridge_small_gaps_only() {
+        let idx = [0, 1, 4, 5, 10, 20];
+        assert_eq!(
+            page_runs_coalesced(idx.iter().copied(), 2),
+            vec![
+                PageRun { first: 0, count: 6 },
+                PageRun {
+                    first: 10,
+                    count: 1
+                },
+                PageRun {
+                    first: 20,
+                    count: 1
+                },
+            ]
+        );
+        // Zero gap degenerates to exact maximal runs.
+        assert_eq!(
+            page_runs_coalesced(idx.iter().copied(), 0),
+            page_runs(idx.iter().copied())
+        );
     }
 }

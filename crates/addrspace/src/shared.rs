@@ -53,6 +53,12 @@ impl SharedSpace {
         f(&mut self.inner.write())
     }
 
+    /// Convenience: start a new write epoch through the lock (see
+    /// [`AddressSpace::snapshot_epoch`]).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.inner.write().snapshot_epoch()
+    }
+
     /// Convenience: `mmap` through the lock.
     pub fn mmap(&self, req: MapRequest) -> Result<Addr, MemError> {
         self.inner.write().mmap(req)

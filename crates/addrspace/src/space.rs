@@ -119,6 +119,7 @@ pub struct AddressSpace {
     aslr_enabled: bool,
     rng_state: u64,
     stats: SpaceStats,
+    write_epoch: u64,
 }
 
 impl Default for AddressSpace {
@@ -136,7 +137,26 @@ impl AddressSpace {
             aslr_enabled: true,
             rng_state: 0x9e37_79b9_7f4a_7c15,
             stats: SpaceStats::default(),
+            write_epoch: 0,
         }
+    }
+
+    /// The current space-wide write epoch: every mutation since the last
+    /// [`AddressSpace::snapshot_epoch`] call is stamped with this value.
+    pub fn current_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Starts a new write epoch and returns it.  Pages written *from now on*
+    /// are stamped at or above the returned epoch, so
+    /// `store.pages_since(epoch)` yields exactly the pages dirtied after this
+    /// call — the dirty-tracking primitive behind pre-copy checkpointing.
+    pub fn snapshot_epoch(&mut self) -> u64 {
+        self.write_epoch += 1;
+        for region in self.regions.values_mut() {
+            region.store.set_write_epoch(self.write_epoch);
+        }
+        self.write_epoch
     }
 
     /// Creates an address space with ASLR already disabled, as CRAC does via
@@ -201,6 +221,8 @@ impl AddressSpace {
 
         let id = RegionId(self.next_id);
         self.next_id += 1;
+        let mut store = PageStore::new();
+        store.set_write_epoch(self.write_epoch);
         let region = Region {
             id,
             start,
@@ -208,7 +230,7 @@ impl AddressSpace {
             prot: req.prot,
             half: req.half,
             label: req.label,
-            store: PageStore::new(),
+            store,
         };
         self.regions.insert(start, region);
         Ok(start)
@@ -446,16 +468,12 @@ impl AddressSpace {
                 ra.end() == rb.start && ra.prot == rb.prot && ra.half == rb.half
             };
             if merge {
-                let rb = self.regions.remove(&b).expect("rb exists");
+                let mut rb = self.regions.remove(&b).expect("rb exists");
                 let ra = self.regions.get_mut(&a).expect("ra exists");
                 let shift_pages = (ra.len / PAGE_SIZE) as i64;
-                let pages = rb.store.dirty_pages().map(|(k, v)| (k, v.to_vec())).fold(
-                    BTreeMap::new(),
-                    |mut m, (k, v)| {
-                        m.insert(k, v.into_boxed_slice());
-                        m
-                    },
-                );
+                // Pages keep their epoch stamps through the merge, so
+                // dirty-since queries stay accurate across consolidation.
+                let pages = rb.store.truncate_pages(0);
                 ra.store.adopt_pages(pages, shift_pages);
                 ra.len += rb.len;
                 if ra.label != rb.label {
@@ -531,6 +549,8 @@ impl AddressSpace {
         region.len = head_len;
         let id = RegionId(self.next_id);
         self.next_id += 1;
+        let mut store = PageStore::new();
+        store.set_write_epoch(region.store.write_epoch());
         let mut tail = Region {
             id,
             start: addr,
@@ -538,7 +558,7 @@ impl AddressSpace {
             prot: region.prot,
             half: region.half,
             label: region.label.clone(),
-            store: PageStore::new(),
+            store,
         };
         tail.store
             .adopt_pages(tail_pages, -(tail_first_page as i64));

@@ -59,3 +59,8 @@ pub use mallocs::{ActiveMallocs, AllocKind};
 pub use process::{
     CkptReport, CracError, CracProcess, RemoteCkptReport, RestartReport, StoredCkptReport,
 };
+
+// The plugin trait and the pre-copy knobs/stats are part of the process
+// surface (`register_plugin`, `checkpoint_to_store_precopy`, ...), so
+// re-export them rather than forcing a direct crac-dmtcp dependency.
+pub use crac_dmtcp::{DmtcpPlugin, PrecopyConfig, PrecopyStats};

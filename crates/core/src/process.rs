@@ -6,13 +6,13 @@ use parking_lot::Mutex;
 
 use crac_addrspace::{page_align_up, Addr, Half, MemError, SharedSpace};
 use crac_cudart::{CudaError, CudaRuntime, MemcpyKind};
-use crac_dmtcp::{CheckpointImage, Coordinator};
+use crac_dmtcp::{CheckpointImage, Coordinator, DmtcpPlugin, PrecopyConfig, PrecopyStats};
 use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
 use crac_imagestore::{
-    drive_checkpoint_streaming, drive_restore_streaming, Compression, ImageId, ImageStore,
-    ReadStats, RemoteChunkSink, RemoteChunkSource, ReplicateStats, StoreError, Transport,
-    WriteOptions, WriteStats,
+    drive_checkpoint_precopy, drive_checkpoint_streaming, drive_restore_streaming, Compression,
+    ImageId, ImageStore, ReadStats, RemoteChunkSink, RemoteChunkSource, ReplicateStats, StoreError,
+    Transport, WriteOptions, WriteStats,
 };
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
@@ -262,6 +262,15 @@ impl CracProcess {
     /// The process's (single) address space.
     pub fn space(&self) -> &SharedSpace {
         &self.space
+    }
+
+    /// Register an application-side DMTCP plugin on this process's
+    /// coordinator. The main use with pre-copy checkpointing is a
+    /// quiesce hook: `pre_checkpoint` runs at the start of the final
+    /// stop-the-world pass, so an application can pause its writer
+    /// threads there and have the image capture a clean cut of memory.
+    pub fn register_plugin(&mut self, plugin: Arc<dyn DmtcpPlugin>) {
+        self.coordinator.register_plugin(plugin);
     }
 
     /// The lower-half CUDA runtime (read-only uses such as metrics; the
@@ -739,6 +748,57 @@ impl CracProcess {
         })
     }
 
+    /// Pre-copy variant of [`CracProcess::checkpoint_to_store`]: bulk
+    /// content and iterative delta rounds stream into the store while the
+    /// application keeps executing, and the process is stopped only for
+    /// the final residual dirty delta — the stop window scales with the
+    /// write rate, not the image size.  Auto-parenting behaves exactly as
+    /// in [`CracProcess::checkpoint_to_store`].  Returns the usual stored
+    /// report plus the per-round [`PrecopyStats`] (rounds, bytes per
+    /// round, stop-window duration, convergence).
+    pub fn checkpoint_to_store_precopy(
+        &self,
+        store: &ImageStore,
+        mut opts: WriteOptions,
+        cfg: PrecopyConfig,
+    ) -> Result<(StoredCkptReport, PrecopyStats), CracError> {
+        if opts.parent.is_none() {
+            if let Some((root, id)) = self.last_stored_image.lock().as_ref() {
+                if root == store.root() {
+                    opts.parent = Some(*id);
+                }
+            }
+        }
+        let clock = Arc::clone(self.clock());
+        let t0 = clock.now();
+        let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        store.adopt_obs(self.obs());
+        let (image_id, precopy, write) = store.stream_image(&opts, |writer| {
+            let precopy = drive_checkpoint_precopy(&self.coordinator, writer, cfg)?;
+            // Model the image-write time and stamp the manifest with the
+            // time the checkpoint *completed*, exactly like the
+            // stop-the-world store path.
+            clock.advance(precopy.ckpt.write_ns);
+            writer.set_taken_at(clock.now());
+            Ok(precopy)
+        })?;
+        *self.last_stored_image.lock() = Some((store.root().to_path_buf(), image_id));
+        let stats = precopy.ckpt;
+        Ok((
+            StoredCkptReport {
+                image_id,
+                parent: opts.parent,
+                ckpt_time_s: ns_to_s(clock.now() - t0),
+                image_bytes: stats.image_bytes,
+                drained_bytes,
+                regions_saved: stats.regions_saved,
+                regions_skipped: stats.regions_skipped,
+                write,
+            },
+            precopy,
+        ))
+    }
+
     /// Forgets the stored-checkpoint lineage: the next
     /// [`CracProcess::checkpoint_to_store`] with `parent: None` records no
     /// parent (chunk-level dedup against the store still applies).
@@ -784,6 +844,43 @@ impl CracProcess {
             regions_skipped: stats.regions_skipped,
             replicate,
         })
+    }
+
+    /// Pre-copy variant of [`CracProcess::checkpoint_to_remote`]: delta
+    /// rounds ship to the peer while the application keeps running, and
+    /// the final stop window covers only the residual dirty delta — the
+    /// live-migration shape, where node B already holds almost the whole
+    /// image by the time node A stops.
+    pub fn checkpoint_to_remote_precopy(
+        &self,
+        transport: &dyn Transport,
+        compression: Compression,
+        parent: Option<ImageId>,
+        cfg: PrecopyConfig,
+    ) -> Result<(RemoteCkptReport, PrecopyStats), CracError> {
+        let clock = Arc::clone(self.clock());
+        let t0 = clock.now();
+        let drained_bytes = self.state.lock().mallocs.drain_bytes();
+        let mut sink = RemoteChunkSink::with_obs(transport, compression, parent, self.obs());
+        let precopy = drive_checkpoint_precopy(&self.coordinator, &mut sink, cfg)?;
+        // Model the image-write time and stamp the manifest with the time
+        // the checkpoint *completed*, exactly like the local store path.
+        clock.advance(precopy.ckpt.write_ns);
+        sink.set_taken_at(clock.now());
+        let (image_id, replicate) = sink.finish()?;
+        let stats = precopy.ckpt;
+        Ok((
+            RemoteCkptReport {
+                image_id,
+                ckpt_time_s: ns_to_s(clock.now() - t0),
+                image_bytes: stats.image_bytes,
+                drained_bytes,
+                regions_saved: stats.regions_saved,
+                regions_skipped: stats.regions_skipped,
+                replicate,
+            },
+            precopy,
+        ))
     }
 
     /// Restarts an application from remote image `id` served by

@@ -1,0 +1,140 @@
+//! Pre-copy checkpointing driven through the full `CracProcess` stack:
+//! device memory drained by the CRAC plugin, application host memory
+//! mutated by a racing thread, and a restart in a fresh process.
+//!
+//! Regression focus: the plugin's drain stages device content into fresh
+//! upper-half mappings *during the final quiesce* — after the pre-copy
+//! plan was taken.  Those staging pages merge into the tail of an
+//! adjacent planned entry in the merged maps view, and an early version
+//! of the final pass missed them (it only treated whole entries whose
+//! start lay outside the plan as new), so restart replay segfaulted
+//! reading the staging addresses back.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crac_addrspace::{Half, MapRequest, PAGE_SIZE};
+use crac_core::{CracConfig, CracProcess, CracStream, DmtcpPlugin, KernelRegistry, PrecopyConfig};
+use crac_gpu::{KernelCost, LaunchDims};
+use crac_imagestore::testutil::TempDir;
+use crac_imagestore::{ImageStore, WriteOptions};
+
+const N: usize = 1024;
+const APP_PAGES: u64 = 48;
+
+fn registry() -> Arc<KernelRegistry> {
+    let mut reg = KernelRegistry::new();
+    reg.insert("iota", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.write_f32_arg(0, &v)
+    });
+    Arc::new(reg)
+}
+
+struct Quiesce {
+    stop: Arc<AtomicBool>,
+    acked: Arc<AtomicBool>,
+}
+
+impl DmtcpPlugin for Quiesce {
+    fn name(&self) -> &str {
+        "test-quiesce"
+    }
+    fn pre_checkpoint(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        while !self.acked.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[test]
+fn precopy_process_checkpoint_restores_app_memory_and_drained_device_state() {
+    let dir = TempDir::new("precopy-proc");
+    let store = ImageStore::open(dir.path()).unwrap();
+
+    let mut proc = CracProcess::launch(CracConfig::test("precopy-proc"), registry());
+    let fatbin = proc.register_fat_binary();
+    let iota = proc.register_function(fatbin, "iota").unwrap();
+    let dev = proc.malloc((N * 4) as u64).unwrap();
+    proc.launch_kernel(
+        iota,
+        LaunchDims::linear(4, 256),
+        KernelCost::compute(N as u64),
+        vec![dev.as_u64(), N as u64],
+        CracStream::DEFAULT,
+    )
+    .unwrap();
+    proc.device_synchronize().unwrap();
+
+    // Application data mapped after the program image — the drain staging
+    // created at quiesce time lands directly behind it and merges into
+    // the same maps entry.
+    let app = proc
+        .space()
+        .mmap(MapRequest::anon(
+            APP_PAGES * PAGE_SIZE,
+            Half::Upper,
+            "app-data",
+        ))
+        .unwrap();
+    for p in 0..APP_PAGES {
+        proc.space()
+            .write_bytes(app + p * PAGE_SIZE, &[p as u8 + 1; 192])
+            .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(AtomicBool::new(false));
+    proc.register_plugin(Arc::new(Quiesce {
+        stop: Arc::clone(&stop),
+        acked: Arc::clone(&acked),
+    }));
+    let space = proc.space().clone();
+    let mutator = std::thread::spawn(move || {
+        let mut writes = 0u64;
+        while !stop.load(Ordering::SeqCst) {
+            let page = writes % APP_PAGES;
+            space
+                .write_bytes(app + page * PAGE_SIZE + 1024, &[writes as u8; 96])
+                .unwrap();
+            writes += 1;
+        }
+        acked.store(true, Ordering::SeqCst);
+        writes
+    });
+
+    let (report, pre) = proc
+        .checkpoint_to_store_precopy(&store, WriteOptions::full(), PrecopyConfig::default())
+        .unwrap();
+    let writes = mutator.join().unwrap();
+    assert!(writes > 0);
+    assert!(pre.round_bytes.len() >= 2);
+    assert!(report.drained_bytes >= (N * 4) as u64, "device drain ran");
+
+    // Ground truth: the quiesced live memory.
+    let mut live = vec![0u8; (APP_PAGES * PAGE_SIZE) as usize];
+    proc.space().read_bytes(app, &mut live).unwrap();
+
+    let (proc2, rreport, _) = CracProcess::restart_from_store(
+        &store,
+        report.image_id,
+        CracConfig::test("precopy-proc"),
+        registry(),
+    )
+    .unwrap();
+    assert!(rreport.replayed_calls > 0);
+
+    let mut restored = vec![0u8; live.len()];
+    proc2.space().read_bytes(app, &mut restored).unwrap();
+    assert_eq!(live, restored, "app memory must match the quiesced state");
+
+    // Device content came back through the staged drain (the staging
+    // pages the regression is about).
+    let mut dev_out = vec![0f32; N];
+    proc2.space().read_f32(dev, &mut dev_out).unwrap();
+    for (i, v) in dev_out.iter().enumerate() {
+        assert_eq!(*v, i as f32, "device element {i}");
+    }
+}

@@ -1,9 +1,13 @@
 //! The checkpoint/restart driver.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use crac_addrspace::{page_runs, Addr, Half, MapRequest, Prot, SharedSpace, PAGE_SIZE};
-use crac_obs::ObsRegistry;
+use crac_addrspace::{
+    page_runs_coalesced, Addr, AddressSpace, Half, MapRequest, MapsEntry, PageRun, Prot,
+    SharedSpace, PAGE_SIZE,
+};
+use crac_obs::{Buckets, EventKind, ObsRegistry};
 
 use crate::image::CheckpointImage;
 use crate::plugin::{DmtcpPlugin, RegionDecision};
@@ -47,6 +51,62 @@ pub struct CkptStats {
     pub regions_skipped: usize,
     /// Modelled time to write the image, in nanoseconds.
     pub write_ns: u64,
+}
+
+/// Tuning knobs for [`Coordinator::checkpoint_precopy`].
+#[derive(Clone, Debug)]
+pub struct PrecopyConfig {
+    /// Maximum number of iterative delta rounds between the concurrent
+    /// bulk copy and the final stop-the-world pass.  A workload that
+    /// re-dirties pages faster than they can be re-copied never converges;
+    /// the cap bounds how long the checkpoint chases it before giving up
+    /// and taking the (larger) final delta anyway.
+    pub max_rounds: usize,
+    /// Stop iterating once the residual dirty delta is at most this many
+    /// pages — the final stop-the-world pass over a delta this small is
+    /// considered short enough.
+    pub convergence_pages: u64,
+    /// Bridge up to this many clean pages between dirty runs, trading a
+    /// little redundant page copying for fewer, longer runs (less per-run
+    /// framing and hashing downstream).  `0` emits exact maximal runs.
+    pub max_run_gap: u64,
+}
+
+impl Default for PrecopyConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 4,
+            convergence_pages: 16,
+            max_run_gap: 1,
+        }
+    }
+}
+
+/// Statistics of one pre-copy checkpoint: the aggregate walk stats plus
+/// the per-round narrative the stop-window claim rests on.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrecopyStats {
+    /// Aggregate checkpoint stats (totals across all rounds).
+    pub ckpt: CkptStats,
+    /// Iterative delta rounds run (excluding the bulk copy and the final
+    /// stop-the-world pass).
+    pub rounds: usize,
+    /// Content bytes streamed per round: `[bulk, delta…, final]`.
+    pub round_bytes: Vec<u64>,
+    /// `true` when the residual delta fell under
+    /// [`PrecopyConfig::convergence_pages`]; `false` means the round cap
+    /// hit first.
+    pub converged: bool,
+    /// Dirty pages captured inside the final stop-the-world window.
+    pub final_dirty_pages: u64,
+    /// Wall-clock duration of the stop-the-world window (quiesce →
+    /// resume), in nanoseconds.  This is the number pre-copy exists to
+    /// shrink: proportional to the residual delta, not the image.
+    pub stop_window_ns: u64,
+    /// Mapped ranges that appeared or disappeared between planning and
+    /// the final pass.  New ranges are captured whole in the final pass;
+    /// vanished ones keep their last pre-copied content in the image.
+    pub layout_drift: usize,
 }
 
 /// Statistics of one restart operation.
@@ -150,6 +210,7 @@ impl Coordinator {
         &self,
         sink: &mut dyn CheckpointSink,
     ) -> Result<CkptStats, SinkClosed> {
+        let t0 = Instant::now();
         for p in &self.plugins {
             p.pre_checkpoint();
         }
@@ -157,33 +218,310 @@ impl Coordinator {
         for p in &self.plugins {
             p.resume();
         }
+        // The whole walk ran quiesced, so the stop window *is* the walk:
+        // the O(image) pause pre-copy exists to shrink.  Recording it under
+        // the same metric makes the two modes directly comparable.
+        let window_us = t0.elapsed().as_micros() as u64;
+        self.obs
+            .histogram("crac_ckpt_stop_window_us", Buckets::LATENCY_US)
+            .observe(window_us);
+        self.obs.event(
+            EventKind::StopWindow,
+            format!("mode=stw window_us={window_us}"),
+        );
         result
     }
 
-    /// The shared walk behind both checkpoint flavours.
+    /// Takes a *pre-copy* checkpoint: the stop-the-world window is
+    /// proportional to the residual dirty delta, not the image.
+    ///
+    /// The walk is the VM-live-migration shape.  First the whole image is
+    /// streamed **concurrently with execution** (mutators keep running; a
+    /// consistent view of each page comes from the copy-on-write page
+    /// store).  Then iterative rounds re-stream only the runs re-dirtied
+    /// since the previous round's epoch, until the residual delta fits
+    /// [`PrecopyConfig::convergence_pages`] or
+    /// [`PrecopyConfig::max_rounds`] hits.  Only then are plugins quiesced
+    /// for a short final pass that captures the last delta (zero-copy, as
+    /// `Arc` clones) plus plugin payloads; mutators resume *before* the
+    /// captured delta is pushed into the sink.
+    ///
+    /// The sink sees the same record grammar as
+    /// [`Coordinator::checkpoint_streaming`], except a region may be
+    /// re-opened (another `begin_region` with the same start address,
+    /// while no region is open) to carry a later round's runs — the sink
+    /// must apply later runs over earlier ones (last-write-wins).  All
+    /// `CheckpointSink` implementations in this workspace do.
+    ///
+    /// Ranges mapped *after* the walk starts are captured whole in the
+    /// final pass; ranges unmapped mid-walk keep their last pre-copied
+    /// content in the image.  Both are counted in
+    /// [`PrecopyStats::layout_drift`].
+    pub fn checkpoint_precopy(
+        &self,
+        sink: &mut dyn CheckpointSink,
+        cfg: &PrecopyConfig,
+    ) -> Result<PrecopyStats, SinkClosed> {
+        let round_bytes_h = self
+            .obs
+            .histogram("crac_precopy_round_bytes", Buckets::SIZE_BYTES);
+        let rounds_c = self.obs.counter("crac_precopy_rounds");
+        let mut stats = CkptStats::default();
+        let mut pre = PrecopyStats::default();
+
+        // Epoch boundary and merged view taken atomically: every write
+        // from here on is stamped at or above `epoch`.
+        let (mut epoch, entries) = self.space.with_mut(|s| (s.snapshot_epoch(), s.proc_maps()));
+        let mut plan: Vec<RegionDescriptor> = Vec::new();
+        for entry in &entries {
+            match self.plan_entry(entry) {
+                Some(ranges) if !ranges.is_empty() => {
+                    stats.regions_saved += 1;
+                    for (start, len) in ranges {
+                        plan.push(RegionDescriptor {
+                            start,
+                            len,
+                            prot: entry.prot,
+                            label: entry.label.clone(),
+                        });
+                        stats.image_bytes += len;
+                    }
+                }
+                _ => stats.regions_skipped += 1,
+            }
+        }
+
+        // Round 0: bulk copy of every planned range, concurrent with
+        // execution.  Every region is declared here (even all-zero ones),
+        // so later rounds only ever *re-open*.
+        let mut bulk = 0u64;
+        for desc in &plan {
+            sink.begin_region(desc)?;
+            let cap = self
+                .space
+                .with(|s| capture_range(s, desc.start, desc.len, 0, cfg.max_run_gap));
+            bulk += emit_runs(sink, &cap.runs)?;
+            sink.end_region()?;
+        }
+        stats.stored_bytes += bulk;
+        pre.round_bytes.push(bulk);
+        round_bytes_h.observe(bulk);
+        rounds_c.inc();
+        self.obs.event(
+            EventKind::PrecopyRound,
+            format!("round=0 kind=bulk bytes={bulk}"),
+        );
+
+        // Iterative delta rounds: chase the re-dirtied runs until the
+        // residual delta is small enough to stop the world for.
+        loop {
+            let residual: u64 = self.space.with(|s| {
+                plan.iter()
+                    .map(|d| count_dirty_since(s, d.start, d.len, epoch))
+                    .sum()
+            });
+            if residual <= cfg.convergence_pages {
+                pre.converged = true;
+                break;
+            }
+            if pre.rounds >= cfg.max_rounds {
+                break;
+            }
+            pre.rounds += 1;
+            // Advance the epoch boundary and capture the delta under one
+            // write lock, so no write can fall between the two.
+            let captures: Vec<Capture> = self.space.with_mut(|s| {
+                let next = s.snapshot_epoch();
+                let caps = plan
+                    .iter()
+                    .map(|d| capture_range(s, d.start, d.len, epoch, cfg.max_run_gap))
+                    .collect();
+                epoch = next;
+                caps
+            });
+            let mut round_total = 0u64;
+            for (desc, cap) in plan.iter().zip(&captures) {
+                if cap.runs.is_empty() {
+                    continue;
+                }
+                sink.begin_region(desc)?;
+                round_total += emit_runs(sink, &cap.runs)?;
+                sink.end_region()?;
+            }
+            stats.stored_bytes += round_total;
+            pre.round_bytes.push(round_total);
+            round_bytes_h.observe(round_total);
+            rounds_c.inc();
+            self.obs.event(
+                EventKind::PrecopyRound,
+                format!(
+                    "round={} kind=delta bytes={round_total} residual_pages={residual}",
+                    pre.rounds
+                ),
+            );
+        }
+
+        // Final stop-the-world pass: quiesce, capture the last delta as
+        // Arc clones (no content copied inside the window), resume.
+        let t0 = Instant::now();
+        for p in &self.plugins {
+            p.pre_checkpoint();
+        }
+        let (final_caps, extras, gone) = self.space.with_mut(|s| {
+            let now_entries = s.proc_maps();
+            let caps: Vec<Capture> = plan
+                .iter()
+                .map(|d| capture_range(s, d.start, d.len, epoch, cfg.max_run_gap))
+                .collect();
+            // Ranges mapped since planning: not covered by any round so
+            // far, captured whole now.  Subtract the planned ranges from
+            // each current entry rather than testing the entry's start —
+            // memory mapped during the quiesce itself (e.g. a plugin's
+            // drain staging) can merge into the tail of a planned entry,
+            // and its pages must not be lost.
+            let mut extras: Vec<(RegionDescriptor, Capture)> = Vec::new();
+            for entry in &now_entries {
+                let Some(ranges) = self.plan_entry(entry) else {
+                    continue;
+                };
+                for (start, len) in ranges {
+                    let mut gaps = vec![(start.0, start.0 + len)];
+                    for d in &plan {
+                        let (ds, de) = (d.start.0, d.start.0 + d.len);
+                        gaps = gaps
+                            .into_iter()
+                            .flat_map(|(gs, ge)| {
+                                if de <= gs || ds >= ge {
+                                    return vec![(gs, ge)];
+                                }
+                                let mut keep = Vec::new();
+                                if gs < ds {
+                                    keep.push((gs, ds));
+                                }
+                                if de < ge {
+                                    keep.push((de, ge));
+                                }
+                                keep
+                            })
+                            .collect();
+                    }
+                    for (gs, ge) in gaps {
+                        let desc = RegionDescriptor {
+                            start: Addr(gs),
+                            len: ge - gs,
+                            prot: entry.prot,
+                            label: entry.label.clone(),
+                        };
+                        let cap = capture_range(s, desc.start, desc.len, 0, cfg.max_run_gap);
+                        extras.push((desc, cap));
+                    }
+                }
+            }
+            // Planned ranges no longer mapped: their last pre-copied
+            // content stays in the image.
+            let gone = plan
+                .iter()
+                .filter(|d| {
+                    !now_entries
+                        .iter()
+                        .any(|e| e.start <= d.start && d.start < e.end)
+                })
+                .count();
+            (caps, extras, gone)
+        });
+        let payloads: Vec<(String, Vec<u8>)> = self
+            .plugins
+            .iter()
+            .map(|p| (p.name().to_string(), p.payload()))
+            .filter(|(_, data)| !data.is_empty())
+            .collect();
+        for p in &self.plugins {
+            p.resume();
+        }
+        let window = t0.elapsed();
+        pre.stop_window_ns = window.as_nanos() as u64;
+        pre.layout_drift = gone + extras.len();
+        pre.final_dirty_pages = final_caps.iter().map(|c| c.dirty_pages).sum::<u64>()
+            + extras.iter().map(|(_, c)| c.dirty_pages).sum::<u64>();
+        let window_us = window.as_micros() as u64;
+        self.obs
+            .histogram("crac_ckpt_stop_window_us", Buckets::LATENCY_US)
+            .observe(window_us);
+        self.obs.event(
+            EventKind::StopWindow,
+            format!(
+                "mode=precopy window_us={window_us} dirty_pages={} rounds={} converged={}",
+                pre.final_dirty_pages, pre.rounds, pre.converged
+            ),
+        );
+
+        // Stream the frozen captures with the application already running.
+        let mut final_bytes = 0u64;
+        for (desc, cap) in plan.iter().zip(&final_caps) {
+            if cap.runs.is_empty() {
+                continue;
+            }
+            sink.begin_region(desc)?;
+            final_bytes += emit_runs(sink, &cap.runs)?;
+            sink.end_region()?;
+        }
+        for (desc, cap) in &extras {
+            sink.begin_region(desc)?;
+            final_bytes += emit_runs(sink, &cap.runs)?;
+            sink.end_region()?;
+            stats.regions_saved += 1;
+            stats.image_bytes += desc.len;
+        }
+        stats.stored_bytes += final_bytes;
+        pre.round_bytes.push(final_bytes);
+        round_bytes_h.observe(final_bytes);
+        for (name, data) in &payloads {
+            sink.payload(name, data)?;
+            stats.image_bytes += data.len() as u64;
+            stats.stored_bytes += data.len() as u64;
+        }
+
+        let effective_bytes = if self.config.gzip {
+            (stats.image_bytes as f64 / 2.5) as u64
+        } else {
+            stats.image_bytes
+        };
+        stats.write_ns = (effective_bytes as f64 / self.config.disk_write_bw).ceil() as u64;
+        pre.ckpt = stats;
+        Ok(pre)
+    }
+
+    /// What to save of one merged maps entry: `None` to skip it entirely,
+    /// otherwise the ranges to save.  First plugin with a non-Save opinion
+    /// wins.
+    fn plan_entry(&self, entry: &MapsEntry) -> Option<Vec<(Addr, u64)>> {
+        let decision = self
+            .plugins
+            .iter()
+            .map(|p| p.region_decision(entry))
+            .find(|d| *d != RegionDecision::Save)
+            .unwrap_or(RegionDecision::Save);
+        match decision {
+            RegionDecision::Save => Some(vec![(entry.start, entry.len())]),
+            RegionDecision::Skip => None,
+            RegionDecision::SaveRanges(rs) => Some(rs),
+        }
+    }
+
+    /// The shared walk behind both stop-the-world checkpoint flavours —
+    /// and the one-round degenerate case of the pre-copy walk: capture a
+    /// range, emit its runs, no epochs, no re-opens.
     fn stream_regions(&self, sink: &mut dyn CheckpointSink) -> Result<CkptStats, SinkClosed> {
         let mut stats = CkptStats::default();
         let entries = self.space.with(|s| s.proc_maps());
         for entry in &entries {
-            // First plugin with a non-Save opinion wins.
-            let decision = self
-                .plugins
-                .iter()
-                .map(|p| p.region_decision(entry))
-                .find(|d| *d != RegionDecision::Save)
-                .unwrap_or(RegionDecision::Save);
-            let ranges: Vec<(Addr, u64)> = match decision {
-                RegionDecision::Save => vec![(entry.start, entry.len())],
-                RegionDecision::Skip => {
+            let ranges = match self.plan_entry(entry) {
+                Some(ranges) if !ranges.is_empty() => ranges,
+                _ => {
                     stats.regions_skipped += 1;
                     continue;
                 }
-                RegionDecision::SaveRanges(rs) => rs,
             };
-            if ranges.is_empty() {
-                stats.regions_skipped += 1;
-                continue;
-            }
             stats.regions_saved += 1;
             for (start, len) in ranges {
                 let desc = RegionDescriptor {
@@ -220,52 +558,16 @@ impl Coordinator {
     /// Streams one saved range's dirty pages into `sink` as runs of at most
     /// [`MAX_RUN_PAGES`] pages, returning the content bytes streamed.
     ///
-    /// Only page *references* (16 bytes each) are gathered up front; content
-    /// is copied one run buffer at a time, which is the whole point of the
-    /// streaming path.
+    /// Content is captured as zero-copy `Arc` clones and copied one run
+    /// buffer at a time, which is the whole point of the streaming path.
     fn stream_range(
         &self,
         start: Addr,
         len: u64,
         sink: &mut dyn CheckpointSink,
     ) -> Result<u64, SinkClosed> {
-        self.space.with(|s| {
-            // Walk the underlying (unmerged) regions overlapping this range
-            // and index their dirty pages by range-relative position.
-            let mut pages: Vec<(u64, &[u8])> = Vec::new();
-            for region in s.regions() {
-                if !region.overlaps(start, len) {
-                    continue;
-                }
-                for (page_idx, bytes) in region.store.dirty_pages() {
-                    let page_addr = region.start + page_idx * PAGE_SIZE;
-                    if page_addr >= start && page_addr + PAGE_SIZE <= start + len {
-                        pages.push(((page_addr - start) / PAGE_SIZE, bytes));
-                    }
-                }
-            }
-            pages.sort_by_key(|(idx, _)| *idx);
-            let by_index: std::collections::BTreeMap<u64, &[u8]> = pages.iter().copied().collect();
-            let mut streamed = 0u64;
-            let mut buf: Vec<u8> = Vec::new();
-            for run in page_runs(pages.iter().map(|(idx, _)| *idx)) {
-                // Split oversized runs so the buffer stays bounded.
-                let mut first = run.first;
-                let mut remaining = run.count;
-                while remaining > 0 {
-                    let take = remaining.min(MAX_RUN_PAGES);
-                    buf.clear();
-                    for page in first..first + take {
-                        buf.extend_from_slice(by_index[&page]);
-                    }
-                    sink.page_run(crac_addrspace::PageRun { first, count: take }, &buf)?;
-                    streamed += take * PAGE_SIZE;
-                    first += take;
-                    remaining -= take;
-                }
-            }
-            Ok(streamed)
-        })
+        let cap = self.space.with(|s| capture_range(s, start, len, 0, 0));
+        emit_runs(sink, &cap.runs)
     }
 
     /// Restores `image` into `space` (a fresh process on restart) and fires
@@ -359,6 +661,123 @@ impl Coordinator {
         }
         Ok(stats)
     }
+}
+
+/// One bounded emission unit captured from the page store: at most
+/// [`MAX_RUN_PAGES`] range-relative pages, each either a frozen zero-copy
+/// snapshot (`Arc` clone — later writes copy-on-write around it) or `None`
+/// for an unmaterialised, all-zero page bridged into the run by gap
+/// coalescing.
+struct CapturedRun {
+    run: PageRun,
+    pages: Vec<Option<Arc<[u8]>>>,
+}
+
+/// A consistent capture of one saved range: the emission-ready runs plus
+/// how many pages were actually dirty (bridged clean pages excluded).
+struct Capture {
+    runs: Vec<CapturedRun>,
+    dirty_pages: u64,
+}
+
+/// Captures the pages of `[start, start+len)` stamped at or after `since`
+/// (`0` captures every materialised page), as zero-copy `Arc` clones.
+/// Runs are coalesced across gaps of up to `max_gap` clean pages, then
+/// split to at most [`MAX_RUN_PAGES`] pages each.  Call under the space
+/// lock; emission can then proceed without it.
+fn capture_range(s: &AddressSpace, start: Addr, len: u64, since: u64, max_gap: u64) -> Capture {
+    let mut pages: Vec<(u64, Arc<[u8]>)> = Vec::new();
+    for region in s.regions() {
+        if !region.overlaps(start, len) {
+            continue;
+        }
+        for (page_idx, page) in region.store.pages_since(since) {
+            let page_addr = region.start + page_idx * PAGE_SIZE;
+            if page_addr >= start && page_addr + PAGE_SIZE <= start + len {
+                pages.push(((page_addr - start) / PAGE_SIZE, page.share()));
+            }
+        }
+    }
+    pages.sort_by_key(|(idx, _)| *idx);
+    let dirty_pages = pages.len() as u64;
+    let runs = page_runs_coalesced(pages.iter().map(|(idx, _)| *idx), max_gap);
+    let by_index: std::collections::BTreeMap<u64, Arc<[u8]>> = pages.into_iter().collect();
+    let mut out = Vec::new();
+    for run in runs {
+        // Split oversized runs so emission buffers stay bounded.
+        let mut first = run.first;
+        let mut remaining = run.count;
+        while remaining > 0 {
+            let take = remaining.min(MAX_RUN_PAGES);
+            let caps = (first..first + take)
+                .map(|page| {
+                    by_index
+                        .get(&page)
+                        .cloned()
+                        // A bridged clean page: capture whatever content it
+                        // holds right now (unchanged since the last round).
+                        .or_else(|| resident_page(s, start, page))
+                })
+                .collect();
+            out.push(CapturedRun {
+                run: PageRun { first, count: take },
+                pages: caps,
+            });
+            first += take;
+            remaining -= take;
+        }
+    }
+    Capture {
+        runs: out,
+        dirty_pages,
+    }
+}
+
+/// The materialised page backing range-relative page `rel_page`, if any.
+fn resident_page(s: &AddressSpace, range_start: Addr, rel_page: u64) -> Option<Arc<[u8]>> {
+    let addr = range_start + rel_page * PAGE_SIZE;
+    let region = s.region_at(addr)?;
+    region
+        .store
+        .page((addr - region.start) / PAGE_SIZE)
+        .map(crac_addrspace::Page::share)
+}
+
+/// Counts the pages of `[start, start+len)` dirtied at or after `epoch` —
+/// the residual-delta probe the convergence check runs between rounds.
+fn count_dirty_since(s: &AddressSpace, start: Addr, len: u64, epoch: u64) -> u64 {
+    let mut n = 0u64;
+    for region in s.regions() {
+        if !region.overlaps(start, len) {
+            continue;
+        }
+        for (page_idx, _) in region.store.pages_since(epoch) {
+            let page_addr = region.start + page_idx * PAGE_SIZE;
+            if page_addr >= start && page_addr + PAGE_SIZE <= start + len {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Pushes captured runs into `sink`, materialising each run's bytes into
+/// one bounded buffer at a time.  Returns the content bytes streamed.
+fn emit_runs(sink: &mut dyn CheckpointSink, runs: &[CapturedRun]) -> Result<u64, SinkClosed> {
+    let mut streamed = 0u64;
+    let mut buf: Vec<u8> = Vec::new();
+    for cap in runs {
+        buf.clear();
+        for page in &cap.pages {
+            match page {
+                Some(bytes) => buf.extend_from_slice(bytes),
+                None => buf.resize(buf.len() + PAGE_SIZE as usize, 0),
+            }
+        }
+        sink.page_run(cap.run, &buf)?;
+        streamed += cap.run.count * PAGE_SIZE;
+    }
+    Ok(streamed)
 }
 
 /// The coordinator's streaming-restore consumer: maps declared regions
@@ -542,6 +961,155 @@ mod tests {
         let (img_gz, s_gz) = gz.checkpoint(0);
         assert_eq!(img_plain.logical_size(), img_gz.logical_size());
         assert!(s_gz.write_ns < s_plain.write_ns);
+    }
+
+    #[test]
+    fn precopy_on_static_memory_converges_in_zero_rounds() {
+        let space = SharedSpace::new_no_aslr();
+        let a = upper_mapping(&space, 6, "static");
+        space.write_bytes(a + 17, b"precopy me").unwrap();
+        space.write_bytes(a + 4 * PAGE_SIZE, &[0xAB; 64]).unwrap();
+        let coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        let mut sink = ImageSink::default();
+        let pre = coord
+            .checkpoint_precopy(&mut sink, &PrecopyConfig::default())
+            .unwrap();
+        assert!(pre.converged, "nothing mutates, so round 0 must suffice");
+        assert_eq!(pre.rounds, 0);
+        // Bulk round plus the (empty) final pass.
+        assert_eq!(pre.round_bytes.len(), 2);
+        assert!(pre.round_bytes[0] > 0);
+        assert_eq!(pre.final_dirty_pages, 0);
+        assert_eq!(pre.layout_drift, 0);
+        assert_eq!(pre.ckpt.regions_saved, 1);
+        assert_eq!(pre.ckpt.image_bytes, 6 * PAGE_SIZE);
+
+        let fresh = SharedSpace::new_no_aslr();
+        coord.restart_into(&sink.image, &fresh);
+        let mut live = vec![0u8; 6 * PAGE_SIZE as usize];
+        let mut restored = live.clone();
+        space.read_bytes(a, &mut live).unwrap();
+        fresh.read_bytes(a, &mut restored).unwrap();
+        assert_eq!(live, restored);
+    }
+
+    /// A sink that re-dirties the space on every `end_region` until the
+    /// final quiesce — a deterministic stand-in for a mutator thread that
+    /// always outruns the delta rounds.
+    struct MutatingSink {
+        inner: ImageSink,
+        space: SharedSpace,
+        target: Addr,
+        stopped: Arc<std::sync::atomic::AtomicBool>,
+        writes: u64,
+    }
+
+    impl CheckpointSink for MutatingSink {
+        fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed> {
+            self.inner.begin_region(desc)
+        }
+        fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed> {
+            self.inner.page_run(run, bytes)
+        }
+        fn end_region(&mut self) -> Result<(), SinkClosed> {
+            if !self.stopped.load(std::sync::atomic::Ordering::Relaxed) {
+                self.writes += 1;
+                let page = self.writes % 8;
+                self.space
+                    .write_bytes(self.target + page * PAGE_SIZE, &[self.writes as u8; 16])
+                    .unwrap();
+            }
+            self.inner.end_region()
+        }
+        fn payload(&mut self, name: &str, data: &[u8]) -> Result<(), SinkClosed> {
+            self.inner.payload(name, data)
+        }
+    }
+
+    /// Quiesce hook that freezes the mutating sink — the moment the final
+    /// stop-the-world pass begins, writes stop, exactly like a real
+    /// quiesced application.
+    struct StopWrites(Arc<std::sync::atomic::AtomicBool>);
+    impl DmtcpPlugin for StopWrites {
+        fn name(&self) -> &str {
+            "stop-writes"
+        }
+        fn pre_checkpoint(&self) {
+            self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn precopy_round_cap_bounds_a_nonconverging_mutator_and_stays_correct() {
+        let space = SharedSpace::new_no_aslr();
+        let a = upper_mapping(&space, 8, "hot");
+        space.fill(a, 8 * PAGE_SIZE, 0x5A).unwrap();
+        let stopped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        coord.register_plugin(Arc::new(StopWrites(Arc::clone(&stopped))));
+        let mut sink = MutatingSink {
+            inner: ImageSink::default(),
+            space: space.clone(),
+            target: a,
+            stopped,
+            writes: 0,
+        };
+        let cfg = PrecopyConfig {
+            max_rounds: 3,
+            convergence_pages: 0,
+            max_run_gap: 0,
+        };
+        let pre = coord.checkpoint_precopy(&mut sink, &cfg).unwrap();
+        assert!(
+            !pre.converged,
+            "every round re-dirties a page, so the cap must hit"
+        );
+        assert_eq!(pre.rounds, 3);
+        // Bulk + three deltas + final.
+        assert_eq!(pre.round_bytes.len(), 5);
+        assert!(pre.final_dirty_pages > 0, "the cap leaves a residual delta");
+
+        // Memory froze at the quiesce and never changed after, so the
+        // restored image must equal the live content byte for byte.
+        let fresh = SharedSpace::new_no_aslr();
+        coord.restart_into(&sink.inner.image, &fresh);
+        let mut live = vec![0u8; 8 * PAGE_SIZE as usize];
+        let mut restored = live.clone();
+        space.read_bytes(a, &mut live).unwrap();
+        fresh.read_bytes(a, &mut restored).unwrap();
+        assert_eq!(live, restored);
+    }
+
+    #[test]
+    fn precopy_gap_coalescing_bridges_clean_pages_without_corruption() {
+        let space = SharedSpace::new_no_aslr();
+        let a = upper_mapping(&space, 9, "sparse");
+        // Dirty pages 0, 2, 4, 6, 8 — gaps of exactly one clean page.
+        for p in (0..9).step_by(2) {
+            space
+                .write_bytes(a + p * PAGE_SIZE, &[p as u8 + 1; 32])
+                .unwrap();
+        }
+        let coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        let mut sink = ImageSink::default();
+        let pre = coord
+            .checkpoint_precopy(
+                &mut sink,
+                &PrecopyConfig {
+                    max_run_gap: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Bridging emits the clean pages too: one 9-page run, not five.
+        assert_eq!(pre.round_bytes[0], 9 * PAGE_SIZE);
+        let fresh = SharedSpace::new_no_aslr();
+        coord.restart_into(&sink.image, &fresh);
+        let mut live = vec![0u8; 9 * PAGE_SIZE as usize];
+        let mut restored = live.clone();
+        space.read_bytes(a, &mut live).unwrap();
+        fresh.read_bytes(a, &mut restored).unwrap();
+        assert_eq!(live, restored, "bridged zero pages must restore as zero");
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod image;
 pub mod plugin;
 pub mod stream;
 
-pub use coordinator::{CkptStats, Coordinator, CoordinatorConfig, RestartStats, RestoreCursor};
+pub use coordinator::{
+    CkptStats, Coordinator, CoordinatorConfig, PrecopyConfig, PrecopyStats, RestartStats,
+    RestoreCursor,
+};
 pub use cursor::ByteCursor;
 pub use image::{CheckpointImage, SavedRegion};
 pub use plugin::{DmtcpPlugin, PluginEvent, RegionDecision};

@@ -64,13 +64,23 @@ pub struct SinkClosed;
 /// (begin_region (page_run)* end_region)* (payload)*
 /// ```
 ///
-/// with runs inside a region in strictly increasing page order and each run
-/// at most [`MAX_RUN_PAGES`] pages.  Any method may return
+/// with runs inside a region-open in strictly increasing page order and
+/// each run at most [`MAX_RUN_PAGES`] pages.  Any method may return
 /// `Err(SinkClosed)`; the producer then stops immediately (plugins are
 /// still resumed) and propagates the marker.
+///
+/// A pre-copy producer ([`Coordinator::checkpoint_precopy`](crate::Coordinator::checkpoint_precopy))
+/// may *re-open* a region — another `begin_region` whose `start` matches an
+/// earlier region's, while no region is open — to carry a later round's
+/// re-dirtied runs.  The sink must resolve overlaps **last-write-wins**:
+/// where a re-emitted run covers a page from an earlier round, the later
+/// content is the region's content.  A one-round producer never re-opens,
+/// so sinks that predate pre-copy remain correct for it.
 pub trait CheckpointSink {
     /// Opens a region; subsequent [`CheckpointSink::page_run`] calls belong
-    /// to it until [`CheckpointSink::end_region`].
+    /// to it until [`CheckpointSink::end_region`].  A `desc.start` equal to
+    /// an already-closed region's re-opens that region for another round of
+    /// runs.
     fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed>;
 
     /// One run of consecutive dirty pages.  `bytes.len()` is exactly
@@ -126,37 +136,53 @@ pub trait RestoreSink {
 pub struct ImageSink {
     /// The image being accumulated.
     pub image: CheckpointImage,
+    /// Index of the open region (re-opens resolve to the original entry).
+    cur: Option<usize>,
 }
 
 impl CheckpointSink for ImageSink {
     fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), SinkClosed> {
-        self.image.regions.push(SavedRegion {
-            start: desc.start,
-            len: desc.len,
-            prot: desc.prot,
-            label: desc.label.clone(),
-            pages: Vec::new(),
+        debug_assert!(self.cur.is_none(), "begin_region while a region is open");
+        let existing = self
+            .image
+            .regions
+            .iter()
+            .position(|r| r.start == desc.start);
+        self.cur = Some(match existing {
+            Some(idx) => idx,
+            None => {
+                self.image.regions.push(SavedRegion {
+                    start: desc.start,
+                    len: desc.len,
+                    prot: desc.prot,
+                    label: desc.label.clone(),
+                    pages: Vec::new(),
+                });
+                self.image.regions.len() - 1
+            }
         });
         Ok(())
     }
 
     fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed> {
         debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
-        let region = self
-            .image
-            .regions
-            .last_mut()
-            .expect("page_run outside begin_region/end_region");
+        let region =
+            &mut self.image.regions[self.cur.expect("page_run outside begin_region/end_region")];
         for (i, page) in run.pages().enumerate() {
             let off = i * PAGE_SIZE as usize;
-            region
-                .pages
-                .push((page, bytes[off..off + PAGE_SIZE as usize].to_vec()));
+            let content = bytes[off..off + PAGE_SIZE as usize].to_vec();
+            // Last-write-wins across pre-copy rounds, keeping the page
+            // list sorted and duplicate-free.
+            match region.pages.binary_search_by_key(&page, |(idx, _)| *idx) {
+                Ok(at) => region.pages[at].1 = content,
+                Err(at) => region.pages.insert(at, (page, content)),
+            }
         }
         Ok(())
     }
 
     fn end_region(&mut self) -> Result<(), SinkClosed> {
+        self.cur = None;
         Ok(())
     }
 

@@ -86,6 +86,32 @@ impl RunChunker {
     }
 }
 
+/// Retains, in order, only the chunk entries still contributing at least
+/// one page once later entries are applied last-write-wins — the manifest
+/// trim for pre-copy checkpoints, where a later round's re-emitted runs
+/// can fully supersede an earlier round's chunk.  `runs_of` projects an
+/// entry's page runs.
+pub(crate) fn trim_superseded<T>(chunks: &mut Vec<T>, runs_of: impl Fn(&T) -> &[PageRun]) {
+    if chunks.len() < 2 {
+        return;
+    }
+    let mut covered = std::collections::HashSet::new();
+    let mut keep = vec![false; chunks.len()];
+    for (i, c) in chunks.iter().enumerate().rev() {
+        let mut contributes = false;
+        for run in runs_of(c) {
+            for page in run.pages() {
+                if covered.insert(page) {
+                    contributes = true;
+                }
+            }
+        }
+        keep[i] = contributes;
+    }
+    let mut flags = keep.iter();
+    chunks.retain(|_| *flags.next().expect("one flag per chunk"));
+}
+
 /// A chunk not yet hashed or encoded: which pages of which region it covers,
 /// and their raw bytes.
 #[derive(Clone, Debug)]

@@ -17,7 +17,7 @@
 //! they arrive, bounded by [`crate::reader::restore_buffer_bound`].
 
 use crac_addrspace::SharedSpace;
-use crac_dmtcp::{CkptStats, Coordinator, RestartStats, SinkClosed};
+use crac_dmtcp::{CkptStats, Coordinator, PrecopyConfig, PrecopyStats, RestartStats, SinkClosed};
 
 use crate::codec::Compression;
 use crate::error::StoreError;
@@ -44,6 +44,27 @@ pub fn drive_checkpoint_streaming<S: ChunkSink + ?Sized>(
 ) -> Result<CkptStats, StoreError> {
     let mut bridge = SinkBridge::new(sink);
     match coordinator.checkpoint_streaming(&mut bridge) {
+        Ok(stats) => Ok(stats),
+        Err(_closed) => Err(bridge
+            .into_error()
+            .unwrap_or_else(|| StoreError::busy("checkpoint sink closed without an error"))),
+    }
+}
+
+/// Pre-copy variant of [`drive_checkpoint_streaming`]: bulk content and
+/// iterative delta rounds stream into the sink while the application keeps
+/// running; only the final residual delta is captured with the process
+/// stopped, so the stop window scales with the dirty delta instead of the
+/// image.  The sink must honour the re-open / last-write-wins contract of
+/// [`crac_dmtcp::CheckpointSink`] — both store sinks
+/// ([`crate::writer::StreamWriter`], [`RemoteChunkSink`]) do.
+pub fn drive_checkpoint_precopy<S: ChunkSink + ?Sized>(
+    coordinator: &Coordinator,
+    sink: &mut S,
+    cfg: PrecopyConfig,
+) -> Result<PrecopyStats, StoreError> {
+    let mut bridge = SinkBridge::new(sink);
+    match coordinator.checkpoint_precopy(&mut bridge, &cfg) {
         Ok(stats) => Ok(stats),
         Err(_closed) => Err(bridge
             .into_error()
@@ -98,6 +119,19 @@ pub trait CoordinatorStoreExt {
         opts: &WriteOptions,
     ) -> Result<(ImageId, CkptStats, WriteStats), StoreError>;
 
+    /// Pre-copy variant of
+    /// [`CoordinatorStoreExt::checkpoint_to_store`]: streams bulk content
+    /// and delta rounds concurrently with execution, stopping the process
+    /// only for the final residual delta.  Returns the richer
+    /// [`PrecopyStats`] (rounds, per-round bytes, stop window).
+    fn checkpoint_to_store_precopy(
+        &self,
+        store: &ImageStore,
+        now_ns: u64,
+        opts: &WriteOptions,
+        cfg: PrecopyConfig,
+    ) -> Result<(ImageId, PrecopyStats, WriteStats), StoreError>;
+
     /// Streams image `id` out of `store` (verifying integrity) straight
     /// into `space` — verified chunks are spliced as they arrive, never
     /// materialising a `CheckpointImage`.
@@ -120,6 +154,19 @@ pub trait CoordinatorStoreExt {
         compression: Compression,
         parent: Option<ImageId>,
     ) -> Result<(ImageId, CkptStats, ReplicateStats), StoreError>;
+
+    /// Pre-copy variant of
+    /// [`CoordinatorStoreExt::checkpoint_to_remote`]: delta rounds ship to
+    /// the peer while the application keeps running; the final stop
+    /// window covers only the residual dirty delta.
+    fn checkpoint_to_remote_precopy(
+        &self,
+        transport: &dyn Transport,
+        now_ns: u64,
+        compression: Compression,
+        parent: Option<ImageId>,
+        cfg: PrecopyConfig,
+    ) -> Result<(ImageId, PrecopyStats, ReplicateStats), StoreError>;
 
     /// Streams remote image `id` from the peer behind `transport` straight
     /// into `space`: parallel verified fetches with bounded transient
@@ -150,6 +197,22 @@ impl CoordinatorStoreExt for Coordinator {
         Ok((id, ckpt_stats, write_stats))
     }
 
+    fn checkpoint_to_store_precopy(
+        &self,
+        store: &ImageStore,
+        now_ns: u64,
+        opts: &WriteOptions,
+        cfg: PrecopyConfig,
+    ) -> Result<(ImageId, PrecopyStats, WriteStats), StoreError> {
+        store.adopt_obs(self.obs());
+        let (id, precopy_stats, write_stats) = store.stream_image(opts, |writer| {
+            let stats = drive_checkpoint_precopy(self, writer, cfg)?;
+            writer.set_taken_at(now_ns);
+            Ok(stats)
+        })?;
+        Ok((id, precopy_stats, write_stats))
+    }
+
     fn restart_from_store(
         &self,
         store: &ImageStore,
@@ -174,6 +237,21 @@ impl CoordinatorStoreExt for Coordinator {
         sink.set_taken_at(now_ns);
         let (id, replicate_stats) = sink.finish()?;
         Ok((id, ckpt_stats, replicate_stats))
+    }
+
+    fn checkpoint_to_remote_precopy(
+        &self,
+        transport: &dyn Transport,
+        now_ns: u64,
+        compression: Compression,
+        parent: Option<ImageId>,
+        cfg: PrecopyConfig,
+    ) -> Result<(ImageId, PrecopyStats, ReplicateStats), StoreError> {
+        let mut sink = RemoteChunkSink::with_obs(transport, compression, parent, self.obs());
+        let precopy_stats = drive_checkpoint_precopy(self, &mut sink, cfg)?;
+        sink.set_taken_at(now_ns);
+        let (id, replicate_stats) = sink.finish()?;
+        Ok((id, precopy_stats, replicate_stats))
     }
 
     fn restart_from_remote(

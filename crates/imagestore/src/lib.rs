@@ -97,7 +97,10 @@ pub use crac_obs::{
 };
 
 pub use codec::Compression;
-pub use coordext::{drive_checkpoint_streaming, drive_restore_streaming, CoordinatorStoreExt};
+pub use coordext::{
+    drive_checkpoint_precopy, drive_checkpoint_streaming, drive_restore_streaming,
+    CoordinatorStoreExt,
+};
 pub use error::StoreError;
 pub use hash::ContentHash;
 pub use net::{NetServerStats, ServerHandle, TcpTransport, TcpTransportStats};

@@ -249,8 +249,10 @@ impl<'s> StreamReader<'s> {
 pub(crate) struct FetchPlan {
     pub(crate) hash: ContentHash,
     pub(crate) raw_len: u64,
-    /// Every reference in the manifest: `(region index, page runs)`.
-    pub(crate) targets: Vec<(usize, Vec<PageRun>)>,
+    /// Every reference in the manifest that still wins pages after
+    /// last-write-wins resolution: `(region index, winning sub-runs each
+    /// paired with its byte offset into the chunk's raw bytes)`.
+    pub(crate) targets: Vec<(usize, Vec<(PageRun, usize)>)>,
 }
 
 /// How the fetch pipeline obtains one chunk's raw (decoded, verified)
@@ -327,7 +329,13 @@ pub(crate) fn build_fetch_plan(
     let mut refs_total = 0usize;
     for (region_idx, region) in manifest.regions.iter().enumerate() {
         let region_pages = region.len / PAGE_SIZE;
-        for chunk in &region.chunks {
+        // Validation pass, plus the last-write-wins winner map: a page a
+        // pre-copy round re-emitted appears again in a *later* chunk entry
+        // of the same region, and that later entry's content is the page's
+        // content.  Entry order in the manifest is emission order, so the
+        // highest-indexed entry covering a page wins it.
+        let mut winner: HashMap<u64, usize> = HashMap::new();
+        for (seq, chunk) in region.chunks.iter().enumerate() {
             refs_total += 1;
             // All arithmetic on manifest-supplied values is checked:
             // an overflow is corruption, not a wrap-around bypass.
@@ -361,7 +369,12 @@ pub(crate) fn build_fetch_plan(
                         ),
                     ));
                 }
+                for page in run.pages() {
+                    winner.insert(page, seq);
+                }
             }
+        }
+        for (seq, chunk) in region.chunks.iter().enumerate() {
             let slot = *by_hash.entry(chunk.hash).or_insert_with(|| {
                 plan.push(FetchPlan {
                     hash: chunk.hash,
@@ -378,7 +391,39 @@ pub(crate) fn build_fetch_plan(
                     format!("chunk {} referenced with conflicting lengths", chunk.hash),
                 ));
             }
-            plan[slot].targets.push((region_idx, chunk.runs.clone()));
+            // Walk the chunk's original run layout (which defines byte
+            // offsets into its raw bytes) and keep only the maximal
+            // sub-runs this entry still wins.  Writers trim entries that
+            // win nothing, but a partially superseded entry stays in the
+            // manifest, so the splice must never push its stale pages.
+            let mut pieces: Vec<(PageRun, usize)> = Vec::new();
+            let mut offset = 0usize;
+            for run in &chunk.runs {
+                let mut sub_first: Option<u64> = None;
+                let flush = |from: u64, to: u64, pieces: &mut Vec<(PageRun, usize)>| {
+                    pieces.push((
+                        PageRun {
+                            first: from,
+                            count: to - from,
+                        },
+                        offset + ((from - run.first) * PAGE_SIZE) as usize,
+                    ));
+                };
+                for page in run.pages() {
+                    if winner.get(&page) == Some(&seq) {
+                        sub_first.get_or_insert(page);
+                    } else if let Some(from) = sub_first.take() {
+                        flush(from, page, &mut pieces);
+                    }
+                }
+                if let Some(from) = sub_first {
+                    flush(from, run.first + run.count, &mut pieces);
+                }
+                offset += (run.count * PAGE_SIZE) as usize;
+            }
+            if !pieces.is_empty() {
+                plan[slot].targets.push((region_idx, pieces));
+            }
         }
     }
     Ok((plan, refs_total))
@@ -515,18 +560,19 @@ impl ChunkSource for StreamReader<'_> {
     }
 }
 
-/// Applies one verified chunk's page runs to every target region.
+/// Applies one verified chunk's winning page runs to every target region.
+/// The plan pre-resolved last-write-wins, so each sub-run carries its own
+/// byte offset into the chunk's raw bytes and a sink never sees a page
+/// twice.
 fn splice_chunk(
     sink: &mut dyn RegionSink,
     entry: &FetchPlan,
     raw: &[u8],
 ) -> Result<(), StoreError> {
-    for (region, runs) in &entry.targets {
-        let mut offset = 0usize;
-        for run in runs {
+    for (region, pieces) in &entry.targets {
+        for (run, offset) in pieces {
             let len = (run.count * PAGE_SIZE) as usize;
-            sink.push_run(*region, *run, &raw[offset..offset + len])?;
-            offset += len;
+            sink.push_run(*region, *run, &raw[*offset..*offset + len])?;
         }
     }
     Ok(())

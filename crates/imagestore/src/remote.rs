@@ -378,6 +378,13 @@ impl<'t> RemoteChunkSink<'t> {
         }
         self.negotiate_and_ship()?;
 
+        // Drop chunk entries fully superseded by later rounds' re-emitted
+        // runs (mirrors the local writer's manifest trim; already-shipped
+        // content stays on the peer — valid, unreferenced, sweepable).
+        for chunks in self.chunks.iter_mut() {
+            crate::chunk::trim_superseded(chunks, |c| c.runs.as_slice());
+        }
+
         // Deterministic manifest regardless of producer payload order
         // (mirrors the local writer).
         self.payloads.sort_by(|(a, _), (b, _)| a.cmp(b));
@@ -440,9 +447,18 @@ impl ChunkSink for RemoteChunkSink<'_> {
                 "begin_region while a region is already open",
             ));
         }
-        self.cur_region = Some(self.regions.len());
-        self.regions.push(desc.clone());
-        self.chunks.push(Vec::new());
+        // A start address seen before re-opens that region: a pre-copy
+        // producer appending a later round's re-dirtied runs (mirrors the
+        // local writer — later chunk entries win at restore).
+        let existing = self.regions.iter().position(|r| r.start == desc.start);
+        self.cur_region = Some(match existing {
+            Some(idx) => idx,
+            None => {
+                self.regions.push(desc.clone());
+                self.chunks.push(Vec::new());
+                self.regions.len() - 1
+            }
+        });
         Ok(())
     }
 

@@ -51,7 +51,7 @@ use crac_dmtcp::RegionDescriptor;
 use crac_obs::{Buckets, Counter, EventKind, Histogram, ObsRegistry, Span};
 use parking_lot::Mutex;
 
-use crate::chunk::{RunChunker, CHUNK_PAGES};
+use crate::chunk::{trim_superseded, RunChunker, CHUNK_PAGES};
 use crate::codec::{encode, Compression, Encoding};
 use crate::error::StoreError;
 use crate::format::{ChunkEntry, ChunkFile, Manifest, RegionEntry};
@@ -456,6 +456,14 @@ impl<'s> StreamWriter<'s> {
             }
         }
 
+        // Drop chunk entries fully superseded by later rounds' re-emitted
+        // runs: every page they cover is re-covered by a later entry, so
+        // no fetch plan would ever read a byte from them.  (Their chunk
+        // files stay — valid, unreferenced, GC-sweepable.)
+        for chunks in self.chunks.iter_mut() {
+            trim_superseded(chunks, |c| c.runs.as_slice());
+        }
+
         // Deterministic manifest regardless of producer payload order.
         self.payloads.sort_by(|(a, _), (b, _)| a.cmp(b));
         self.run
@@ -562,9 +570,20 @@ impl ChunkSink for StreamWriter<'_> {
     fn begin_region(&mut self, desc: &RegionDescriptor) -> Result<(), StoreError> {
         self.check_failed()?;
         debug_assert!(self.cur_region.is_none(), "begin_region while one is open");
-        self.cur_region = Some(self.regions.len());
-        self.regions.push(desc.clone());
-        self.chunks.push(Vec::new());
+        // A start address seen before re-opens that region: a pre-copy
+        // producer appending a later round's re-dirtied runs.  The new
+        // chunks land *after* the earlier ones in the region's chunk list,
+        // which is exactly the order the restore side's last-write-wins
+        // resolution relies on.
+        let existing = self.regions.iter().position(|r| r.start == desc.start);
+        self.cur_region = Some(match existing {
+            Some(idx) => idx,
+            None => {
+                self.regions.push(desc.clone());
+                self.chunks.push(Vec::new());
+                self.regions.len() - 1
+            }
+        });
         Ok(())
     }
 

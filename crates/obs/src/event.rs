@@ -43,6 +43,12 @@ pub enum EventKind {
     AuthFail,
     /// A connection closed.
     ConnClose,
+    /// One pre-copy round completed (detail: round number, bytes/pages
+    /// re-copied, residual dirty delta).
+    PrecopyRound,
+    /// The final stop-the-world window of a checkpoint closed (detail:
+    /// window duration, pages captured during the quiesce).
+    StopWindow,
 }
 
 impl EventKind {
@@ -62,6 +68,8 @@ impl EventKind {
             EventKind::ConnOpen => "conn_open",
             EventKind::AuthFail => "auth_fail",
             EventKind::ConnClose => "conn_close",
+            EventKind::PrecopyRound => "precopy_round",
+            EventKind::StopWindow => "stop_window",
         }
     }
 }

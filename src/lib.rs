@@ -38,7 +38,8 @@ pub mod prelude {
     pub use crac_addrspace::{Addr, SharedSpace};
     pub use crac_core::{
         CkptReport, CracConfig, CracError, CracEvent, CracFatBinary, CracKernel, CracProcess,
-        CracStream, KernelRegistry, RemoteCkptReport, RestartReport, StoredCkptReport,
+        CracStream, DmtcpPlugin, KernelRegistry, PrecopyConfig, PrecopyStats, RemoteCkptReport,
+        RestartReport, StoredCkptReport,
     };
     pub use crac_cudart::{CudaRuntime, MemcpyKind, RuntimeConfig};
     pub use crac_gpu::{DeviceProfile, KernelCost, LaunchDims};
