@@ -32,6 +32,7 @@ pub mod space;
 
 pub use addr::{page_align_down, page_align_up, Addr, Prot, PAGE_SIZE};
 pub use maps::MapsEntry;
+pub use region::PageStore;
 pub use region::{page_runs, page_runs_coalesced, Half, Page, PageRun, Region, RegionId};
-pub use shared::SharedSpace;
+pub use shared::{PageFaultHandler, SharedSpace};
 pub use space::{AddressSpace, MapRequest, MemError, SpaceStats};

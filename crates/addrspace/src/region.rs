@@ -84,6 +84,11 @@ impl Page {
 pub struct PageStore {
     pages: BTreeMap<u64, Page>,
     epoch: u64,
+    /// Pages declared *absent*: mapped and accounted for, but whose bytes
+    /// have not been populated yet (lazy restore).  A first touch of an
+    /// absent page must fault it in; the privileged install path
+    /// (`AddressSpace::install_resident`) clears entries as content lands.
+    absent: std::collections::BTreeSet<u64>,
 }
 
 fn zero_page() -> Arc<[u8]> {
@@ -96,6 +101,7 @@ impl PageStore {
         Self {
             pages: BTreeMap::new(),
             epoch: 0,
+            absent: std::collections::BTreeSet::new(),
         }
     }
 
@@ -223,6 +229,61 @@ impl PageStore {
             self.pages.insert(new_key, v);
         }
     }
+
+    // -----------------------------------------------------------------
+    // Residency (lazy restore)
+    // -----------------------------------------------------------------
+
+    /// Declares `count` pages starting at `first` absent: their bytes are
+    /// known to exist (in a checkpoint image) but have not been populated.
+    /// Until installed or marked resident they must not be read or written
+    /// through the normal access paths.
+    pub fn declare_absent(&mut self, first: u64, count: u64) {
+        for page in first..first + count {
+            self.absent.insert(page);
+        }
+    }
+
+    /// `true` if the store tracks any absent pages (fast path guard).
+    pub fn has_absent(&self) -> bool {
+        !self.absent.is_empty()
+    }
+
+    /// Number of pages currently declared absent.
+    pub fn absent_pages(&self) -> u64 {
+        self.absent.len() as u64
+    }
+
+    /// `true` if `page` is declared absent.
+    pub fn is_absent(&self, page: u64) -> bool {
+        self.absent.contains(&page)
+    }
+
+    /// The first absent page index in `[first, first+count)`, if any.
+    pub fn first_absent_in(&self, first: u64, count: u64) -> Option<u64> {
+        self.absent.range(first..first + count).next().copied()
+    }
+
+    /// Clears the absent mark on `page` (its bytes have been installed, or
+    /// the caller decided it resolves to zero).  Returns whether the page
+    /// was absent.
+    pub fn mark_resident(&mut self, page: u64) -> bool {
+        self.absent.remove(&page)
+    }
+
+    /// Splits off the absent marks at or beyond `first_page` (the residency
+    /// counterpart of [`PageStore::truncate_pages`]).
+    pub fn split_absent(&mut self, first_page: u64) -> std::collections::BTreeSet<u64> {
+        self.absent.split_off(&first_page)
+    }
+
+    /// Adopts absent marks with their indices shifted by `shift` pages (the
+    /// residency counterpart of [`PageStore::adopt_pages`]).
+    pub fn adopt_absent(&mut self, absent: std::collections::BTreeSet<u64>, shift: i64) {
+        for page in absent {
+            self.absent.insert((page as i64 + shift) as u64);
+        }
+    }
 }
 
 impl fmt::Debug for PageStore {
@@ -336,6 +397,12 @@ impl Region {
     #[inline]
     pub fn resident_pages(&self) -> usize {
         self.store.resident_pages()
+    }
+
+    /// Number of pages declared absent (awaiting lazy population).
+    #[inline]
+    pub fn absent_pages(&self) -> u64 {
+        self.store.absent_pages()
     }
 
     /// Reads bytes from the region. `addr` must lie inside the region and the

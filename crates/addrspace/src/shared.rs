@@ -8,15 +8,42 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::addr::Addr;
 use crate::space::{AddressSpace, MapRequest, MemError};
+
+/// Resolves first touches of absent pages during a lazy restore.
+///
+/// Installed on a [`SharedSpace`] with
+/// [`SharedSpace::install_fault_handler`].  When a convenience accessor
+/// (`read_bytes`, `write_bytes`, `fill`, `sparse_copy` and the typed
+/// helpers on top of them) hits [`MemError::NotResident`], the handler is
+/// invoked **with no space lock held**: it must block until the faulting
+/// page's bytes have been installed (via
+/// [`AddressSpace::install_resident`]) and return `Ok`, after which the
+/// interrupted access retries transparently.  Returning an error aborts
+/// the access with that error — the restore source is gone and the page
+/// can never materialise.
+///
+/// The raw [`SharedSpace::with`]/[`SharedSpace::with_mut`] escape hatches
+/// do *not* fault — a closure runs under the space lock, where blocking on
+/// a handler that needs the same lock to install pages would deadlock.
+pub trait PageFaultHandler: Send + Sync {
+    /// Faults in the absent page containing `addr`.
+    fn fault(&self, addr: Addr) -> Result<(), MemError>;
+}
 
 /// Cheaply cloneable, thread-safe handle to a simulated address space.
 #[derive(Clone)]
 pub struct SharedSpace {
     inner: Arc<RwLock<AddressSpace>>,
+    /// The demand-paging hook, shared by every clone of the handle so the
+    /// application, the GPU executor and the checkpointer all fault through
+    /// the same resolver.  Behind its own lock (not the space lock): the
+    /// handler is consulted only after an access already failed, and
+    /// installing one mid-restore must not contend with accesses.
+    fault_handler: Arc<Mutex<Option<Arc<dyn PageFaultHandler>>>>,
 }
 
 impl Default for SharedSpace {
@@ -30,6 +57,46 @@ impl SharedSpace {
     pub fn from_space(space: AddressSpace) -> Self {
         Self {
             inner: Arc::new(RwLock::new(space)),
+            fault_handler: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Installs the demand-paging fault handler (see [`PageFaultHandler`]).
+    /// Replaces any previous handler; all clones of this handle observe it.
+    pub fn install_fault_handler(&self, handler: Arc<dyn PageFaultHandler>) {
+        *self.fault_handler.lock() = Some(handler);
+    }
+
+    /// Removes the fault handler: subsequent touches of absent pages surface
+    /// [`MemError::NotResident`] directly.
+    pub fn clear_fault_handler(&self) {
+        *self.fault_handler.lock() = None;
+    }
+
+    /// `true` while a fault handler is installed.
+    pub fn has_fault_handler(&self) -> bool {
+        self.fault_handler.lock().is_some()
+    }
+
+    /// Runs `attempt` until it stops reporting [`MemError::NotResident`],
+    /// resolving each reported page through the installed fault handler.
+    /// The handler runs with no space lock held (the failed attempt already
+    /// released it), so it can install pages through `with_mut`.
+    fn with_demand_paging<R>(
+        &self,
+        mut attempt: impl FnMut() -> Result<R, MemError>,
+    ) -> Result<R, MemError> {
+        loop {
+            match attempt() {
+                Err(MemError::NotResident(addr)) => {
+                    let handler = self.fault_handler.lock().clone();
+                    match handler {
+                        Some(h) => h.fault(addr)?,
+                        None => return Err(MemError::NotResident(addr)),
+                    }
+                }
+                other => return other,
+            }
         }
     }
 
@@ -69,25 +136,29 @@ impl SharedSpace {
         self.inner.write().munmap(addr, len)
     }
 
-    /// Convenience: raw byte read through the lock.
+    /// Convenience: raw byte read through the lock.  Faults absent pages in
+    /// through the installed [`PageFaultHandler`], if any.
     pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
-        self.inner.read().read(addr, buf)
+        self.with_demand_paging(|| self.inner.read().read(addr, buf))
     }
 
-    /// Convenience: raw byte write through the lock.
+    /// Convenience: raw byte write through the lock.  Faults absent pages in
+    /// through the installed [`PageFaultHandler`], if any.
     pub fn write_bytes(&self, addr: Addr, data: &[u8]) -> Result<(), MemError> {
-        self.inner.write().write(addr, data)
+        self.with_demand_paging(|| self.inner.write().write(addr, data))
     }
 
-    /// Convenience: bulk fill through the lock.
+    /// Convenience: bulk fill through the lock.  Faults absent pages in
+    /// through the installed [`PageFaultHandler`], if any.
     pub fn fill(&self, addr: Addr, len: u64, byte: u8) -> Result<(), MemError> {
-        self.inner.write().fill(addr, len, byte)
+        self.with_demand_paging(|| self.inner.write().fill(addr, len, byte))
     }
 
     /// Convenience: sparse copy through the lock (see
-    /// [`AddressSpace::sparse_copy`]).
+    /// [`AddressSpace::sparse_copy`]).  Faults absent pages in — on either
+    /// side — through the installed [`PageFaultHandler`], if any.
     pub fn sparse_copy(&self, dst: Addr, src: Addr, len: u64) -> Result<u64, MemError> {
-        self.inner.write().sparse_copy(dst, src, len)
+        self.with_demand_paging(|| self.inner.write().sparse_copy(dst, src, len))
     }
 
     /// Reads a little-endian `f32` slice starting at `addr`.
@@ -162,6 +233,51 @@ mod tests {
             .unwrap();
         s.write_u64(addr + 16, 0xdead_beef_cafe_f00d).unwrap();
         assert_eq!(s.read_u64(addr + 16).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn fault_handler_resolves_first_touch_transparently() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Installer {
+            space: SharedSpace,
+            faults: AtomicU64,
+        }
+        impl PageFaultHandler for Installer {
+            fn fault(&self, addr: Addr) -> Result<(), MemError> {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                let page = Addr(crate::page_align_down(addr.as_u64()));
+                self.space
+                    .with_mut(|s| s.install_resident(page, &vec![0xAB; PAGE_SIZE as usize]))?;
+                Ok(())
+            }
+        }
+
+        let s = SharedSpace::new_no_aslr();
+        let addr = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "lazy"))
+            .unwrap();
+        s.with_mut(|sp| sp.declare_absent(addr, 4 * PAGE_SIZE))
+            .unwrap();
+        let handler = Arc::new(Installer {
+            space: s.clone(),
+            faults: AtomicU64::new(0),
+        });
+        s.install_fault_handler(handler.clone());
+
+        // A read spanning three absent pages faults each in, then succeeds.
+        let mut buf = vec![0u8; PAGE_SIZE as usize + 8];
+        s.read_bytes(addr + (PAGE_SIZE - 4), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xAB));
+        assert_eq!(handler.faults.load(Ordering::Relaxed), 3);
+        // Second touch of the same pages is resident — no more faults.
+        s.read_bytes(addr + PAGE_SIZE, &mut buf[..8]).unwrap();
+        assert_eq!(handler.faults.load(Ordering::Relaxed), 3);
+
+        // Clearing the handler re-exposes NotResident on untouched pages.
+        s.clear_fault_handler();
+        let err = s.read_bytes(addr + 3 * PAGE_SIZE, &mut buf[..1]);
+        assert!(matches!(err, Err(MemError::NotResident(_))));
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum MemError {
     Fault(Addr),
     /// An access violated the mapping's protection bits.
     Protection(Addr),
+    /// An access touched a page that is mapped but declared absent — its
+    /// bytes have not been demand-paged in yet.  With a
+    /// [`crate::PageFaultHandler`] installed on the [`crate::SharedSpace`],
+    /// the handler resolves the page and the access retries transparently;
+    /// without one, the error surfaces to the caller.
+    NotResident(Addr),
 }
 
 impl fmt::Display for MemError {
@@ -43,6 +49,7 @@ impl fmt::Display for MemError {
             MemError::OutsideHalf => write!(f, "MAP_FIXED address outside the requested half"),
             MemError::Fault(a) => write!(f, "segmentation fault at {a}"),
             MemError::Protection(a) => write!(f, "protection violation at {a}"),
+            MemError::NotResident(a) => write!(f, "page not resident at {a}"),
         }
     }
 }
@@ -102,6 +109,8 @@ pub struct SpaceStats {
     pub lower_bytes: u64,
     /// Pages actually written (resident) across all regions.
     pub resident_pages: usize,
+    /// Pages declared absent (awaiting lazy population) across all regions.
+    pub absent_pages: u64,
     /// Cumulative number of `mmap` calls served.
     pub mmap_calls: u64,
     /// Cumulative number of `munmap` calls served.
@@ -286,6 +295,7 @@ impl AddressSpace {
     /// regions but every byte must be mapped and readable.
     pub fn read(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
         self.access(addr, buf.len() as u64, false)?;
+        self.check_resident(addr, buf.len() as u64)?;
         let mut done = 0usize;
         while done < buf.len() {
             let cur = addr + done as u64;
@@ -300,6 +310,7 @@ impl AddressSpace {
     /// Writes bytes starting at `addr`.
     pub fn write(&mut self, addr: Addr, data: &[u8]) -> Result<(), MemError> {
         self.access(addr, data.len() as u64, true)?;
+        self.check_resident(addr, data.len() as u64)?;
         let mut done = 0usize;
         while done < data.len() {
             let cur = addr + done as u64;
@@ -319,6 +330,7 @@ impl AddressSpace {
     /// workloads).
     pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemError> {
         self.access(addr, len, true)?;
+        self.check_resident(addr, len)?;
         let mut done = 0u64;
         while done < len {
             let cur = addr + done;
@@ -346,6 +358,12 @@ impl AddressSpace {
     pub fn sparse_copy(&mut self, dst: Addr, src: Addr, len: u64) -> Result<u64, MemError> {
         self.access(src, len, false)?;
         self.access(dst, len, true)?;
+        // Absent source pages hold real (not-yet-fetched) content that the
+        // dirty-page walk below would silently miss; absent destination
+        // pages would be clobbered later by their install.  Both must be
+        // paged in first.
+        self.check_resident(src, len)?;
+        self.check_resident(dst, len)?;
         let src_end = src + len;
         // Collect the dirty byte ranges first (read-only pass), then write.
         let mut pieces: Vec<(u64, Vec<u8>)> = Vec::new();
@@ -372,6 +390,95 @@ impl AddressSpace {
             copied += data.len() as u64;
         }
         Ok(copied)
+    }
+
+    /// Rejects the access if any touched page is declared absent, reporting
+    /// the first such page's address.  Ranges were validated by `access`
+    /// first, so only overlap bookkeeping happens here; regions with no
+    /// absent pages are skipped on a cheap emptiness test.
+    fn check_resident(&self, addr: Addr, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        for region in self.regions.range(..addr + len).map(|(_, r)| r) {
+            if !region.store.has_absent() || !region.overlaps(addr, len) {
+                continue;
+            }
+            let start = addr.max(region.start);
+            let end = (addr + len).min(region.end());
+            let first = (start - region.start) / PAGE_SIZE;
+            let count = (end - region.start).div_ceil(PAGE_SIZE) - first;
+            if let Some(page) = region.store.first_absent_in(first, count) {
+                return Err(MemError::NotResident(region.start + page * PAGE_SIZE));
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares every page of `[addr, addr+len)` absent: mapped, length and
+    /// protection known, but no bytes — a first touch through the normal
+    /// access paths reports [`MemError::NotResident`] until the page's
+    /// content is installed with [`AddressSpace::install_resident`].  The
+    /// range must be page-aligned and fully mapped (protection bits are
+    /// irrelevant — this is restore bookkeeping, not an access).
+    pub fn declare_absent(&mut self, addr: Addr, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Err(MemError::ZeroLength);
+        }
+        if !addr.is_page_aligned() || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MemError::Unaligned);
+        }
+        // Validate the whole range is mapped before mutating anything.
+        let mut cur = addr;
+        let end = addr.checked_add(len).ok_or(MemError::Fault(addr))?;
+        while cur < end {
+            let region = self.region_at(cur).ok_or(MemError::Fault(cur))?;
+            cur = region.end();
+        }
+        let mut cur = addr;
+        while cur < end {
+            let key = self
+                .region_at(cur)
+                .map(|r| r.start)
+                .expect("range validated above");
+            let region = self.regions.get_mut(&key).expect("region key just found");
+            let seg_end = region.end().min(end);
+            let first = (cur - region.start) / PAGE_SIZE;
+            let count = (seg_end - cur) / PAGE_SIZE;
+            region.store.declare_absent(first, count);
+            cur = seg_end;
+        }
+        Ok(())
+    }
+
+    /// Privileged page install for demand paging: writes whole, page-aligned
+    /// pages *ignoring protection bits* (the recorded protection may be
+    /// read-only — content still has to land) and clears their absent marks.
+    /// Pages that are no longer mapped — the application unmapped them while
+    /// the restore was still streaming — are skipped, not errors: their
+    /// content is dead.  Returns the number of pages actually installed.
+    pub fn install_resident(&mut self, addr: Addr, bytes: &[u8]) -> Result<u64, MemError> {
+        if !addr.is_page_aligned() || !(bytes.len() as u64).is_multiple_of(PAGE_SIZE) {
+            return Err(MemError::Unaligned);
+        }
+        let mut installed = 0u64;
+        for (i, page_bytes) in bytes.chunks_exact(PAGE_SIZE as usize).enumerate() {
+            let page_addr = addr + i as u64 * PAGE_SIZE;
+            let Some(key) = self.region_at(page_addr).map(|r| r.start) else {
+                continue;
+            };
+            let region = self.regions.get_mut(&key).expect("region key just found");
+            let page = (page_addr - region.start) / PAGE_SIZE;
+            region.store.install_page(page, page_bytes);
+            region.store.mark_resident(page);
+            installed += 1;
+        }
+        Ok(installed)
+    }
+
+    /// Total pages currently declared absent across all regions.
+    pub fn absent_pages(&self) -> u64 {
+        self.regions.values().map(Region::absent_pages).sum()
     }
 
     fn access(&self, addr: Addr, len: u64, write: bool) -> Result<(), MemError> {
@@ -435,6 +542,7 @@ impl AddressSpace {
         s.upper_bytes = self.regions_in_half(Half::Upper).map(|r| r.len).sum();
         s.lower_bytes = self.regions_in_half(Half::Lower).map(|r| r.len).sum();
         s.resident_pages = self.regions.values().map(|r| r.resident_pages()).sum();
+        s.absent_pages = self.regions.values().map(Region::absent_pages).sum();
         s
     }
 
@@ -475,6 +583,8 @@ impl AddressSpace {
                 // dirty-since queries stay accurate across consolidation.
                 let pages = rb.store.truncate_pages(0);
                 ra.store.adopt_pages(pages, shift_pages);
+                let absent = rb.store.split_absent(0);
+                ra.store.adopt_absent(absent, shift_pages);
                 ra.len += rb.len;
                 if ra.label != rb.label {
                     ra.label = format!("{}+{}", ra.label, rb.label);
@@ -546,6 +656,7 @@ impl AddressSpace {
         let tail_len = region.len - head_len;
         let tail_first_page = head_len / PAGE_SIZE;
         let tail_pages = region.store.truncate_pages(tail_first_page);
+        let tail_absent = region.store.split_absent(tail_first_page);
         region.len = head_len;
         let id = RegionId(self.next_id);
         self.next_id += 1;
@@ -562,6 +673,8 @@ impl AddressSpace {
         };
         tail.store
             .adopt_pages(tail_pages, -(tail_first_page as i64));
+        tail.store
+            .adopt_absent(tail_absent, -(tail_first_page as i64));
         self.regions.insert(addr, tail);
     }
 
@@ -868,6 +981,68 @@ mod tests {
         assert_eq!(buf, [0x11]);
         s.read(dst + 5000, &mut buf).unwrap();
         assert_eq!(buf, [0x00]);
+    }
+
+    #[test]
+    fn absent_pages_fault_until_installed() {
+        let mut s = space();
+        let a = s
+            .mmap(MapRequest::anon(4 * PAGE_SIZE, Half::Upper, "lazy"))
+            .unwrap();
+        s.declare_absent(a + PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(s.absent_pages(), 2);
+        let mut buf = [0u8; 4];
+        // Resident neighbours stay accessible.
+        assert!(s.read(a, &mut buf).is_ok());
+        assert!(s.write(a + 3 * PAGE_SIZE, &[1]).is_ok());
+        // First touch of an absent page — read, write or fill — faults.
+        assert_eq!(
+            s.read(a + PAGE_SIZE, &mut buf),
+            Err(MemError::NotResident(a + PAGE_SIZE))
+        );
+        assert!(matches!(
+            s.write(a + 2 * PAGE_SIZE, &[1]),
+            Err(MemError::NotResident(_))
+        ));
+        assert!(matches!(
+            s.fill(a, 4 * PAGE_SIZE, 0x77),
+            Err(MemError::NotResident(_))
+        ));
+        // The privileged install ignores protection bits and clears marks.
+        s.mprotect(a, 4 * PAGE_SIZE, Prot::READ).unwrap();
+        let content = vec![0xCD; 2 * PAGE_SIZE as usize];
+        assert_eq!(s.install_resident(a + PAGE_SIZE, &content).unwrap(), 2);
+        assert_eq!(s.absent_pages(), 0);
+        s.read(a + PAGE_SIZE, &mut buf).unwrap();
+        assert_eq!(buf, [0xCD; 4]);
+    }
+
+    #[test]
+    fn absent_marks_survive_region_splits_and_unmap() {
+        let mut s = space();
+        let a = s
+            .mmap(MapRequest::anon(6 * PAGE_SIZE, Half::Upper, "lazy"))
+            .unwrap();
+        s.declare_absent(a, 6 * PAGE_SIZE).unwrap();
+        // Splitting the region (mprotect boundary) keeps both sides absent.
+        s.mprotect(a + 2 * PAGE_SIZE, 2 * PAGE_SIZE, Prot::READ)
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert!(matches!(s.read(a, &mut buf), Err(MemError::NotResident(_))));
+        assert!(matches!(
+            s.read(a + 3 * PAGE_SIZE, &mut buf),
+            Err(MemError::NotResident(_))
+        ));
+        assert_eq!(s.absent_pages(), 6);
+        // Unmapping drops the covered marks; installing over the hole is a
+        // silent skip (the content is dead), not an error.
+        s.munmap(a + 4 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert_eq!(s.absent_pages(), 5);
+        let page = vec![0xEE; PAGE_SIZE as usize];
+        assert_eq!(s.install_resident(a + 4 * PAGE_SIZE, &page).unwrap(), 0);
+        assert_eq!(s.install_resident(a + 5 * PAGE_SIZE, &page).unwrap(), 1);
+        s.read(a + 5 * PAGE_SIZE, &mut buf).unwrap();
+        assert_eq!(buf, [0xEE]);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crac_gpu::clock::ns_to_s;
 use crac_gpu::{GpuMetrics, KernelCost, LaunchDims, UvmStats, VirtualClock};
 use crac_imagestore::{
     drive_checkpoint_precopy, drive_checkpoint_streaming, drive_restore_streaming, Compression,
-    ImageId, ImageStore, ReadStats, RemoteChunkSink, RemoteChunkSource, ReplicateStats, StoreError,
-    Transport, WriteOptions, WriteStats,
+    ImageId, ImageStore, LazyRestoreSession, LazyRestoreStats, ReadStats, RemoteChunkSink,
+    RemoteChunkSource, ReplicateStats, StoreError, Transport, WriteOptions, WriteStats,
 };
 use crac_splitproc::loader::{load_program, ProgramSpec};
 use crac_splitproc::{HostHeap, LowerHalf};
@@ -955,6 +955,96 @@ impl CracProcess {
         // the image it came from.
         *proc.last_stored_image.lock() = Some((store.root().to_path_buf(), id));
         Ok((proc, report, reader.stats()))
+    }
+
+    /// Lazy (demand-paging) variant of [`CracProcess::restart_from_store`]:
+    /// the process resumes in **O(metadata)** — regions are mapped, their
+    /// pages declared absent, and the restored application starts running
+    /// before a single page byte has been read.  First touches of absent
+    /// pages fault their chunks in at priority while a background sweep
+    /// prefetches the rest, so the restore still completes even if `run`
+    /// never touches most of the image.
+    ///
+    /// Because the fault-service crew borrows the restored process, the
+    /// lazy phase is scoped: `run` executes the application's first
+    /// dealings with the process (the part whose latency lazy restore
+    /// shrinks), then the call drains the remaining prefetch, uninstalls
+    /// the fault handler and returns the fully resident process alongside
+    /// `run`'s output.  `ReadStats::resume_us` / `LazyRestoreStats` carry
+    /// the headline declare→resume latency and the fault/prefetch split.
+    pub fn restart_from_store_lazy<T>(
+        store: &ImageStore,
+        id: ImageId,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+        run: impl FnOnce(&Self) -> Result<T, CracError>,
+    ) -> Result<(Self, RestartReport, ReadStats, LazyRestoreStats, T), CracError> {
+        let obs = crac_obs::ObsRegistry::new();
+        store.adopt_obs(obs.clone());
+        let session = LazyRestoreSession::open_local(store, id, obs.clone())?;
+        let (proc, report, out) = Self::restart_lazy_scoped(&session, config, registry, obs, run)?;
+        let (read_stats, lazy_stats) = session.finish();
+        *proc.last_stored_image.lock() = Some((store.root().to_path_buf(), id));
+        Ok((proc, report, read_stats, lazy_stats, out))
+    }
+
+    /// Cross-node twin of [`CracProcess::restart_from_store_lazy`]: the
+    /// same demand-paging restore fed over `transport` — faulted chunks
+    /// ride the transport's priority lane
+    /// (`Transport::get_chunk_priority`) past the prefetch sweep's
+    /// saturated connections, with the same bounded transient-fault retry
+    /// as the eager remote restore.
+    pub fn restart_from_remote_lazy<T>(
+        transport: &dyn Transport,
+        id: ImageId,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+        run: impl FnOnce(&Self) -> Result<T, CracError>,
+    ) -> Result<(Self, RestartReport, ReadStats, LazyRestoreStats, T), CracError> {
+        let obs = crac_obs::ObsRegistry::new();
+        let session = LazyRestoreSession::open_remote(transport, id, obs.clone())?;
+        let (proc, report, out) = Self::restart_lazy_scoped(&session, config, registry, obs, run)?;
+        let (read_stats, lazy_stats) = session.finish();
+        Ok((proc, report, read_stats, lazy_stats, out))
+    }
+
+    /// The scoped skeleton both lazy entry points share: attach the
+    /// session inside `restart_with`'s restore step (the process is
+    /// resumable the moment it returns), spawn the fault-service workers
+    /// on the same scope — they must be live before the payload replay
+    /// and staging refill first-touch the restored memory — run the
+    /// caller's working set, then drain the background sweep to full
+    /// residency and uninstall the fault handler.
+    fn restart_lazy_scoped<T>(
+        session: &LazyRestoreSession<'_>,
+        config: CracConfig,
+        registry: Arc<KernelRegistry>,
+        obs: crac_obs::ObsRegistry,
+        run: impl FnOnce(&Self) -> Result<T, CracError>,
+    ) -> Result<(Self, RestartReport, T), CracError> {
+        let taken_at_ns = session.taken_at_ns();
+        let crac_payload = session.payload("crac").map(<[u8]>::to_vec);
+        std::thread::scope(|scope| {
+            // Any error below must abort the session before the scope
+            // joins, or the workers would park on the queue forever.
+            let (proc, report) = Self::restart_with(
+                config,
+                registry,
+                taken_at_ns,
+                crac_payload.as_deref(),
+                obs,
+                |coord, space| {
+                    let rstats = session.attach(coord, space);
+                    session.spawn_workers(scope);
+                    Ok(rstats)
+                },
+            )
+            .inspect_err(|_| session.abort())?;
+            let out = run(&proc).inspect_err(|_| session.abort())?;
+            session.drain()?;
+            proc.space().clear_fault_handler();
+            Ok((proc, report, out))
+        })
     }
 
     /// Restarts an application from a checkpoint image in a brand-new

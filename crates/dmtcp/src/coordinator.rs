@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crac_addrspace::{
-    page_runs_coalesced, Addr, AddressSpace, Half, MapRequest, MapsEntry, PageRun, Prot,
-    SharedSpace, PAGE_SIZE,
+    page_runs_coalesced, Addr, AddressSpace, Half, MapRequest, MapsEntry, PageFaultHandler,
+    PageRun, Prot, SharedSpace, PAGE_SIZE,
 };
 use crac_obs::{Buckets, EventKind, ObsRegistry};
 
@@ -70,6 +70,14 @@ pub struct PrecopyConfig {
     /// little redundant page copying for fewer, longer runs (less per-run
     /// framing and hashing downstream).  `0` emits exact maximal runs.
     pub max_run_gap: u64,
+    /// Adaptive round scheduling: derive the effective round cap from the
+    /// observed re-dirty velocity instead of running `max_rounds` blindly.
+    /// After at least two delta rounds, stop iterating as soon as a round
+    /// streams *no fewer* bytes than the previous one — the workload is
+    /// re-dirtying at least as fast as the checkpoint copies, so further
+    /// rounds burn bandwidth without shrinking the stop window.
+    /// `max_rounds` remains the hard ceiling.
+    pub adaptive_rounds: bool,
 }
 
 impl Default for PrecopyConfig {
@@ -78,6 +86,7 @@ impl Default for PrecopyConfig {
             max_rounds: 4,
             convergence_pages: 16,
             max_run_gap: 1,
+            adaptive_rounds: false,
         }
     }
 }
@@ -107,6 +116,9 @@ pub struct PrecopyStats {
     /// the final pass.  New ranges are captured whole in the final pass;
     /// vanished ones keep their last pre-copied content in the image.
     pub layout_drift: usize,
+    /// `true` when [`PrecopyConfig::adaptive_rounds`] cut the delta loop
+    /// short because `round_bytes` stopped shrinking round-over-round.
+    pub adaptive_stop: bool,
 }
 
 /// Statistics of one restart operation.
@@ -359,6 +371,23 @@ impl Coordinator {
                     pre.rounds
                 ),
             );
+            // Adaptive scheduling: once a delta round stops shrinking
+            // relative to the previous one, the re-dirty velocity has
+            // caught up with the copy rate and more rounds cannot help.
+            if cfg.adaptive_rounds && pre.rounds >= 2 {
+                let prev = pre.round_bytes[pre.round_bytes.len() - 2];
+                if round_total >= prev {
+                    pre.adaptive_stop = true;
+                    self.obs.event(
+                        EventKind::PrecopyRound,
+                        format!(
+                            "round={} kind=adaptive_stop bytes={round_total} prev_bytes={prev}",
+                            pre.rounds
+                        ),
+                    );
+                    break;
+                }
+            }
         }
 
         // Final stop-the-world pass: quiesce, capture the last delta as
@@ -661,6 +690,86 @@ impl Coordinator {
         }
         Ok(stats)
     }
+
+    /// Restores a checkpoint *lazily* into `space`: regions are mapped at
+    /// their recorded addresses with their recorded protections, the pages
+    /// named in `decl` are declared absent (mapped, no bytes), `handler`
+    /// is installed as the space's demand-paging resolver, and the
+    /// plugins' `restart` hooks fire — all **without reading a single page
+    /// of content**.  The process is resumable the moment this returns;
+    /// first touches of absent pages block in `handler` until the backing
+    /// restore session installs them.
+    ///
+    /// Pages *not* named absent in `decl` are those the image holds no
+    /// winner for: they restore as zeros, which the sparse page store
+    /// already yields for untouched pages — so they are resident for free.
+    ///
+    /// `bytes_restored` counts the full logical size as usual, but
+    /// `read_ns` is `0`: no content moved yet.  The restore session that
+    /// services faults owns the I/O accounting.
+    pub fn restart_lazy(
+        &self,
+        space: &SharedSpace,
+        decl: &LazyDeclaration,
+        handler: Arc<dyn PageFaultHandler>,
+    ) -> RestartStats {
+        let mut stats = RestartStats::default();
+        for desc in &decl.regions {
+            // The recorded protection goes on immediately — unlike the
+            // eager cursor there is no write-content-then-mprotect dance,
+            // because `install_resident` is privileged and bypasses
+            // protection bits when the fault handler fills pages in.
+            space
+                .mmap(
+                    MapRequest::anon(desc.len, Half::Upper, &desc.label)
+                        .at(desc.start)
+                        .prot(desc.prot),
+                )
+                .expect("restoring a saved region must succeed");
+            stats.regions_restored += 1;
+            stats.bytes_restored += desc.len;
+        }
+        space.with_mut(|s| {
+            for (region, runs) in &decl.absent {
+                let start = decl.regions[*region].start;
+                for run in runs {
+                    s.declare_absent(start + run.first * PAGE_SIZE, run.count * PAGE_SIZE)
+                        .expect("absent runs lie within freshly mapped regions");
+                }
+            }
+        });
+        space.install_fault_handler(handler);
+
+        for p in &self.plugins {
+            let payload = decl
+                .payloads
+                .iter()
+                .find(|(name, _)| name == p.name())
+                .map(|(_, data)| data.clone())
+                .unwrap_or_default();
+            p.restart(&payload, space);
+        }
+        stats
+    }
+}
+
+/// Everything [`Coordinator::restart_lazy`] needs to map a checkpoint
+/// without its content: the region skeleton, which pages of each region
+/// have image content coming (the rest restore as zeros), and the plugin
+/// payloads (always shipped eagerly — they are tiny and the plugins'
+/// `restart` hooks need them before the process resumes).
+///
+/// Built by the image-store layer from a manifest plus its fetch plan.
+#[derive(Clone, Debug, Default)]
+pub struct LazyDeclaration {
+    /// Region skeleton, in declaration order (run indices in `absent`
+    /// refer to positions in this list).
+    pub regions: Vec<RegionDescriptor>,
+    /// Per-region runs of pages with image content to fault in, as
+    /// `(region index, region-relative page runs)`.
+    pub absent: Vec<(usize, Vec<PageRun>)>,
+    /// Named plugin payloads, delivered to `restart` hooks immediately.
+    pub payloads: Vec<(String, Vec<u8>)>,
 }
 
 /// One bounded emission unit captured from the page store: at most
@@ -1058,6 +1167,7 @@ mod tests {
             max_rounds: 3,
             convergence_pages: 0,
             max_run_gap: 0,
+            adaptive_rounds: false,
         };
         let pre = coord.checkpoint_precopy(&mut sink, &cfg).unwrap();
         assert!(
@@ -1071,6 +1181,56 @@ mod tests {
 
         // Memory froze at the quiesce and never changed after, so the
         // restored image must equal the live content byte for byte.
+        let fresh = SharedSpace::new_no_aslr();
+        coord.restart_into(&sink.inner.image, &fresh);
+        let mut live = vec![0u8; 8 * PAGE_SIZE as usize];
+        let mut restored = live.clone();
+        space.read_bytes(a, &mut live).unwrap();
+        fresh.read_bytes(a, &mut restored).unwrap();
+        assert_eq!(live, restored);
+    }
+
+    #[test]
+    fn precopy_adaptive_rounds_stop_when_redirty_velocity_plateaus() {
+        let space = SharedSpace::new_no_aslr();
+        let a = upper_mapping(&space, 8, "hot");
+        space.fill(a, 8 * PAGE_SIZE, 0x5A).unwrap();
+        let stopped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut coord = Coordinator::new(space.clone(), CoordinatorConfig::default());
+        coord.register_plugin(Arc::new(StopWrites(Arc::clone(&stopped))));
+        // The mutator re-dirties one page per sink call — a steady-state
+        // velocity the delta rounds can never shrink below.
+        let mut sink = MutatingSink {
+            inner: ImageSink::default(),
+            space: space.clone(),
+            target: a,
+            stopped,
+            writes: 0,
+        };
+        let cfg = PrecopyConfig {
+            max_rounds: 10,
+            convergence_pages: 0,
+            max_run_gap: 0,
+            adaptive_rounds: true,
+        };
+        let pre = coord.checkpoint_precopy(&mut sink, &cfg).unwrap();
+        assert!(
+            pre.adaptive_stop,
+            "a plateauing delta must trip the adaptive stop"
+        );
+        assert!(!pre.converged);
+        assert!(
+            pre.rounds < cfg.max_rounds,
+            "adaptive scheduling must stop well before the hard cap, got {} rounds",
+            pre.rounds
+        );
+        // The last two delta rounds demonstrate the plateau the stop keyed on.
+        let n = pre.round_bytes.len();
+        assert_eq!(n, pre.rounds + 2, "bulk + deltas + final");
+        assert!(pre.round_bytes[n - 2] >= pre.round_bytes[n - 3]);
+
+        // Cutting rounds short must not cost correctness: the restored
+        // image still equals the live (quiesced) memory byte for byte.
         let fresh = SharedSpace::new_no_aslr();
         coord.restart_into(&sink.inner.image, &fresh);
         let mut live = vec![0u8; 8 * PAGE_SIZE as usize];
@@ -1129,5 +1289,74 @@ mod tests {
         assert_eq!(&buf, b"code bytes");
         // Write should now fail: the protection came back as RX.
         assert!(fresh.write_bytes(a, b"nope").is_err());
+    }
+
+    /// A handler that counts faults and installs a recognisable page.
+    struct CountingHandler {
+        space: SharedSpace,
+        faults: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PageFaultHandler for CountingHandler {
+        fn fault(&self, addr: Addr) -> Result<(), crac_addrspace::MemError> {
+            self.faults
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let page = Addr(crac_addrspace::page_align_down(addr.as_u64()));
+            self.space
+                .with_mut(|s| s.install_resident(page, &[0xFA; PAGE_SIZE as usize]))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn restart_lazy_maps_the_skeleton_and_faults_content_on_first_touch() {
+        let fresh = SharedSpace::new_no_aslr();
+        let start = Addr(0x5000_0000_0000);
+        let decl = LazyDeclaration {
+            regions: vec![RegionDescriptor {
+                start,
+                len: 4 * PAGE_SIZE,
+                prot: Prot::RW,
+                label: "lazy-region".into(),
+            }],
+            // Pages 1 and 2 have image content coming; 0 and 3 restore as
+            // zeros for free.
+            absent: vec![(0, vec![PageRun { first: 1, count: 2 }])],
+            payloads: vec![("recording".into(), b"recorded".to_vec())],
+        };
+        let mut coord = Coordinator::new(fresh.clone(), CoordinatorConfig::default());
+        let recorder = Arc::new(RecordingPlugin::default());
+        coord.register_plugin(Arc::clone(&recorder) as Arc<dyn DmtcpPlugin>);
+        let handler = Arc::new(CountingHandler {
+            space: fresh.clone(),
+            faults: Default::default(),
+        });
+        let stats = coord.restart_lazy(&fresh, &decl, Arc::clone(&handler) as _);
+
+        // Resumable immediately: skeleton mapped, nothing read, plugins
+        // fired with their manifest payloads.
+        assert_eq!(stats.regions_restored, 1);
+        assert_eq!(stats.bytes_restored, 4 * PAGE_SIZE);
+        assert_eq!(stats.read_ns, 0, "no content moved at resume");
+        assert_eq!(fresh.with(|s| s.stats().absent_pages), 2);
+        // `RecordingPlugin::restart` asserts it received its own payload,
+        // so reaching the Restart event proves payload routing too.
+        assert_eq!(
+            *recorder.events.lock(),
+            vec![crate::plugin::PluginEvent::Restart],
+            "restart hooks fire with the declared payloads"
+        );
+
+        // No-winner pages are resident zeros without any fault.
+        let mut b = [0xFFu8; 1];
+        fresh.read_bytes(start, &mut b).unwrap();
+        assert_eq!(b[0], 0);
+        assert_eq!(handler.faults.load(std::sync::atomic::Ordering::SeqCst), 0);
+
+        // First touch of an absent page routes through the handler.
+        fresh.read_bytes(start + PAGE_SIZE + 7, &mut b).unwrap();
+        assert_eq!(b[0], 0xFA);
+        assert_eq!(handler.faults.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(fresh.with(|s| s.stats().absent_pages), 1);
     }
 }

@@ -24,8 +24,8 @@ pub mod plugin;
 pub mod stream;
 
 pub use coordinator::{
-    CkptStats, Coordinator, CoordinatorConfig, PrecopyConfig, PrecopyStats, RestartStats,
-    RestoreCursor,
+    CkptStats, Coordinator, CoordinatorConfig, LazyDeclaration, PrecopyConfig, PrecopyStats,
+    RestartStats, RestoreCursor,
 };
 pub use cursor::ByteCursor;
 pub use image::{CheckpointImage, SavedRegion};

@@ -21,6 +21,7 @@ use crac_dmtcp::{CkptStats, Coordinator, PrecopyConfig, PrecopyStats, RestartSta
 
 use crate::codec::Compression;
 use crate::error::StoreError;
+use crate::lazy::LazyRestoreSession;
 use crate::reader::ReadStats;
 use crate::remote::{RemoteChunkSink, RemoteChunkSource, ReplicateStats};
 use crate::store::{ImageId, ImageStore};
@@ -177,6 +178,27 @@ pub trait CoordinatorStoreExt {
         id: ImageId,
         space: &SharedSpace,
     ) -> Result<(RestartStats, ReadStats), StoreError>;
+
+    /// Opens a lazy (demand-paging) restore session over local image `id`,
+    /// recording into this coordinator's registry.  Nothing but the
+    /// manifest is read; the caller `attach`es the session (process is
+    /// resumable immediately), spawns its workers, and pages fault in on
+    /// first touch while a background sweep prefetches the rest — see
+    /// [`LazyRestoreSession`].
+    fn open_lazy_restore<'s>(
+        &self,
+        store: &'s ImageStore,
+        id: ImageId,
+    ) -> Result<LazyRestoreSession<'s>, StoreError>;
+
+    /// Remote twin of [`CoordinatorStoreExt::open_lazy_restore`]: the same
+    /// session fed over `transport`, first-touch faults riding the
+    /// priority lane of `get_chunk` — the cross-node lazy restart path.
+    fn open_lazy_restore_remote<'t>(
+        &self,
+        transport: &'t dyn Transport,
+        id: ImageId,
+    ) -> Result<LazyRestoreSession<'t>, StoreError>;
 }
 
 impl CoordinatorStoreExt for Coordinator {
@@ -263,5 +285,22 @@ impl CoordinatorStoreExt for Coordinator {
         let mut source = RemoteChunkSource::open_with_obs(transport, id, self.obs())?;
         let restart_stats = drive_restore_streaming(self, &mut source, space)?;
         Ok((restart_stats, source.stats()))
+    }
+
+    fn open_lazy_restore<'s>(
+        &self,
+        store: &'s ImageStore,
+        id: ImageId,
+    ) -> Result<LazyRestoreSession<'s>, StoreError> {
+        store.adopt_obs(self.obs());
+        LazyRestoreSession::open_local(store, id, self.obs())
+    }
+
+    fn open_lazy_restore_remote<'t>(
+        &self,
+        transport: &'t dyn Transport,
+        id: ImageId,
+    ) -> Result<LazyRestoreSession<'t>, StoreError> {
+        LazyRestoreSession::open_remote(transport, id, self.obs())
     }
 }

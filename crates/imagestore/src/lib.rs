@@ -41,6 +41,14 @@
 //!   and [`RemoteChunkSource`] restores from one through the same bounded
 //!   parallel fetch pipeline as a local read — with bounded,
 //!   backoff-spaced retry on transient transport faults.
+//! * **Lazy first-touch restore** ([`lazy`]): the reader pipeline turned
+//!   inside out — [`LazyRestoreSession`] maps the image's skeleton,
+//!   declares its pages absent and resumes the process in O(metadata);
+//!   a two-priority fetch crew then services first-touch faults ahead of
+//!   a background prefetch sweep, over the same [`ChunkFetch`] seam
+//!   (local store or remote transport), with chunk-level dedup so a
+//!   chunk is fetched exactly once no matter how faults and the sweep
+//!   race.
 //! * **TCP network transport** ([`net`]): the trait over a real wire —
 //!   length-prefixed, CRC-trailed frames on `std::net::TcpStream`
 //!   ([`net::frame`]), a thread-per-connection server dispatching into
@@ -80,6 +88,7 @@ pub mod coordext;
 pub mod error;
 pub mod format;
 pub mod hash;
+pub mod lazy;
 pub mod lock;
 pub mod net;
 pub(crate) mod pipeline;
@@ -103,6 +112,7 @@ pub use coordext::{
 };
 pub use error::StoreError;
 pub use hash::ContentHash;
+pub use lazy::{LazyRestoreSession, LazyRestoreStats};
 pub use net::{NetServerStats, ServerHandle, TcpTransport, TcpTransportStats};
 pub use reader::{restore_buffer_bound, ReadStats, StreamReader};
 pub use remote::{RemoteChunkSink, RemoteChunkSource, ReplicateStats};

@@ -122,6 +122,10 @@ pub struct TcpTransport {
     connect_timeout: Duration,
     io_timeout: Option<Duration>,
     idle: Mutex<Vec<Conn>>,
+    /// Reserved connection for priority requests (a lazy restore's fault
+    /// path): they never contend with — or queue behind — the shared pool,
+    /// whose sockets a background prefetch sweep keeps saturated.
+    priority_idle: Mutex<Vec<Conn>>,
     obs: ClientObs,
 }
 
@@ -180,6 +184,7 @@ impl TcpTransport {
                 connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
                 io_timeout: Some(Self::DEFAULT_IO_TIMEOUT),
                 idle: Mutex::new(Vec::new()),
+                priority_idle: Mutex::new(Vec::new()),
                 obs: obs.clone(),
             };
             match transport.dial() {
@@ -323,8 +328,12 @@ impl TcpTransport {
     }
 
     fn checkin(&self, conn: Conn) {
-        let mut idle = self.idle.lock();
-        if idle.len() < self.max_idle {
+        Self::checkin_to(&self.idle, self.max_idle, conn);
+    }
+
+    fn checkin_to(pool: &Mutex<Vec<Conn>>, limit: usize, conn: Conn) {
+        let mut idle = pool.lock();
+        if idle.len() < limit {
             idle.push(conn);
         }
         // Beyond the retention limit the connection just drops (closes).
@@ -366,6 +375,20 @@ impl TcpTransport {
     /// id per execution) surfaces the failure as transient and leaves
     /// the replay decision to the caller.
     fn call_wire(&self, wire: &[u8], idempotent: bool) -> Result<Frame, StoreError> {
+        self.call_wire_on(wire, idempotent, &self.idle, self.max_idle)
+    }
+
+    /// [`TcpTransport::call_wire`] drawing connections from `pool` (and
+    /// retaining at most `limit` of them afterwards).  The shared pool and
+    /// the priority slot run the exact same exchange; only the connection
+    /// they contend on differs.
+    fn call_wire_on(
+        &self,
+        wire: &[u8],
+        idempotent: bool,
+        pool: &Mutex<Vec<Conn>>,
+        limit: usize,
+    ) -> Result<Frame, StoreError> {
         self.obs.requests.inc();
         let mut attempts = 0usize;
         loop {
@@ -377,7 +400,7 @@ impl TcpTransport {
             if attempts > 1 {
                 self.obs.redials.inc();
             }
-            let pooled = self.idle.lock().pop();
+            let pooled = pool.lock().pop();
             let fresh = pooled.is_none();
             let mut conn = match pooled {
                 Some(c) => c,
@@ -401,7 +424,7 @@ impl TcpTransport {
                     // The frame itself is oversized — nothing went out
                     // (the connection is fine) and no retry can shrink
                     // it: permanent.
-                    self.checkin(conn);
+                    Self::checkin_to(pool, limit, conn);
                     return Err(StoreError::protocol(format!(
                         "request to {} refused before send: {e}",
                         self.addr
@@ -424,11 +447,11 @@ impl TcpTransport {
                     // A classified refusal is a healthy conversation: the
                     // connection goes back to the pool, the error class
                     // (transient vs permanent) decodes intact.
-                    self.checkin(conn);
+                    Self::checkin_to(pool, limit, conn);
                     return Err(we.into_store_error(&self.addr.to_string()));
                 }
                 Ok(frame) => {
-                    self.checkin(conn);
+                    Self::checkin_to(pool, limit, conn);
                     return Ok(frame);
                 }
                 Err(FrameError::Io(e)) => {
@@ -478,6 +501,18 @@ impl Transport for TcpTransport {
 
     fn get_chunk(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
         match self.call(&Frame::GetChunk(hash))? {
+            Frame::Bytes(bytes) => Ok(bytes),
+            other => Err(self.unexpected("get_chunk", other)),
+        }
+    }
+
+    // A fault-path fetch rides the reserved priority connection: with the
+    // shared pool saturated by a background prefetch sweep, the page the
+    // restarted process is blocked on still gets a socket immediately
+    // instead of queueing per-connection behind bulk chunks.
+    fn get_chunk_priority(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
+        let wire = self.encode_timed(|| Frame::GetChunk(hash).to_wire());
+        match self.call_wire_on(&wire, true, &self.priority_idle, 1)? {
             Frame::Bytes(bytes) => Ok(bytes),
             other => Err(self.unexpected("get_chunk", other)),
         }

@@ -111,6 +111,12 @@ pub struct ReadStats {
     /// *not* by the image size — the proof that the streaming restore
     /// never materialises the image.
     pub peak_buffered_bytes: u64,
+    /// Wall-clock time until the restored process could resume, in
+    /// microseconds.  For the eager paths this equals the full restore
+    /// (`elapsed`) — the process only runs once every page landed; a lazy
+    /// restore resumes after the metadata-only declaration, so the two
+    /// paths' resume latency is comparable from one snapshot.
+    pub resume_us: u64,
     /// Wall-clock time of the whole read.
     pub elapsed: Duration,
 }
@@ -131,8 +137,8 @@ pub(crate) struct ReaderObs {
     pub(crate) stage_fetch: Histogram,
     pub(crate) stage_verify: Histogram,
     pub(crate) stage_splice: Histogram,
-    chunks_read: Counter,
-    chunk_bytes_read: Counter,
+    pub(crate) chunks_read: Counter,
+    pub(crate) chunk_bytes_read: Counter,
 }
 
 impl ReaderObs {
@@ -177,6 +183,9 @@ impl ReaderObs {
                 .gauge("crac_reader_buffered_bytes")
                 .map(|g| g.peak)
                 .unwrap_or(0),
+            // Eager restores resume only when everything landed; the lazy
+            // session overwrites this with its declare→resume latency.
+            resume_us: elapsed.as_micros() as u64,
             elapsed,
         }
     }
@@ -272,11 +281,26 @@ pub(crate) trait ChunkFetch: Sync {
         gauge: &Gauge,
         obs: &ReaderObs,
     ) -> Result<(Vec<u8>, u64), StoreError>;
+
+    /// Priority flavour used by the lazy restore's fault path: a page the
+    /// restarted process is blocked on must not queue behind the
+    /// background prefetch sweep.  Local fetches have nothing to jump
+    /// (the default delegates); the remote fetcher routes these through
+    /// [`crate::transport::Transport::get_chunk_priority`].
+    fn fetch_priority(
+        &self,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+        obs: &ReaderObs,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        self.fetch(hash, raw_len, gauge, obs)
+    }
 }
 
 /// [`ChunkFetch`] over the local chunk directory.
-struct LocalFetch<'s> {
-    store: &'s ImageStore,
+pub(crate) struct LocalFetch<'s> {
+    pub(crate) store: &'s ImageStore,
 }
 
 impl ChunkFetch for LocalFetch<'_> {
@@ -594,7 +618,7 @@ pub(crate) fn read_image(
     Ok((image, reader.stats()))
 }
 
-fn effective_read_threads(chunks: usize) -> usize {
+pub(crate) fn effective_read_threads(chunks: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

@@ -503,9 +503,33 @@ impl ChunkSink for RemoteChunkSink<'_> {
 /// [`ChunkFetch`] over a transport: `get_chunk`, then the same
 /// verification ladder the local fetch runs (CRC → decode → content
 /// hash) — a faulty peer surfaces as corruption, never as wrong memory.
-struct RemoteFetch<'t> {
-    transport: &'t dyn Transport,
-    label: PathBuf,
+pub(crate) struct RemoteFetch<'t> {
+    pub(crate) transport: &'t dyn Transport,
+    pub(crate) label: PathBuf,
+}
+
+impl RemoteFetch<'_> {
+    /// The shared get → verify ladder behind both fetch flavours.
+    fn fetch_with(
+        &self,
+        get: impl FnOnce() -> Result<Vec<u8>, StoreError>,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+        obs: &ReaderObs,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        let stage = Span::enter(&obs.stage_fetch);
+        let bytes = get()?;
+        stage.finish();
+        let wire_bytes = bytes.len() as u64;
+        gauge.add(wire_bytes);
+        let stage = Span::enter(&obs.stage_verify);
+        let result = verify_chunk_file_bytes(&self.label, &bytes, hash, raw_len, gauge);
+        stage.finish();
+        drop(bytes);
+        gauge.sub(wire_bytes);
+        result.map(|raw| (raw, wire_bytes))
+    }
 }
 
 impl ChunkFetch for RemoteFetch<'_> {
@@ -516,17 +540,26 @@ impl ChunkFetch for RemoteFetch<'_> {
         gauge: &Gauge,
         obs: &ReaderObs,
     ) -> Result<(Vec<u8>, u64), StoreError> {
-        let stage = Span::enter(&obs.stage_fetch);
-        let bytes = self.transport.get_chunk(hash)?;
-        stage.finish();
-        let wire_bytes = bytes.len() as u64;
-        gauge.add(wire_bytes);
-        let stage = Span::enter(&obs.stage_verify);
-        let result = verify_chunk_file_bytes(&self.label, &bytes, hash, raw_len, gauge);
-        stage.finish();
-        drop(bytes);
-        gauge.sub(wire_bytes);
-        result.map(|raw| (raw, wire_bytes))
+        self.fetch_with(|| self.transport.get_chunk(hash), hash, raw_len, gauge, obs)
+    }
+
+    // A fault-path fetch jumps the transport's per-connection queueing
+    // (the pooled TCP client reserves a connection for these); the
+    // verification ladder is identical.
+    fn fetch_priority(
+        &self,
+        hash: ContentHash,
+        raw_len: u64,
+        gauge: &Gauge,
+        obs: &ReaderObs,
+    ) -> Result<(Vec<u8>, u64), StoreError> {
+        self.fetch_with(
+            || self.transport.get_chunk_priority(hash),
+            hash,
+            raw_len,
+            gauge,
+            obs,
+        )
     }
 }
 
@@ -540,11 +573,11 @@ impl ChunkFetch for RemoteFetch<'_> {
 /// [`crate::reader::restore_buffer_bound`] memory bound as a local
 /// restore.
 pub struct RemoteChunkSource<'t> {
-    transport: &'t dyn Transport,
-    manifest: Manifest,
-    label: PathBuf,
-    obs: ReaderObs,
-    stats: ReadStats,
+    pub(crate) transport: &'t dyn Transport,
+    pub(crate) manifest: Manifest,
+    pub(crate) label: PathBuf,
+    pub(crate) obs: ReaderObs,
+    pub(crate) stats: ReadStats,
 }
 
 impl<'t> RemoteChunkSource<'t> {

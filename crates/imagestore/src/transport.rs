@@ -110,6 +110,16 @@ pub trait Transport: Sync {
     /// Fetches one chunk's verbatim chunk-file bytes.
     fn get_chunk(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError>;
 
+    /// Priority flavour of [`Transport::get_chunk`], used by the lazy
+    /// restore's fault path: a page the restarted process is *blocked on*
+    /// must not queue behind a background prefetch sweep.  Transports
+    /// with internal queueing (a pooled TCP client above all) should let
+    /// these calls jump it; the default simply delegates, which is
+    /// correct wherever fetches don't contend.
+    fn get_chunk_priority(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
+        self.get_chunk(hash)
+    }
+
     /// Lists the image ids the peer holds, ascending.
     fn list_manifests(&self) -> Result<Vec<ImageId>, StoreError>;
 
@@ -525,6 +535,19 @@ impl Transport for FaultyTransport<'_> {
             return Err(self.inject("get_chunk timed out"));
         }
         self.inner.get_chunk(hash)
+    }
+
+    // Priority fetches share the `get_chunk` fault budget (same op key):
+    // a fault-path fetch during a lazy restore sees exactly the same
+    // injected weather a background fetch would, so the tests can prove
+    // a faulting page retries with backoff instead of failing the process.
+    fn get_chunk_priority(&self, hash: ContentHash) -> Result<Vec<u8>, StoreError> {
+        self.delay();
+        self.check_cut("get_chunk")?;
+        if self.should_fail_attempt(b'g', hash, self.cfg.transient_get_attempts) {
+            return Err(self.inject("get_chunk timed out"));
+        }
+        self.inner.get_chunk_priority(hash)
     }
 
     fn list_manifests(&self) -> Result<Vec<ImageId>, StoreError> {

@@ -189,7 +189,7 @@ proptest! {
                 0,
                 Compression::None,
                 None,
-                PrecopyConfig { max_rounds: 3, convergence_pages: 4, max_run_gap: 1 },
+                PrecopyConfig { max_rounds: 3, convergence_pages: 4, max_run_gap: 1, adaptive_rounds: false },
             )
             .unwrap();
         mutator.join().unwrap();

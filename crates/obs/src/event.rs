@@ -49,6 +49,12 @@ pub enum EventKind {
     /// The final stop-the-world window of a checkpoint closed (detail:
     /// window duration, pages captured during the quiesce).
     StopWindow,
+    /// A first-touch page fault was serviced during a lazy restore
+    /// (detail: faulting address, chunk fetched, service latency).
+    FaultServed,
+    /// The background prefetch sweep of a lazy restore reported progress
+    /// (detail: chunks prefetched / total, pages resident).
+    PrefetchRound,
 }
 
 impl EventKind {
@@ -70,6 +76,8 @@ impl EventKind {
             EventKind::ConnClose => "conn_close",
             EventKind::PrecopyRound => "precopy_round",
             EventKind::StopWindow => "stop_window",
+            EventKind::FaultServed => "fault_served",
+            EventKind::PrefetchRound => "prefetch_round",
         }
     }
 }

@@ -44,8 +44,8 @@ pub mod prelude {
     pub use crac_cudart::{CudaRuntime, MemcpyKind, RuntimeConfig};
     pub use crac_gpu::{DeviceProfile, KernelCost, LaunchDims};
     pub use crac_imagestore::{
-        Compression, FaultConfig, FaultyTransport, ImageId, ImageStore, LoopbackTransport,
-        Transport, WriteOptions,
+        Compression, FaultConfig, FaultyTransport, ImageId, ImageStore, LazyRestoreSession,
+        LazyRestoreStats, LoopbackTransport, Transport, WriteOptions,
     };
     pub use crac_workloads::{run_crac, run_crac_with_checkpoint, run_native, Session};
 }

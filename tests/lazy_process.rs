@@ -1,0 +1,151 @@
+//! Lazy first-touch restart of a full `CracProcess`: the process resumes
+//! from a skeleton of absent pages — before a single page byte has been
+//! fetched — runs its working set against first-touch faults, and drains
+//! to full residency in the background.  Exercised both from the local
+//! store and across a real TCP wire, and checked byte-for-byte against
+//! the eager restart of the same image.
+
+use std::sync::Arc;
+
+use crac_repro::imagestore::net::{serve_on, TcpTransport};
+use crac_repro::imagestore::testutil::TempDir;
+use crac_repro::prelude::*;
+
+const SECRET: &[u8] = b"lazy-node-secret";
+
+fn bump_registry() -> Arc<KernelRegistry> {
+    let mut kernels = KernelRegistry::new();
+    kernels.insert("bump", |ctx| {
+        let n = ctx.arg_u64(1) as usize;
+        let mut v = ctx.read_f32_arg(0, n)?;
+        for x in &mut v {
+            *x += 1.0;
+        }
+        ctx.write_f32_arg(0, &v)
+    });
+    Arc::new(kernels)
+}
+
+/// A process with a kernel-bumped device buffer plus 1 MiB of patterned
+/// host heap, checkpointed into `store`; returns the image id and the
+/// handles the restarted run needs.
+fn checkpointed_process(
+    store: &ImageStore,
+    tag: &str,
+) -> (ImageId, Arc<KernelRegistry>, Addr, Addr) {
+    let kernels = bump_registry();
+    let proc = CracProcess::launch(CracConfig::test(tag), Arc::clone(&kernels));
+    let fb = proc.register_fat_binary();
+    let bump = proc.register_function(fb, "bump").unwrap();
+    let heap = proc.heap_alloc(1 << 20).unwrap();
+    proc.space().fill(heap, 1 << 20, 0x5A).unwrap();
+    let buf = proc.malloc(4 * 128).unwrap();
+    proc.space().write_f32(buf, &[0.0; 128]).unwrap();
+    proc.launch_kernel(
+        bump,
+        LaunchDims::linear(1, 128),
+        KernelCost::compute(128),
+        vec![buf.as_u64(), 128],
+        CracStream::DEFAULT,
+    )
+    .unwrap();
+    proc.device_synchronize().unwrap();
+    let stored = proc
+        .checkpoint_to_store(store, WriteOptions::full())
+        .unwrap();
+    (stored.image_id, kernels, buf, heap)
+}
+
+/// The restarted application's first dealings with the process: read the
+/// kernel's output (first touch → fault), compute on it again, and sample
+/// the heap pattern.
+fn working_set(proc: &CracProcess, buf: Addr, heap: Addr) -> Result<Vec<f32>, CracError> {
+    let mut out = [0f32; 128];
+    proc.space().read_f32(buf, &mut out)?;
+    let mut probe = [0u8; 16];
+    proc.space().read_bytes(heap + 512 * 1024, &mut probe)?;
+    assert!(probe.iter().all(|&b| b == 0x5A));
+    Ok(out.to_vec())
+}
+
+#[test]
+fn process_restarts_lazily_from_store_and_resumes_before_any_fetch() {
+    let dir = TempDir::new("lazy-proc");
+    let store = ImageStore::open(dir.path()).unwrap();
+    let (id, kernels, buf, heap) = checkpointed_process(&store, "lazy-proc");
+
+    let (restarted, report, read_stats, lazy, out) = CracProcess::restart_from_store_lazy(
+        &store,
+        id,
+        CracConfig::test("lazy-proc"),
+        Arc::clone(&kernels),
+        |proc| working_set(proc, buf, heap),
+    )
+    .unwrap();
+
+    assert!(report.replayed_calls > 0);
+    assert_eq!(
+        lazy.chunks_at_resume, 0,
+        "resumed before any page bytes were fetched"
+    );
+    assert_eq!(
+        lazy.chunks_faulted + lazy.chunks_prefetched,
+        lazy.chunks_total as u64
+    );
+    assert!(read_stats.resume_us <= read_stats.elapsed.as_micros() as u64);
+    assert!(
+        out.iter().all(|&v| v == 1.0),
+        "kernel output faulted in intact"
+    );
+
+    // Drained to full residency: the process is indistinguishable from an
+    // eagerly restored one — it computes and checkpoints again.
+    assert!(!restarted.space().has_fault_handler());
+    let fb = restarted.register_fat_binary();
+    let bump = restarted.register_function(fb, "bump").unwrap();
+    restarted
+        .launch_kernel(
+            bump,
+            LaunchDims::linear(1, 128),
+            KernelCost::compute(128),
+            vec![buf.as_u64(), 128],
+            CracStream::DEFAULT,
+        )
+        .unwrap();
+    restarted.device_synchronize().unwrap();
+    let mut again = [0f32; 128];
+    restarted.space().read_f32(buf, &mut again).unwrap();
+    assert!(again.iter().all(|&v| v == 2.0));
+    let next = restarted
+        .checkpoint_to_store(&store, WriteOptions::full())
+        .unwrap();
+    assert!(store.contains_image(next.image_id));
+}
+
+#[test]
+fn process_restarts_lazily_over_tcp_with_priority_faults() {
+    let dir = TempDir::new("lazy-proc-tcp");
+    let store = Arc::new(ImageStore::open(dir.path()).unwrap());
+    let (id, kernels, buf, heap) = checkpointed_process(&store, "lazy-tcp");
+
+    // Node B: restart across a real wire, first touches riding the pooled
+    // client's priority lane while the sweep streams the rest.
+    let server = serve_on("127.0.0.1:0", Arc::clone(&store), SECRET).unwrap();
+    let transport = TcpTransport::connect(server.local_addr(), SECRET).unwrap();
+    let (restarted, report, read_stats, lazy, out) = CracProcess::restart_from_remote_lazy(
+        &transport,
+        id,
+        CracConfig::test("lazy-tcp"),
+        Arc::clone(&kernels),
+        |proc| working_set(proc, buf, heap),
+    )
+    .unwrap();
+
+    assert!(report.replayed_calls > 0);
+    assert_eq!(lazy.chunks_at_resume, 0);
+    assert!(lazy.pages_installed > 0);
+    assert_eq!(read_stats.chunks_read, lazy.chunks_total);
+    assert!(out.iter().all(|&v| v == 1.0));
+    assert!(!restarted.space().has_fault_handler());
+    server.shutdown();
+}
