@@ -133,6 +133,7 @@ impl PageStore {
             // Shared with an outstanding snapshot: copy before writing.
             p.bytes = p.bytes.to_vec().into();
         }
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         Arc::get_mut(&mut p.bytes).expect("freshly copied page is unshared")
     }
 

@@ -4,11 +4,11 @@
 //! once: the upper-half application, the lower-half CUDA library, the GPU
 //! executor (kernels read and write buffers), and the checkpointer.  All of
 //! them hold a [`SharedSpace`], which is a cheap-to-clone handle around a
-//! `parking_lot::RwLock<AddressSpace>`.
+//! `crac_sync::RwLock<AddressSpace>`.
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crac_sync::{Mutex, RwLock};
 
 use crate::addr::Addr;
 use crate::space::{AddressSpace, MapRequest, MemError};
@@ -56,8 +56,8 @@ impl SharedSpace {
     /// Wraps an existing address space.
     pub fn from_space(space: AddressSpace) -> Self {
         Self {
-            inner: Arc::new(RwLock::new(space)),
-            fault_handler: Arc::new(Mutex::new(None)),
+            inner: Arc::new(RwLock::new("addrspace.shared.space", space)),
+            fault_handler: Arc::new(Mutex::new("addrspace.shared.fault_handler", None)),
         }
     }
 

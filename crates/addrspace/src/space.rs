@@ -318,6 +318,7 @@ impl AddressSpace {
                 .region_at(cur)
                 .map(|r| r.start)
                 .ok_or(MemError::Fault(cur))?;
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             let region = self.regions.get_mut(&key).expect("region key just found");
             let n = ((region.end() - cur) as usize).min(data.len() - done);
             region.write(cur, &data[done..done + n]);
@@ -338,6 +339,7 @@ impl AddressSpace {
                 .region_at(cur)
                 .map(|r| r.start)
                 .ok_or(MemError::Fault(cur))?;
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             let region = self.regions.get_mut(&key).expect("region key just found");
             let n = (region.end() - cur).min(len - done);
             region.store.fill(cur - region.start, n, byte);
@@ -440,7 +442,9 @@ impl AddressSpace {
             let key = self
                 .region_at(cur)
                 .map(|r| r.start)
+                // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
                 .expect("range validated above");
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             let region = self.regions.get_mut(&key).expect("region key just found");
             let seg_end = region.end().min(end);
             let first = (cur - region.start) / PAGE_SIZE;
@@ -467,6 +471,7 @@ impl AddressSpace {
             let Some(key) = self.region_at(page_addr).map(|r| r.start) else {
                 continue;
             };
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             let region = self.regions.get_mut(&key).expect("region key just found");
             let page = (page_addr - region.start) / PAGE_SIZE;
             region.store.install_page(page, page_bytes);
@@ -576,7 +581,9 @@ impl AddressSpace {
                 ra.end() == rb.start && ra.prot == rb.prot && ra.half == rb.half
             };
             if merge {
+                // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
                 let mut rb = self.regions.remove(&b).expect("rb exists");
+                // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
                 let ra = self.regions.get_mut(&a).expect("ra exists");
                 let shift_pages = (ra.len / PAGE_SIZE) as i64;
                 // Pages keep their epoch stamps through the merge, so
@@ -651,6 +658,7 @@ impl AddressSpace {
             Some(r) if r.start != addr => r.start,
             _ => return,
         };
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         let region = self.regions.get_mut(&key).expect("region key just found");
         let head_len = addr - region.start;
         let tail_len = region.len - head_len;

@@ -500,6 +500,45 @@ fn bench_image_io(c: &mut Criterion) {
             overhead_pct <= 5.0,
             "instrumentation overhead {overhead_pct:.2}% blew the 5% budget"
         );
+
+        // Same treatment for the instrumented sync layer: measure the
+        // unit cost of a crac-sync lock/unlock round trip against a raw
+        // std mutex, scale the *delta* by a deliberate over-estimate of
+        // lock acquisitions on the checkpoint hot path (~8 per chunk:
+        // job queue send/recv, claim, index probe, publish, error
+        // checks), and report it against the write's wall time.  In
+        // release the wrappers compile to passthrough and the bar is
+        // ≤ 1%; in instrumented builds the number is reported only.
+        let wrapped = crac_sync::Mutex::new("bench.sync_probe", 0u64);
+        let t = std::time::Instant::now();
+        for _ in 0..N {
+            *wrapped.lock() += 1;
+        }
+        let wrapped_ns = t.elapsed().as_nanos() as f64 / N as f64;
+        // The raw baseline is the one deliberate raw lock in the workspace.
+        #[allow(clippy::disallowed_types)]
+        let raw = std::sync::Mutex::new(0u64);
+        let t = std::time::Instant::now();
+        for _ in 0..N {
+            *raw.lock().unwrap() += 1;
+        }
+        let raw_ns = t.elapsed().as_nanos() as f64 / N as f64;
+        let delta_ns = (wrapped_ns - raw_ns).max(0.0);
+        let lock_ops = snap.counter("crac_writer_chunks_total") * 8;
+        let sync_pct = 100.0 * (lock_ops as f64 * delta_ns) / write_wall.as_nanos() as f64;
+        println!(
+            "ckpt_image_io sync_overhead: crac-sync lock {wrapped_ns:.1} ns vs raw {raw_ns:.1} ns \
+             (delta {delta_ns:.1} ns); ~{lock_ops} hot-path acquisitions \
+             = {sync_pct:.4}% of the {} µs write (bar: 1%, instrumented: {})",
+            write_wall.as_micros(),
+            crac_sync::instrumented(),
+        );
+        if !crac_sync::instrumented() {
+            assert!(
+                sync_pct <= 1.0,
+                "release sync passthrough overhead {sync_pct:.3}% blew the 1% budget"
+            );
+        }
     }
 
     // Pre-copy vs stop-the-world: the stop window is the claim.  A

@@ -101,7 +101,9 @@ fn crac_cfg(name: &str, scale: f64) -> CracConfig {
 }
 
 fn overhead_row(spec: &AppSpec, scale: f64) -> OverheadRow {
+    // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
     let native = run_native(spec, RuntimeConfig::v100(), scale).expect("native run");
+    // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
     let crac = run_crac(spec, crac_cfg(spec.name, scale), scale).expect("CRAC run");
     OverheadRow {
         name: spec.name.to_string(),
@@ -114,6 +116,7 @@ fn overhead_row(spec: &AppSpec, scale: f64) -> OverheadRow {
 
 fn ckpt_row(spec: &AppSpec, scale: f64) -> CkptRow {
     let result = run_crac_with_checkpoint(spec, crac_cfg(spec.name, scale), scale, 0.5)
+        // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
         .expect("CRAC checkpoint run");
     CkptRow {
         name: spec.name.to_string(),
@@ -132,6 +135,7 @@ pub fn table1(scale_mult: f64) -> Vec<Table1Row> {
     let hotspot = rodinia
         .iter()
         .find(|s| s.name == "Hotspot")
+        // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
         .unwrap()
         .clone();
     let specs: Vec<(AppSpec, &str, &str)> = vec![
@@ -144,6 +148,7 @@ pub fn table1(scale_mult: f64) -> Vec<Table1Row> {
     ];
     for (spec, family, range) in specs {
         let scale = spec.default_scale * scale_mult;
+        // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
         let r = run_native(&spec, RuntimeConfig::v100(), scale).expect("native run");
         rows.push(Table1Row {
             name: family.to_string(),
@@ -209,8 +214,10 @@ pub fn fig4_simple_streams(scale_mult: f64) -> Vec<Fig4Row> {
         };
         let scale = 0.02 * scale_mult;
         let native_session = Session::native(RuntimeConfig::v100(), registry());
+        // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
         let native = run_simple_streams(&native_session, config, scale).expect("native run");
         let crac_session = Session::crac(crac_cfg("simpleStreams", scale), registry());
+        // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
         let crac = run_simple_streams(&crac_session, config, scale).expect("CRAC run");
         rows.push(Fig4Row {
             niterations: niter,
@@ -270,11 +277,14 @@ pub fn fig6_fsgsbase(scale_mult: f64) -> Vec<Fig6Row> {
             let mut spec = spec.clone();
             spec.target_native_s *= 4.0;
             let scale = spec.default_scale * scale_mult * 0.5;
+            // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
             let native = run_native(&spec, RuntimeConfig::k600(), scale).expect("native run");
             let mut cfg_unpatched = CracConfig::k600(spec.name);
             cfg_unpatched.dmtcp_startup_ns = (cfg_unpatched.dmtcp_startup_ns as f64 * scale) as u64;
             let cfg_fsgs = cfg_unpatched.clone().with_fsgsbase();
+            // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
             let unpatched = run_crac(&spec, cfg_unpatched, scale).expect("CRAC run");
+            // crac-lint: allow(no-unwrap) — bench harness: a failed experiment run must abort the sweep loudly
             let fsgs = run_crac(&spec, cfg_fsgs, scale).expect("CRAC run");
             let o_unpatched = (unpatched.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;
             let o_fsgs = (fsgs.elapsed_s - native.elapsed_s) / native.elapsed_s * 100.0;

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crac_addrspace::{page_align_up, Addr, Half, MapRequest, MapsEntry, SharedSpace};
 use crac_cudart::CudaRuntime;
@@ -126,9 +126,11 @@ impl DmtcpPlugin for CracPlugin {
                     Half::Upper,
                     "crac-staging",
                 ))
+                // crac-lint: allow(no-unwrap) — staging lands in the reserved upper half, which cannot be exhausted by construction
                 .expect("staging allocation must succeed");
             self.space
                 .sparse_copy(staging, ptr, len)
+                // crac-lint: allow(no-unwrap) — staging lands in the reserved upper half, which cannot be exhausted by construction
                 .expect("drain copy of an active allocation");
             st.staging.push(StagedBuffer {
                 ptr: ptr.as_u64(),
@@ -197,7 +199,7 @@ mod tests {
     ) {
         let space = SharedSpace::new_no_aslr();
         let runtime = CudaRuntime::new(RuntimeConfig::test(), space.clone());
-        let state = Arc::new(Mutex::new(CracState::new()));
+        let state = Arc::new(Mutex::new("core.plugin.state", CracState::new()));
         let plugin = CracPlugin::new(Arc::clone(&runtime), space.clone(), Arc::clone(&state));
         (runtime, space, state, plugin)
     }

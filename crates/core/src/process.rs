@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crac_addrspace::{page_align_up, Addr, Half, MemError, SharedSpace};
 use crac_cudart::{CudaError, CudaRuntime, MemcpyKind};
@@ -235,7 +235,7 @@ impl CracProcess {
         );
         let heap = HostHeap::new(space.clone(), 4 << 20);
 
-        let state = Arc::new(Mutex::new(CracState::new()));
+        let state = Arc::new(Mutex::new("core.process.state", CracState::new()));
         let mut coordinator = Coordinator::new(space.clone(), config.ckpt.clone());
         coordinator.register_plugin(Arc::new(CracPlugin::new(
             Arc::clone(lower.runtime()),
@@ -251,7 +251,7 @@ impl CracProcess {
             registry,
             state,
             coordinator,
-            last_stored_image: Mutex::new(None),
+            last_stored_image: Mutex::new("core.process.last_stored_image", None),
         }
     }
 
@@ -1132,16 +1132,19 @@ impl CracProcess {
 
         // 5. Rebuild the interposition state with the application's original
         //    virtual handles bound to the new lower-half resources.
-        let state = Arc::new(Mutex::new(CracState {
-            log: payload.log,
-            mallocs: payload.mallocs,
-            streams: outcome.streams,
-            events: outcome.events,
-            fatbins: outcome.fatbins,
-            kernels: outcome.kernels,
-            next_handle: payload.next_handle,
-            staging: Vec::new(),
-        }));
+        let state = Arc::new(Mutex::new(
+            "core.process.state",
+            CracState {
+                log: payload.log,
+                mallocs: payload.mallocs,
+                streams: outcome.streams,
+                events: outcome.events,
+                fatbins: outcome.fatbins,
+                kernels: outcome.kernels,
+                next_handle: payload.next_handle,
+                staging: Vec::new(),
+            },
+        ));
         let replayed_calls = outcome.calls_replayed;
 
         let heap = HostHeap::new(space.clone(), 4 << 20);
@@ -1166,7 +1169,7 @@ impl CracProcess {
                 registry,
                 state,
                 coordinator,
-                last_stored_image: Mutex::new(None),
+                last_stored_image: Mutex::new("core.process.last_stored_image", None),
             },
             RestartReport {
                 restart_time_s,

@@ -92,6 +92,8 @@ fn precopy_process_checkpoint_restores_app_memory_and_drained_device_state() {
         acked: Arc::clone(&acked),
     }));
     let space = proc.space().clone();
+    let wrote_once = Arc::new(AtomicBool::new(false));
+    let wrote_once_tx = Arc::clone(&wrote_once);
     let mutator = std::thread::spawn(move || {
         let mut writes = 0u64;
         while !stop.load(Ordering::SeqCst) {
@@ -100,10 +102,18 @@ fn precopy_process_checkpoint_restores_app_memory_and_drained_device_state() {
                 .write_bytes(app + page * PAGE_SIZE + 1024, &[writes as u8; 96])
                 .unwrap();
             writes += 1;
+            wrote_once_tx.store(true, Ordering::SeqCst);
         }
         acked.store(true, Ordering::SeqCst);
         writes
     });
+
+    // Don't start checkpointing until the mutator has actually written:
+    // under a loaded test host its thread may not be scheduled for a
+    // while, and a checkpoint that wins that race makes `writes == 0`.
+    while !wrote_once.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
 
     let (report, pre) = proc
         .checkpoint_to_store_precopy(&store, WriteOptions::full(), PrecopyConfig::default())

@@ -83,6 +83,7 @@ impl FatBinaryRegistry {
         );
         self.fatbins
             .get_mut(&fatbin)
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("checked above")
             .push(h);
         Ok(h)

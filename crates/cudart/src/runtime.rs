@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crac_addrspace::{Addr, SharedSpace};
 use crac_gpu::kernel::KernelBody;
@@ -119,13 +119,16 @@ impl CudaRuntime {
             config,
             device,
             space: space.clone(),
-            state: Mutex::new(RtState {
-                device_arena: Arena::new(ArenaKind::Device, space.clone(), chunk),
-                pinned_arena: Arena::new(ArenaKind::PinnedHost, space.clone(), chunk),
-                managed_arena: Arena::new(ArenaKind::Managed, space, chunk),
-                fatbins: FatBinaryRegistry::new(),
-                counters: CallCounters::new(),
-            }),
+            state: Mutex::new(
+                "cudart.runtime.state",
+                RtState {
+                    device_arena: Arena::new(ArenaKind::Device, space.clone(), chunk),
+                    pinned_arena: Arena::new(ArenaKind::PinnedHost, space.clone(), chunk),
+                    managed_arena: Arena::new(ArenaKind::Managed, space, chunk),
+                    fatbins: FatBinaryRegistry::new(),
+                    counters: CallCounters::new(),
+                },
+            ),
         })
     }
 

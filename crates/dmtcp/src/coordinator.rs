@@ -198,6 +198,7 @@ impl Coordinator {
         let mut sink = ImageSink::default();
         let stats = self
             .checkpoint_streaming(&mut sink)
+            // crac-lint: allow(no-unwrap) — the in-memory sink/source is statically infallible
             .expect("ImageSink is infallible");
         sink.image.taken_at_ns = now_ns;
         (sink.image, stats)
@@ -222,6 +223,7 @@ impl Coordinator {
         &self,
         sink: &mut dyn CheckpointSink,
     ) -> Result<CkptStats, SinkClosed> {
+        // crac-lint: allow(raw-instant) — stop-window timing lands in CkptStats/RestartStats, not an obs histogram
         let t0 = Instant::now();
         for p in &self.plugins {
             p.pre_checkpoint();
@@ -392,6 +394,7 @@ impl Coordinator {
 
         // Final stop-the-world pass: quiesce, capture the last delta as
         // Arc clones (no content copied inside the window), resume.
+        // crac-lint: allow(raw-instant) — stop-window timing lands in CkptStats/RestartStats, not an obs histogram
         let t0 = Instant::now();
         for p in &self.plugins {
             p.pre_checkpoint();
@@ -632,6 +635,7 @@ impl Coordinator {
             }
             Ok(())
         })
+        // crac-lint: allow(no-unwrap) — the in-memory sink/source is statically infallible
         .expect("in-memory restore source is infallible")
     }
 
@@ -725,6 +729,7 @@ impl Coordinator {
                         .at(desc.start)
                         .prot(desc.prot),
                 )
+                // crac-lint: allow(no-unwrap) — restoring saved regions into a fresh space cannot collide; corrupt images already failed CRC
                 .expect("restoring a saved region must succeed");
             stats.regions_restored += 1;
             stats.bytes_restored += desc.len;
@@ -734,6 +739,7 @@ impl Coordinator {
                 let start = decl.regions[*region].start;
                 for run in runs {
                     s.declare_absent(start + run.first * PAGE_SIZE, run.count * PAGE_SIZE)
+                        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
                         .expect("absent runs lie within freshly mapped regions");
                 }
             }
@@ -919,6 +925,7 @@ impl RestoreSink for RestoreCursor<'_> {
                     .at(desc.start)
                     .prot(Prot::RW),
             )
+            // crac-lint: allow(no-unwrap) — restoring saved regions into a fresh space cannot collide; corrupt images already failed CRC
             .expect("restoring a saved region must succeed");
         self.regions.push((desc.start, desc.len, desc.prot));
         self.logical_bytes += desc.len;
@@ -935,9 +942,11 @@ impl RestoreSink for RestoreCursor<'_> {
         let (start, _, _) = self
             .regions
             .get(region)
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("page_run targets an undeclared region");
         self.space
             .write_bytes(*start + run.first * PAGE_SIZE, bytes)
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("page restore within freshly mapped region");
         Ok(())
     }

@@ -61,10 +61,17 @@ pub trait DmtcpPlugin: Send + Sync {
 }
 
 /// A trivial plugin used in tests and as documentation of the hook order.
-#[derive(Default)]
 pub struct RecordingPlugin {
     /// Events observed, in order.
-    pub events: parking_lot::Mutex<Vec<PluginEvent>>,
+    pub events: crac_sync::Mutex<Vec<PluginEvent>>,
+}
+
+impl Default for RecordingPlugin {
+    fn default() -> Self {
+        Self {
+            events: crac_sync::Mutex::new("dmtcp.plugin.recording_events", Vec::new()),
+        }
+    }
 }
 
 impl DmtcpPlugin for RecordingPlugin {

@@ -167,6 +167,7 @@ impl CheckpointSink for ImageSink {
     fn page_run(&mut self, run: PageRun, bytes: &[u8]) -> Result<(), SinkClosed> {
         debug_assert_eq!(bytes.len() as u64, run.count * PAGE_SIZE);
         let region =
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             &mut self.image.regions[self.cur.expect("page_run outside begin_region/end_region")];
         for (i, page) in run.pages().enumerate() {
             let off = i * PAGE_SIZE as usize;

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crac_addrspace::{Addr, MemError, SharedSpace};
 
@@ -105,14 +105,17 @@ impl GpuDevice {
             profile,
             clock,
             space,
-            state: Mutex::new(DeviceState {
-                scheduler: Scheduler::new(max_ck),
-                events: BTreeMap::new(),
-                next_event: 1,
-                uvm: UvmManager::new(),
-                metrics: GpuMetrics::default(),
-                mem_in_use: 0,
-            }),
+            state: Mutex::new(
+                "gpu.device.state",
+                DeviceState {
+                    scheduler: Scheduler::new(max_ck),
+                    events: BTreeMap::new(),
+                    next_event: 1,
+                    uvm: UvmManager::new(),
+                    metrics: GpuMetrics::default(),
+                    mem_in_use: 0,
+                },
+            ),
         })
     }
 

@@ -109,6 +109,7 @@ pub(crate) fn trim_superseded<T>(chunks: &mut Vec<T>, runs_of: impl Fn(&T) -> &[
         keep[i] = contributes;
     }
     let mut flags = keep.iter();
+    // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
     chunks.retain(|_| *flags.next().expect("one flag per chunk"));
 }
 

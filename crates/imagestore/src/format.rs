@@ -128,6 +128,7 @@ impl Manifest {
                     // u64: refuse to wrap rather than serialise a silently
                     // truncated page count the CRC could never catch.
                     let count = u32::try_from(run.count)
+                        // crac-lint: allow(no-unwrap) — refusing to serialize a wrapping page count is the documented contract
                         .expect("page run exceeds the manifest format's u32 count");
                     out.extend_from_slice(&count.to_le_bytes());
                 }
@@ -154,6 +155,7 @@ impl Manifest {
             return Err("manifest truncated".into());
         }
         let (body, trailer) = data.split_at(data.len() - 4);
+        // crac-lint: allow(no-unwrap) — split_at(len - 4) guarantees a 4-byte trailer
         let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
         if crc32(body) != stored_crc {
             return Err(format!(

@@ -43,10 +43,11 @@
 //! fault surfaces [`MemError::NotResident`] — the process's restore
 //! source is gone and [`LazyRestoreSession::drain`] reports why.
 
+use crac_sync::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crac_addrspace::{page_runs, Addr, MemError, PageFaultHandler, SharedSpace, PAGE_SIZE};
@@ -156,7 +157,7 @@ struct LazyShared {
 
 impl LazyShared {
     fn q(&self) -> MutexGuard<'_, LazyQueue> {
-        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        self.queue.lock()
     }
 
     /// The plan entry owning the page containing `addr`, if any.
@@ -189,7 +190,7 @@ impl LazyShared {
             if q.shutdown {
                 return Err(());
             }
-            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = self.cv.wait(q);
         }
     }
 
@@ -221,7 +222,7 @@ impl LazyShared {
                     if q.done == q.state.len() {
                         return;
                     }
-                    q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    q = self.cv.wait(q);
                 }
             };
             let entry = &self.plan[idx];
@@ -289,6 +290,7 @@ impl LazyShared {
         let space = self
             .space
             .get()
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("workers spawn only after attach set the space");
         let mut pages = 0u64;
         for (region, pieces) in &entry.targets {
@@ -310,7 +312,7 @@ impl LazyShared {
     /// blocked faulters wake and fail with [`MemError::NotResident`].
     fn fail(&self, e: StoreError) {
         {
-            let mut err = self.error.lock().unwrap_or_else(|p| p.into_inner());
+            let mut err = self.error.lock();
             if err.is_none() {
                 *err = Some(e);
             }
@@ -329,6 +331,7 @@ struct LazyFaultHandler {
 
 impl PageFaultHandler for LazyFaultHandler {
     fn fault(&self, addr: Addr) -> Result<(), MemError> {
+        // crac-lint: allow(raw-instant) — failed faults must not pollute the latency histogram, so the span is manual
         let t0 = Instant::now();
         // A page with no plan owner should never be absent (only planned
         // pages are declared absent); surfacing NotResident keeps a
@@ -497,15 +500,18 @@ impl<'a> LazyRestoreSession<'a> {
                 lookup,
                 plan,
                 owner,
-                queue: Mutex::new(LazyQueue {
-                    state,
-                    priority: VecDeque::new(),
-                    sweep: 0,
-                    done: 0,
-                    shutdown: false,
-                }),
+                queue: Mutex::new(
+                    "imagestore.lazy.queue",
+                    LazyQueue {
+                        state,
+                        priority: VecDeque::new(),
+                        sweep: 0,
+                        done: 0,
+                        shutdown: false,
+                    },
+                ),
                 cv: Condvar::new(),
-                error: Mutex::new(None),
+                error: Mutex::new("imagestore.lazy.error", None),
                 gauge: Gauge::default(),
                 obs,
                 fault_us,
@@ -519,6 +525,7 @@ impl<'a> LazyRestoreSession<'a> {
             threads,
             declaration,
             taken_at_ns: manifest.taken_at_ns,
+            // crac-lint: allow(raw-instant) — wall-clock anchor for session stats, not a stage timing
             started: Instant::now(),
             resume_latency,
             resume_us: AtomicU64::new(0),
@@ -552,10 +559,12 @@ impl<'a> LazyRestoreSession<'a> {
     /// this returns; call [`spawn_workers`](Self::spawn_workers) next so
     /// faults (and the prefetch sweep) get serviced.
     pub fn attach(&self, coordinator: &Coordinator, space: &SharedSpace) -> RestartStats {
+        // crac-lint: allow(raw-instant) — resume latency lands in RestartStats, not an obs histogram
         let t0 = Instant::now();
         self.shared
             .space
             .set(space.clone())
+            // crac-lint: allow(no-unwrap) — attach-twice is a caller contract violation; failing loudly is the design
             .unwrap_or_else(|_| panic!("attach called twice"));
         let handler: Arc<dyn PageFaultHandler> = Arc::new(LazyFaultHandler {
             shared: Arc::clone(&self.shared),
@@ -598,16 +607,10 @@ impl<'a> LazyRestoreSession<'a> {
     pub fn drain(&self) -> Result<(), StoreError> {
         let mut q = self.shared.q();
         while !q.shutdown && q.done < q.state.len() {
-            q = self.shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = self.shared.cv.wait(q);
         }
         drop(q);
-        match self
-            .shared
-            .error
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .take()
-        {
+        match self.shared.error.lock().take() {
             Some(e) => Err(e),
             None => Ok(()),
         }

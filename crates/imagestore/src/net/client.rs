@@ -27,7 +27,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crac_obs::{Buckets, Counter, Gauge, Histogram, ObsRegistry, Span};
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crate::error::StoreError;
 use crate::hash::ContentHash;
@@ -183,8 +183,8 @@ impl TcpTransport {
                 max_idle: Self::DEFAULT_MAX_IDLE,
                 connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
                 io_timeout: Some(Self::DEFAULT_IO_TIMEOUT),
-                idle: Mutex::new(Vec::new()),
-                priority_idle: Mutex::new(Vec::new()),
+                idle: Mutex::new("imagestore.net.client.idle", Vec::new()),
+                priority_idle: Mutex::new("imagestore.net.client.priority_idle", Vec::new()),
                 obs: obs.clone(),
             };
             match transport.dial() {
@@ -198,6 +198,7 @@ impl TcpTransport {
                 Err(e) => last_err = Some(e),
             }
         }
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         Err(last_err.expect("at least one candidate was tried"))
     }
 

@@ -562,6 +562,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf).map_err(FrameError::Io)?;
     let (body, trailer) = buf.split_at(len - 4);
+    // crac-lint: allow(no-unwrap) — split_at(len - 4) guarantees a 4-byte trailer
     let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
     let computed = crc32(body);
     if computed != stored_crc {

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crac_obs::{Buckets, Counter, EventKind, Gauge, Histogram, ObsRegistry, Span};
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crate::error::StoreError;
 use crate::net::auth;
@@ -270,11 +270,11 @@ pub fn serve(
         secret: secret.into(),
         obs,
         shutting_down: AtomicBool::new(false),
-        live: Mutex::new(HashMap::new()),
+        live: Mutex::new("imagestore.net.server.live", HashMap::new()),
         next_conn: AtomicU64::new(0),
     });
     let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-        Arc::new(Mutex::new(Vec::new()));
+        Arc::new(Mutex::new("imagestore.net.server.conn_threads", Vec::new()));
 
     // Nonblocking accept + poll: the loop observes the shutdown flag
     // deterministically (no wake-up dial that could itself fail), and a

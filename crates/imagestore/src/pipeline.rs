@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crate::error::StoreError;
 
@@ -40,6 +40,7 @@ impl Gauge {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                 Some(cur.saturating_sub(bytes))
             })
+            // crac-lint: allow(no-unwrap) — fetch_update closure is total — it always returns Some
             .expect("fetch_update closure always returns Some");
         debug_assert!(
             prev >= bytes,

@@ -52,6 +52,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crac_addrspace::{Addr, PageRun, PAGE_SIZE};
@@ -468,7 +469,7 @@ pub(crate) fn run_fetch_pipeline(
     let threads = effective_read_threads(plan.len());
     obs.run.gauge("crac_reader_threads").set(threads as u64);
     let gauge = Gauge::default();
-    let error: ErrorSlot = Default::default();
+    let error: ErrorSlot = Arc::new(crac_sync::Mutex::new("imagestore.reader.error", None));
     let next = AtomicUsize::new(0);
     let retries = AtomicUsize::new(0);
     let retry_obs = obs.retry("fetch_chunk");
@@ -550,6 +551,7 @@ pub(crate) fn run_fetch_pipeline(
 
 impl ChunkSource for StreamReader<'_> {
     fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
+        // crac-lint: allow(raw-instant) — whole-restore wall time lands in ReadStats via finish_stats
         let start = Instant::now();
         self.obs.events.event(
             EventKind::RestoreBegun,

@@ -259,6 +259,7 @@ impl<'t> RemoteChunkSink<'t> {
             compression,
             parent,
             taken_at_ns: 0,
+            // crac-lint: allow(raw-instant) — wall-clock anchor for ship stats, not a stage timing
             started: Instant::now(),
             retries: AtomicUsize::new(0),
             cur_region: None,
@@ -655,6 +656,7 @@ impl<'t> RemoteChunkSource<'t> {
 
 impl ChunkSource for RemoteChunkSource<'_> {
     fn stream_out(&mut self, sink: &mut dyn RegionSink) -> Result<(), StoreError> {
+        // crac-lint: allow(raw-instant) — whole-restore wall time lands in ReadStats via finish_stats
         let start = Instant::now();
         self.obs.events.event(
             EventKind::RestoreBegun,
@@ -708,6 +710,7 @@ impl ImageStore {
         id: ImageId,
         transport: &dyn Transport,
     ) -> Result<(ImageId, ReplicateStats), StoreError> {
+        // crac-lint: allow(raw-instant) — whole-replication wall time lands in ReplicateStats
         let started = Instant::now();
         // One read serves both the chunk walk and the final publication —
         // the manifest cannot vanish (or change) between the two.
@@ -810,6 +813,7 @@ impl ImageStore {
         // the just-ingested (still manifest-less) chunks mid-replication
         // and fail the final manifest adoption spuriously.
         let _writing = self.writer_guard();
+        // crac-lint: allow(raw-instant) — whole-pull wall time lands in ReplicateStats
         let started = Instant::now();
         let obs = ShipObs::new(self.obs());
         let retries = AtomicUsize::new(0);

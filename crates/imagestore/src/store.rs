@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use crac_dmtcp::CheckpointImage;
 use crac_obs::{EventKind, ObsRegistry};
-use parking_lot::{Mutex, RwLock};
+use crac_sync::{Mutex, RwLock};
 
 use crate::error::StoreError;
 use crate::format::{ChunkFile, Manifest};
@@ -200,13 +200,16 @@ impl ImageStore {
             root,
             chunks_dir,
             images_dir,
-            index: Arc::new(Mutex::new(StoreIndex {
-                known_chunks,
-                next_image,
-            })),
+            index: Arc::new(Mutex::new(
+                "imagestore.store.index",
+                StoreIndex {
+                    known_chunks,
+                    next_image,
+                },
+            )),
             read_only,
-            writer_gate: RwLock::new(()),
-            obs: Mutex::new(ObsRegistry::new()),
+            writer_gate: RwLock::new("imagestore.store.writer_gate", ()),
+            obs: Mutex::new("imagestore.store.obs", ObsRegistry::new()),
         })
     }
 
@@ -709,7 +712,7 @@ impl ImageStore {
 
     /// Registers a streaming write for its whole lifetime: while any
     /// returned guard is alive, deletion is refused.
-    pub(crate) fn writer_guard(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+    pub(crate) fn writer_guard(&self) -> crac_sync::RwLockReadGuard<'_, ()> {
         self.writer_gate.read()
     }
 

@@ -286,6 +286,7 @@ impl RegionSink for MaterialiseSink {
         let region = self
             .regions
             .get_mut(region)
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("push_run targets an undeclared region");
         for (i, page) in run.pages().enumerate() {
             let off = i * PAGE_SIZE as usize;

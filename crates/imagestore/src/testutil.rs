@@ -27,6 +27,7 @@ impl TempDir {
             std::process::id(),
             NEXT.fetch_add(1, Ordering::Relaxed),
         ));
+        // crac-lint: allow(no-unwrap) — test-support helper; aborting on tempdir failure is correct
         std::fs::create_dir_all(&path).expect("create temp dir");
         Self { path }
     }

@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crac_obs::{EventKind, ObsRegistry};
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crate::error::StoreError;
 use crate::hash::ContentHash;
@@ -240,6 +240,7 @@ fn retry_loop<T>(
             Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES && !cancelled() => {
                 attempt += 1;
                 retries.fetch_add(1, Ordering::Relaxed);
+                // crac-lint: allow(raw-instant) — measures the backoff actually slept, recorded below into retry obs
                 let slept_from = Instant::now();
                 let finished =
                     sleep_unless_cancelled(backoff_delay(attempt, base, cap), &cancelled);
@@ -451,10 +452,13 @@ impl<'t> FaultyTransport<'t> {
         Self {
             inner,
             cfg,
-            rng: Mutex::new(cfg.seed | 1),
+            rng: Mutex::new("imagestore.transport.rng", cfg.seed | 1),
             puts_succeeded: AtomicUsize::new(0),
             faults_injected: AtomicUsize::new(0),
-            attempts: Mutex::new(std::collections::HashMap::new()),
+            attempts: Mutex::new(
+                "imagestore.transport.attempts",
+                std::collections::HashMap::new(),
+            ),
         }
     }
 

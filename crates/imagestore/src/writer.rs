@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 use crac_addrspace::{PageRun, PAGE_SIZE};
 use crac_dmtcp::RegionDescriptor;
 use crac_obs::{Buckets, Counter, EventKind, Histogram, ObsRegistry, Span};
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crate::chunk::{trim_superseded, RunChunker, CHUNK_PAGES};
 use crate::codec::{encode, Compression, Encoding};
@@ -229,7 +229,7 @@ pub struct StreamWriter<'s> {
     /// Read side of the store's writer gate, held for the writer's whole
     /// lifetime: deletion (the write side) is excluded while any stream
     /// is in flight, with no check-then-act window.
-    _writer_guard: std::sync::RwLockReadGuard<'s, ()>,
+    _writer_guard: crac_sync::RwLockReadGuard<'s, ()>,
     opts: WriteOptions,
     started: Instant,
     gauge: Arc<Gauge>,
@@ -275,7 +275,7 @@ impl<'s> StreamWriter<'s> {
         }
         let threads = effective_threads(opts.threads);
         let gauge = Arc::new(Gauge::default());
-        let error: ErrorSlot = Arc::new(Mutex::new(None));
+        let error: ErrorSlot = Arc::new(Mutex::new("imagestore.writer.error", None));
         let run = ObsRegistry::new();
         run.gauge("crac_writer_threads").set(threads as u64);
         let encoder_obs = Arc::new(EncoderObs {
@@ -297,11 +297,14 @@ impl<'s> StreamWriter<'s> {
         let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<EncodeJob>(ENCODE_QUEUE_CHUNKS);
         let (write_tx, write_rx) = std::sync::mpsc::sync_channel::<WriteJob>(WRITE_QUEUE_CHUNKS);
         let (outcome_tx, outcome_rx) = std::sync::mpsc::channel::<ChunkOutcome>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let job_rx = Arc::new(Mutex::new("imagestore.writer.job_rx", job_rx));
         // Batch-local claim set: the first encoder to hash unseen content
         // wins the right to write it; the store index only learns about the
         // new chunks at commit time.
-        let claimed = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let claimed = Arc::new(Mutex::new(
+            "imagestore.writer.claimed",
+            std::collections::HashSet::new(),
+        ));
 
         let mut encoders = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -322,7 +325,8 @@ impl<'s> StreamWriter<'s> {
         // I/O thread drains and exits — clean pipeline shutdown with no
         // explicit signalling.
         drop(write_tx);
-        let pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>> = Arc::new(Mutex::new(Vec::new()));
+        let pending_publish: Arc<Mutex<Vec<(PathBuf, PathBuf)>>> =
+            Arc::new(Mutex::new("imagestore.writer.pending_publish", Vec::new()));
         let io_thread = spawn_io(
             write_rx,
             outcome_tx,
@@ -339,6 +343,7 @@ impl<'s> StreamWriter<'s> {
             store,
             _writer_guard: writer_guard,
             opts,
+            // crac-lint: allow(raw-instant) — wall-clock anchor for WriteStats, not a stage timing
             started: Instant::now(),
             gauge,
             error,
@@ -377,6 +382,7 @@ impl<'s> StreamWriter<'s> {
     /// Submits one packed chunk to the encoders (blocking while the job
     /// queue is full — that backpressure is what bounds the producer).
     fn submit_chunk(&mut self, runs: Vec<PageRun>, raw: Vec<u8>) -> Result<(), StoreError> {
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         let region_seq = self.cur_region.expect("chunk outside a region");
         self.chunks_total_c.inc();
         self.raw_bytes_c.add(raw.len() as u64);
@@ -395,6 +401,7 @@ impl<'s> StreamWriter<'s> {
         if self
             .job_tx
             .as_ref()
+            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
             .expect("pipeline already shut down")
             .send(job)
             .is_err()
@@ -446,6 +453,7 @@ impl<'s> StreamWriter<'s> {
         // into the run registry; the outcome loop only has to collect the
         // hashes the manifest needs and the set of chunks to commit.
         let mut newly_written: Vec<ContentHash> = Vec::new();
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         let outcome_rx = self.outcome_rx.take().expect("finish runs once");
         for outcome in outcome_rx.iter() {
             let slot = &mut self.chunks[outcome.region_seq][outcome.chunk_seq];
@@ -489,6 +497,7 @@ impl<'s> StreamWriter<'s> {
                         .iter()
                         .map(|c| ChunkEntry {
                             runs: c.runs.clone(),
+                            // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
                             hash: c.hash.expect("pipeline reported every chunk"),
                             raw_len: c.raw_len,
                         })
@@ -605,6 +614,7 @@ impl ChunkSink for StreamWriter<'_> {
         let result = chunker.flush(&mut |runs, raw| self.submit_chunk(runs, raw));
         self.chunker = chunker;
         result?;
+        // crac-lint: allow(no-unwrap) — local invariant established just above; the expect message documents it
         let region = self.cur_region.expect("end_region without begin");
         let desc = &self.regions[region];
         self.store.obs().event(
@@ -639,6 +649,7 @@ fn spawn_encoder(
     error: ErrorSlot,
     obs: Arc<EncoderObs>,
 ) -> JoinHandle<()> {
+    // crac-lint: allow(raw-spawn) — encoder/publisher worker threads are owned by the pipeline and joined at finish()
     std::thread::spawn(move || loop {
         // Holding the mutex across `recv` serialises wakeups but is the
         // std-only way to share one receiver; encode/IO dominate anyway.
@@ -704,6 +715,7 @@ fn spawn_io(
     error: ErrorSlot,
     obs: IoObs,
 ) -> JoinHandle<()> {
+    // crac-lint: allow(raw-spawn) — encoder/publisher worker threads are owned by the pipeline and joined at finish()
     std::thread::spawn(move || {
         for job in write_rx.iter() {
             let encoded_len = job.encoded.len() as u64;

@@ -1,9 +1,9 @@
 //! The bounded structured event ring: what happened, when, in order —
 //! the narrative complement to the metric totals.
 
+use crac_sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Maximum buffered events; beyond this the oldest are dropped (the drop
@@ -135,14 +135,14 @@ pub(crate) struct Ring {
 impl Ring {
     pub(crate) fn new() -> Self {
         Ring {
-            buf: Mutex::new(VecDeque::with_capacity(64)),
+            buf: Mutex::new("obs.event.ring", VecDeque::with_capacity(64)),
             next_seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Event>> {
-        self.buf.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock(&self) -> crac_sync::MutexGuard<'_, VecDeque<Event>> {
+        self.buf.lock()
     }
 
     pub(crate) fn push(&self, at: Duration, kind: EventKind, detail: String) {

@@ -2,9 +2,10 @@
 //! histograms behind cheap cloneable handles, with snapshot + merge and
 //! Prometheus-style text exposition.
 
+use crac_sync::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::event::{Event, EventKind, Ring};
@@ -94,6 +95,7 @@ impl Gauge {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                 Some(cur.saturating_sub(n))
             })
+            // crac-lint: allow(no-unwrap) — fetch_update closure is total — it always returns Some
             .expect("fetch_update closure always returns Some");
         debug_assert!(prev >= n, "gauge sub({n}) underflows current {prev}");
     }
@@ -198,7 +200,7 @@ impl ObsRegistry {
         ObsRegistry {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
-                metrics: Mutex::new(BTreeMap::new()),
+                metrics: Mutex::new("obs.registry.metrics", BTreeMap::new()),
                 events: Ring::new(),
             }),
         }
@@ -206,12 +208,9 @@ impl ObsRegistry {
 
     fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
         // A panic while holding the registry lock cannot leave metrics
-        // half-updated (every mutation is a whole-value insert), so a
-        // poisoned lock is safe to keep using.
-        self.inner
-            .metrics
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        // half-updated (every mutation is a whole-value insert), and the
+        // crac-sync wrapper already recovers from poisoning.
+        self.inner.metrics.lock()
     }
 
     /// Returns the counter registered under `name`, creating it on first
@@ -223,6 +222,7 @@ impl ObsRegistry {
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Counter(c) => c.clone(),
+            // crac-lint: allow(no-unwrap) — metric kind mismatch is a documented API-contract panic
             other => panic!("metric {name} is a {}, not a counter", other.kind()),
         }
     }
@@ -238,6 +238,7 @@ impl ObsRegistry {
             })))
         }) {
             Metric::Gauge(g) => g.clone(),
+            // crac-lint: allow(no-unwrap) — metric kind mismatch is a documented API-contract panic
             other => panic!("metric {name} is a {}, not a gauge", other.kind()),
         }
     }
@@ -262,6 +263,7 @@ impl ObsRegistry {
                 );
                 h.clone()
             }
+            // crac-lint: allow(no-unwrap) — metric kind mismatch is a documented API-contract panic
             other => panic!("metric {name} is a {}, not a histogram", other.kind()),
         }
     }
@@ -358,9 +360,16 @@ impl ObsRegistry {
         }
     }
 
-    /// Prometheus-style text exposition of the current snapshot.
+    /// Prometheus-style text exposition of the current snapshot, plus
+    /// the process-wide lock wait/hold/contention families from
+    /// `crac-sync` (empty in uninstrumented builds).  Appended as text
+    /// rather than absorbed as metrics because the sync stats are
+    /// cumulative globals: merging them into a per-registry snapshot
+    /// would double-count on every scrape.
     pub fn render_text(&self) -> String {
-        self.snapshot().render_text()
+        let mut text = self.snapshot().render_text();
+        text.push_str(&crac_sync::stats::render_prometheus());
+        text
     }
 }
 

@@ -7,6 +7,9 @@
 //! swallowed: a panicking thread must not wedge every later test the way
 //! `std` poisoning would, and `parking_lot` itself has no poisoning at all.
 
+// This shim *is* the raw-lock layer the workspace bans elsewhere.
+#![allow(clippy::disallowed_types)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };
@@ -31,6 +34,16 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking, returning `None` if
+    /// it is currently held (parking_lot's `try_lock` signature).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -67,6 +80,17 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts shared read access without blocking, returning `None` if
+    /// a writer currently holds the lock (parking_lot's `try_read`
+    /// signature).
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Attempts exclusive write access without blocking, returning `None`

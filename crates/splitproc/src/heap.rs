@@ -6,7 +6,7 @@
 //! [`HostHeap`] for that purpose.
 
 use crac_addrspace::{page_align_up, Addr, Half, MapRequest, MemError, SharedSpace};
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 /// A bump allocator over upper-half mappings labelled `[heap]`.
 pub struct HostHeap {
@@ -26,11 +26,14 @@ impl HostHeap {
     pub fn new(space: SharedSpace, chunk_bytes: u64) -> Self {
         Self {
             space,
-            state: Mutex::new(HeapState {
-                chunks: Vec::new(),
-                cursor: 0,
-                allocated: 0,
-            }),
+            state: Mutex::new(
+                "splitproc.heap.state",
+                HeapState {
+                    chunks: Vec::new(),
+                    cursor: 0,
+                    allocated: 0,
+                },
+            ),
             chunk_bytes: page_align_up(chunk_bytes.max(4096)),
         }
     }

@@ -139,6 +139,7 @@ pub fn load_program(space: &SharedSpace, spec: &ProgramSpec, half: Half) -> Load
                 label: label.clone(),
                 fixed: None,
             })
+            // crac-lint: allow(no-unwrap) — program segments load into a fresh reserved half; exhaustion is impossible by construction
             .expect("program loading must not run out of address space");
         segments.push(LoadedSegment {
             label,

@@ -1,0 +1,74 @@
+//! Property tests for the pure lock-order graph: `cycle_on_add` must
+//! agree with an independent acyclicity oracle (Kahn's algorithm) over
+//! random edge-insertion histories, and every reported cycle path must
+//! be a real walk through recorded edges.
+
+use crac_sync::LockOrderGraph;
+use proptest::prelude::*;
+
+/// Random edge lists over a small node universe — small on purpose, so
+/// cycles are actually likely within a few dozen insertions.
+fn edges_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..12, 0u64..12), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Admitting only edges that `cycle_on_add` clears keeps the graph
+    /// acyclic — checked by the independent Kahn oracle after every
+    /// insertion, over arbitrary insertion orders.
+    #[test]
+    fn admitted_edges_never_create_a_cycle(edges in edges_strategy()) {
+        let mut g = LockOrderGraph::new();
+        for (from, to) in edges {
+            if g.cycle_on_add(from, to).is_none() {
+                g.add_edge(from, to);
+                prop_assert!(g.is_acyclic(), "oracle disagrees after {from} → {to}");
+            }
+        }
+    }
+
+    /// When `cycle_on_add(from, to)` condemns an edge, the returned path
+    /// really is the cycle: it runs `to → … → from` along recorded
+    /// edges, so `from → to` plus the path closes the loop.
+    #[test]
+    fn reported_cycle_paths_are_real_walks(edges in edges_strategy()) {
+        let mut g = LockOrderGraph::new();
+        for (from, to) in edges {
+            if let Some(path) = g.cycle_on_add(from, to) {
+                prop_assert!(path.len() >= 2);
+                prop_assert_eq!(*path.first().expect("non-empty"), to);
+                prop_assert_eq!(*path.last().expect("non-empty"), from);
+                for pair in path.windows(2) {
+                    prop_assert!(
+                        g.has_edge(pair[0], pair[1]),
+                        "path hop {} → {} was never recorded",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            } else {
+                g.add_edge(from, to);
+            }
+        }
+    }
+
+    /// The probe never mutates: condemned or cleared, edge counts only
+    /// move when `add_edge` says so, and duplicates are not re-counted.
+    #[test]
+    fn probe_is_pure_and_duplicates_are_free(edges in edges_strategy()) {
+        let mut g = LockOrderGraph::new();
+        let mut expected = std::collections::BTreeSet::new();
+        for (from, to) in edges {
+            let _ = g.cycle_on_add(from, to);
+            if g.add_edge(from, to) {
+                prop_assert!(from != to, "self-edges must be rejected");
+                prop_assert!(expected.insert((from, to)), "new edge reported twice");
+            } else {
+                prop_assert!(from == to || expected.contains(&(from, to)));
+            }
+            prop_assert_eq!(g.edge_count(), expected.len());
+        }
+    }
+}

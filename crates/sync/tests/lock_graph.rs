@@ -1,0 +1,199 @@
+//! Regression tests for the live lock-order detector: the deterministic
+//! ABBA inversion the whole subsystem exists to catch, plus the shapes
+//! around it (longer cycles, rwlock participation, try-lock innocence).
+//!
+//! These tests only compile in instrumented builds — in a release
+//! passthrough build the detector is a no-op by design, and there is
+//! nothing to regress.
+#![cfg(any(debug_assertions, feature = "lock-graph"))]
+// The serializer below must sit outside the instrumented graph under test.
+#![allow(clippy::disallowed_types)]
+
+use crac_sync::lock_graph::{set_abort_on_cycle, take_cycle_reports};
+use crac_sync::{Mutex, RwLock};
+
+/// The detector's report queue and abort flag are process-global, so
+/// tests that drain reports must not interleave.  (Raw lock on purpose:
+/// instrumenting the serializer would put these very tests into the
+/// graph under scrutiny.)
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The canonical ABBA inversion, exercised sequentially: one run that
+/// merely *uses* both orders is condemned, no hang required.
+#[test]
+fn abba_inversion_is_detected_with_both_sites() {
+    let _serial = serialized();
+    set_abort_on_cycle(false);
+    let a = Mutex::new("abba.first", 0u32);
+    let b = Mutex::new("abba.second", 0u32);
+
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // records first → second
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // records second → first: cycle
+    }
+
+    let reports = take_cycle_reports();
+    set_abort_on_cycle(true);
+    let report = reports
+        .iter()
+        .find(|r| r.edges.iter().any(|e| e.acquiring_name == "abba.first"))
+        .expect("inversion must produce a cycle report");
+    assert_eq!(report.edges.len(), 2, "ABBA is the two-lock cycle");
+    let names: Vec<&str> = report
+        .edges
+        .iter()
+        .flat_map(|e| [e.held_name, e.acquiring_name])
+        .collect();
+    assert!(names.contains(&"abba.first") && names.contains(&"abba.second"));
+    for edge in &report.edges {
+        assert!(
+            edge.held_site.contains("lock_graph.rs")
+                && edge.acquiring_site.contains("lock_graph.rs"),
+            "sites must point at the acquisitions in this file, got {} / {}",
+            edge.held_site,
+            edge.acquiring_site
+        );
+    }
+    let rendered = report.to_string();
+    assert!(rendered.contains("potential deadlock"), "{rendered}");
+    assert!(rendered.contains("abba.first") && rendered.contains("abba.second"));
+}
+
+/// By default the inversion panics at the acquisition that closes the
+/// cycle, so a plain test run fails on the exact line.
+#[test]
+fn abba_inversion_panics_by_default() {
+    let _serial = serialized();
+    set_abort_on_cycle(true);
+    let a = Mutex::new("abba_panic.first", 0u32);
+    let b = Mutex::new("abba_panic.second", 0u32);
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("the closing acquisition must panic");
+    let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+    assert!(msg.contains("abba_panic.first") && msg.contains("abba_panic.second"));
+    let _ = take_cycle_reports(); // leave a clean queue for other tests
+}
+
+/// A consistent global order never fires, however often it is used.
+#[test]
+fn consistent_order_is_clean() {
+    let _serial = serialized();
+    set_abort_on_cycle(false);
+    let outer = Mutex::new("clean.outer", ());
+    let inner = Mutex::new("clean.inner", ());
+    for _ in 0..100 {
+        let _o = outer.lock();
+        let _i = inner.lock();
+    }
+    let reports = take_cycle_reports();
+    set_abort_on_cycle(true);
+    assert!(
+        !reports
+            .iter()
+            .any(|r| r.edges.iter().any(|e| e.held_name.starts_with("clean."))),
+        "consistent ordering must not be condemned"
+    );
+}
+
+/// Cycles longer than ABBA are found and every hop is named.
+#[test]
+fn three_lock_cycle_names_every_hop() {
+    let _serial = serialized();
+    set_abort_on_cycle(false);
+    let a = Mutex::new("tri.a", ());
+    let b = Mutex::new("tri.b", ());
+    let c = Mutex::new("tri.c", ());
+    {
+        let _x = a.lock();
+        let _y = b.lock();
+    }
+    {
+        let _x = b.lock();
+        let _y = c.lock();
+    }
+    {
+        let _x = c.lock();
+        let _y = a.lock(); // closes a → b → c → a
+    }
+    let reports = take_cycle_reports();
+    set_abort_on_cycle(true);
+    let report = reports
+        .iter()
+        .find(|r| r.edges.iter().any(|e| e.held_name == "tri.c"))
+        .expect("three-lock cycle must be reported");
+    assert_eq!(report.edges.len(), 3);
+    let names: std::collections::BTreeSet<&str> =
+        report.edges.iter().map(|e| e.held_name).collect();
+    assert_eq!(
+        names.into_iter().collect::<Vec<_>>(),
+        vec!["tri.a", "tri.b", "tri.c"]
+    );
+}
+
+/// RwLocks share one graph node across read and write modes, so a
+/// mutex-vs-rwlock inversion is condemned like any other.
+#[test]
+fn rwlock_participates_in_the_graph() {
+    let _serial = serialized();
+    set_abort_on_cycle(false);
+    let m = Mutex::new("rw_mix.mutex", ());
+    let r = RwLock::new("rw_mix.rwlock", 0u8);
+    {
+        let _a = m.lock();
+        let _b = r.read();
+    }
+    {
+        let _b = r.write();
+        let _a = m.lock();
+    }
+    let reports = take_cycle_reports();
+    set_abort_on_cycle(true);
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.edges.iter().any(|e| e.held_name == "rw_mix.rwlock")),
+        "read-then-write inversion must be condemned"
+    );
+}
+
+/// `try_lock` cannot block, so it records no ordering edge — an
+/// opportunistic grab in the "wrong" order is not an inversion.
+#[test]
+fn try_lock_records_no_edges() {
+    let _serial = serialized();
+    set_abort_on_cycle(false);
+    let a = Mutex::new("trylock.a", ());
+    let b = Mutex::new("trylock.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.try_lock().expect("uncontended try_lock succeeds");
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // would close a cycle if try_lock had recorded a → b
+    }
+    let reports = take_cycle_reports();
+    set_abort_on_cycle(true);
+    assert!(
+        !reports
+            .iter()
+            .any(|r| r.edges.iter().any(|e| e.held_name.starts_with("trylock."))),
+        "try_lock must not contribute ordering edges"
+    );
+}

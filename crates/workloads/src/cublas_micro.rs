@@ -68,11 +68,15 @@ struct BlasBench {
 impl BlasBench {
     fn new() -> Self {
         let rt = CudaRuntime::new(RuntimeConfig::v100(), SharedSpace::new_no_aslr());
+        // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
         let blas = Cublas::new(Arc::clone(&rt)).unwrap();
         // Largest operands are 100 MB; allocate three of them once.
         let bytes = 100 << 20;
+        // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
         let x = rt.malloc(bytes).unwrap();
+        // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
         let y = rt.malloc(bytes).unwrap();
+        // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
         let z = rt.malloc(bytes).unwrap();
         Self { rt, blas, x, y, z }
     }
@@ -84,21 +88,25 @@ impl BlasBench {
                 let n = (data_mb << 20) / 4;
                 self.blas
                     .sdot(n, self.x, self.y, self.z, StreamId::DEFAULT)
+                    // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
                     .unwrap();
             }
             BlasRoutine::Sgemv => {
                 let dim = (((data_mb << 20) / 4) as f64).sqrt() as u64;
                 self.blas
                     .sgemv(dim, dim, self.x, self.y, self.z, StreamId::DEFAULT)
+                    // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
                     .unwrap();
             }
             BlasRoutine::Sgemm => {
                 let dim = (((data_mb << 20) / 4) as f64).sqrt() as u64;
                 self.blas
                     .sgemm(dim, dim, dim, self.x, self.y, self.z, StreamId::DEFAULT)
+                    // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
                     .unwrap();
             }
         }
+        // crac-lint: allow(no-unwrap) — deterministic simulated device — an op failure is a harness bug, abort
         self.rt.device_synchronize().unwrap();
     }
 

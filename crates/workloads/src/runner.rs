@@ -68,6 +68,7 @@ pub fn run_crac_with_checkpoint(
     )?;
     session.device_synchronize()?;
 
+    // crac-lint: allow(no-unwrap) — the session was constructed in CRAC mode a few lines above
     let proc = session.as_crac().expect("session runs under CRAC");
     let report = proc.checkpoint();
 

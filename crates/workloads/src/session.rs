@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crac_sync::Mutex;
 
 use crac_addrspace::{Addr, SharedSpace};
 use crac_core::{CracConfig, CracEvent, CracKernel, CracProcess, CracStream, KernelRegistry};
@@ -54,10 +54,13 @@ impl NativeSession {
             runtime,
             registry,
             fatbin,
-            state: Mutex::new(NativeState {
-                next: 1,
-                ..Default::default()
-            }),
+            state: Mutex::new(
+                "workloads.session.state",
+                NativeState {
+                    next: 1,
+                    ..Default::default()
+                },
+            ),
         }
     }
 }
